@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the partitioning algorithms (Figures 10/11),
+//! the LyreSplit edge-pick ablation, and migration planning (Figures
+//! 14b/15b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use orpheus_bench::generator::{Workload, WorkloadParams};
+use orpheus_partition::agglo::{agglo_for_budget};
+use orpheus_partition::kmeans::kmeans_for_budget;
+use orpheus_partition::lyresplit::{lyresplit, lyresplit_for_budget, EdgePick};
+use orpheus_partition::migration::{plan_migration, plan_naive};
+
+fn workload() -> Workload {
+    Workload::generate(WorkloadParams::sci(200, 20, 100))
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let w = workload();
+    let tree = w.version_graph().to_tree();
+    let bip = w.bipartite();
+    let gamma = 2 * bip.num_records() as u64;
+
+    let mut group = c.benchmark_group("fig10_partitioners");
+    group.sample_size(10);
+    group.bench_function("lyresplit_for_budget", |b| {
+        b.iter(|| lyresplit_for_budget(&tree, gamma, EdgePick::BalancedVersions))
+    });
+    group.bench_function("agglo_for_budget", |b| {
+        b.iter(|| agglo_for_budget(&bip, gamma))
+    });
+    group.bench_function("kmeans_for_budget", |b| {
+        b.iter(|| kmeans_for_budget(&bip, gamma, 7))
+    });
+    group.finish();
+}
+
+fn bench_edge_pick_ablation(c: &mut Criterion) {
+    let w = workload();
+    let tree = w.version_graph().to_tree();
+    let mut group = c.benchmark_group("lyresplit_edge_pick");
+    group.sample_size(20);
+    group.bench_function("smallest_weight", |b| {
+        b.iter(|| lyresplit(&tree, 0.5, EdgePick::SmallestWeight))
+    });
+    group.bench_function("balanced_versions", |b| {
+        b.iter(|| lyresplit(&tree, 0.5, EdgePick::BalancedVersions))
+    });
+    group.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let w = workload();
+    let tree = w.version_graph().to_tree();
+    let bip = w.bipartite();
+    let old = lyresplit(&tree, 0.3, EdgePick::BalancedVersions).partitioning;
+    let new = lyresplit(&tree, 0.5, EdgePick::BalancedVersions).partitioning;
+
+    let mut group = c.benchmark_group("fig14_migration_planning");
+    group.sample_size(10);
+    group.bench_function("intelligent", |b| {
+        b.iter(|| plan_migration(&bip, Some(&tree), &old, &new))
+    });
+    group.bench_function("naive", |b| b.iter(|| plan_naive(&bip, &old, &new)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_edge_pick_ablation, bench_migration);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Runs every experiment in sequence (Table 2 and all figures), printing
+//! each paper-style report as it completes. `ORPHEUS_SCALE` scales dataset
+//! sizes; `ORPHEUS_TRIALS` sets the timing repetition count.
+use std::io::Write;
+
+fn section(name: &str, f: fn() -> String) {
+    println!("==================== {name} ====================");
+    let out = f();
+    println!("{out}");
+    std::io::stdout().flush().expect("flush stdout");
+}
+
+fn main() {
+    use orpheus_bench::experiments as e;
+    section("table2", e::table2::run);
+    section("fig10_11", e::fig10_11::run);
+    section("fig14_15", e::fig14_15::run);
+    section("fig19", e::fig19::run);
+    section("fig12_13", e::fig12_13::run);
+    section("fig3", e::fig3::run);
+    section("fig9", e::fig9::run);
+    section("fig20_23", e::fig9::run_appendix);
+    section("compression", e::compression::run);
+}

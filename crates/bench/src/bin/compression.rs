@@ -1,0 +1,5 @@
+//! Range-encoding ablation for the versioning table (Section 3.2 remark).
+//! Run with `cargo run --release -p orpheus-bench --bin compression`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::compression::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 10_11 output. Run with
+//! `cargo run --release -p orpheus-bench --bin fig10_11`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::fig10_11::run());
+}

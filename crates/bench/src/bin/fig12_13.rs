@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 12_13 output. Run with
+//! `cargo run --release -p orpheus-bench --bin fig12_13`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::fig12_13::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 14_15 output. Run with
+//! `cargo run --release -p orpheus-bench --bin fig14_15`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::fig14_15::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 19 output. Run with
+//! `cargo run --release -p orpheus-bench --bin fig19`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::fig19::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 20_23 output. Run with
+//! `cargo run --release -p orpheus-bench --bin fig20_23`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::fig9::run_appendix());
+}

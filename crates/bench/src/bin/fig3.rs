@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 3 output. Run with
+//! `cargo run --release -p orpheus-bench --bin fig3`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::fig3::run());
+}

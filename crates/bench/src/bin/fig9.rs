@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 9 output. Run with
+//! `cargo run --release -p orpheus-bench --bin fig9`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::fig9::run());
+}

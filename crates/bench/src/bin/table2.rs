@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 output. Run with
+//! `cargo run --release -p orpheus-bench --bin table2`.
+fn main() {
+    println!("{}", orpheus_bench::experiments::table2::run());
+}

@@ -1,0 +1,166 @@
+//! The Table 2 dataset configurations, scaled for laptop-speed runs.
+//!
+//! The paper's datasets range from 1M to 10M records; every cost in the
+//! system is linear in record count, so the experiments preserve their
+//! *shape* at 1/25 scale (the default). Set the environment variable
+//! `ORPHEUS_SCALE` to a larger multiplier to approach paper scale, e.g.
+//! `ORPHEUS_SCALE=5` for ~1M-record runs of the *_40K datasets.
+
+use crate::generator::{Workload, WorkloadKind, WorkloadParams};
+
+/// A named dataset specification (a row of Table 2, scaled).
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Paper name (e.g. "SCI_1M").
+    pub paper_name: &'static str,
+    /// Scaled name (e.g. "SCI_40K").
+    pub name: &'static str,
+    pub kind: WorkloadKind,
+    pub versions: usize,
+    pub branches: usize,
+    pub inserts: usize,
+}
+
+impl DatasetSpec {
+    /// Generate the workload at the current scale.
+    pub fn generate(&self) -> Workload {
+        let s = scale();
+        let mut params = match self.kind {
+            WorkloadKind::Sci => {
+                WorkloadParams::sci(self.versions, self.branches, self.inserts * s)
+            }
+            WorkloadKind::Cur => {
+                WorkloadParams::cur(self.versions, self.branches, self.inserts * s)
+            }
+        };
+        params.seed = 42 ^ self.name.len() as u64 ^ (self.versions as u64) << 8;
+        Workload::generate(params)
+    }
+}
+
+/// Global scale multiplier from `ORPHEUS_SCALE` (default 1).
+pub fn scale() -> usize {
+    std::env::var("ORPHEUS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+/// Scaled stand-ins for the paper's SCI_* rows of Table 2. Version counts
+/// and branch counts keep the paper's |V|/|B| ratios; `inserts` scales |R|.
+pub const SCI: [DatasetSpec; 5] = [
+    DatasetSpec {
+        paper_name: "SCI_1M",
+        name: "SCI_40K",
+        kind: WorkloadKind::Sci,
+        versions: 200,
+        branches: 20,
+        inserts: 200,
+    },
+    DatasetSpec {
+        paper_name: "SCI_2M",
+        name: "SCI_80K",
+        kind: WorkloadKind::Sci,
+        versions: 200,
+        branches: 20,
+        inserts: 400,
+    },
+    DatasetSpec {
+        paper_name: "SCI_5M",
+        name: "SCI_200K",
+        kind: WorkloadKind::Sci,
+        versions: 200,
+        branches: 20,
+        inserts: 1000,
+    },
+    DatasetSpec {
+        paper_name: "SCI_8M",
+        name: "SCI_320K",
+        kind: WorkloadKind::Sci,
+        versions: 200,
+        branches: 20,
+        inserts: 1600,
+    },
+    DatasetSpec {
+        paper_name: "SCI_10M",
+        name: "SCI_400K",
+        kind: WorkloadKind::Sci,
+        versions: 1000,
+        branches: 100,
+        inserts: 400,
+    },
+];
+
+/// Scaled stand-ins for the paper's CUR_* rows.
+pub const CUR: [DatasetSpec; 3] = [
+    DatasetSpec {
+        paper_name: "CUR_1M",
+        name: "CUR_40K",
+        kind: WorkloadKind::Cur,
+        versions: 220,
+        branches: 20,
+        inserts: 180,
+    },
+    DatasetSpec {
+        paper_name: "CUR_5M",
+        name: "CUR_200K",
+        kind: WorkloadKind::Cur,
+        versions: 220,
+        branches: 20,
+        inserts: 900,
+    },
+    DatasetSpec {
+        paper_name: "CUR_10M",
+        name: "CUR_400K",
+        kind: WorkloadKind::Cur,
+        versions: 1000,
+        branches: 100,
+        inserts: 360,
+    },
+];
+
+/// The Figure 3 model-comparison datasets (SCI_1M..SCI_8M equivalents).
+pub fn fig3_datasets() -> Vec<DatasetSpec> {
+    SCI[..4].to_vec()
+}
+
+/// The partitioning-experiment datasets (Figures 9–13).
+pub fn partitioning_datasets() -> Vec<DatasetSpec> {
+    let mut v = vec![SCI[0].clone(), SCI[2].clone(), SCI[4].clone()];
+    v.extend(CUR.iter().cloned());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_generate_consistent_workloads() {
+        for spec in SCI.iter().take(2).chain(CUR.iter().take(1)) {
+            let w = spec.generate();
+            assert_eq!(w.num_versions(), spec.versions);
+            assert!(w.num_records > 0);
+            // |R| lands in the ballpark the name suggests (within 3×).
+            let target: usize = match spec.name {
+                "SCI_40K" | "CUR_40K" => 40_000,
+                "SCI_80K" => 80_000,
+                "SCI_200K" | "CUR_200K" => 200_000,
+                _ => continue,
+            };
+            assert!(
+                w.num_records > target / 3 && w.num_records < target * 3,
+                "{}: |R| = {} vs target {target}",
+                spec.name,
+                w.num_records
+            );
+        }
+    }
+
+    #[test]
+    fn cur_specs_have_merges() {
+        let w = CUR[0].generate();
+        assert!(w.parents.iter().any(|p| p.len() == 2));
+    }
+}

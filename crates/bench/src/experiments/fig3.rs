@@ -1,0 +1,129 @@
+//! Figure 3: comparison of the five data models on storage size (a),
+//! commit time (b), and checkout time (c).
+//!
+//! Protocol (Section 3.2): load a dataset, check out the latest version
+//! into a materialized table, and commit it straight back as a new version.
+
+use orpheus_core::{ModelKind, OrpheusDB, Vid};
+
+use crate::datasets::{fig3_datasets, DatasetSpec};
+use crate::harness::{mb, ms, time_op, trials, Report};
+use crate::loader::load_workload;
+
+/// One measured cell of Figure 3.
+#[derive(Debug, Clone)]
+pub struct ModelMeasurement {
+    pub dataset: String,
+    pub model: ModelKind,
+    pub storage_bytes: u64,
+    pub commit_ms: f64,
+    pub checkout_ms: f64,
+}
+
+/// Measure one (dataset, model) cell.
+pub fn measure(spec: &DatasetSpec, model: ModelKind) -> ModelMeasurement {
+    let workload = spec.generate();
+    let mut odb = OrpheusDB::new();
+    load_workload(&mut odb, "bench", &workload, model).expect("load");
+    let storage_bytes = odb.storage_bytes("bench").expect("storage");
+    let latest = Vid(workload.num_versions() as u64);
+
+    // Checkout time: materialize the latest version, repeatedly.
+    let mut i = 0;
+    let checkout_ms = time_op(trials(), || {
+        let t = format!("co{i}");
+        odb.checkout("bench", &[latest], &t).expect("checkout");
+        // Committing here would change the dataset; discard the staged copy
+        // instead (O(1) relative to the checkout's scan+join).
+        odb.discard(&t).expect("discard");
+        i += 1;
+    });
+
+    // Commit time: check out (untimed), then time the commit-back.
+    let mut samples = Vec::new();
+    for j in 0..trials() {
+        let t = format!("cm{j}");
+        odb.checkout("bench", &[latest], &t).expect("checkout");
+        let commit_ms = time_op(1, || {
+            odb.commit(&t, "fig3 commit-back").expect("commit");
+        });
+        samples.push(commit_ms);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let commit_ms = samples[samples.len() / 2];
+
+    ModelMeasurement {
+        dataset: spec.name.to_string(),
+        model,
+        storage_bytes,
+        commit_ms,
+        checkout_ms,
+    }
+}
+
+pub fn run() -> String {
+    let mut report = Report::new(&[
+        "dataset",
+        "model",
+        "storage_MB",
+        "commit_ms",
+        "checkout_ms",
+    ]);
+    for spec in fig3_datasets() {
+        for model in ModelKind::ALL {
+            let m = measure(&spec, model);
+            report.row(vec![
+                m.dataset,
+                m.model.name().to_string(),
+                mb(m.storage_bytes),
+                ms(m.commit_ms),
+                ms(m.checkout_ms),
+            ]);
+        }
+    }
+    format!(
+        "Figure 3: data model comparison (storage / commit / checkout)\n{}",
+        report.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadKind;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec {
+            paper_name: "SCI_TINY",
+            name: "SCI_TINY",
+            kind: WorkloadKind::Sci,
+            versions: 12,
+            branches: 3,
+            inserts: 30,
+        }
+    }
+
+    #[test]
+    fn figure3_shapes_hold_on_tiny_data() {
+        let spec = tiny_spec();
+        let mut by_model = std::collections::HashMap::new();
+        for model in ModelKind::ALL {
+            by_model.insert(model, measure(&spec, model));
+        }
+        // Storage: a-table-per-version is by far the largest (paper: ~10×).
+        let tpv = by_model[&ModelKind::TablePerVersion].storage_bytes;
+        let rlist = by_model[&ModelKind::SplitByRlist].storage_bytes;
+        assert!(
+            tpv > 2 * rlist,
+            "TPV storage should dwarf split-by-rlist ({tpv} vs {rlist})"
+        );
+        // Commit: split-by-rlist is cheaper than combined-table (paper:
+        // orders of magnitude at scale).
+        let combined = by_model[&ModelKind::CombinedTable].commit_ms;
+        let rlist_c = by_model[&ModelKind::SplitByRlist].commit_ms;
+        assert!(
+            rlist_c <= combined * 3.0,
+            "rlist commit ({rlist_c}ms) should not exceed combined ({combined}ms) materially"
+        );
+    }
+}

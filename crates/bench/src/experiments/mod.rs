@@ -1,0 +1,35 @@
+//! One module per table/figure of the paper's evaluation (Section 5 and
+//! appendices). Each exposes a `run()` returning the printed report; the
+//! `src/bin/*` entry points call these.
+
+pub mod compression;
+pub mod fig12_13;
+pub mod fig14_15;
+pub mod fig19;
+pub mod fig3;
+pub mod fig9;
+pub mod fig10_11;
+pub mod table2;
+
+/// Shared helper: sample `n` version ids (1-based) evenly across a CVD.
+pub fn sample_versions(num_versions: usize, n: usize) -> Vec<u64> {
+    let n = n.min(num_versions).max(1);
+    (0..n)
+        .map(|i| (i * num_versions / n) as u64 + 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_in_range_and_even() {
+        let s = sample_versions(100, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&v| (1..=100).contains(&v)));
+        assert_eq!(s[0], 1);
+        let s = sample_versions(3, 10);
+        assert_eq!(s, vec![1, 2, 3]);
+    }
+}

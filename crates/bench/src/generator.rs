@@ -1,0 +1,350 @@
+//! The versioning benchmark generator (Section 5.1, after Maddox et al.
+//! \[37\]).
+//!
+//! * **SCI** simulates data scientists taking working copies of an evolving
+//!   dataset: a mainline chain with branches forking from arbitrary points
+//!   (of the mainline or of other branches) — the version graph is a tree.
+//! * **CUR** simulates curation of a canonical dataset: branches
+//!   periodically *merge back* into their parent branch — the version graph
+//!   is a DAG, with ~7–10% of records conceptually duplicated by the
+//!   DAG→tree transformation (the `|R̂|` column of Table 2).
+//!
+//! Each derived version applies `I` modifications to its parent: a mix of
+//! inserts, updates (which create fresh rids — records are immutable), and
+//! deletes, keeping version sizes in steady state so that each record lives
+//! in ~10 versions on average, matching the paper's statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use orpheus_partition::{BipartiteGraph, VersionGraph};
+
+/// Workload family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Science: branching tree, no merges.
+    Sci,
+    /// Curation: branches merge back periodically (DAG).
+    Cur,
+}
+
+/// Generator parameters (the knobs of Table 2).
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    pub kind: WorkloadKind,
+    /// Total number of versions |V|.
+    pub versions: usize,
+    /// Number of branches B.
+    pub branches: usize,
+    /// Modifications (inserts or updates) per derived version I.
+    pub inserts: usize,
+    /// Base version size as a multiple of I (the paper's datasets have
+    /// |E|/|V| ≈ 11·I for SCI).
+    pub base_factor: usize,
+    /// Number of integer data attributes per record.
+    pub attrs: usize,
+    /// Fraction of the I modifications that are pure inserts (the rest are
+    /// updates = delete + fresh insert). The benchmark "contains only a few
+    /// deleted tuples, opting instead for updates or inserts" (§3.2).
+    pub insert_fraction: f64,
+    /// For CUR: probability that a step merges a branch into its parent.
+    pub merge_prob: f64,
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    pub fn sci(versions: usize, branches: usize, inserts: usize) -> WorkloadParams {
+        WorkloadParams {
+            kind: WorkloadKind::Sci,
+            versions,
+            branches,
+            inserts,
+            base_factor: 10,
+            attrs: 8,
+            insert_fraction: 0.85,
+            merge_prob: 0.0,
+            seed: 42,
+        }
+    }
+
+    pub fn cur(versions: usize, branches: usize, inserts: usize) -> WorkloadParams {
+        WorkloadParams {
+            kind: WorkloadKind::Cur,
+            merge_prob: 0.5,
+            ..WorkloadParams::sci(versions, branches, inserts)
+        }
+    }
+}
+
+/// A generated workload: version graph structure plus record membership.
+/// Record payloads are deterministic functions of the rid (see
+/// [`Workload::record_values`]), so they need not be stored.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub params: WorkloadParams,
+    /// Parent version indices (0-based) per version.
+    pub parents: Vec<Vec<usize>>,
+    /// Sorted record ids per version (0-based).
+    pub version_rids: Vec<Vec<usize>>,
+    /// Total number of distinct records.
+    pub num_records: usize,
+}
+
+impl Workload {
+    /// Generate a workload.
+    pub fn generate(params: WorkloadParams) -> Workload {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut parents: Vec<Vec<usize>> = Vec::with_capacity(params.versions);
+        let mut version_rids: Vec<Vec<usize>> = Vec::with_capacity(params.versions);
+
+        // Root version: base_factor · I records.
+        let base = params.base_factor * params.inserts.max(1);
+        version_rids.push((0..base).collect());
+        let mut next_rid = base;
+        parents.push(Vec::new());
+
+        // Branch bookkeeping: branch 0 is the mainline and never retires.
+        // In CUR, non-mainline branches live for a few commits and then
+        // merge back into their parent branch (short-lived working copies),
+        // which keeps the duplicated-record fraction |R̂|/|R| in the paper's
+        // 7–10% range.
+        struct Branch {
+            tip: usize,
+            parent_branch: usize,
+            commits_since_fork: usize,
+            active: bool,
+        }
+        let mut branches: Vec<Branch> = vec![Branch {
+            tip: 0,
+            parent_branch: 0,
+            commits_since_fork: 0,
+            active: true,
+        }];
+        let mut branches_created = 1usize;
+        // Fork evenly so all B branches exist by the end.
+        let fork_every = (params.versions / params.branches.max(1)).max(1);
+
+        for v in 1..params.versions {
+            // CUR: merge a matured branch back into its parent branch.
+            if params.kind == WorkloadKind::Cur {
+                let candidate = (1..branches.len()).find(|&i| {
+                    branches[i].active && branches[i].commits_since_fork >= 1
+                });
+                if let Some(b) = candidate {
+                    if rng.gen_bool(params.merge_prob) {
+                        let pb = branches[b].parent_branch;
+                        let (a_tip, b_tip) = (branches[pb].tip, branches[b].tip);
+                        if a_tip != b_tip {
+                            let mut records: Vec<usize> = version_rids[a_tip]
+                                .iter()
+                                .chain(version_rids[b_tip].iter())
+                                .copied()
+                                .collect();
+                            records.sort_unstable();
+                            records.dedup();
+                            parents.push(vec![a_tip.min(b_tip), a_tip.max(b_tip)]);
+                            version_rids.push(records);
+                            branches[pb].tip = v;
+                            branches[b].active = false;
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            let active: Vec<usize> = branches
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.active)
+                .map(|(i, _)| i)
+                .collect();
+            let make_branch = branches_created < params.branches && v % fork_every == 0;
+            let branch = if make_branch {
+                // Fork from a random active branch tip.
+                let from = active[rng.gen_range(0..active.len())];
+                branches.push(Branch {
+                    tip: branches[from].tip,
+                    parent_branch: from,
+                    commits_since_fork: 0,
+                    active: true,
+                });
+                branches_created += 1;
+                branches.len() - 1
+            } else {
+                active[rng.gen_range(0..active.len())]
+            };
+
+            let tip = branches[branch].tip;
+            let mut records = version_rids[tip].clone();
+            let n_updates =
+                ((params.inserts as f64) * (1.0 - params.insert_fraction)).round() as usize;
+            let n_inserts = params.inserts - n_updates;
+            // Updates: replace random records with fresh rids (immutable
+            // records: a modification is a delete + insert).
+            for _ in 0..n_updates.min(records.len()) {
+                let idx = rng.gen_range(0..records.len());
+                records.swap_remove(idx);
+                records.push(next_rid);
+                next_rid += 1;
+            }
+            // Keep version sizes in steady state: delete as many as we
+            // insert once past the base size (records live ~base_factor
+            // versions on average, matching "each record exists on average
+            // in 10 versions").
+            if records.len() > base {
+                for _ in 0..n_inserts.min(records.len()) {
+                    let idx = rng.gen_range(0..records.len());
+                    records.swap_remove(idx);
+                }
+            }
+            for _ in 0..n_inserts {
+                records.push(next_rid);
+                next_rid += 1;
+            }
+            records.sort_unstable();
+            parents.push(vec![tip]);
+            version_rids.push(records);
+            branches[branch].tip = v;
+            branches[branch].commits_since_fork += 1;
+        }
+
+        Workload {
+            params,
+            parents,
+            version_rids,
+            num_records: next_rid,
+        }
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.version_rids.len()
+    }
+
+    /// Total membership edges |E|.
+    pub fn num_edges(&self) -> usize {
+        self.version_rids.iter().map(|r| r.len()).sum()
+    }
+
+    /// Deterministic integer payload of a record: `attrs` 4-byte-ish values
+    /// derived from the rid (the paper's records are 100 × 4-byte ints).
+    pub fn record_values(&self, rid: usize) -> Vec<i64> {
+        (0..self.params.attrs)
+            .map(|c| {
+                let mut x = (rid as u64)
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(c as u64);
+                x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                (x >> 33) as i64 % 10_000
+            })
+            .collect()
+    }
+
+    /// The version-record bipartite graph.
+    pub fn bipartite(&self) -> BipartiteGraph {
+        BipartiteGraph::new(self.version_rids.clone())
+    }
+
+    /// The version graph with overlap weights.
+    pub fn version_graph(&self) -> VersionGraph {
+        VersionGraph::from_bipartite(&self.parents, &self.bipartite())
+    }
+
+    /// Records of a version that are new relative to its parents (fresh
+    /// rids under the no-cross-version-diff rule).
+    pub fn new_rids_of(&self, v: usize) -> Vec<usize> {
+        if self.parents[v].is_empty() {
+            return self.version_rids[v].clone();
+        }
+        let mut inherited: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for &p in &self.parents[v] {
+            inherited.extend(self.version_rids[p].iter().copied());
+        }
+        self.version_rids[v]
+            .iter()
+            .copied()
+            .filter(|r| !inherited.contains(r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_is_a_tree_with_branches() {
+        let w = Workload::generate(WorkloadParams::sci(120, 10, 50));
+        assert_eq!(w.num_versions(), 120);
+        assert!(w.parents.iter().all(|p| p.len() <= 1));
+        let g = w.version_graph();
+        assert!(g.is_tree());
+        // Branch structure: some version has more than one child.
+        let children = g.children();
+        assert!(children.iter().any(|c| c.len() > 1));
+    }
+
+    #[test]
+    fn cur_is_a_dag_with_merges() {
+        let w = Workload::generate(WorkloadParams::cur(150, 10, 50));
+        let merges = w.parents.iter().filter(|p| p.len() == 2).count();
+        assert!(merges > 0, "CUR must contain merges");
+        assert!(!w.version_graph().is_tree());
+        // |R̂| is positive and a modest fraction of |R| (paper: 7–10%;
+        // the short-lived-branch generator lands in the same ballpark).
+        let dup = w.version_graph().duplicated_records(&w.bipartite());
+        assert!(dup > 0);
+        assert!(
+            dup < w.num_records / 4,
+            "|R̂| = {dup} too large vs |R| = {}",
+            w.num_records
+        );
+    }
+
+    #[test]
+    fn record_lifetimes_average_near_base_factor() {
+        let w = Workload::generate(WorkloadParams::sci(300, 20, 100));
+        let avg_versions_per_record = w.num_edges() as f64 / w.num_records as f64;
+        // Steady-state sizes ⇒ records live ~base_factor versions on
+        // average (paper: "each record exists on average in 10 versions").
+        assert!(
+            avg_versions_per_record > 3.0 && avg_versions_per_record < 30.0,
+            "avg lifetime {avg_versions_per_record}"
+        );
+    }
+
+    #[test]
+    fn version_sizes_stay_in_steady_state() {
+        let p = WorkloadParams::sci(200, 10, 100);
+        let base = p.base_factor * p.inserts;
+        let w = Workload::generate(p);
+        let max = w.version_rids.iter().map(|r| r.len()).max().unwrap();
+        assert!(max <= base * 2, "sizes should not balloon: {max} vs {base}");
+    }
+
+    #[test]
+    fn deterministic_by_seed_and_payloads() {
+        let a = Workload::generate(WorkloadParams::sci(50, 5, 20));
+        let b = Workload::generate(WorkloadParams::sci(50, 5, 20));
+        assert_eq!(a.version_rids, b.version_rids);
+        assert_eq!(a.record_values(7), b.record_values(7));
+        assert_eq!(a.record_values(7).len(), 8);
+        assert_ne!(a.record_values(7), a.record_values(8));
+    }
+
+    #[test]
+    fn new_rids_are_disjoint_from_parents() {
+        let w = Workload::generate(WorkloadParams::cur(80, 8, 30));
+        for v in 0..w.num_versions() {
+            let new = w.new_rids_of(v);
+            for &p in &w.parents[v] {
+                for r in &new {
+                    assert!(!w.version_rids[p].contains(r));
+                }
+            }
+            // Merges introduce no new records in this benchmark.
+            if w.parents[v].len() == 2 {
+                assert!(new.is_empty());
+            }
+        }
+    }
+}

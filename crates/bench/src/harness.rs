@@ -1,0 +1,163 @@
+//! Experiment harness: the paper's timing protocol and table rendering.
+//!
+//! Section 5.1: "Each experiment was repeated 5 times ... we discarded the
+//! largest and smallest number among the five trials, and then took the
+//! average of the remaining three." [`time_op`] implements exactly that
+//! protocol (with a configurable trial count for quick runs).
+
+use std::time::Instant;
+
+/// Run `op` `trials` times, drop the fastest and slowest trial (when there
+/// are at least three), and return the mean of the rest in milliseconds.
+pub fn time_op<F: FnMut()>(trials: usize, mut op: F) -> f64 {
+    let trials = trials.max(1);
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let start = Instant::now();
+        op();
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let kept: &[f64] = if samples.len() >= 3 {
+        &samples[1..samples.len() - 1]
+    } else {
+        &samples
+    };
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Time a single run (for expensive operations where repetition is
+/// impractical, e.g. full dataset loads).
+pub fn time_once<T, F: FnOnce() -> T>(op: F) -> (T, f64) {
+    let start = Instant::now();
+    let out = op();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Number of timing trials (default 3; `ORPHEUS_TRIALS` overrides — the
+/// paper uses 5).
+pub fn trials() -> usize {
+    std::env::var("ORPHEUS_TRIALS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(3)
+}
+
+/// Simple aligned-column table printer for experiment output.
+#[derive(Debug, Default)]
+pub struct Report {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    pub fn new(headers: &[&str]) -> Report {
+        Report {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (for plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a byte count as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Format milliseconds with three decimals.
+pub fn ms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_protocol_drops_extremes() {
+        let mut calls = 0;
+        let t = time_op(5, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 5);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, t) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn report_renders_aligned_and_csv() {
+        let mut r = Report::new(&["dataset", "time"]);
+        r.row(vec!["SCI_40K".into(), "1.5".into()]);
+        r.row(vec!["CUR_400K".into(), "12.25".into()]);
+        let text = r.render();
+        assert!(text.contains("dataset"));
+        assert!(text.lines().count() >= 4);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("dataset,time\n"));
+        assert!(csv.contains("SCI_40K,1.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn report_rejects_ragged_rows() {
+        let mut r = Report::new(&["a", "b"]);
+        r.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mb(1024 * 1024), "1.00");
+        assert_eq!(ms(1.23456), "1.235");
+    }
+}

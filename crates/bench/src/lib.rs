@@ -1,0 +1,27 @@
+//! # orpheus-bench
+//!
+//! The versioning benchmark of Maddox et al. \[37\] (re-implemented from its
+//! description in Section 5.1 of the OrpheusDB paper) plus the experiment
+//! harness that regenerates every table and figure of the paper's
+//! evaluation. See EXPERIMENTS.md at the repository root for the
+//! paper-vs-measured record.
+//!
+//! * [`generator`] — SCI (branching tree) and CUR (merging DAG) workloads,
+//!   parameterized by branches `B`, record count `|R|` and per-version
+//!   modification count `I` exactly as Table 2;
+//! * [`datasets`] — the Table 2 configurations, scaled by
+//!   `ORPHEUS_SCALE` so the full suite runs on a laptop;
+//! * [`loader`] — bulk-load a generated workload into an [`orpheus_core`]
+//!   CVD under any of the five data models;
+//! * [`harness`] — the paper's timing protocol (repeat, drop extremes,
+//!   average) and aligned table printing;
+//! * [`experiments`] — one module per table/figure.
+
+pub mod datasets;
+pub mod experiments;
+pub mod generator;
+pub mod harness;
+pub mod loader;
+
+pub use datasets::DatasetSpec;
+pub use generator::{Workload, WorkloadKind, WorkloadParams};

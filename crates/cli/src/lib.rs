@@ -1,0 +1,401 @@
+//! # orpheus-cli
+//!
+//! The `orpheus` command-line client (Section 2.2 of the paper): git-style
+//! version control commands plus versioned SQL, with **durable sessions** —
+//! the instance state is loaded from and saved back to a snapshot file, so
+//! separate invocations see the same CVDs, exactly like the paper's client
+//! talking to a persistent PostgreSQL.
+//!
+//! ```text
+//! orpheus --db team.orpheus init protein -f data.csv -s schema.txt
+//! orpheus --db team.orpheus checkout protein -v 1 -t work
+//! orpheus --db team.orpheus run "SELECT count(*) FROM VERSION 1 OF CVD protein"
+//! orpheus --db team.orpheus repl        # interactive session
+//! ```
+//!
+//! Without `--db` the client runs against a fresh in-memory instance that
+//! lives for the duration of the invocation (useful with `repl` and for
+//! demos). All command parsing and execution is delegated to
+//! [`orpheus_core::commands`]; this crate adds argument handling, result
+//! rendering, and the load/save lifecycle.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use orpheus_core::commands::{run_command, CommandOutput, RealFiles};
+use orpheus_core::{CoreError, OrpheusDB, Result};
+use orpheus_engine::QueryResult;
+
+mod render;
+
+pub use render::format_result;
+
+/// Parsed invocation: global options plus the command words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// Snapshot file backing this session, if any.
+    pub db_path: Option<PathBuf>,
+    /// The command line to run (empty means "show help").
+    pub command: Vec<String>,
+}
+
+/// Parse argv (without the program name) into an [`Invocation`].
+///
+/// Recognized global flags, which must precede the command:
+/// `--db <path>` / `-d <path>`, `--help` / `-h`, `--version` / `-V`.
+pub fn parse_args(args: &[String]) -> Result<Invocation> {
+    let mut db_path = None;
+    let mut i = 0;
+    // Global flags precede the command; command names never start with '-'.
+    while i < args.len() && args[i].starts_with('-') {
+        match args[i].as_str() {
+            "--db" | "-d" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| CoreError::Command("--db needs a path".into()))?;
+                db_path = Some(PathBuf::from(path));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Ok(Invocation {
+                    db_path,
+                    command: vec!["help".into()],
+                })
+            }
+            "--version" | "-V" => {
+                return Ok(Invocation {
+                    db_path,
+                    command: vec!["version".into()],
+                })
+            }
+            flag => {
+                return Err(CoreError::Command(format!("unknown global flag {flag}")));
+            }
+        }
+    }
+    Ok(Invocation {
+        db_path,
+        command: args[i..].to_vec(),
+    })
+}
+
+/// Help text shown by `orpheus help` (and an empty invocation).
+pub const HELP: &str = "\
+orpheus — bolt-on dataset versioning (OrpheusDB, VLDB 2017)
+
+usage: orpheus [--db <snapshot>] <command> [args...]
+
+version control commands:
+  init <cvd> -f <data.csv> -s <schema.txt> [-model <m>]
+                                    create a CVD from a CSV file
+  checkout <cvd> -v <vids...> -t <table>   materialize version(s) as a table
+  checkout <cvd> -v <vids...> -f <file>    ...or as a CSV file
+  commit -t <table> [-m <msg>]             commit a staged table
+  commit -f <file> [-s <schema>] [-m <msg>]  commit a CSV file
+  diff <cvd> -v <v1> <v2>                  records in one version not the other
+  log <cvd>                                version history with messages
+  ls                                       list CVDs
+  drop <cvd>                               remove a CVD
+  optimize <cvd> [-gamma <g>] [-mu <m>]    run the LyreSplit partitioner
+
+sql:
+  run <sql>            plain SQL, plus `VERSION n OF CVD x` / `CVD x`
+
+users:
+  create_user <name> | config <name> | whoami
+
+session:
+  repl                 interactive prompt (exit with `exit` or Ctrl-D)
+  help | version
+
+The --db flag makes sessions durable: state is loaded from the snapshot
+before the command and saved back afterwards. Without it, state lives only
+for this invocation.";
+
+/// Load the session instance: the snapshot if it exists, otherwise fresh.
+fn open_session(inv: &Invocation) -> Result<OrpheusDB> {
+    match &inv.db_path {
+        Some(p) if p.exists() => OrpheusDB::load_from(p),
+        _ => Ok(OrpheusDB::new()),
+    }
+}
+
+/// Persist the session back to the snapshot, if one was requested.
+fn close_session(inv: &Invocation, odb: &OrpheusDB) -> Result<()> {
+    match &inv.db_path {
+        Some(p) => odb.save_to(p),
+        None => Ok(()),
+    }
+}
+
+fn print_output(out: &mut dyn Write, output: &CommandOutput) -> std::io::Result<()> {
+    if let Some(result) = &output.result {
+        write_result(out, result)?;
+    }
+    if !output.message.is_empty() {
+        writeln!(out, "{}", output.message)?;
+    }
+    Ok(())
+}
+
+fn write_result(out: &mut dyn Write, result: &QueryResult) -> std::io::Result<()> {
+    write!(out, "{}", format_result(result))
+}
+
+/// Top-level entry point, testable with in-memory streams.
+///
+/// `interactive` controls whether the REPL prints prompts. Errors from
+/// individual REPL lines go to `err` and do not abort the session; errors
+/// from one-shot commands are returned.
+pub fn run(
+    args: &[String],
+    interactive: bool,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<()> {
+    let inv = parse_args(args)?;
+    let io_err = |e: std::io::Error| CoreError::Command(format!("I/O error: {e}"));
+
+    let first = inv.command.first().map(|s| s.as_str()).unwrap_or("help");
+    match first {
+        "help" => {
+            writeln!(out, "{HELP}").map_err(io_err)?;
+            return Ok(());
+        }
+        "version" => {
+            writeln!(out, "orpheus {}", env!("CARGO_PKG_VERSION")).map_err(io_err)?;
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let mut odb = open_session(&inv)?;
+    let mut files = RealFiles;
+
+    if first == "repl" {
+        repl(&mut odb, &mut files, interactive, input, out, err).map_err(io_err)?;
+        close_session(&inv, &odb)?;
+        return Ok(());
+    }
+
+    // One-shot command: re-join the words. `run` takes the rest of the
+    // line as verbatim SQL; for everything else, words with spaces are
+    // re-quoted so the command parser sees the shell's grouping.
+    let line = if first.eq_ignore_ascii_case("run") {
+        format!("run {}", inv.command[1..].join(" "))
+    } else {
+        inv.command
+            .iter()
+            .map(|w| requote(w))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let output = run_command(&mut odb, &mut files, &line)?;
+    print_output(out, &output).map_err(io_err)?;
+    close_session(&inv, &odb)?;
+    Ok(())
+}
+
+/// Quote a word for the command-line parser if it contains whitespace.
+fn requote(word: &str) -> String {
+    if word.chars().any(char::is_whitespace) {
+        if word.contains('\'') {
+            format!("\"{word}\"")
+        } else {
+            format!("'{word}'")
+        }
+    } else {
+        word.to_string()
+    }
+}
+
+fn repl(
+    odb: &mut OrpheusDB,
+    files: &mut RealFiles,
+    interactive: bool,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> std::io::Result<()> {
+    if interactive {
+        writeln!(out, "orpheus repl — `help` for commands, `exit` to leave")?;
+    }
+    let mut line = String::new();
+    loop {
+        if interactive {
+            write!(out, "orpheus> ")?;
+            out.flush()?;
+        }
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        match trimmed {
+            "" => continue,
+            "exit" | "quit" | "\\q" => break,
+            "help" => {
+                writeln!(out, "{HELP}")?;
+                continue;
+            }
+            _ => {}
+        }
+        match run_command(odb, files, trimmed) {
+            Ok(output) => print_output(out, &output)?,
+            Err(e) => writeln!(err, "error: {e}")?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("orpheus-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Run one CLI invocation with empty stdin, returning stdout.
+    fn invoke(argv: &[&str]) -> Result<String> {
+        let mut input = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        run(&args(argv), false, &mut input, &mut out, &mut err)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn parse_args_variants() {
+        let inv = parse_args(&args(&["--db", "x.orpheus", "ls"])).unwrap();
+        assert_eq!(inv.db_path, Some(PathBuf::from("x.orpheus")));
+        assert_eq!(inv.command, vec!["ls"]);
+
+        let inv = parse_args(&args(&["ls"])).unwrap();
+        assert_eq!(inv.db_path, None);
+
+        let inv = parse_args(&args(&["--help"])).unwrap();
+        assert_eq!(inv.command, vec!["help"]);
+
+        assert!(parse_args(&args(&["--db"])).is_err());
+        assert!(parse_args(&args(&["--bogus", "ls"])).is_err());
+    }
+
+    #[test]
+    fn help_and_version() {
+        assert!(invoke(&["help"]).unwrap().contains("checkout"));
+        assert!(invoke(&[]).unwrap().contains("usage:"));
+        assert!(invoke(&["version"]).unwrap().starts_with("orpheus "));
+    }
+
+    #[test]
+    fn durable_session_across_invocations() {
+        let dir = tmp_dir("durable");
+        let db = dir.join("team.orpheus");
+        let db_s = db.to_str().unwrap();
+        let csv = dir.join("data.csv");
+        let schema = dir.join("schema.txt");
+        std::fs::write(&csv, "protein1,protein2,score\na,b,10\na,c,95\n").unwrap();
+        std::fs::write(&schema, "protein1:text!pk\nprotein2:text!pk\nscore:int\n").unwrap();
+
+        // Invocation 1: init.
+        invoke(&["--db", db_s, "init", "protein", "-f", csv.to_str().unwrap(),
+                 "-s", schema.to_str().unwrap()]).unwrap();
+        assert!(db.exists());
+
+        // Invocation 2: the CVD is still there; check out a version.
+        let out = invoke(&["--db", db_s, "ls"]).unwrap();
+        assert_eq!(out.trim(), "protein");
+        invoke(&["--db", db_s, "checkout", "protein", "-v", "1", "-t", "work"]).unwrap();
+
+        // Invocation 3: the staged table survived; commit it.
+        let out = invoke(&["--db", db_s, "commit", "-t", "work", "-m", "round trip"]).unwrap();
+        assert!(out.contains("v2"), "{out}");
+
+        // Invocation 4: query across versions.
+        let out = invoke(&["--db", db_s,
+                           "run", "SELECT count(*) FROM VERSION 2 OF CVD protein"]).unwrap();
+        assert!(out.contains('2'), "{out}");
+
+        // Commit messages with spaces survive requoting + snapshotting.
+        let out = invoke(&["--db", db_s, "log", "protein"]).unwrap();
+        assert!(out.contains("round trip"), "{out}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn one_shot_errors_propagate_and_leave_no_snapshot() {
+        let dir = tmp_dir("err");
+        let db = dir.join("x.orpheus");
+        let r = invoke(&["--db", db.to_str().unwrap(), "checkout", "nope", "-v", "1", "-t", "t"]);
+        assert!(r.is_err());
+        assert!(!db.exists(), "failed command must not write a snapshot");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repl_runs_commands_and_recovers_from_errors() {
+        let dir = tmp_dir("repl");
+        let csv = dir.join("d.csv");
+        let schema = dir.join("s.txt");
+        std::fs::write(&csv, "k,v\n1,a\n2,b\n").unwrap();
+        std::fs::write(&schema, "k:int!pk\nv:text\n").unwrap();
+
+        let script = format!(
+            "init kv -f {} -s {}\n\
+             bogus command\n\
+             ls\n\
+             run SELECT count(*) FROM VERSION 1 OF CVD kv\n\
+             exit\n",
+            csv.display(),
+            schema.display()
+        );
+        let mut input = Cursor::new(script.into_bytes());
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        run(&args(&["repl"]), false, &mut input, &mut out, &mut err).unwrap();
+
+        let out = String::from_utf8(out).unwrap();
+        let err = String::from_utf8(err).unwrap();
+        assert!(out.contains("kv"), "{out}");
+        assert!(out.contains('2'), "{out}");
+        assert!(err.contains("unknown command"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repl_session_is_durable_with_db_flag() {
+        let dir = tmp_dir("repl-db");
+        let db = dir.join("s.orpheus");
+        let csv = dir.join("d.csv");
+        let schema = dir.join("s.txt");
+        std::fs::write(&csv, "k,v\n1,a\n").unwrap();
+        std::fs::write(&schema, "k:int!pk\nv:text\n").unwrap();
+
+        let script = format!("init kv -f {} -s {}\nexit\n", csv.display(), schema.display());
+        let mut input = Cursor::new(script.into_bytes());
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        run(&args(&["--db", db.to_str().unwrap(), "repl"]),
+            false, &mut input, &mut out, &mut err).unwrap();
+
+        let listing = invoke(&["--db", db.to_str().unwrap(), "ls"]).unwrap();
+        assert_eq!(listing.trim(), "kv");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn requote_preserves_word_grouping() {
+        assert_eq!(requote("plain"), "plain");
+        assert_eq!(requote("two words"), "'two words'");
+        assert_eq!(requote("it's quoted"), "\"it's quoted\"");
+    }
+}

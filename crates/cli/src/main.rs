@@ -1,0 +1,20 @@
+//! The `orpheus` binary: a thin shell around [`orpheus_cli::run`].
+
+use std::io::{stderr, stdin, stdout, IsTerminal};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let interactive = stdin().is_terminal();
+    let mut input = stdin().lock();
+    let mut out = stdout().lock();
+    let mut err = stderr().lock();
+    match orpheus_cli::run(&args, interactive, &mut input, &mut out, &mut err) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            use std::io::Write;
+            let _ = writeln!(err, "orpheus: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Query-result rendering: psql-style aligned text tables.
+
+use orpheus_engine::QueryResult;
+
+/// Format a query result as an aligned text table with a header rule and a
+/// row-count footer, in the style of `psql`:
+///
+/// ```text
+///  protein1 | score
+/// ----------+-------
+///  a        | 10
+///  b        | 95
+/// (2 rows)
+/// ```
+pub fn format_result(result: &QueryResult) -> String {
+    let headers: Vec<String> = result
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    if headers.is_empty() {
+        return match result.rows.len() {
+            0 => String::new(),
+            n => format!("({n} row{})\n", plural(n)),
+        };
+    }
+
+    let cells: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_string()).collect())
+        .collect();
+
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+
+    let mut out = String::new();
+    render_row(&mut out, &headers, &widths);
+    // Header rule: dashes joined with '+'.
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+    out.push_str(&rule.join("+"));
+    out.push('\n');
+    for row in &cells {
+        render_row(&mut out, row, &widths);
+    }
+    let n = result.rows.len();
+    out.push_str(&format!("({n} row{})\n", plural(n)));
+    out
+}
+
+fn render_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    let mut parts = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(cell.len());
+        parts.push(format!(" {cell:<w$} "));
+    }
+    // Trailing spaces on the last column are trimmed, like psql.
+    let line = parts.join("|");
+    out.push_str(line.trim_end());
+    out.push('\n');
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_engine::Database;
+
+    fn result_of(sql_setup: &[&str], query: &str) -> QueryResult {
+        let mut db = Database::new();
+        for s in sql_setup {
+            db.execute(s).unwrap();
+        }
+        db.query(query).unwrap()
+    }
+
+    #[test]
+    fn renders_aligned_table() {
+        let r = result_of(
+            &[
+                "CREATE TABLE t (name TEXT, score INT)",
+                "INSERT INTO t VALUES ('a', 10), ('longer', 9500)",
+            ],
+            "SELECT name, score FROM t ORDER BY score",
+        );
+        let text = format_result(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], " name   | score");
+        assert_eq!(lines[1], "--------+-------");
+        assert_eq!(lines[2], " a      | 10");
+        assert_eq!(lines[3], " longer | 9500");
+        assert_eq!(lines[4], "(2 rows)");
+    }
+
+    #[test]
+    fn renders_single_row_with_singular_footer() {
+        let r = result_of(
+            &["CREATE TABLE t (x INT)", "INSERT INTO t VALUES (1)"],
+            "SELECT count(*) FROM t",
+        );
+        let text = format_result(&r);
+        assert!(text.ends_with("(1 row)\n"), "{text}");
+    }
+
+    #[test]
+    fn renders_empty_result() {
+        let r = result_of(&["CREATE TABLE t (x INT)"], "SELECT x FROM t");
+        let text = format_result(&r);
+        assert!(text.contains("(0 rows)"), "{text}");
+        assert!(text.starts_with(" x\n"), "{text}");
+    }
+
+    #[test]
+    fn renders_nulls_and_arrays() {
+        let r = result_of(
+            &[
+                "CREATE TABLE t (v INT, a INT[])",
+                "INSERT INTO t VALUES (NULL, ARRAY[1,2])",
+            ],
+            "SELECT v, a FROM t",
+        );
+        let text = format_result(&r);
+        assert!(text.contains("NULL"), "{text}");
+        assert!(text.contains("{1,2}"), "{text}");
+    }
+}

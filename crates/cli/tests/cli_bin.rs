@@ -1,0 +1,146 @@
+//! End-to-end tests spawning the real `orpheus` binary: a multi-invocation
+//! data-science session against a durable snapshot file, exercising the
+//! process boundary the library tests cannot.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn orpheus(dir: &PathBuf, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_orpheus"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn setup_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("orpheus-bin-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("interactions.csv"),
+        "protein1,protein2,score\nENSP273047,ENSP261890,53\nENSP273047,ENSP235932,87\nENSP300413,ENSP274242,426\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("schema.txt"),
+        "protein1:text!pk\nprotein2:text!pk\nscore:int\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn full_session_across_processes() {
+    let dir = setup_dir("session");
+
+    // 1. init
+    let o = orpheus(&dir, &["--db", "team.orpheus", "init", "ppi",
+                            "-f", "interactions.csv", "-s", "schema.txt"]);
+    assert!(o.status.success(), "init failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("initialized CVD ppi"));
+
+    // 2. checkout in a second process
+    let o = orpheus(&dir, &["--db", "team.orpheus", "checkout", "ppi",
+                            "-v", "1", "-t", "work"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // 3. edit via SQL in a third process, then commit in a fourth
+    let o = orpheus(&dir, &["--db", "team.orpheus", "run",
+                            "UPDATE work SET score = 100 WHERE protein2 = 'ENSP261890'"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = orpheus(&dir, &["--db", "team.orpheus", "commit", "-t", "work",
+                            "-m", "recalibrated scores"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("v2"));
+
+    // 4. versioned queries see the edit in v2 but not in v1
+    let o = orpheus(&dir, &["--db", "team.orpheus", "run",
+                            "SELECT score FROM VERSION 2 OF CVD ppi WHERE protein2 = 'ENSP261890'"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("100"), "{}", stdout(&o));
+    let o = orpheus(&dir, &["--db", "team.orpheus", "run",
+                            "SELECT score FROM VERSION 1 OF CVD ppi WHERE protein2 = 'ENSP261890'"]);
+    assert!(stdout(&o).contains("53"), "{}", stdout(&o));
+
+    // 5. history shows the commit message
+    let o = orpheus(&dir, &["--db", "team.orpheus", "log", "ppi"]);
+    assert!(stdout(&o).contains("recalibrated scores"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn errors_exit_nonzero_with_message() {
+    let dir = setup_dir("errors");
+    let o = orpheus(&dir, &["--db", "team.orpheus", "checkout", "missing",
+                            "-v", "1", "-t", "t"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("CVD not found"), "{}", stderr(&o));
+
+    let o = orpheus(&dir, &["--frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown global flag"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repl_over_stdin_pipe() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = setup_dir("repl");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_orpheus"))
+        .current_dir(&dir)
+        .args(["--db", "team.orpheus", "repl"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"init ppi -f interactions.csv -s schema.txt\nls\nexit\n")
+        .unwrap();
+    let o = child.wait_with_output().unwrap();
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("ppi"), "{}", stdout(&o));
+
+    // The REPL session persisted its state.
+    let o = orpheus(&dir, &["--db", "team.orpheus", "ls"]);
+    assert!(stdout(&o).contains("ppi"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_snapshot_is_reported_not_mangled() {
+    let dir = setup_dir("corrupt");
+    let o = orpheus(&dir, &["--db", "team.orpheus", "init", "ppi",
+                            "-f", "interactions.csv", "-s", "schema.txt"]);
+    assert!(o.status.success());
+
+    // Flip a byte in the snapshot.
+    let path = dir.join("team.orpheus");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let o = orpheus(&dir, &["--db", "team.orpheus", "ls"]);
+    assert!(!o.status.success());
+    assert!(
+        stderr(&o).contains("storage error") || stderr(&o).contains("corrupt"),
+        "{}",
+        stderr(&o)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

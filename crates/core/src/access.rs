@@ -1,0 +1,96 @@
+//! Access controller (Section 2.3): user registry plus the rule that only
+//! the user who checked a table out may read, modify, or commit it.
+
+use std::collections::HashSet;
+
+use crate::error::{CoreError, Result};
+
+/// User accounts and the current session identity.
+#[derive(Debug, Clone)]
+pub struct AccessController {
+    users: HashSet<String>,
+    current: String,
+}
+
+impl Default for AccessController {
+    fn default() -> Self {
+        let mut users = HashSet::new();
+        users.insert("default".to_string());
+        AccessController {
+            users,
+            current: "default".to_string(),
+        }
+    }
+}
+
+impl AccessController {
+    /// `create_user`: register a new account.
+    pub fn create_user(&mut self, name: &str) -> Result<()> {
+        if name.is_empty() {
+            return Err(CoreError::Invalid("user name cannot be empty".into()));
+        }
+        if !self.users.insert(name.to_string()) {
+            return Err(CoreError::Invalid(format!("user {name} already exists")));
+        }
+        Ok(())
+    }
+
+    /// `config`: switch the session to an existing user.
+    pub fn login(&mut self, name: &str) -> Result<()> {
+        if !self.users.contains(name) {
+            return Err(CoreError::Invalid(format!("unknown user {name}")));
+        }
+        self.current = name.to_string();
+        Ok(())
+    }
+
+    /// `whoami`.
+    pub fn whoami(&self) -> &str {
+        &self.current
+    }
+
+    pub fn users(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.users.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Enforce that the current user owns a staged artifact.
+    pub fn check_owner(&self, owner: &str, artifact: &str) -> Result<()> {
+        if owner == self.current {
+            Ok(())
+        } else {
+            Err(CoreError::PermissionDenied(format!(
+                "{} belongs to {owner}, not {}",
+                artifact, self.current
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_lifecycle() {
+        let mut a = AccessController::default();
+        assert_eq!(a.whoami(), "default");
+        a.create_user("alice").unwrap();
+        assert!(a.create_user("alice").is_err());
+        assert!(a.login("bob").is_err());
+        a.login("alice").unwrap();
+        assert_eq!(a.whoami(), "alice");
+        assert_eq!(a.users(), vec!["alice", "default"]);
+    }
+
+    #[test]
+    fn ownership_enforced() {
+        let mut a = AccessController::default();
+        a.create_user("alice").unwrap();
+        a.login("alice").unwrap();
+        assert!(a.check_owner("alice", "t1").is_ok());
+        let err = a.check_owner("default", "t1").unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)));
+    }
+}

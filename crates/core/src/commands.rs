@@ -1,0 +1,551 @@
+//! Git-style command-line front-end (Section 2.2): `checkout`, `commit`,
+//! `diff`, `init`, `ls`, `drop`, `optimize`, user management, and `run` for
+//! (versioned) SQL.
+//!
+//! Commands operate on an [`OrpheusDB`] instance and return a
+//! [`CommandOutput`] with a human-readable message and, for queries, the
+//! result rows. File I/O (csv/schema files) is delegated to the caller via
+//! [`FileAccess`] so the command layer stays testable without a filesystem.
+
+use std::collections::HashMap;
+
+use orpheus_engine::QueryResult;
+
+use crate::db::OrpheusDB;
+use crate::error::{CoreError, Result};
+use crate::ids::Vid;
+use crate::model::ModelKind;
+
+/// Abstraction over file reads/writes for `-f` / `-s` flags.
+pub trait FileAccess {
+    fn read(&self, path: &str) -> Result<String>;
+    fn write(&mut self, path: &str, content: &str) -> Result<()>;
+}
+
+/// Filesystem-backed [`FileAccess`].
+#[derive(Debug, Default)]
+pub struct RealFiles;
+
+impl FileAccess for RealFiles {
+    fn read(&self, path: &str) -> Result<String> {
+        std::fs::read_to_string(path)
+            .map_err(|e| CoreError::Command(format!("cannot read {path}: {e}")))
+    }
+
+    fn write(&mut self, path: &str, content: &str) -> Result<()> {
+        std::fs::write(path, content)
+            .map_err(|e| CoreError::Command(format!("cannot write {path}: {e}")))
+    }
+}
+
+/// In-memory [`FileAccess`] for tests and examples.
+#[derive(Debug, Default)]
+pub struct MemFiles {
+    pub files: HashMap<String, String>,
+}
+
+impl FileAccess for MemFiles {
+    fn read(&self, path: &str) -> Result<String> {
+        self.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| CoreError::Command(format!("no such file {path}")))
+    }
+
+    fn write(&mut self, path: &str, content: &str) -> Result<()> {
+        self.files.insert(path.to_string(), content.to_string());
+        Ok(())
+    }
+}
+
+/// Output of one command.
+#[derive(Debug, Clone)]
+pub struct CommandOutput {
+    pub message: String,
+    pub result: Option<QueryResult>,
+}
+
+impl CommandOutput {
+    fn msg(m: impl Into<String>) -> CommandOutput {
+        CommandOutput {
+            message: m.into(),
+            result: None,
+        }
+    }
+}
+
+/// Split a command line into words, honoring single/double quotes.
+fn shell_split(line: &str) -> Result<Vec<String>> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    let mut quote: Option<char> = None;
+    let mut had_any = false;
+    for c in line.chars() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                } else {
+                    cur.push(c);
+                }
+            }
+            None => match c {
+                '\'' | '"' => {
+                    quote = Some(c);
+                    had_any = true;
+                }
+                c if c.is_whitespace() => {
+                    if !cur.is_empty() || had_any {
+                        words.push(std::mem::take(&mut cur));
+                        had_any = false;
+                    }
+                }
+                other => cur.push(other),
+            },
+        }
+    }
+    if quote.is_some() {
+        return Err(CoreError::Command("unterminated quote".into()));
+    }
+    if !cur.is_empty() || had_any {
+        words.push(cur);
+    }
+    Ok(words)
+}
+
+/// Flag parser: collects `-x value [value...]` groups and positionals.
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, Vec<String>>,
+}
+
+impl Args {
+    fn parse(words: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags: HashMap<String, Vec<String>> = HashMap::new();
+        let mut current: Option<String> = None;
+        for w in words {
+            if let Some(flag) = w.strip_prefix('-') {
+                if !flag.is_empty() && !flag.chars().next().unwrap().is_ascii_digit() {
+                    let key = flag.trim_start_matches('-').to_string();
+                    flags.entry(key.clone()).or_default();
+                    current = Some(key);
+                    continue;
+                }
+            }
+            match &current {
+                Some(key) => flags.get_mut(key).expect("flag exists").push(w.clone()),
+                None => positional.push(w.clone()),
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn one(&self, flag: &str) -> Result<&str> {
+        match self.flags.get(flag).map(|v| v.as_slice()) {
+            Some([x]) => Ok(x),
+            Some(_) => Err(CoreError::Command(format!("-{flag} takes one value"))),
+            None => Err(CoreError::Command(format!("missing -{flag}"))),
+        }
+    }
+
+    fn opt(&self, flag: &str) -> Option<&str> {
+        match self.flags.get(flag).map(|v| v.as_slice()) {
+            Some([x]) => Some(x),
+            _ => None,
+        }
+    }
+
+    fn many(&self, flag: &str) -> Result<&[String]> {
+        self.flags
+            .get(flag)
+            .map(|v| v.as_slice())
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| CoreError::Command(format!("missing -{flag}")))
+    }
+
+    fn vids(&self, flag: &str) -> Result<Vec<Vid>> {
+        self.many(flag)?
+            .iter()
+            .map(|s| {
+                s.trim_start_matches('v')
+                    .parse::<u64>()
+                    .map(Vid)
+                    .map_err(|_| CoreError::Command(format!("bad version id {s}")))
+            })
+            .collect()
+    }
+}
+
+/// Execute one command line against the database.
+pub fn run_command(
+    odb: &mut OrpheusDB,
+    files: &mut dyn FileAccess,
+    line: &str,
+) -> Result<CommandOutput> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(CommandOutput::msg(""));
+    }
+    // `run` takes the rest of the line verbatim as SQL.
+    if let Some(sql) = line
+        .strip_prefix("run ")
+        .or_else(|| line.strip_prefix("RUN "))
+    {
+        let result = odb.run(sql.trim())?;
+        return Ok(CommandOutput {
+            message: format!("{} row(s)", result.rows.len()),
+            result: Some(result),
+        });
+    }
+    let words = shell_split(line)?;
+    let cmd = words[0].to_ascii_lowercase();
+    let args = Args::parse(&words[1..]);
+    match cmd.as_str() {
+        "init" => {
+            let cvd = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::Command("init needs a CVD name".into()))?;
+            let csv_path = args.one("f")?;
+            let schema_path = args.one("s")?;
+            let model = match args.opt("model") {
+                Some(m) => Some(ModelKind::parse(m).ok_or_else(|| {
+                    CoreError::Command(format!("unknown data model {m}"))
+                })?),
+                None => None,
+            };
+            let csv_text = files.read(csv_path)?;
+            let schema = crate::csv::parse_schema_file(&files.read(schema_path)?)?;
+            let vid = odb.init_cvd_from_csv(cvd, &csv_text, schema, model)?;
+            Ok(CommandOutput::msg(format!(
+                "initialized CVD {cvd} at version {vid}"
+            )))
+        }
+        "checkout" => {
+            let cvd = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::Command("checkout needs a CVD name".into()))?;
+            let vids = args.vids("v")?;
+            if let Some(table) = args.opt("t") {
+                odb.checkout(cvd, &vids, table)?;
+                Ok(CommandOutput::msg(format!(
+                    "checked out {} into table {table}",
+                    fmt_vids(&vids)
+                )))
+            } else if let Some(path) = args.opt("f") {
+                let text = odb.checkout_csv(cvd, &vids, path)?;
+                files.write(path, &text)?;
+                Ok(CommandOutput::msg(format!(
+                    "checked out {} into file {path}",
+                    fmt_vids(&vids)
+                )))
+            } else {
+                Err(CoreError::Command("checkout needs -t or -f".into()))
+            }
+        }
+        "commit" => {
+            let message = args.opt("m").unwrap_or("").to_string();
+            if let Some(table) = args.opt("t") {
+                let vid = odb.commit(table, &message)?;
+                Ok(CommandOutput::msg(format!("committed {table} as {vid}")))
+            } else if let Some(path) = args.opt("f") {
+                let csv_text = files.read(path)?;
+                let schema_text = match args.opt("s") {
+                    Some(p) => Some(files.read(p)?),
+                    None => None,
+                };
+                let vid = odb.commit_csv(path, &csv_text, &message, schema_text.as_deref())?;
+                Ok(CommandOutput::msg(format!("committed {path} as {vid}")))
+            } else {
+                Err(CoreError::Command("commit needs -t or -f".into()))
+            }
+        }
+        "diff" => {
+            let cvd = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::Command("diff needs a CVD name".into()))?;
+            let vids = args.vids("v")?;
+            if vids.len() != 2 {
+                return Err(CoreError::Command("diff needs exactly two versions".into()));
+            }
+            let d = odb.diff(cvd, vids[0], vids[1])?;
+            Ok(CommandOutput::msg(format!(
+                "{} record(s) only in {}, {} record(s) only in {}",
+                d.only_in_first.len(),
+                vids[0],
+                d.only_in_second.len(),
+                vids[1]
+            )))
+        }
+        "ls" => Ok(CommandOutput::msg(odb.ls().join("\n"))),
+        "drop" => {
+            let cvd = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::Command("drop needs a CVD name".into()))?;
+            odb.drop_cvd(cvd)?;
+            Ok(CommandOutput::msg(format!("dropped CVD {cvd}")))
+        }
+        "optimize" => {
+            let cvd = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::Command("optimize needs a CVD name".into()))?;
+            let gamma = match args.opt("gamma") {
+                Some(g) => g
+                    .parse::<f64>()
+                    .map_err(|_| CoreError::Command(format!("bad gamma {g}")))?,
+                None => odb.config.gamma_factor,
+            };
+            let mu = match args.opt("mu") {
+                Some(m) => m
+                    .parse::<f64>()
+                    .map_err(|_| CoreError::Command(format!("bad mu {m}")))?,
+                None => odb.config.mu,
+            };
+            // `-weights v:freq,v:freq` switches to the Appendix C.2
+            // workload-aware optimizer; unlisted versions default to 1.
+            let report = match args.opt("weights") {
+                Some(spec) => {
+                    let freqs = parse_weights(spec)?;
+                    odb.optimize_weighted_with(cvd, &freqs, gamma, mu)?
+                }
+                None => odb.optimize_with(cvd, gamma, mu)?,
+            };
+            Ok(CommandOutput::msg(format!(
+                "partitioned {cvd} into {} partition(s); est. storage {} records, \
+                 est. checkout cost {:.1} records (δ = {:.3})",
+                report.num_partitions, report.storage_records, report.cavg, report.delta
+            )))
+        }
+        "log" => {
+            let cvd_name = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::Command("log needs a CVD name".into()))?;
+            let cvd = odb.cvd(cvd_name)?;
+            let mut lines = Vec::new();
+            for m in &cvd.versions {
+                lines.push(format!(
+                    "{} <- [{}] {} ({} records) \"{}\"",
+                    m.vid,
+                    m.parents
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    m.commit_t,
+                    m.num_records,
+                    m.message
+                ));
+            }
+            Ok(CommandOutput::msg(lines.join("\n")))
+        }
+        "create_user" => {
+            let name = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::Command("create_user needs a name".into()))?;
+            odb.access.create_user(name)?;
+            Ok(CommandOutput::msg(format!("created user {name}")))
+        }
+        "config" => {
+            let name = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::Command("config needs a user name".into()))?;
+            odb.access.login(name)?;
+            Ok(CommandOutput::msg(format!("logged in as {name}")))
+        }
+        "whoami" => Ok(CommandOutput::msg(odb.access.whoami().to_string())),
+        other => Err(CoreError::Command(format!("unknown command: {other}"))),
+    }
+}
+
+fn fmt_vids(vids: &[Vid]) -> String {
+    vids.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Parse a `-weights` spec: comma-separated `version:frequency` pairs,
+/// e.g. `3:50,7:10` (the `v` prefix on version ids is optional).
+fn parse_weights(spec: &str) -> Result<Vec<(Vid, u64)>> {
+    let mut out = Vec::new();
+    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+        let (v, f) = pair
+            .split_once(':')
+            .ok_or_else(|| CoreError::Command(format!("bad weight {pair}: want v:freq")))?;
+        let vid = v
+            .trim()
+            .trim_start_matches('v')
+            .parse::<u64>()
+            .map_err(|_| CoreError::Command(format!("bad version id in weight {pair}")))?;
+        let freq = f
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| CoreError::Command(format!("bad frequency in weight {pair}")))?;
+        out.push((Vid(vid), freq));
+    }
+    if out.is_empty() {
+        return Err(CoreError::Command("-weights needs at least one v:freq".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (OrpheusDB, MemFiles) {
+        let mut files = MemFiles::default();
+        files.files.insert(
+            "data.csv".into(),
+            "protein1,protein2,score\na,b,10\na,c,95\n".into(),
+        );
+        files.files.insert(
+            "schema.txt".into(),
+            "protein1:text!pk\nprotein2:text!pk\nscore:int\n".into(),
+        );
+        (OrpheusDB::new(), files)
+    }
+
+    fn ok(odb: &mut OrpheusDB, files: &mut MemFiles, line: &str) -> CommandOutput {
+        run_command(odb, files, line).unwrap_or_else(|e| panic!("{line}: {e}"))
+    }
+
+    #[test]
+    fn full_session() {
+        let (mut odb, mut files) = setup();
+        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        let out = ok(&mut odb, &mut files, "ls");
+        assert_eq!(out.message, "protein");
+
+        ok(&mut odb, &mut files, "checkout protein -v 1 -t work");
+        odb.engine
+            .execute("INSERT INTO work VALUES (NULL, 'x', 'y', 50)")
+            .unwrap();
+        let out = ok(&mut odb, &mut files, "commit -t work -m 'add xy'");
+        assert!(out.message.contains("v2"));
+
+        let out = ok(&mut odb, &mut files, "diff protein -v 1 2");
+        assert!(out.message.contains("1 record(s) only in v2"));
+
+        let out = ok(
+            &mut odb,
+            &mut files,
+            "run SELECT count(*) FROM VERSION 2 OF CVD protein",
+        );
+        let r = out.result.unwrap();
+        assert_eq!(r.scalar(), Some(&orpheus_engine::Value::Int(3)));
+
+        let out = ok(&mut odb, &mut files, "log protein");
+        assert!(out.message.contains("add xy"));
+
+        ok(&mut odb, &mut files, "optimize protein -gamma 2.0 -mu 1.5");
+        ok(&mut odb, &mut files, "drop protein");
+        assert_eq!(ok(&mut odb, &mut files, "ls").message, "");
+    }
+
+    #[test]
+    fn csv_checkout_commit_via_commands() {
+        let (mut odb, mut files) = setup();
+        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(&mut odb, &mut files, "checkout protein -v 1 -f out.csv");
+        let text = files.files.get("out.csv").unwrap().clone();
+        files
+            .files
+            .insert("out.csv".into(), format!("{text},n1,n2,7\n"));
+        let out = ok(&mut odb, &mut files, "commit -f out.csv -m 'from csv'");
+        assert!(out.message.contains("v2"));
+    }
+
+    #[test]
+    fn user_management() {
+        let (mut odb, mut files) = setup();
+        assert_eq!(ok(&mut odb, &mut files, "whoami").message, "default");
+        ok(&mut odb, &mut files, "create_user alice");
+        ok(&mut odb, &mut files, "config alice");
+        assert_eq!(ok(&mut odb, &mut files, "whoami").message, "alice");
+        assert!(run_command(&mut odb, &mut files, "config bob").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (mut odb, mut files) = setup();
+        assert!(run_command(&mut odb, &mut files, "checkout protein -v 1 -t t").is_err());
+        assert!(run_command(&mut odb, &mut files, "bogus").is_err());
+        assert!(run_command(&mut odb, &mut files, "init x -f nope.csv -s schema.txt").is_err());
+        assert!(run_command(&mut odb, &mut files, "commit -m 'no target'").is_err());
+        assert!(run_command(&mut odb, &mut files, "diff protein -v 1").is_err());
+    }
+
+    #[test]
+    fn quoting_in_messages() {
+        let (mut odb, mut files) = setup();
+        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(&mut odb, &mut files, "checkout protein -v 1 -t w");
+        let out = ok(
+            &mut odb,
+            &mut files,
+            "commit -t w -m \"message with spaces and 'quotes'\"",
+        );
+        assert!(out.message.contains("v2"));
+        let cvd = odb.cvd("protein").unwrap();
+        assert_eq!(
+            cvd.meta(crate::ids::Vid(2)).unwrap().message,
+            "message with spaces and 'quotes'"
+        );
+    }
+
+    #[test]
+    fn weighted_optimize_command() {
+        let (mut odb, mut files) = setup();
+        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(&mut odb, &mut files, "checkout protein -v 1 -t w");
+        ok(&mut odb, &mut files, "commit -t w -m v2");
+        let out = ok(
+            &mut odb,
+            &mut files,
+            "optimize protein -gamma 2.0 -mu 1.5 -weights 2:50",
+        );
+        assert!(out.message.contains("partition"), "{}", out.message);
+        // Bad specs are rejected with a command error.
+        assert!(run_command(&mut odb, &mut files, "optimize protein -weights nonsense").is_err());
+        assert!(run_command(&mut odb, &mut files, "optimize protein -weights 9:5").is_err());
+    }
+
+    #[test]
+    fn weight_spec_parsing() {
+        assert_eq!(
+            parse_weights("1:50,v2:3").unwrap(),
+            vec![(Vid(1), 50), (Vid(2), 3)]
+        );
+        assert_eq!(parse_weights("7:1").unwrap(), vec![(Vid(7), 1)]);
+        assert!(parse_weights("").is_err());
+        assert!(parse_weights("1=50").is_err());
+        assert!(parse_weights("x:5").is_err());
+        assert!(parse_weights("1:y").is_err());
+    }
+
+    #[test]
+    fn multi_version_checkout_command() {
+        let (mut odb, mut files) = setup();
+        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(&mut odb, &mut files, "checkout protein -v 1 -t a");
+        odb.engine
+            .execute("UPDATE a SET score = 1 WHERE protein2 = 'b'")
+            .unwrap();
+        ok(&mut odb, &mut files, "commit -t a -m v2");
+        ok(&mut odb, &mut files, "checkout protein -v 2 1 -t merged");
+        let r = odb
+            .engine
+            .query("SELECT count(*) FROM merged")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&orpheus_engine::Value::Int(2)));
+    }
+}

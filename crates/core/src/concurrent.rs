@@ -1,0 +1,356 @@
+//! Multi-user sessions over one shared OrpheusDB instance.
+//!
+//! The paper's deployment has many data scientists talking to one
+//! PostgreSQL through the middleware; each user sees their own identity
+//! (for the access controller's only-the-owner-may-touch-a-checkout rule,
+//! Section 2.3) while commits and checkouts interleave safely. This module
+//! provides that: [`SharedOrpheusDB`] wraps an instance in a reader-writer
+//! lock, and [`Session`] binds a user identity to it.
+//!
+//! Concurrency model: operations are serialized by the lock — the
+//! middleware guarantees *isolation and safety*, not parallel scaling of a
+//! single instance (the paper's concurrency story is the same: PostgreSQL
+//! serializes conflicting writes; checkout tables are private by access
+//! control, not by separate storage). Session identity is swapped under
+//! the lock, so interleaved sessions can never observe or act under each
+//! other's identity.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use orpheus_engine::sql::lexer::{tokenize, Token};
+use orpheus_engine::QueryResult;
+
+use crate::db::{Diff, OrpheusDB};
+use crate::error::{CoreError, Result};
+use crate::ids::Vid;
+use crate::partition_store::OptimizeReport;
+
+/// A thread-safe, shareable OrpheusDB instance.
+#[derive(Debug, Clone, Default)]
+pub struct SharedOrpheusDB {
+    inner: Arc<RwLock<OrpheusDB>>,
+}
+
+impl SharedOrpheusDB {
+    /// Wrap an instance for shared use.
+    pub fn new(odb: OrpheusDB) -> SharedOrpheusDB {
+        SharedOrpheusDB {
+            inner: Arc::new(RwLock::new(odb)),
+        }
+    }
+
+    /// Open a session for `user`, registering the account if it does not
+    /// exist yet (the `create_user` + `config` flow in one step).
+    pub fn session(&self, user: &str) -> Result<Session> {
+        {
+            let mut odb = self.inner.write();
+            if !odb.access.users().iter().any(|u| u == user) {
+                odb.access.create_user(user)?;
+            }
+        }
+        Ok(Session {
+            db: Arc::clone(&self.inner),
+            user: user.to_string(),
+        })
+    }
+
+    /// Run a closure with shared (read) access to the instance.
+    pub fn read<T>(&self, f: impl FnOnce(&OrpheusDB) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Run a closure with exclusive access to the instance (administrative
+    /// escape hatch; sessions are the normal path).
+    pub fn write<T>(&self, f: impl FnOnce(&mut OrpheusDB) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+
+    /// Persist the instance snapshot (see [`crate::persist`]).
+    pub fn save_to(&self, path: &std::path::Path) -> Result<()> {
+        self.inner.read().save_to(path)
+    }
+}
+
+/// One user's handle on a [`SharedOrpheusDB`].
+///
+/// Every operation acquires the instance lock, switches the access
+/// controller to this session's user, runs, and restores the previous
+/// identity — so sessions on different threads interleave without identity
+/// leaks, and ownership checks (commit, discard) apply per session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    db: Arc<RwLock<OrpheusDB>>,
+    user: String,
+}
+
+impl Session {
+    /// The identity this session operates under.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    fn with<T>(&self, f: impl FnOnce(&mut OrpheusDB) -> Result<T>) -> Result<T> {
+        let mut odb = self.db.write();
+        let prior = odb.access.whoami().to_string();
+        odb.access.login(&self.user)?;
+        let result = f(&mut odb);
+        // Restore the instance-level identity regardless of the outcome.
+        let _ = odb.access.login(&prior);
+        result
+    }
+
+    /// `checkout` into a private staged table owned by this session's user.
+    pub fn checkout(&self, cvd: &str, vids: &[Vid], table: &str) -> Result<()> {
+        self.with(|odb| odb.checkout(cvd, vids, table))
+    }
+
+    /// `commit` a staged table (must be owned by this session's user).
+    pub fn commit(&self, table: &str, message: &str) -> Result<Vid> {
+        self.with(|odb| odb.commit(table, message))
+    }
+
+    /// Abandon a staged table without committing.
+    pub fn discard(&self, table: &str) -> Result<()> {
+        self.with(|odb| odb.discard(table))
+    }
+
+    /// Versioned SQL (`VERSION n OF CVD x`, `CVD x`); read-only access to
+    /// CVDs needs no ownership.
+    pub fn run(&self, sql: &str) -> Result<QueryResult> {
+        self.with(|odb| odb.run(sql))
+    }
+
+    /// Plain SQL against staged tables. Statements referencing a staged
+    /// table owned by a *different* user are rejected — the access rule of
+    /// Section 2.3 ("only the user who performed the checkout operation is
+    /// permitted access to the materialized table").
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.with(|odb| {
+            guard_sql(odb, &self.user, sql)?;
+            Ok(odb.engine.execute(sql)?)
+        })
+    }
+
+    /// `diff` two versions of a CVD.
+    pub fn diff(&self, cvd: &str, a: Vid, b: Vid) -> Result<Diff> {
+        self.with(|odb| odb.diff(cvd, a, b))
+    }
+
+    /// List CVDs.
+    pub fn ls(&self) -> Vec<String> {
+        self.db.read().ls()
+    }
+
+    /// Run the partition optimizer.
+    pub fn optimize(&self, cvd: &str) -> Result<OptimizeReport> {
+        self.with(|odb| odb.optimize(cvd))
+    }
+
+    /// A table name namespaced to this session's user, the conventional way
+    /// to avoid staged-table name collisions between users.
+    pub fn private_table(&self, name: &str) -> String {
+        format!("{}__{}", self.user.to_ascii_lowercase(), name)
+    }
+}
+
+/// Reject SQL that references another user's staged table. The check
+/// tokenizes the statement and compares identifiers against the staging
+/// registry, which catches direct reads, writes, joins, and subqueries.
+fn guard_sql(odb: &OrpheusDB, user: &str, sql: &str) -> Result<()> {
+    let foreign: Vec<&crate::staging::StagedEntry> = odb
+        .staged()
+        .into_iter()
+        .filter(|e| e.owner != user && matches!(e.kind, crate::staging::StagedKind::Table))
+        .collect();
+    if foreign.is_empty() {
+        return Ok(());
+    }
+    let tokens = tokenize(sql).map_err(CoreError::from)?;
+    for t in &tokens {
+        if let Token::Ident(name) = t {
+            if let Some(entry) = foreign
+                .iter()
+                .find(|e| e.name.eq_ignore_ascii_case(name))
+            {
+                return Err(CoreError::PermissionDenied(format!(
+                    "{} belongs to {}, not {user}",
+                    entry.name, entry.owner
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_engine::{Column, DataType, Schema, Value};
+
+    fn shared_with_cvd() -> SharedOrpheusDB {
+        let mut odb = OrpheusDB::new();
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ])
+        .with_primary_key(&["k"])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::Int(i), Value::Int(0)])
+            .collect();
+        odb.init_cvd("data", schema, rows, None).unwrap();
+        SharedOrpheusDB::new(odb)
+    }
+
+    #[test]
+    fn sessions_have_independent_identities() {
+        let shared = shared_with_cvd();
+        let alice = shared.session("alice").unwrap();
+        let bob = shared.session("bob").unwrap();
+        assert_eq!(alice.user(), "alice");
+        assert_eq!(bob.user(), "bob");
+        // Registering the same user twice is fine.
+        let alice2 = shared.session("alice").unwrap();
+        assert_eq!(alice2.user(), "alice");
+        // The instance-level identity is untouched by session creation.
+        assert_eq!(shared.read(|odb| odb.access.whoami().to_string()), "default");
+    }
+
+    #[test]
+    fn ownership_is_enforced_across_sessions() {
+        let shared = shared_with_cvd();
+        let alice = shared.session("alice").unwrap();
+        let bob = shared.session("bob").unwrap();
+
+        alice.checkout("data", &[Vid(1)], "alice_work").unwrap();
+        // Bob cannot commit, discard, or run SQL against Alice's table.
+        let err = bob.commit("alice_work", "steal").unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
+        let err = bob.discard("alice_work").unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
+        let err = bob
+            .execute("SELECT count(*) FROM alice_work")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
+        let err = bob
+            .execute("UPDATE alice_work SET v = 9")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
+
+        // Alice can do all of the above.
+        alice.execute("UPDATE alice_work SET v = 1 WHERE k = 0").unwrap();
+        let vid = alice.commit("alice_work", "mine").unwrap();
+        assert_eq!(vid, Vid(2));
+    }
+
+    #[test]
+    fn identity_is_restored_after_each_operation() {
+        let shared = shared_with_cvd();
+        shared.write(|odb| {
+            odb.access.create_user("root").unwrap();
+            odb.access.login("root").unwrap();
+        });
+        let alice = shared.session("alice").unwrap();
+        alice.checkout("data", &[Vid(1)], "w").unwrap();
+        // The session operation must not leak alice as the global identity.
+        assert_eq!(shared.read(|odb| odb.access.whoami().to_string()), "root");
+    }
+
+    #[test]
+    fn concurrent_commits_from_many_users_are_all_recorded() {
+        let shared = shared_with_cvd();
+        const USERS: usize = 8;
+
+        std::thread::scope(|scope| {
+            for u in 0..USERS {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let session = shared.session(&format!("user{u}")).unwrap();
+                    let table = session.private_table("work");
+                    session.checkout("data", &[Vid(1)], &table).unwrap();
+                    session
+                        .execute(&format!("UPDATE {table} SET v = {u} WHERE k = {u}"))
+                        .unwrap();
+                    let vid = session
+                        .commit(&table, &format!("edit by user{u}"))
+                        .unwrap();
+                    // Each commit yields a distinct, valid version readable
+                    // by anyone.
+                    let n = session
+                        .run(&format!("SELECT count(*) FROM VERSION {} OF CVD data", vid.0))
+                        .unwrap();
+                    assert_eq!(n.scalar(), Some(&Value::Int(20)));
+                });
+            }
+        });
+
+        // All commits landed: v1 + one per user, each with 20 records and
+        // a distinct message.
+        shared.read(|odb| {
+            let cvd = odb.cvd("data").unwrap();
+            assert_eq!(cvd.num_versions(), 1 + USERS);
+            let mut messages: Vec<&str> = cvd
+                .versions
+                .iter()
+                .skip(1)
+                .map(|m| m.message.as_str())
+                .collect();
+            messages.sort();
+            let expected: Vec<String> =
+                (0..USERS).map(|u| format!("edit by user{u}")).collect();
+            assert_eq!(messages, expected.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            // No staged tables leak.
+            assert!(odb.staged().is_empty());
+        });
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_interleave_safely() {
+        let shared = shared_with_cvd();
+        std::thread::scope(|scope| {
+            // Writers: each commits 3 versions sequentially.
+            for u in 0..3 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let s = shared.session(&format!("w{u}")).unwrap();
+                    for i in 0..3 {
+                        let t = s.private_table(&format!("t{i}"));
+                        s.checkout("data", &[Vid(1)], &t).unwrap();
+                        s.commit(&t, "tick").unwrap();
+                    }
+                });
+            }
+            // Readers: poll versioned queries while commits happen.
+            for _ in 0..3 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let s = shared.session("reader").unwrap();
+                    for _ in 0..10 {
+                        let n = s
+                            .run("SELECT count(*) FROM VERSION 1 OF CVD data")
+                            .unwrap();
+                        assert_eq!(n.scalar(), Some(&Value::Int(20)));
+                    }
+                });
+            }
+        });
+        shared.read(|odb| {
+            assert_eq!(odb.cvd("data").unwrap().num_versions(), 10);
+        });
+    }
+
+    #[test]
+    fn name_collisions_between_users_error_cleanly() {
+        let shared = shared_with_cvd();
+        let alice = shared.session("alice").unwrap();
+        let bob = shared.session("bob").unwrap();
+        alice.checkout("data", &[Vid(1)], "work").unwrap();
+        let err = bob.checkout("data", &[Vid(1)], "work").unwrap_err();
+        assert!(err.to_string().contains("staged") || err.to_string().contains("exists"),
+                "{err}");
+        // private_table sidesteps the collision.
+        bob.checkout("data", &[Vid(1)], &bob.private_table("work")).unwrap();
+    }
+}

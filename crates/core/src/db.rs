@@ -1,0 +1,978 @@
+//! The OrpheusDB instance: CVD catalog, checkout/commit/diff, versioned
+//! queries, and the partition optimizer hook (Figure 2's middleware,
+//! end to end).
+
+use std::collections::{HashMap, HashSet};
+
+use orpheus_engine::{Database, QueryResult, Schema, Value};
+
+use crate::access::AccessController;
+use crate::csv;
+use crate::cvd::{Cvd, VersionMeta};
+use crate::error::{CoreError, Result};
+use crate::ids::Vid;
+use crate::model::{self, CommitData, ModelKind};
+use crate::partition_store::{self, CommitPlacement, OptimizeReport};
+use crate::query;
+use crate::staging::{StagedEntry, StagedKind, StagingArea};
+
+/// Instance-wide configuration.
+#[derive(Debug, Clone)]
+pub struct OrpheusConfig {
+    /// Data model for newly created CVDs.
+    pub default_model: ModelKind,
+    /// Storage threshold γ as a multiple of |R| for `optimize`.
+    pub gamma_factor: f64,
+    /// Migration tolerance factor µ.
+    pub mu: f64,
+}
+
+impl Default for OrpheusConfig {
+    fn default() -> OrpheusConfig {
+        OrpheusConfig {
+            default_model: ModelKind::SplitByRlist,
+            gamma_factor: 2.0,
+            mu: 1.5,
+        }
+    }
+}
+
+/// Result of a `diff` between two versions.
+#[derive(Debug, Clone)]
+pub struct Diff {
+    /// Records (attribute values) present in the first version only.
+    pub only_in_first: Vec<Vec<Value>>,
+    /// Records present in the second version only.
+    pub only_in_second: Vec<Vec<Value>>,
+}
+
+/// A dataset version control system bolted onto a relational engine.
+#[derive(Debug, Default)]
+pub struct OrpheusDB {
+    /// The backing relational database. Public: users are free to run
+    /// arbitrary SQL against staged tables, exactly as the paper intends.
+    pub engine: Database,
+    pub(crate) cvds: HashMap<String, Cvd>,
+    pub(crate) staging: StagingArea,
+    pub access: AccessController,
+    pub config: OrpheusConfig,
+    pub(crate) clock: u64,
+}
+
+impl OrpheusDB {
+    pub fn new() -> OrpheusDB {
+        OrpheusDB::default()
+    }
+
+    pub fn with_config(config: OrpheusConfig) -> OrpheusDB {
+        OrpheusDB {
+            config,
+            ..OrpheusDB::default()
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    // -- catalog --------------------------------------------------------------
+
+    pub fn cvd(&self, name: &str) -> Result<&Cvd> {
+        self.cvds
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))
+    }
+
+    fn cvd_mut(&mut self, name: &str) -> Result<&mut Cvd> {
+        self.cvds
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))
+    }
+
+    /// Register a fully-built CVD whose backing tables already exist in the
+    /// engine. This is the bulk-import path used by the benchmark harness
+    /// and workload loaders; normal ingestion goes through
+    /// [`OrpheusDB::init_cvd`] + [`OrpheusDB::commit`].
+    pub fn import_cvd(&mut self, cvd: Cvd) -> Result<()> {
+        let key = cvd.name.clone();
+        if self.cvds.contains_key(&key) {
+            return Err(CoreError::CvdExists(key));
+        }
+        for t in model::backing_tables(&cvd) {
+            if !self.engine.has_table(&t) {
+                return Err(CoreError::Invalid(format!(
+                    "cannot import {key}: backing table {t} is missing"
+                )));
+            }
+        }
+        self.clock = self.clock.max(cvd.versions.iter().map(|m| m.commit_t).max().unwrap_or(0));
+        self.cvds.insert(key, cvd);
+        Ok(())
+    }
+
+    /// `ls`: names of all CVDs.
+    pub fn ls(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.cvds.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// `drop`: remove a CVD and all of its backing tables.
+    pub fn drop_cvd(&mut self, name: &str) -> Result<()> {
+        let cvd = self
+            .cvds
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))?;
+        model::drop_storage(&mut self.engine, &cvd);
+        let _ = self.engine.drop_table(&cvd.meta_table());
+        let _ = self.engine.drop_table(&cvd.attr_table());
+        if let Some(state) = &cvd.partition {
+            for k in 0..state.num_partitions {
+                let _ = self
+                    .engine
+                    .drop_table(&format!("{}__g{}p{}_data", cvd.name, state.generation, k));
+                let _ = self
+                    .engine
+                    .drop_table(&format!("{}__g{}p{}_rlist", cvd.name, state.generation, k));
+            }
+        }
+        Ok(())
+    }
+
+    // -- init -----------------------------------------------------------------
+
+    /// Create a CVD from initial rows (version 1). `rows` contain data
+    /// attribute values only (no rid).
+    pub fn init_cvd(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        rows: Vec<Vec<Value>>,
+        model: Option<ModelKind>,
+    ) -> Result<Vid> {
+        let key = name.to_ascii_lowercase();
+        if self.cvds.contains_key(&key) {
+            return Err(CoreError::CvdExists(name.to_string()));
+        }
+        let model = model.unwrap_or(self.config.default_model);
+        let mut cvd = Cvd::new(name, schema, model);
+        model::init_storage(&mut self.engine, &cvd)?;
+        cvd.create_meta_tables(&mut self.engine)?;
+
+        check_pk_duplicates(&cvd.schema, &rows)?;
+        let rids = cvd.alloc_rids(rows.len());
+        let all_records: Vec<(i64, Vec<Value>)> =
+            rids.iter().copied().zip(rows).collect();
+        let data = CommitData {
+            vid: Vid(1),
+            rlist: rids.clone(),
+            kept: Vec::new(),
+            new_records: all_records.clone(),
+            all_records,
+            base: None,
+            deleted_from_base: Vec::new(),
+        };
+        model::persist_commit(&mut self.engine, &cvd, &data, true)?;
+        let commit_t = self.tick();
+        let attributes = {
+            let schema = cvd.schema.clone();
+            cvd.attrs.intern_schema(&schema)
+        };
+        cvd.versions.push(VersionMeta {
+            vid: Vid(1),
+            parents: Vec::new(),
+            parent_weights: Vec::new(),
+            checkout_t: None,
+            commit_t,
+            message: "init".to_string(),
+            attributes,
+            num_records: rids.len() as u64,
+            base: None,
+        });
+        cvd.version_rids.push(rids);
+        cvd.sync_meta_row(&mut self.engine, Vid(1))?;
+        self.cvds.insert(key, cvd);
+        Ok(Vid(1))
+    }
+
+    /// `init -f`: create a CVD from CSV text plus a schema description.
+    pub fn init_cvd_from_csv(
+        &mut self,
+        name: &str,
+        csv_text: &str,
+        schema: Schema,
+        model: Option<ModelKind>,
+    ) -> Result<Vid> {
+        let (header, raw) = csv::parse_csv(csv_text)?;
+        let rows = csv::typed_rows(&schema, &header, &raw)?;
+        self.init_cvd(name, schema, rows, model)
+    }
+
+    // -- checkout ---------------------------------------------------------------
+
+    /// `checkout [cvd] -v vids -t table`: materialize one or more versions
+    /// into a fresh table. Multiple versions merge with precedence-based
+    /// primary-key conflict resolution (Section 2.2).
+    pub fn checkout(&mut self, cvd_name: &str, vids: &[Vid], table: &str) -> Result<()> {
+        if vids.is_empty() {
+            return Err(CoreError::Invalid("checkout requires at least one version".into()));
+        }
+        if self.engine.has_table(table) {
+            return Err(CoreError::Invalid(format!("table {table} already exists")));
+        }
+        let cvd = self.cvd(cvd_name)?.clone();
+        for v in vids {
+            cvd.check_version(*v)?;
+        }
+        if vids.len() == 1 {
+            if cvd.partition.is_some() {
+                partition_store::checkout_partitioned(&mut self.engine, &cvd, vids[0], table)?;
+            } else {
+                model::checkout_into(&mut self.engine, &cvd, vids[0], table)?;
+            }
+        } else {
+            let rows = self.merged_rows(&cvd, vids)?;
+            self.engine.create_table(table, cvd.staged_schema())?;
+            model::insert_rows_bulk(&mut self.engine, table, rows)?;
+        }
+        let created_at = self.tick();
+        self.staging.register(StagedEntry {
+            name: table.to_string(),
+            cvd: cvd.name.clone(),
+            parents: vids.to_vec(),
+            owner: self.access.whoami().to_string(),
+            created_at,
+            kind: StagedKind::Table,
+        })?;
+        Ok(())
+    }
+
+    /// Merge multiple versions' records with PK precedence (first listed
+    /// version wins).
+    fn merged_rows(&mut self, cvd: &Cvd, vids: &[Vid]) -> Result<Vec<Vec<Value>>> {
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        let mut seen_pk: HashSet<Vec<Value>> = HashSet::new();
+        let mut seen_rid: HashSet<i64> = HashSet::new();
+        let has_pk = !cvd.schema.primary_key.is_empty();
+        for &vid in vids {
+            for (rid, values) in model::version_rows(&mut self.engine, cvd, vid)? {
+                if has_pk {
+                    let pk: Vec<Value> = cvd
+                        .schema
+                        .primary_key
+                        .iter()
+                        .map(|&i| values[i].clone())
+                        .collect();
+                    if !seen_pk.insert(pk) {
+                        continue;
+                    }
+                } else if !seen_rid.insert(rid) {
+                    continue;
+                }
+                let mut row = Vec::with_capacity(values.len() + 1);
+                row.push(Value::Int(rid));
+                row.extend(values);
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `checkout -f`: export version(s) as CSV text (the caller writes the
+    /// file; keeping I/O outside makes the API testable).
+    pub fn checkout_csv(&mut self, cvd_name: &str, vids: &[Vid], path: &str) -> Result<String> {
+        let cvd = self.cvd(cvd_name)?.clone();
+        for v in vids {
+            cvd.check_version(*v)?;
+        }
+        let rows = self.merged_rows(&cvd, vids)?;
+        let text = csv::to_csv(&cvd.staged_schema(), &rows);
+        let created_at = self.tick();
+        self.staging.register(StagedEntry {
+            name: path.to_string(),
+            cvd: cvd.name.clone(),
+            parents: vids.to_vec(),
+            owner: self.access.whoami().to_string(),
+            created_at,
+            kind: StagedKind::Csv,
+        })?;
+        Ok(text)
+    }
+
+    // -- commit -----------------------------------------------------------------
+
+    /// `commit -t table -m msg`: add the staged table back to its CVD as a
+    /// new version.
+    pub fn commit(&mut self, table: &str, message: &str) -> Result<Vid> {
+        let entry = self.staging.get(table, StagedKind::Table)?.clone();
+        self.access.check_owner(&entry.owner, table)?;
+        let staged_schema = self.engine.table(table)?.schema.clone();
+        let rows = self.engine.table(table)?.rows().to_vec();
+        let vid = self.commit_rows(&entry, &staged_schema, rows, message)?;
+        self.engine.drop_table(table)?;
+        self.staging.remove(table, StagedKind::Table)?;
+        Ok(vid)
+    }
+
+    /// Abandon a staged table without committing: drops the table and its
+    /// provenance entry (the inverse of checkout).
+    pub fn discard(&mut self, table: &str) -> Result<()> {
+        let entry = self.staging.get(table, StagedKind::Table)?.clone();
+        self.access.check_owner(&entry.owner, table)?;
+        self.engine.drop_table(table)?;
+        self.staging.remove(table, StagedKind::Table)?;
+        Ok(())
+    }
+
+    /// `commit -f csv -m msg [-s schema]`: commit CSV text previously
+    /// exported with [`OrpheusDB::checkout_csv`].
+    pub fn commit_csv(
+        &mut self,
+        path: &str,
+        csv_text: &str,
+        message: &str,
+        schema_text: Option<&str>,
+    ) -> Result<Vid> {
+        let entry = self.staging.get(path, StagedKind::Csv)?.clone();
+        self.access.check_owner(&entry.owner, path)?;
+        let cvd = self.cvd(&entry.cvd)?;
+        // The staged schema is rid + data attributes; an explicit schema
+        // file (the -s flag) overrides the attribute part.
+        let staged_schema = match schema_text {
+            Some(text) => {
+                let user_schema = csv::parse_schema_file(text)?;
+                let mut cols =
+                    vec![orpheus_engine::Column::new("rid", orpheus_engine::DataType::Int)];
+                cols.extend(user_schema.columns);
+                Schema::new(cols)
+            }
+            None => cvd.staged_schema(),
+        };
+        let (header, raw) = csv::parse_csv(csv_text)?;
+        let rows = csv::typed_rows(&staged_schema, &header, &raw)?;
+        let vid = self.commit_rows(&entry, &staged_schema, rows, message)?;
+        self.staging.remove(path, StagedKind::Csv)?;
+        Ok(vid)
+    }
+
+    /// Shared commit core: diff staged rows against the parent versions and
+    /// persist a new version (the no-cross-version-diff rule of §2.2).
+    fn commit_rows(
+        &mut self,
+        entry: &StagedEntry,
+        staged_schema: &Schema,
+        rows: Vec<Vec<Value>>,
+        message: &str,
+    ) -> Result<Vid> {
+        let cvd_name = entry.cvd.clone();
+        // Apply any schema evolution first (Section 3.3).
+        self.apply_schema_changes(&cvd_name, staged_schema)?;
+        let mut cvd = self.cvd(&cvd_name)?.clone();
+        let vid = Vid(cvd.num_versions() as u64 + 1);
+
+        // Staged rows → (Option<rid>, values in cvd-schema order).
+        let width = cvd.schema.arity();
+        let mut staged: Vec<(Option<i64>, Vec<Value>)> = Vec::with_capacity(rows.len());
+        let col_map: Vec<Option<usize>> = cvd
+            .schema
+            .columns
+            .iter()
+            .map(|c| {
+                staged_schema
+                    .columns
+                    .iter()
+                    .position(|sc| sc.name.eq_ignore_ascii_case(&c.name))
+            })
+            .collect();
+        for row in rows {
+            let rid = match row.first() {
+                Some(Value::Int(r)) => Some(*r),
+                Some(Value::Null) | None => None,
+                Some(other) => {
+                    return Err(CoreError::Invalid(format!(
+                        "rid column must be INT or NULL, found {other}"
+                    )))
+                }
+            };
+            let mut values = Vec::with_capacity(width);
+            for m in &col_map {
+                values.push(match m {
+                    Some(i) => row.get(*i).cloned().unwrap_or(Value::Null),
+                    None => Value::Null,
+                });
+            }
+            staged.push((rid, values));
+        }
+
+        check_pk_duplicates(
+            &cvd.schema,
+            &staged.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>(),
+        )?;
+
+        // Parent record maps (rid → values), first parent takes precedence.
+        let mut parent_map: HashMap<i64, Vec<Value>> = HashMap::new();
+        for p in &entry.parents {
+            for (rid, mut values) in model::version_rows(&mut self.engine, &cvd, *p)? {
+                // Null-extend older records to the current schema width.
+                values.resize(width, Value::Null);
+                parent_map.entry(rid).or_insert(values);
+            }
+        }
+
+        // Classify: unchanged rows keep their rid, everything else is new.
+        let mut kept = Vec::new();
+        let mut new_values: Vec<Vec<Value>> = Vec::new();
+        let mut all_records: Vec<(i64, Vec<Value>)> = Vec::new();
+        for (rid, values) in staged {
+            match rid.and_then(|r| parent_map.get(&r).map(|pv| (r, pv))) {
+                Some((r, pv)) if *pv == values => {
+                    kept.push(r);
+                    all_records.push((r, values));
+                }
+                _ => new_values.push(values),
+            }
+        }
+        let fresh = cvd.alloc_rids(new_values.len());
+        let new_records: Vec<(i64, Vec<Value>)> =
+            fresh.into_iter().zip(new_values).collect();
+        all_records.extend(new_records.iter().cloned());
+
+        let mut rlist: Vec<i64> = all_records.iter().map(|(r, _)| *r).collect();
+        rlist.sort_unstable();
+
+        // Base parent: the one sharing the most records (delta model).
+        let base = entry
+            .parents
+            .iter()
+            .copied()
+            .max_by_key(|p| cvd.shared_with(&rlist, *p));
+        let deleted_from_base = match base {
+            Some(b) => {
+                let have: HashSet<i64> = rlist.iter().copied().collect();
+                cvd.rids_of(b)?
+                    .iter()
+                    .copied()
+                    .filter(|r| !have.contains(r))
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+
+        let data = CommitData {
+            vid,
+            rlist: rlist.clone(),
+            kept,
+            new_records,
+            all_records,
+            base,
+            deleted_from_base,
+        };
+        model::persist_commit(&mut self.engine, &cvd, &data, false)?;
+
+        let parent_weights: Vec<u64> = entry
+            .parents
+            .iter()
+            .map(|p| cvd.shared_with(&rlist, *p))
+            .collect();
+        let commit_t = self.tick();
+        let attributes = {
+            let schema = cvd.schema.clone();
+            cvd.attrs.intern_schema(&schema)
+        };
+        cvd.versions.push(VersionMeta {
+            vid,
+            parents: entry.parents.clone(),
+            parent_weights,
+            checkout_t: Some(entry.created_at),
+            commit_t,
+            message: message.to_string(),
+            attributes,
+            num_records: rlist.len() as u64,
+            base,
+        });
+        cvd.version_rids.push(rlist);
+        cvd.sync_meta_row(&mut self.engine, vid)?;
+
+        // Online partition maintenance (Section 4.3).
+        let placement = if cvd.partition.is_some() {
+            Some(partition_store::on_commit(&mut self.engine, &mut cvd, vid)?)
+        } else {
+            None
+        };
+        let _: Option<CommitPlacement> = placement;
+
+        self.cvds.insert(cvd_name, cvd);
+        Ok(vid)
+    }
+
+    /// Evolve the CVD schema to accommodate a staged table (single-pool
+    /// scheme of Section 3.3): new attributes are added with NULLs, type
+    /// conflicts widen to the more general type.
+    fn apply_schema_changes(&mut self, cvd_name: &str, staged_schema: &Schema) -> Result<()> {
+        let cvd = self.cvd(cvd_name)?.clone();
+        let mut new_schema = cvd.schema.clone();
+        let mut changed = false;
+        for col in &staged_schema.columns {
+            if col.name.eq_ignore_ascii_case("rid") {
+                continue;
+            }
+            match new_schema.column_index(&col.name) {
+                Ok(i) => {
+                    let old = new_schema.columns[i].dtype;
+                    if old != col.dtype {
+                        let general = old.generalize(col.dtype).ok_or_else(|| {
+                            CoreError::SchemaMismatch(format!(
+                                "column {} cannot change from {} to {}",
+                                col.name, old, col.dtype
+                            ))
+                        })?;
+                        if general != old {
+                            new_schema.columns[i].dtype = general;
+                            changed = true;
+                            alter_model_column_type(
+                                &mut self.engine,
+                                &cvd,
+                                &col.name,
+                                general,
+                            )?;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // New attribute: extend storage with NULLs.
+                    new_schema
+                        .columns
+                        .push(orpheus_engine::Column::new(col.name.clone(), col.dtype));
+                    changed = true;
+                    add_model_column(&mut self.engine, &cvd, &col.name, col.dtype)?;
+                }
+            }
+        }
+        if changed {
+            let cvd = self.cvd_mut(cvd_name)?;
+            cvd.schema = new_schema.clone();
+            cvd.attrs.intern_schema(&new_schema);
+        }
+        Ok(())
+    }
+
+    // -- diff, queries, optimizer ------------------------------------------------
+
+    /// `diff`: records in one version but not the other (by record id).
+    pub fn diff(&mut self, cvd_name: &str, a: Vid, b: Vid) -> Result<Diff> {
+        let cvd = self.cvd(cvd_name)?.clone();
+        cvd.check_version(a)?;
+        cvd.check_version(b)?;
+        let rows_a = model::version_rows(&mut self.engine, &cvd, a)?;
+        let rows_b = model::version_rows(&mut self.engine, &cvd, b)?;
+        let rids_a: HashSet<i64> = rows_a.iter().map(|(r, _)| *r).collect();
+        let rids_b: HashSet<i64> = rows_b.iter().map(|(r, _)| *r).collect();
+        Ok(Diff {
+            only_in_first: rows_a
+                .into_iter()
+                .filter(|(r, _)| !rids_b.contains(r))
+                .map(|(_, v)| v)
+                .collect(),
+            only_in_second: rows_b
+                .into_iter()
+                .filter(|(r, _)| !rids_a.contains(r))
+                .map(|(_, v)| v)
+                .collect(),
+        })
+    }
+
+    /// `run`: execute SQL with the versioned extensions (`VERSION n OF CVD
+    /// x`, `CVD x`) translated to plain SQL (Section 2.2).
+    pub fn run(&mut self, sql: &str) -> Result<QueryResult> {
+        let translated = query::translate(self, sql)?;
+        Ok(self.engine.execute(&translated)?)
+    }
+
+    /// `optimize`: run the partition optimizer on a CVD.
+    pub fn optimize(&mut self, cvd_name: &str) -> Result<OptimizeReport> {
+        let (gamma, mu) = (self.config.gamma_factor, self.config.mu);
+        self.optimize_with(cvd_name, gamma, mu)
+    }
+
+    /// `optimize` with explicit parameters (storage threshold γ factor and
+    /// tolerance µ).
+    pub fn optimize_with(
+        &mut self,
+        cvd_name: &str,
+        gamma_factor: f64,
+        mu: f64,
+    ) -> Result<OptimizeReport> {
+        let mut cvd = self.cvd(cvd_name)?.clone();
+        let report = partition_store::optimize(&mut self.engine, &mut cvd, gamma_factor, mu)?;
+        self.cvds.insert(cvd.name.clone(), cvd);
+        Ok(report)
+    }
+
+    /// `optimize` for a skewed workload (Appendix C.2): `freqs` maps
+    /// versions to checkout frequencies; versions not listed default to 1.
+    /// The returned report's `cavg` is the *weighted* checkout cost.
+    pub fn optimize_weighted(
+        &mut self,
+        cvd_name: &str,
+        freqs: &[(Vid, u64)],
+    ) -> Result<OptimizeReport> {
+        let (gamma, mu) = (self.config.gamma_factor, self.config.mu);
+        self.optimize_weighted_with(cvd_name, freqs, gamma, mu)
+    }
+
+    /// [`OrpheusDB::optimize_weighted`] with explicit γ factor and µ.
+    pub fn optimize_weighted_with(
+        &mut self,
+        cvd_name: &str,
+        freqs: &[(Vid, u64)],
+        gamma_factor: f64,
+        mu: f64,
+    ) -> Result<OptimizeReport> {
+        let mut cvd = self.cvd(cvd_name)?.clone();
+        let mut full = vec![1u64; cvd.num_versions()];
+        for &(vid, f) in freqs {
+            cvd.check_version(vid)?;
+            full[vid.index()] = f;
+        }
+        let report = partition_store::optimize_weighted(
+            &mut self.engine,
+            &mut cvd,
+            &full,
+            gamma_factor,
+            mu,
+        )?;
+        self.cvds.insert(cvd.name.clone(), cvd);
+        Ok(report)
+    }
+
+    /// Records of one version (rid + attribute values), for tooling.
+    pub fn version_rows(&mut self, cvd_name: &str, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+        let cvd = self.cvd(cvd_name)?.clone();
+        model::version_rows(&mut self.engine, &cvd, vid)
+    }
+
+    /// Total model storage for a CVD in bytes (Figure 3a's metric).
+    pub fn storage_bytes(&self, cvd_name: &str) -> Result<u64> {
+        let cvd = self.cvd(cvd_name)?;
+        Ok(model::storage_bytes(&self.engine, cvd))
+    }
+
+    /// Storage of the partitioned layout, when present (Figures 12b/13b).
+    pub fn partitioned_storage_bytes(&self, cvd_name: &str) -> Result<u64> {
+        let cvd = self.cvd(cvd_name)?;
+        Ok(partition_store::partition_storage_bytes(&self.engine, cvd))
+    }
+
+    /// Staged artifacts (for `ls`-style tooling and tests).
+    pub fn staged(&self) -> Vec<&StagedEntry> {
+        self.staging.list()
+    }
+
+    /// Persist the whole instance (engine data + middleware state) to a
+    /// checksummed snapshot file. See [`crate::persist`].
+    pub fn save_to(&self, path: &std::path::Path) -> Result<()> {
+        crate::persist::save(self, path)
+    }
+
+    /// Restore an instance previously saved with [`OrpheusDB::save_to`].
+    pub fn load_from(path: &std::path::Path) -> Result<OrpheusDB> {
+        crate::persist::load(path)
+    }
+}
+
+fn alter_model_column_type(
+    db: &mut Database,
+    cvd: &Cvd,
+    column: &str,
+    new_type: orpheus_engine::DataType,
+) -> Result<()> {
+    for t in model::backing_tables(cvd) {
+        if let Ok(table) = db.table(&t) {
+            if table.schema.has_column(column) {
+                db.table_mut(&t)?.alter_column_type(column, new_type)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn add_model_column(
+    db: &mut Database,
+    cvd: &Cvd,
+    column: &str,
+    dtype: orpheus_engine::DataType,
+) -> Result<()> {
+    // Only tables that carry data attributes get the new column; version
+    // lists (rlist/vlist tables) are unaffected.
+    let targets: Vec<String> = match cvd.model {
+        ModelKind::CombinedTable => vec![cvd.combined_table()],
+        ModelKind::SplitByVlist | ModelKind::SplitByRlist => vec![cvd.data_table()],
+        // Per-version tables (TPV, delta) incorporate the new column only in
+        // future versions' tables; existing tables stay as-is and reads
+        // null-extend.
+        ModelKind::TablePerVersion | ModelKind::DeltaBased => vec![],
+    };
+    for t in targets {
+        db.table_mut(&t)?
+            .add_column(orpheus_engine::Column::new(column.to_string(), dtype))?;
+    }
+    Ok(())
+}
+
+fn check_pk_duplicates(schema: &Schema, rows: &[Vec<Value>]) -> Result<()> {
+    if schema.primary_key.is_empty() {
+        return Ok(());
+    }
+    let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(rows.len());
+    for row in rows {
+        let pk: Vec<Value> = schema.primary_key.iter().map(|&i| row[i].clone()).collect();
+        if !seen.insert(pk.clone()) {
+            return Err(CoreError::PrimaryKeyViolation(format!(
+                "duplicate key {pk:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orpheus_engine::{Column, DataType};
+
+    fn protein_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("protein1", DataType::Text),
+            Column::new("protein2", DataType::Text),
+            Column::new("cooccurrence", DataType::Int),
+        ])
+        .with_primary_key(&["protein1", "protein2"])
+        .unwrap()
+    }
+
+    fn protein_rows() -> Vec<Vec<Value>> {
+        vec![
+            vec!["p1".into(), "p2".into(), Value::Int(53)],
+            vec!["p1".into(), "p3".into(), Value::Int(87)],
+            vec!["p4".into(), "p5".into(), Value::Int(0)],
+        ]
+    }
+
+    fn setup() -> OrpheusDB {
+        let mut odb = OrpheusDB::new();
+        odb.init_cvd("protein", protein_schema(), protein_rows(), None)
+            .unwrap();
+        odb
+    }
+
+    #[test]
+    fn init_creates_version_one() {
+        let odb = setup();
+        let cvd = odb.cvd("protein").unwrap();
+        assert_eq!(cvd.num_versions(), 1);
+        assert_eq!(cvd.rids_of(Vid(1)).unwrap().len(), 3);
+        assert_eq!(odb.ls(), vec!["protein"]);
+    }
+
+    #[test]
+    fn checkout_edit_commit_cycle() {
+        let mut odb = setup();
+        odb.checkout("protein", &[Vid(1)], "work").unwrap();
+        // Modify one record and insert a new one through plain SQL.
+        odb.engine
+            .execute("UPDATE work SET cooccurrence = 99 WHERE protein2 = 'p2'")
+            .unwrap();
+        odb.engine
+            .execute("INSERT INTO work VALUES (NULL, 'p6', 'p7', 12)")
+            .unwrap();
+        let v2 = odb.commit("work", "tweak scores").unwrap();
+        assert_eq!(v2, Vid(2));
+        // The staged table is gone after commit.
+        assert!(!odb.engine.has_table("work"));
+
+        let cvd = odb.cvd("protein").unwrap();
+        assert_eq!(cvd.rids_of(Vid(2)).unwrap().len(), 4);
+        // Two records kept, two new (modified + inserted).
+        let meta = cvd.meta(Vid(2)).unwrap();
+        assert_eq!(meta.parents, vec![Vid(1)]);
+        assert_eq!(meta.parent_weights, vec![2]);
+        assert_eq!(meta.message, "tweak scores");
+    }
+
+    #[test]
+    fn immutability_assigns_fresh_rids() {
+        let mut odb = setup();
+        odb.checkout("protein", &[Vid(1)], "w").unwrap();
+        odb.engine
+            .execute("UPDATE w SET cooccurrence = 1 WHERE protein2 = 'p2'")
+            .unwrap();
+        odb.commit("w", "m").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let cvd = odb.cvd("protein").unwrap();
+        for v in [Vid(1), Vid(2)] {
+            for r in cvd.rids_of(v).unwrap() {
+                seen.insert(*r);
+            }
+        }
+        // 3 original + 1 replacement.
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn commit_rejects_pk_duplicates() {
+        let mut odb = setup();
+        odb.checkout("protein", &[Vid(1)], "w").unwrap();
+        odb.engine
+            .execute("INSERT INTO w VALUES (NULL, 'p1', 'p2', 1)")
+            .unwrap();
+        let err = odb.commit("w", "dup").unwrap_err();
+        assert!(matches!(err, CoreError::PrimaryKeyViolation(_)));
+    }
+
+    #[test]
+    fn multi_version_checkout_resolves_pk_conflicts_by_precedence() {
+        let mut odb = setup();
+        // v2: changes p1-p2's score.
+        odb.checkout("protein", &[Vid(1)], "a").unwrap();
+        odb.engine
+            .execute("UPDATE a SET cooccurrence = 100 WHERE protein2 = 'p2'")
+            .unwrap();
+        odb.commit("a", "v2").unwrap();
+        // Merge checkout listing v2 first: its p1-p2 wins.
+        odb.checkout("protein", &[Vid(2), Vid(1)], "merged").unwrap();
+        let r = odb
+            .engine
+            .query("SELECT cooccurrence FROM merged WHERE protein2 = 'p2'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(100));
+        // Committing the merge records both parents.
+        let v3 = odb.commit("merged", "merge").unwrap();
+        let cvd = odb.cvd("protein").unwrap();
+        assert_eq!(cvd.meta(v3).unwrap().parents, vec![Vid(2), Vid(1)]);
+    }
+
+    #[test]
+    fn diff_reports_both_sides() {
+        let mut odb = setup();
+        odb.checkout("protein", &[Vid(1)], "w").unwrap();
+        odb.engine
+            .execute("DELETE FROM w WHERE protein1 = 'p4'")
+            .unwrap();
+        odb.engine
+            .execute("INSERT INTO w VALUES (NULL, 'n1', 'n2', 5)")
+            .unwrap();
+        odb.commit("w", "v2").unwrap();
+        let d = odb.diff("protein", Vid(1), Vid(2)).unwrap();
+        assert_eq!(d.only_in_first.len(), 1);
+        assert_eq!(d.only_in_second.len(), 1);
+        assert_eq!(d.only_in_first[0][0], Value::Text("p4".into()));
+        assert_eq!(d.only_in_second[0][0], Value::Text("n1".into()));
+    }
+
+    #[test]
+    fn csv_checkout_commit_roundtrip() {
+        let mut odb = setup();
+        let text = odb
+            .checkout_csv("protein", &[Vid(1)], "/tmp/protein.csv")
+            .unwrap();
+        assert!(text.starts_with("rid,protein1,protein2,cooccurrence"));
+        // Simulate an external edit: add a row without a rid.
+        let edited = format!("{text},n8,n9,42\n");
+        let v2 = odb
+            .commit_csv("/tmp/protein.csv", &edited, "from csv", None)
+            .unwrap();
+        assert_eq!(v2, Vid(2));
+        assert_eq!(odb.cvd("protein").unwrap().rids_of(v2).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn schema_evolution_adds_and_widens() {
+        let mut odb = setup();
+        odb.checkout("protein", &[Vid(1)], "w").unwrap();
+        // Add a coexpression column and widen cooccurrence to DOUBLE.
+        odb.engine
+            .execute("ALTER TABLE w ADD COLUMN coexpression INT")
+            .unwrap();
+        odb.engine
+            .execute("ALTER TABLE w ALTER COLUMN cooccurrence TYPE DOUBLE")
+            .unwrap();
+        odb.engine
+            .execute("UPDATE w SET coexpression = 7 WHERE protein2 = 'p2'")
+            .unwrap();
+        odb.commit("w", "evolve").unwrap();
+        let cvd = odb.cvd("protein").unwrap();
+        assert!(cvd.schema.has_column("coexpression"));
+        let ci = cvd.schema.column_index("cooccurrence").unwrap();
+        assert_eq!(cvd.schema.columns[ci].dtype, DataType::Double);
+        // The attribute registry versioned the type change (Figure 5).
+        assert!(cvd.attrs.entries().len() >= 5);
+        // Old version still reads, with NULL for the new attribute.
+        let rows = odb.version_rows("protein", Vid(1)).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn permissions_guard_commits() {
+        let mut odb = setup();
+        odb.checkout("protein", &[Vid(1)], "mine").unwrap();
+        odb.access.create_user("eve").unwrap();
+        odb.access.login("eve").unwrap();
+        let err = odb.commit("mine", "steal").unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn drop_cvd_removes_everything() {
+        let mut odb = setup();
+        odb.drop_cvd("protein").unwrap();
+        assert!(odb.ls().is_empty());
+        assert!(!odb.engine.has_table("protein__data"));
+        assert!(!odb.engine.has_table("protein__meta"));
+        assert!(odb.drop_cvd("protein").is_err());
+    }
+
+    #[test]
+    fn optimize_then_checkout_roundtrip() {
+        let mut odb = setup();
+        // Build a few versions first.
+        for i in 0..4 {
+            let t = format!("w{i}");
+            odb.checkout("protein", &[Vid(i + 1)], &t).unwrap();
+            odb.engine
+                .execute(&format!(
+                    "INSERT INTO {t} VALUES (NULL, 'x{i}', 'y{i}', {i})"
+                ))
+                .unwrap();
+            odb.commit(&t, "grow").unwrap();
+        }
+        let report = odb.optimize("protein").unwrap();
+        assert!(report.num_partitions >= 1);
+        odb.checkout("protein", &[Vid(5)], "post").unwrap();
+        let r = odb.engine.query("SELECT count(*) FROM post").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn works_across_all_models() {
+        for model in ModelKind::ALL {
+            let mut odb = OrpheusDB::new();
+            odb.init_cvd("d", protein_schema(), protein_rows(), Some(model))
+                .unwrap();
+            odb.checkout("d", &[Vid(1)], "w").unwrap();
+            odb.engine
+                .execute("INSERT INTO w VALUES (NULL, 'z1', 'z2', 9)")
+                .unwrap();
+            odb.engine
+                .execute("DELETE FROM w WHERE protein1 = 'p4'")
+                .unwrap();
+            let v2 = odb.commit("w", "edit").unwrap();
+            let rows = odb.version_rows("d", v2).unwrap();
+            assert_eq!(rows.len(), 3, "model {}", model.name());
+            let d = odb.diff("d", Vid(1), Vid(2)).unwrap();
+            assert_eq!(d.only_in_first.len(), 1, "model {}", model.name());
+            assert_eq!(d.only_in_second.len(), 1, "model {}", model.name());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Middleware error type, wrapping engine errors with version-control
+//! specific failure modes.
+
+use std::fmt;
+
+use orpheus_engine::EngineError;
+
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Failures surfaced by OrpheusDB commands and APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Underlying engine error.
+    Engine(EngineError),
+    /// Referenced CVD does not exist.
+    CvdNotFound(String),
+    /// A CVD with this name already exists.
+    CvdExists(String),
+    /// Referenced version id does not exist in the CVD.
+    VersionNotFound(String, u64),
+    /// The table was not produced by a checkout (no provenance entry).
+    NotStaged(String),
+    /// Primary-key violation detected during commit.
+    PrimaryKeyViolation(String),
+    /// Staged table/CSV schema does not match the CVD schema.
+    SchemaMismatch(String),
+    /// Current user lacks access to the staged table.
+    PermissionDenied(String),
+    /// Command-line parse failure.
+    Command(String),
+    /// CSV parse failure.
+    Csv(String),
+    /// Snapshot persistence failure (I/O, corruption, version skew).
+    Storage(String),
+    /// Catch-all for invalid API usage.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
+            CoreError::CvdNotFound(c) => write!(f, "CVD not found: {c}"),
+            CoreError::CvdExists(c) => write!(f, "CVD already exists: {c}"),
+            CoreError::VersionNotFound(c, v) => write!(f, "version {v} not found in CVD {c}"),
+            CoreError::NotStaged(t) => {
+                write!(f, "table {t} was not checked out from any CVD")
+            }
+            CoreError::PrimaryKeyViolation(m) => write!(f, "primary key violation: {m}"),
+            CoreError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            CoreError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
+            CoreError::Command(m) => write!(f, "command error: {m}"),
+            CoreError::Csv(m) => write!(f, "csv error: {m}"),
+            CoreError::Storage(m) => write!(f, "storage error: {m}"),
+            CoreError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_convert() {
+        let e: CoreError = EngineError::TableNotFound("x".into()).into();
+        assert!(matches!(e, CoreError::Engine(_)));
+        assert!(e.to_string().contains("table not found"));
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            CoreError::VersionNotFound("protein".into(), 9).to_string(),
+            "version 9 not found in CVD protein"
+        );
+        assert!(CoreError::NotStaged("t1".into()).to_string().contains("t1"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Version and record identifiers.
+//!
+//! `vid`s are user-visible, 1-based, and dense per CVD (version `v1` is the
+//! initial commit). `rid`s identify immutable records inside a CVD and are
+//! **not** exposed to end users (Section 2.1); they appear as a hidden
+//! leading column of materialized checkout tables so that commit can diff
+//! against parent versions.
+
+use std::fmt;
+
+/// Version id (1-based, dense within a CVD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vid(pub u64);
+
+/// Record id (dense within a CVD, never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid(pub u64);
+
+impl Vid {
+    /// Dense 0-based index of this version (for `Vec` storage and the
+    /// partition crate's `VersionId`).
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Inverse of [`Vid::index`].
+    pub fn from_index(i: usize) -> Vid {
+        Vid(i as u64 + 1)
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vid_index_roundtrip() {
+        for i in 0..5 {
+            assert_eq!(Vid::from_index(i).index(), i);
+        }
+        assert_eq!(Vid(1).index(), 0);
+        assert_eq!(Vid::from_index(0), Vid(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Vid(3).to_string(), "v3");
+        assert_eq!(Rid(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Vid(1) < Vid(2));
+        assert!(Rid(10) > Rid(2));
+    }
+}

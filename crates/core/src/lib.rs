@@ -1,0 +1,47 @@
+//! # orpheus-core
+//!
+//! The OrpheusDB middleware: bolt-on dataset versioning over an ordinary
+//! relational database (the `orpheus-engine` crate, standing in for
+//! PostgreSQL). The engine is completely unaware of versions; this crate
+//! maps git-style version control (checkout / commit / diff) and versioned
+//! SQL onto plain tables, following Sections 2-3 of the paper.
+//!
+//! Core concepts:
+//! * **CVD** — a collaborative versioned dataset: one relation plus all of
+//!   its versions, related by a version graph (a DAG with merges).
+//! * **Data models** ([`model`]) — five representations of a CVD inside the
+//!   engine: a-table-per-version, combined-table, split-by-vlist,
+//!   split-by-rlist (the paper's winner and our default), and delta-based.
+//! * **Checkout/commit** — materialize version(s) into a private staged
+//!   table (or CSV file), edit with arbitrary SQL, commit back as a new
+//!   version. Records are immutable; modified rows receive fresh `rid`s
+//!   under the *no cross-version diff* rule (Section 2.2).
+//! * **Versioned queries** ([`query`]) — `SELECT ... FROM VERSION n OF CVD
+//!   x` and whole-CVD queries grouped by `vid`, translated to plain SQL.
+//! * **Partition optimizer** ([`partition_store`]) — LyreSplit-driven
+//!   partitioning of the split-by-rlist representation, with online
+//!   maintenance and intelligent migration (Section 4).
+//! * **Persistence** ([`persist`]) — whole-instance snapshots (engine data
+//!   plus all middleware state) so sessions span process restarts.
+
+pub mod access;
+pub mod commands;
+pub mod compress;
+pub mod concurrent;
+pub mod csv;
+pub mod cvd;
+pub mod db;
+pub mod error;
+pub mod ids;
+pub mod model;
+pub mod partition_store;
+pub mod persist;
+pub mod query;
+pub mod staging;
+
+pub use concurrent::{Session, SharedOrpheusDB};
+pub use cvd::Cvd;
+pub use db::{OrpheusConfig, OrpheusDB};
+pub use error::{CoreError, Result};
+pub use ids::{Rid, Vid};
+pub use model::ModelKind;

@@ -1,0 +1,133 @@
+//! Combined-table (Figure 1b): a single table `(rid PK, attrs..., vlist)`
+//! where each record carries the array of versions containing it. Checkout
+//! is a containment scan; commit appends the new vid to every inherited
+//! record's vlist — the expensive operation that motivates the split
+//! models (Section 3.2).
+
+use orpheus_engine::{Column, DataType, Database, Schema, Value};
+
+use crate::cvd::Cvd;
+use crate::error::Result;
+use crate::ids::Vid;
+use crate::model::{
+    append_vid_to_vlist, insert_rows_bulk, insert_rows_sql, rid_and_attrs,
+    split_rlist::rows_to_records, CommitData,
+};
+
+/// Physical schema: rid PK ++ data attrs ++ vlist.
+pub fn physical_schema(cvd: &Cvd) -> Schema {
+    let mut cols = vec![Column::new("rid", DataType::Int).not_null()];
+    cols.extend(cvd.schema.columns.iter().cloned());
+    cols.push(Column::new("vlist", DataType::IntArray));
+    let mut s = Schema::new(cols);
+    s.primary_key = vec![0];
+    s
+}
+
+pub fn init(db: &mut Database, cvd: &Cvd) -> Result<()> {
+    db.create_table(&cvd.combined_table(), physical_schema(cvd))?;
+    Ok(())
+}
+
+pub fn persist(db: &mut Database, cvd: &Cvd, data: &CommitData, bulk: bool) -> Result<()> {
+    append_vid_to_vlist(db, &cvd.combined_table(), data.vid, &data.kept, bulk)?;
+    if !data.new_records.is_empty() {
+        let rows: Vec<Vec<Value>> = data
+            .new_records
+            .iter()
+            .map(|(rid, values)| {
+                let mut row = Vec::with_capacity(values.len() + 2);
+                row.push(Value::Int(*rid));
+                row.extend(values.iter().cloned());
+                row.push(Value::IntArray(vec![data.vid.0 as i64]));
+                row
+            })
+            .collect();
+        if bulk {
+            insert_rows_bulk(db, &cvd.combined_table(), rows)?;
+        } else {
+            insert_rows_sql(db, &cvd.combined_table(), &rows)?;
+        }
+    }
+    Ok(())
+}
+
+/// The Table 1 checkout statement (projecting away the versioning
+/// attribute so the staged table matches the logical schema).
+pub fn checkout_sql(cvd: &Cvd, vid: Vid, target: &str) -> String {
+    format!(
+        "SELECT {} INTO {target} FROM {} WHERE ARRAY[{}] <@ vlist",
+        rid_and_attrs(cvd),
+        cvd.combined_table(),
+        vid.0
+    )
+}
+
+pub fn checkout(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
+    db.execute(&checkout_sql(cvd, vid, target))?;
+    Ok(())
+}
+
+pub fn version_rows(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+    let r = db.query(&format!(
+        "SELECT {} FROM {} WHERE ARRAY[{}] <@ vlist",
+        rid_and_attrs(cvd),
+        cvd.combined_table(),
+        vid.0
+    ))?;
+    rows_to_records(r.rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::{commit, make_cvd, record};
+    use crate::model::ModelKind;
+
+    #[test]
+    fn roundtrip_with_modified_record() {
+        let (mut db, mut cvd) = make_cvd(ModelKind::CombinedTable);
+        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
+        // Modify b's score: becomes a *new* record (immutability).
+        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 99)], &[Vid(1)]);
+
+        checkout(&mut db, &cvd, Vid(1), "t1").unwrap();
+        checkout(&mut db, &cvd, Vid(2), "t2").unwrap();
+        let r1 = db.query("SELECT score FROM t1 ORDER BY name").unwrap();
+        let r2 = db.query("SELECT score FROM t2 ORDER BY name").unwrap();
+        assert_eq!(r1.rows[1][0], Value::Int(2));
+        assert_eq!(r2.rows[1][0], Value::Int(99));
+
+        // The combined table holds 3 records: a, b(2), b(99); a's vlist
+        // covers both versions.
+        let r = db
+            .query(&format!("SELECT count(*) FROM {}", cvd.combined_table()))
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+        let r = db
+            .query(&format!(
+                "SELECT vlist FROM {} WHERE name = 'a'",
+                cvd.combined_table()
+            ))
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::IntArray(vec![1, 2]));
+    }
+
+    #[test]
+    fn checkout_excludes_vlist_column() {
+        let (mut db, mut cvd) = make_cvd(ModelKind::CombinedTable);
+        commit(&mut db, &mut cvd, &[record("a", 1)], &[]);
+        checkout(&mut db, &cvd, Vid(1), "t1").unwrap();
+        let schema = &db.table("t1").unwrap().schema;
+        assert!(!schema.has_column("vlist"));
+        assert!(schema.has_column("rid"));
+    }
+
+    #[test]
+    fn version_rows_by_containment() {
+        let (mut db, mut cvd) = make_cvd(ModelKind::CombinedTable);
+        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
+        commit(&mut db, &mut cvd, &[record("b", 2)], &[Vid(1)]);
+        assert_eq!(version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,452 @@
+//! The five data models for representing CVDs inside the relational engine
+//! (Section 3.1, Figure 1), behind a single dispatch interface.
+//!
+//! | model               | storage                         | commit            | checkout          |
+//! |---------------------|---------------------------------|-------------------|-------------------|
+//! | a-table-per-version | one table per version (~10×)    | copy all records  | copy one table    |
+//! | combined-table      | one table, `vlist` per record   | array append scan | containment scan  |
+//! | split-by-vlist      | data + (rid → vlist)            | array append scan | containment + join|
+//! | split-by-rlist      | data + (vid → rlist) (default)  | one insert        | index + join      |
+//! | delta-based         | per-version delta tables        | delta insert      | lineage replay    |
+//!
+//! All commit/checkout operations go through SQL statements executed by the
+//! engine — the "bolt-on" property. Dataset loading additionally has a bulk
+//! path (`bulk = true`) that writes through the engine's table API directly;
+//! benchmarks use it for setup but never for the timed operations.
+
+pub mod combined;
+pub mod delta;
+pub mod split_rlist;
+pub mod split_vlist;
+pub mod table_per_version;
+
+use orpheus_engine::{Database, Value};
+
+use crate::cvd::Cvd;
+use crate::error::Result;
+use crate::ids::Vid;
+
+/// Which data model a CVD uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelKind {
+    TablePerVersion,
+    CombinedTable,
+    SplitByVlist,
+    /// The paper's recommendation (Section 3.2) and our default.
+    #[default]
+    SplitByRlist,
+    DeltaBased,
+}
+
+impl ModelKind {
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::TablePerVersion,
+        ModelKind::CombinedTable,
+        ModelKind::SplitByVlist,
+        ModelKind::SplitByRlist,
+        ModelKind::DeltaBased,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::TablePerVersion => "a-table-per-version",
+            ModelKind::CombinedTable => "combined-table",
+            ModelKind::SplitByVlist => "split-by-vlist",
+            ModelKind::SplitByRlist => "split-by-rlist",
+            ModelKind::DeltaBased => "delta-based",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "a-table-per-version" | "table-per-version" | "tpv" => {
+                Some(ModelKind::TablePerVersion)
+            }
+            "combined-table" | "combined" => Some(ModelKind::CombinedTable),
+            "split-by-vlist" | "vlist" => Some(ModelKind::SplitByVlist),
+            "split-by-rlist" | "rlist" => Some(ModelKind::SplitByRlist),
+            "delta-based" | "delta" => Some(ModelKind::DeltaBased),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a model needs to persist one committed version.
+#[derive(Debug, Clone)]
+pub struct CommitData {
+    pub vid: Vid,
+    /// All rids of the new version, sorted.
+    pub rlist: Vec<i64>,
+    /// Rids inherited unchanged from parent versions.
+    pub kept: Vec<i64>,
+    /// Freshly created records: (rid, data attribute values).
+    pub new_records: Vec<(i64, Vec<Value>)>,
+    /// Full contents of the new version (needed by a-table-per-version).
+    pub all_records: Vec<(i64, Vec<Value>)>,
+    /// The parent this version's delta is based on (delta model); the
+    /// parent sharing the largest number of records.
+    pub base: Option<Vid>,
+    /// Rids present in `base` but absent here (delta tombstones).
+    pub deleted_from_base: Vec<i64>,
+}
+
+// -- dispatch ----------------------------------------------------------------
+
+/// Create the model's backing tables for a fresh CVD.
+pub fn init_storage(db: &mut Database, cvd: &Cvd) -> Result<()> {
+    match cvd.model {
+        ModelKind::TablePerVersion => table_per_version::init(db, cvd),
+        ModelKind::CombinedTable => combined::init(db, cvd),
+        ModelKind::SplitByVlist => split_vlist::init(db, cvd),
+        ModelKind::SplitByRlist => split_rlist::init(db, cvd),
+        ModelKind::DeltaBased => delta::init(db, cvd),
+    }
+}
+
+/// Persist a committed version. With `bulk = true`, record insertion goes
+/// through the engine's table API instead of SQL (used for dataset loading
+/// only — the Table 1 statements remain the production path).
+pub fn persist_commit(db: &mut Database, cvd: &Cvd, data: &CommitData, bulk: bool) -> Result<()> {
+    match cvd.model {
+        ModelKind::TablePerVersion => table_per_version::persist(db, cvd, data, bulk),
+        ModelKind::CombinedTable => combined::persist(db, cvd, data, bulk),
+        ModelKind::SplitByVlist => split_vlist::persist(db, cvd, data, bulk),
+        ModelKind::SplitByRlist => split_rlist::persist(db, cvd, data, bulk),
+        ModelKind::DeltaBased => delta::persist(db, cvd, data, bulk),
+    }
+}
+
+/// Materialize a single version into `target` (the checkout of Table 1).
+pub fn checkout_into(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
+    cvd.check_version(vid)?;
+    match cvd.model {
+        ModelKind::TablePerVersion => table_per_version::checkout(db, cvd, vid, target),
+        ModelKind::CombinedTable => combined::checkout(db, cvd, vid, target),
+        ModelKind::SplitByVlist => split_vlist::checkout(db, cvd, vid, target),
+        ModelKind::SplitByRlist => split_rlist::checkout(db, cvd, vid, target),
+        ModelKind::DeltaBased => delta::checkout(db, cvd, vid, target),
+    }
+}
+
+/// The records of a version as (rid, data values) pairs, via the model's
+/// native read path.
+pub fn version_rows(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+    cvd.check_version(vid)?;
+    match cvd.model {
+        ModelKind::TablePerVersion => table_per_version::version_rows(db, cvd, vid),
+        ModelKind::CombinedTable => combined::version_rows(db, cvd, vid),
+        ModelKind::SplitByVlist => split_vlist::version_rows(db, cvd, vid),
+        ModelKind::SplitByRlist => split_rlist::version_rows(db, cvd, vid),
+        ModelKind::DeltaBased => delta::version_rows(db, cvd, vid),
+    }
+}
+
+/// Total backing storage (heap + indexes) in bytes.
+pub fn storage_bytes(db: &Database, cvd: &Cvd) -> u64 {
+    let tables = backing_tables(cvd);
+    tables
+        .iter()
+        .filter_map(|t| db.table(t).ok())
+        .map(|t| t.storage_bytes() as u64)
+        .sum()
+}
+
+/// Names of the model's backing tables (existing ones only are counted by
+/// [`storage_bytes`]).
+pub fn backing_tables(cvd: &Cvd) -> Vec<String> {
+    match cvd.model {
+        ModelKind::TablePerVersion => (1..=cvd.num_versions() as u64)
+            .map(|v| cvd.version_table(Vid(v)))
+            .collect(),
+        ModelKind::CombinedTable => vec![cvd.combined_table()],
+        ModelKind::SplitByVlist => vec![cvd.data_table(), cvd.vlist_table()],
+        ModelKind::SplitByRlist => vec![cvd.data_table(), cvd.rlist_table()],
+        ModelKind::DeltaBased => {
+            let mut v: Vec<String> = (1..=cvd.num_versions() as u64)
+                .map(|v| cvd.delta_table(Vid(v)))
+                .collect();
+            v.push(cvd.precedent_table());
+            v
+        }
+    }
+}
+
+/// Drop all backing tables (used by `drop <cvd>`).
+pub fn drop_storage(db: &mut Database, cvd: &Cvd) {
+    for t in backing_tables(cvd) {
+        let _ = db.drop_table(&t);
+    }
+}
+
+// -- SQL helpers shared by the model implementations --------------------------
+
+/// Render a value as a SQL literal.
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Double(d) => {
+            if d.fract() == 0.0 {
+                format!("{d:.1}")
+            } else {
+                format!("{d}")
+            }
+        }
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::IntArray(a) => format!(
+            "ARRAY[{}]",
+            a.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+/// Render a comma-separated int list (for `IN (...)` and `ARRAY[...]`).
+pub fn int_list(ids: &[i64]) -> String {
+    let mut s = String::with_capacity(ids.len() * 8);
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&id.to_string());
+    }
+    s
+}
+
+/// Insert rows through SQL in chunks (multi-row `INSERT INTO .. VALUES`).
+pub fn insert_rows_sql(db: &mut Database, table: &str, rows: &[Vec<Value>]) -> Result<()> {
+    const CHUNK: usize = 500;
+    for chunk in rows.chunks(CHUNK) {
+        let mut sql = format!("INSERT INTO {table} VALUES ");
+        for (i, row) in chunk.iter().enumerate() {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            sql.push('(');
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    sql.push_str(", ");
+                }
+                sql.push_str(&sql_literal(v));
+            }
+            sql.push(')');
+        }
+        db.execute(&sql)?;
+    }
+    Ok(())
+}
+
+/// Bulk-insert rows via the table API (load fast-path).
+pub fn insert_rows_bulk(db: &mut Database, table: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+    let t = db.table_mut(table)?;
+    t.insert_many(rows)?;
+    Ok(())
+}
+
+/// Column-name list of a CVD's data attributes, prefixed with `rid`.
+pub fn rid_and_attrs(cvd: &Cvd) -> String {
+    let mut cols = vec!["rid".to_string()];
+    cols.extend(cvd.schema.columns.iter().map(|c| c.name.clone()));
+    cols.join(", ")
+}
+
+/// Append `vid` to the `vlist` of each row of `table` whose rid is in
+/// `kept` — the expensive array-append commit of the combined-table and
+/// split-by-vlist models (Table 1). SQL path issues the paper's UPDATE;
+/// bulk path mutates rows directly.
+pub fn append_vid_to_vlist(
+    db: &mut Database,
+    table: &str,
+    vid: Vid,
+    kept: &[i64],
+    bulk: bool,
+) -> Result<()> {
+    if kept.is_empty() {
+        return Ok(());
+    }
+    if !bulk {
+        db.execute(&format!(
+            "UPDATE {table} SET vlist = vlist + {} WHERE rid IN ({})",
+            vid.0,
+            int_list(kept)
+        ))?;
+        return Ok(());
+    }
+    let kept_set: std::collections::HashSet<i64> = kept.iter().copied().collect();
+    let t = db.table_mut(table)?;
+    let rid_col = t.schema.column_index("rid")?;
+    let vlist_col = t.schema.column_index("vlist")?;
+    let mut updates = Vec::new();
+    for (slot, row) in t.rows().iter().enumerate() {
+        if let Value::Int(r) = row[rid_col] {
+            if kept_set.contains(&r) {
+                let mut new_row = row.clone();
+                if let Value::IntArray(arr) = &mut new_row[vlist_col] {
+                    arr.push(vid.0 as i64);
+                }
+                updates.push((slot, new_row));
+            }
+        }
+    }
+    for (slot, row) in updates {
+        t.replace_row(slot, row)?;
+    }
+    Ok(())
+}
+
+/// Shared fixtures for the per-model unit tests: a tiny CVD with schema
+/// `(name TEXT PRIMARY KEY, score INT)` and a value-diffing commit helper
+/// that exercises the real persistence paths.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::collections::HashMap;
+
+    use orpheus_engine::{Column, DataType, Database, Schema, Value};
+
+    use crate::cvd::{Cvd, VersionMeta};
+    use crate::ids::Vid;
+    use crate::model::{self, CommitData, ModelKind};
+
+    pub fn record(name: &str, score: i64) -> Vec<Value> {
+        vec![Value::Text(name.to_string()), Value::Int(score)]
+    }
+
+    pub fn make_cvd(model: ModelKind) -> (Database, Cvd) {
+        let schema = Schema::new(vec![
+            Column::new("name", DataType::Text),
+            Column::new("score", DataType::Int),
+        ])
+        .with_primary_key(&["name"])
+        .unwrap();
+        let mut db = Database::new();
+        let cvd = Cvd::new("t", schema, model);
+        model::init_storage(&mut db, &cvd).unwrap();
+        (db, cvd)
+    }
+
+    /// Commit `rows` as a new version: rows matching a parent record by
+    /// value keep that record's rid; everything else gets a fresh rid.
+    pub fn commit(db: &mut Database, cvd: &mut Cvd, rows: &[Vec<Value>], parents: &[Vid]) -> Vid {
+        let vid = Vid(cvd.num_versions() as u64 + 1);
+        // Parent record map: values → rid (first parent wins).
+        let mut val2rid: HashMap<Vec<Value>, i64> = HashMap::new();
+        for p in parents {
+            for (rid, values) in model::version_rows(db, cvd, *p).unwrap() {
+                val2rid.entry(values).or_insert(rid);
+            }
+        }
+        let mut kept = Vec::new();
+        let mut new_records = Vec::new();
+        let mut all_records = Vec::new();
+        let mut fresh = cvd.alloc_rids(rows.len()).into_iter();
+        for row in rows {
+            match val2rid.get(row) {
+                Some(&rid) => {
+                    kept.push(rid);
+                    all_records.push((rid, row.clone()));
+                }
+                None => {
+                    let rid = fresh.next().unwrap();
+                    new_records.push((rid, row.clone()));
+                    all_records.push((rid, row.clone()));
+                }
+            }
+        }
+        let mut rlist: Vec<i64> = all_records.iter().map(|(r, _)| *r).collect();
+        rlist.sort_unstable();
+        // Base parent: the one sharing the most records.
+        let base = parents
+            .iter()
+            .copied()
+            .max_by_key(|p| cvd.shared_with(&rlist, *p))
+            .or(None);
+        let deleted_from_base = match base {
+            Some(b) => {
+                let have: std::collections::HashSet<i64> = rlist.iter().copied().collect();
+                cvd.rids_of(b)
+                    .unwrap()
+                    .iter()
+                    .copied()
+                    .filter(|r| !have.contains(r))
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+        let data = CommitData {
+            vid,
+            rlist: rlist.clone(),
+            kept,
+            new_records,
+            all_records,
+            base,
+            deleted_from_base,
+        };
+        model::persist_commit(db, cvd, &data, false).unwrap();
+        let parent_weights: Vec<u64> = parents.iter().map(|p| cvd.shared_with(&rlist, *p)).collect();
+        let attributes = {
+            let schema = cvd.schema.clone();
+            cvd.attrs.intern_schema(&schema)
+        };
+        cvd.versions.push(VersionMeta {
+            vid,
+            parents: parents.to_vec(),
+            parent_weights,
+            checkout_t: None,
+            commit_t: vid.0,
+            message: format!("commit {vid}"),
+            attributes,
+            num_records: rlist.len() as u64,
+            base,
+        });
+        cvd.version_rids.push(rlist);
+        vid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_roundtrip() {
+        for m in ModelKind::ALL {
+            assert_eq!(ModelKind::parse(m.name()), Some(m));
+        }
+        assert_eq!(ModelKind::parse("rlist"), Some(ModelKind::SplitByRlist));
+        assert_eq!(ModelKind::parse("bogus"), None);
+        assert_eq!(ModelKind::default(), ModelKind::SplitByRlist);
+    }
+
+    #[test]
+    fn sql_literals() {
+        assert_eq!(sql_literal(&Value::Null), "NULL");
+        assert_eq!(sql_literal(&Value::Int(-5)), "-5");
+        assert_eq!(sql_literal(&Value::Double(2.5)), "2.5");
+        assert_eq!(sql_literal(&Value::Double(2.0)), "2.0");
+        assert_eq!(sql_literal(&Value::Text("it's".into())), "'it''s'");
+        assert_eq!(
+            sql_literal(&Value::IntArray(vec![1, 2])),
+            "ARRAY[1, 2]"
+        );
+        assert_eq!(sql_literal(&Value::Bool(true)), "TRUE");
+    }
+
+    #[test]
+    fn int_list_rendering() {
+        assert_eq!(int_list(&[]), "");
+        assert_eq!(int_list(&[1]), "1");
+        assert_eq!(int_list(&[1, 2, 3]), "1, 2, 3");
+    }
+
+    #[test]
+    fn chunked_sql_insert() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        let rows: Vec<Vec<Value>> = (0..1203)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("s{i}"))])
+            .collect();
+        insert_rows_sql(&mut db, "t", &rows).unwrap();
+        let r = db.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1203)));
+    }
+}

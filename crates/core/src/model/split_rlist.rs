@@ -1,0 +1,158 @@
+//! Split-by-rlist (Figure 1c.ii) — the paper's chosen model.
+//!
+//! Two tables: the **data table** `(rid PK, attrs...)` holding every record
+//! appearing in any version, and the **versioning table** `(vid PK,
+//! rlist INT[])` mapping each version to its records. Commit appends *one*
+//! tuple to the versioning table; checkout resolves the version's rlist via
+//! the primary-key index on `vid`, unnests it, and hash-joins with the data
+//! table (Table 1, right column).
+
+use orpheus_engine::{Database, Value};
+
+use crate::cvd::Cvd;
+use crate::error::Result;
+use crate::ids::Vid;
+use crate::model::{insert_rows_bulk, insert_rows_sql, int_list, CommitData};
+
+pub fn init(db: &mut Database, cvd: &Cvd) -> Result<()> {
+    db.create_table(&cvd.data_table(), cvd.physical_data_schema())?;
+    db.execute(&format!(
+        "CREATE TABLE {} (vid INT PRIMARY KEY, rlist INT[])",
+        cvd.rlist_table()
+    ))?;
+    Ok(())
+}
+
+pub fn persist(db: &mut Database, cvd: &Cvd, data: &CommitData, bulk: bool) -> Result<()> {
+    // New records go into the data table.
+    if !data.new_records.is_empty() {
+        let rows: Vec<Vec<Value>> = data
+            .new_records
+            .iter()
+            .map(|(rid, values)| {
+                let mut row = Vec::with_capacity(values.len() + 1);
+                row.push(Value::Int(*rid));
+                row.extend(values.iter().cloned());
+                row
+            })
+            .collect();
+        if bulk {
+            insert_rows_bulk(db, &cvd.data_table(), rows)?;
+        } else {
+            insert_rows_sql(db, &cvd.data_table(), &rows)?;
+        }
+    }
+    // One tuple into the versioning table — the cheap commit of Table 1.
+    if bulk {
+        let t = db.table_mut(&cvd.rlist_table())?;
+        t.insert(vec![
+            Value::Int(data.vid.0 as i64),
+            Value::IntArray(data.rlist.clone()),
+        ])?;
+    } else {
+        db.execute(&format!(
+            "INSERT INTO {} VALUES ({}, ARRAY[{}])",
+            cvd.rlist_table(),
+            data.vid.0,
+            int_list(&data.rlist)
+        ))?;
+    }
+    Ok(())
+}
+
+/// The Table 1 checkout statement for this model.
+pub fn checkout_sql(cvd: &Cvd, vid: Vid, target: &str) -> String {
+    format!(
+        "SELECT d.* INTO {target} FROM {} AS d, \
+         (SELECT unnest(rlist) AS rid_tmp FROM {} WHERE vid = {}) AS tmp \
+         WHERE rid = rid_tmp",
+        cvd.data_table(),
+        cvd.rlist_table(),
+        vid.0
+    )
+}
+
+pub fn checkout(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
+    db.execute(&checkout_sql(cvd, vid, target))?;
+    Ok(())
+}
+
+pub fn version_rows(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+    let r = db.query(&format!(
+        "SELECT d.* FROM {} AS d, \
+         (SELECT unnest(rlist) AS rid_tmp FROM {} WHERE vid = {}) AS tmp \
+         WHERE rid = rid_tmp",
+        cvd.data_table(),
+        cvd.rlist_table(),
+        vid.0
+    ))?;
+    rows_to_records(r.rows)
+}
+
+/// Split engine rows (rid ++ attrs) into (rid, attrs) pairs.
+pub fn rows_to_records(rows: Vec<Vec<Value>>) -> Result<Vec<(i64, Vec<Value>)>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for mut row in rows {
+        let rest = row.split_off(1);
+        let rid = row.pop().expect("rid column").as_int()?;
+        out.push((rid, rest));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::{commit, make_cvd, record};
+    use crate::model::ModelKind;
+
+    #[test]
+    fn init_creates_both_tables() {
+        let (db, cvd) = make_cvd(ModelKind::SplitByRlist);
+        assert!(db.has_table(&cvd.data_table()));
+        assert!(db.has_table(&cvd.rlist_table()));
+    }
+
+    #[test]
+    fn commit_and_checkout_roundtrip() {
+        let (mut db, mut cvd) = make_cvd(ModelKind::SplitByRlist);
+        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
+        commit(&mut db, &mut cvd, &[record("a", 1), record("c", 3)], &[Vid(1)]);
+
+        checkout(&mut db, &cvd, Vid(1), "t1").unwrap();
+        let r = db.query("SELECT name, score FROM t1 ORDER BY name").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[1][0], Value::Text("b".into()));
+
+        checkout(&mut db, &cvd, Vid(2), "t2").unwrap();
+        let r = db.query("SELECT name FROM t2 ORDER BY name").unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("a".into()));
+        assert_eq!(r.rows[1][0], Value::Text("c".into()));
+    }
+
+    #[test]
+    fn version_rows_match_rlist() {
+        let (mut db, mut cvd) = make_cvd(ModelKind::SplitByRlist);
+        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
+        let rows = version_rows(&mut db, &cvd, Vid(1)).unwrap();
+        assert_eq!(rows.len(), 2);
+        let rids: Vec<i64> = rows.iter().map(|(r, _)| *r).collect();
+        assert_eq!(rids, cvd.rids_of(Vid(1)).unwrap());
+    }
+
+    #[test]
+    fn versioning_table_has_one_row_per_version() {
+        let (mut db, mut cvd) = make_cvd(ModelKind::SplitByRlist);
+        commit(&mut db, &mut cvd, &[record("a", 1)], &[]);
+        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[Vid(1)]);
+        let r = db
+            .query(&format!("SELECT count(*) FROM {}", cvd.rlist_table()))
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+        // Shared records are stored once in the data table.
+        let r = db
+            .query(&format!("SELECT count(*) FROM {}", cvd.data_table()))
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    }
+}

@@ -1,0 +1,393 @@
+//! Hash aggregation with GROUP BY.
+//!
+//! OrpheusDB's versioned analytics — "the aggregate count of protein-protein
+//! tuples with confidence > 0.9, for each version" — compile down to GROUP
+//! BY queries over the versioning/data tables, so the engine supports the
+//! standard aggregate set plus `array_agg` (used to build `rlist` values
+//! during commit).
+
+use std::collections::HashMap;
+
+use crate::error::{EngineError, Result};
+use crate::exec::{execute, Chunk, ExecContext, Plan};
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::types::{Row, Value};
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Collect int values into an `INT[]` in input order.
+    ArrayAgg,
+}
+
+impl AggFunc {
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "array_agg" => Some(AggFunc::ArrayAgg),
+            _ => None,
+        }
+    }
+}
+
+/// One aggregate in the SELECT list.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    pub func: AggFunc,
+    /// Argument expression; ignored for `CountStar`.
+    pub arg: Option<Expr>,
+    pub distinct: bool,
+}
+
+/// Running accumulator for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum { total: f64, all_int: bool, seen: bool },
+    Avg { total: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    ArrayAgg(Vec<i64>),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum {
+                total: 0.0,
+                all_int: true,
+                seen: false,
+            },
+            AggFunc::Avg => Acc::Avg { total: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::ArrayAgg => Acc::ArrayAgg(Vec::new()),
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> Result<()> {
+        match self {
+            Acc::Count(c) => {
+                // CountStar passes Some(dummy); Count passes the arg value
+                // and skips NULLs.
+                match v {
+                    Some(val) if !val.is_null() => *c += 1,
+                    _ => {}
+                }
+            }
+            Acc::Sum {
+                total,
+                all_int,
+                seen,
+            } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        if matches!(val, Value::Double(_)) {
+                            *all_int = false;
+                        }
+                        *total += val.as_double()?;
+                        *seen = true;
+                    }
+                }
+            }
+            Acc::Avg { total, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *total += val.as_double()?;
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::Min(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match best {
+                            None => true,
+                            Some(b) => val.total_cmp(b).is_lt(),
+                        };
+                        if replace {
+                            *best = Some(val);
+                        }
+                    }
+                }
+            }
+            Acc::Max(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match best {
+                            None => true,
+                            Some(b) => val.total_cmp(b).is_gt(),
+                        };
+                        if replace {
+                            *best = Some(val);
+                        }
+                    }
+                }
+            }
+            Acc::ArrayAgg(items) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        items.push(val.as_int()?);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(c) => Value::Int(c),
+            Acc::Sum {
+                total,
+                all_int,
+                seen,
+            } => {
+                if !seen {
+                    Value::Null
+                } else if all_int && total.fract() == 0.0 {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Double(total)
+                }
+            }
+            Acc::Avg { total, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(total / n as f64)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::ArrayAgg(items) => Value::IntArray(items),
+        }
+    }
+}
+
+/// Execute hash aggregation. Output rows are `group_by values ++ aggregate
+/// values`, in first-seen group order (deterministic given input order).
+pub fn execute_aggregate(
+    input: &Plan,
+    group_by: &[Expr],
+    aggregates: &[Aggregate],
+    schema: &Schema,
+    ctx: &ExecContext,
+) -> Result<Chunk> {
+    let chunk = execute(input, ctx)?;
+
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut distinct_seen: HashMap<(Vec<Value>, usize), std::collections::HashSet<Value>> =
+        HashMap::new();
+
+    // With no GROUP BY the whole input forms a single (possibly empty) group.
+    let implicit_single_group = group_by.is_empty();
+    if implicit_single_group {
+        groups.insert(
+            Vec::new(),
+            aggregates.iter().map(|a| Acc::new(a.func)).collect(),
+        );
+        order.push(Vec::new());
+    }
+
+    for row in &chunk.rows {
+        let key: Vec<Value> = group_by
+            .iter()
+            .map(|e| e.eval(row))
+            .collect::<Result<_>>()?;
+        ctx.stats.add_hash_build_rows(1);
+        if !groups.contains_key(&key) {
+            groups.insert(
+                key.clone(),
+                aggregates.iter().map(|a| Acc::new(a.func)).collect(),
+            );
+            order.push(key.clone());
+        }
+        let accs = groups.get_mut(&key).expect("group just inserted");
+        for (i, (agg, acc)) in aggregates.iter().zip(accs.iter_mut()).enumerate() {
+            let v = match agg.func {
+                AggFunc::CountStar => Some(Value::Bool(true)),
+                _ => {
+                    let arg = agg
+                        .arg
+                        .as_ref()
+                        .ok_or_else(|| {
+                            EngineError::Plan(format!("aggregate {:?} missing argument", agg.func))
+                        })?
+                        .eval(row)?;
+                    if agg.distinct && !arg.is_null() {
+                        let seen = distinct_seen.entry((key.clone(), i)).or_default();
+                        if !seen.insert(arg.clone()) {
+                            continue;
+                        }
+                    }
+                    Some(arg)
+                }
+            };
+            acc.update(v)?;
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group exists");
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finish());
+        }
+        rows.push(row);
+    }
+    Ok(Chunk::new(schema.clone(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::stats::ExecStats;
+    use crate::table::Table;
+    use crate::types::DataType;
+    use std::collections::HashMap as Map;
+
+    fn setup() -> Map<String, Table> {
+        let schema = Schema::new(vec![
+            Column::new("grp", DataType::Int),
+            Column::new("x", DataType::Int),
+        ]);
+        let mut t = Table::new("t", schema);
+        for (g, x) in [(1, 10), (1, 20), (2, 5), (2, 5), (2, 7)] {
+            t.insert(vec![Value::Int(g), Value::Int(x)]).unwrap();
+        }
+        let mut m = Map::new();
+        m.insert("t".into(), t);
+        m
+    }
+
+    fn agg_schema(n: usize) -> Schema {
+        Schema::new(
+            (0..n)
+                .map(|i| Column::new(format!("c{i}"), DataType::Int))
+                .collect(),
+        )
+    }
+
+    fn run(group_by: Vec<Expr>, aggs: Vec<Aggregate>) -> Chunk {
+        let tables = setup();
+        let stats = ExecStats::default();
+        let ctx = ExecContext {
+            tables: &tables,
+            stats: &stats,
+        };
+        let width = group_by.len() + aggs.len();
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::SeqScan {
+                table: "t".into(),
+                filter: None,
+            }),
+            group_by,
+            aggregates: aggs,
+            schema: agg_schema(width),
+        };
+        execute(&plan, &ctx).unwrap()
+    }
+
+    #[test]
+    fn group_by_count_sum_avg() {
+        let chunk = run(
+            vec![Expr::col(0)],
+            vec![
+                Aggregate {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    distinct: false,
+                },
+                Aggregate {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::col(1)),
+                    distinct: false,
+                },
+                Aggregate {
+                    func: AggFunc::Avg,
+                    arg: Some(Expr::col(1)),
+                    distinct: false,
+                },
+            ],
+        );
+        assert_eq!(chunk.rows.len(), 2);
+        // Groups appear in first-seen order: 1 then 2.
+        assert_eq!(chunk.rows[0][0], Value::Int(1));
+        assert_eq!(chunk.rows[0][1], Value::Int(2));
+        assert_eq!(chunk.rows[0][2], Value::Int(30));
+        assert_eq!(chunk.rows[0][3], Value::Double(15.0));
+        assert_eq!(chunk.rows[1][1], Value::Int(3));
+        assert_eq!(chunk.rows[1][2], Value::Int(17));
+    }
+
+    #[test]
+    fn min_max_and_distinct_count() {
+        let chunk = run(
+            vec![Expr::col(0)],
+            vec![
+                Aggregate {
+                    func: AggFunc::Min,
+                    arg: Some(Expr::col(1)),
+                    distinct: false,
+                },
+                Aggregate {
+                    func: AggFunc::Max,
+                    arg: Some(Expr::col(1)),
+                    distinct: false,
+                },
+                Aggregate {
+                    func: AggFunc::Count,
+                    arg: Some(Expr::col(1)),
+                    distinct: true,
+                },
+            ],
+        );
+        assert_eq!(chunk.rows[1][0], Value::Int(2));
+        assert_eq!(chunk.rows[1][1], Value::Int(5));
+        assert_eq!(chunk.rows[1][2], Value::Int(7));
+        assert_eq!(chunk.rows[1][3], Value::Int(2)); // distinct {5, 7}
+    }
+
+    #[test]
+    fn array_agg_collects_in_order() {
+        let chunk = run(
+            vec![Expr::col(0)],
+            vec![Aggregate {
+                func: AggFunc::ArrayAgg,
+                arg: Some(Expr::col(1)),
+                distinct: false,
+            }],
+        );
+        assert_eq!(chunk.rows[0][1], Value::IntArray(vec![10, 20]));
+        assert_eq!(chunk.rows[1][1], Value::IntArray(vec![5, 5, 7]));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_group_by() {
+        let chunk = run(
+            vec![],
+            vec![Aggregate {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+            }],
+        );
+        assert_eq!(chunk.rows.len(), 1);
+        assert_eq!(chunk.rows[0][0], Value::Int(5));
+    }
+}

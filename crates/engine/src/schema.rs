@@ -1,0 +1,195 @@
+//! Table schemas: named, typed columns plus an optional composite primary
+//! key — e.g. the paper's protein table with PK `<protein1, protein2>`.
+
+use crate::error::{EngineError, Result};
+use crate::types::{DataType, Row, Value};
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+
+    pub fn not_null(mut self) -> Column {
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered list of columns with an optional composite primary key
+/// (indices into `columns`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+    pub primary_key: Vec<usize>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema {
+            columns,
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Set the primary key by column names.
+    pub fn with_primary_key(mut self, names: &[&str]) -> Result<Schema> {
+        let mut pk = Vec::with_capacity(names.len());
+        for n in names {
+            pk.push(self.column_index(n)?);
+        }
+        self.primary_key = pk;
+        Ok(self)
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| EngineError::ColumnNotFound(name.to_string()))
+    }
+
+    pub fn has_column(&self, name: &str) -> bool {
+        self.column_index(name).is_ok()
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Names of the primary-key columns in key order.
+    pub fn primary_key_names(&self) -> Vec<String> {
+        self.primary_key
+            .iter()
+            .map(|&i| self.columns[i].name.clone())
+            .collect()
+    }
+
+    /// Extract the primary-key values of a row (empty if no PK).
+    pub fn pk_values(&self, row: &Row) -> Vec<Value> {
+        self.primary_key.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Validate a row against the schema, coercing values to declared types
+    /// (e.g. INT literals into DOUBLE columns). Returns the coerced row.
+    pub fn check_row(&self, row: &Row) -> Result<Row> {
+        if row.len() != self.columns.len() {
+            return Err(EngineError::Arity(format!(
+                "row has {} values, schema {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, c) in row.iter().zip(&self.columns) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(EngineError::Invalid(format!(
+                        "null value in non-nullable column {}",
+                        c.name
+                    )));
+                }
+                out.push(Value::Null);
+            } else {
+                out.push(v.coerce_to(c.dtype)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Schema of a projection of this schema.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// Concatenate two schemas (used by joins). Primary keys do not survive.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut cols = self.columns.clone();
+        cols.extend(other.columns.iter().cloned());
+        Schema::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn protein_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("protein1", DataType::Text),
+            Column::new("protein2", DataType::Text),
+            Column::new("neighborhood", DataType::Int),
+            Column::new("cooccurrence", DataType::Int),
+            Column::new("coexpression", DataType::Int),
+        ])
+        .with_primary_key(&["protein1", "protein2"])
+        .unwrap()
+    }
+
+    #[test]
+    fn composite_primary_key_lookup() {
+        let s = protein_schema();
+        assert_eq!(s.primary_key, vec![0, 1]);
+        assert_eq!(s.primary_key_names(), vec!["protein1", "protein2"]);
+        let row: Row = vec![
+            "a".into(),
+            "b".into(),
+            Value::Int(0),
+            Value::Int(53),
+            Value::Int(0),
+        ];
+        assert_eq!(
+            s.pk_values(&row),
+            vec![Value::Text("a".into()), Value::Text("b".into())]
+        );
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = protein_schema();
+        assert_eq!(s.column_index("Protein1").unwrap(), 0);
+        assert!(s.column_index("nope").is_err());
+    }
+
+    #[test]
+    fn check_row_coerces_and_rejects() {
+        let s = Schema::new(vec![
+            Column::new("a", DataType::Double),
+            Column::new("b", DataType::Text).not_null(),
+        ]);
+        let ok = s.check_row(&vec![Value::Int(1), "x".into()]).unwrap();
+        assert_eq!(ok[0], Value::Double(1.0));
+        assert!(s.check_row(&vec![Value::Int(1), Value::Null]).is_err());
+        assert!(s.check_row(&vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn project_and_join_schemas() {
+        let s = protein_schema();
+        let p = s.project(&[0, 2]);
+        assert_eq!(p.column_names(), vec!["protein1", "neighborhood"]);
+        let j = p.join(&p);
+        assert_eq!(j.arity(), 4);
+        assert!(j.primary_key.is_empty());
+    }
+}

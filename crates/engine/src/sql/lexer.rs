@@ -1,0 +1,292 @@
+//! Hand-rolled SQL tokenizer.
+
+use crate::error::{EngineError, Result};
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Numeric literal, kept as text until typed by the parser.
+    Number(String),
+    /// Single-quoted string literal (escapes already processed).
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// `||`
+    Concat,
+    /// `<@`
+    ContainedBy,
+    /// `@>`
+    Contains,
+    Eof,
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() {
+                    match bytes[i + 1] {
+                        b'=' => {
+                            tokens.push(Token::LtEq);
+                            i += 2;
+                            continue;
+                        }
+                        b'>' => {
+                            tokens.push(Token::NotEq);
+                            i += 2;
+                            continue;
+                        }
+                        b'@' => {
+                            tokens.push(Token::ContainedBy);
+                            i += 2;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                tokens.push(Token::Lt);
+                i += 1;
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '@' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Contains);
+                    i += 2;
+                } else {
+                    return Err(EngineError::Parse(format!(
+                        "unexpected character '@' at byte {i}"
+                    )));
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    tokens.push(Token::Concat);
+                    i += 2;
+                } else {
+                    return Err(EngineError::Parse(format!(
+                        "unexpected character '|' at byte {i}"
+                    )));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(EngineError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' is an escaped quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Copy the full UTF-8 character.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&input[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Number(input[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )));
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_checkout_query() {
+        let toks =
+            tokenize("SELECT * INTO t2 FROM t WHERE ARRAY[3] <@ vlist").unwrap();
+        assert!(toks.contains(&Token::ContainedBy));
+        assert!(toks.contains(&Token::LBracket));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = tokenize("a <= 1.5 AND b <> 2 OR c >= 3 @> x != y").unwrap();
+        assert!(toks.contains(&Token::LtEq));
+        assert!(toks.contains(&Token::Number("1.5".into())));
+        assert_eq!(toks.iter().filter(|t| **t == Token::NotEq).count(), 2);
+        assert!(toks.contains(&Token::Contains));
+        assert!(toks.contains(&Token::GtEq));
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let toks = tokenize("SELECT 'it''s' -- trailing comment\n, 'ok'").unwrap();
+        assert!(toks.contains(&Token::Str("it's".into())));
+        assert!(toks.contains(&Token::Str("ok".into())));
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn concat_operator() {
+        let toks = tokenize("a || b").unwrap();
+        assert!(toks.contains(&Token::Concat));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("SELECT 'héllo wörld'").unwrap();
+        assert!(toks.contains(&Token::Str("héllo wörld".into())));
+    }
+}

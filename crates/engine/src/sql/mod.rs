@@ -1,0 +1,16 @@
+//! SQL front-end: lexer, AST, recursive-descent parser and planner.
+//!
+//! The dialect is the subset of PostgreSQL that OrpheusDB's query
+//! translation layer emits (Table 1 of the paper plus the versioned-query
+//! rewrites of the companion demo paper): `SELECT [INTO]` with comma joins,
+//! derived tables, `unnest`, array literals/operators, `IN` (lists and
+//! subqueries), `GROUP BY`/`HAVING`, `ORDER BY`/`LIMIT`, the usual DML, and
+//! a handful of DDL statements including `CLUSTER` and `CREATE INDEX`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::{SelectStmt, SqlExpr, Statement};
+pub use parser::parse_statement;

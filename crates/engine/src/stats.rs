@@ -1,0 +1,217 @@
+//! Execution statistics.
+//!
+//! The paper controls PostgreSQL's caches so that latency is proportional to
+//! the data touched; our in-memory engine makes that proportionality explicit
+//! by counting rows scanned, index lookups and modeled page I/O during every
+//! statement. Benchmarks report these counters alongside wall-clock time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated while executing statements. Interior-mutable so the
+/// executor can record events without threading `&mut` everywhere, and
+/// atomic so a [`crate::Database`] can sit behind a shared lock (the
+/// middleware's multi-user sessions). Counter updates use relaxed ordering:
+/// they are monotonic tallies, not synchronization points.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    rows_scanned: AtomicU64,
+    index_lookups: AtomicU64,
+    join_rows: AtomicU64,
+    hash_build_rows: AtomicU64,
+    merge_rows: AtomicU64,
+    // f64 counters stored as IEEE-754 bit patterns.
+    seq_pages: AtomicU64,
+    random_pages: AtomicU64,
+    io_cost: AtomicU64,
+}
+
+fn add_f64(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+impl ExecStats {
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.index_lookups.store(0, Ordering::Relaxed);
+        self.join_rows.store(0, Ordering::Relaxed);
+        self.hash_build_rows.store(0, Ordering::Relaxed);
+        self.merge_rows.store(0, Ordering::Relaxed);
+        self.seq_pages.store(0f64.to_bits(), Ordering::Relaxed);
+        self.random_pages.store(0f64.to_bits(), Ordering::Relaxed);
+        self.io_cost.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Rows produced by sequential scans.
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Point lookups served by an index.
+    pub fn index_lookups(&self) -> u64 {
+        self.index_lookups.load(Ordering::Relaxed)
+    }
+
+    /// Rows emitted by join operators.
+    pub fn join_rows(&self) -> u64 {
+        self.join_rows.load(Ordering::Relaxed)
+    }
+
+    /// Hash-table insertions performed by hash joins / aggregation.
+    pub fn hash_build_rows(&self) -> u64 {
+        self.hash_build_rows.load(Ordering::Relaxed)
+    }
+
+    /// Rows compared by merge joins (after sorting).
+    pub fn merge_rows(&self) -> u64 {
+        self.merge_rows.load(Ordering::Relaxed)
+    }
+
+    /// Modeled sequential page reads (see [`crate::cost`]).
+    pub fn seq_pages(&self) -> f64 {
+        f64::from_bits(self.seq_pages.load(Ordering::Relaxed))
+    }
+
+    /// Modeled random page reads.
+    pub fn random_pages(&self) -> f64 {
+        f64::from_bits(self.random_pages.load(Ordering::Relaxed))
+    }
+
+    /// Total modeled I/O cost in abstract cost units.
+    pub fn io_cost(&self) -> f64 {
+        f64::from_bits(self.io_cost.load(Ordering::Relaxed))
+    }
+
+    pub fn add_rows_scanned(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_index_lookups(&self, n: u64) {
+        self.index_lookups.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_join_rows(&self, n: u64) {
+        self.join_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_hash_build_rows(&self, n: u64) {
+        self.hash_build_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_merge_rows(&self, n: u64) {
+        self.merge_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_seq_pages(&self, p: f64, cost_per_page: f64) {
+        add_f64(&self.seq_pages, p);
+        add_f64(&self.io_cost, p * cost_per_page);
+    }
+
+    pub fn add_random_pages(&self, p: f64, cost_per_page: f64) {
+        add_f64(&self.random_pages, p);
+        add_f64(&self.io_cost, p * cost_per_page);
+    }
+
+    /// Snapshot the counters into a plain struct (for reporting).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            rows_scanned: self.rows_scanned(),
+            index_lookups: self.index_lookups(),
+            join_rows: self.join_rows(),
+            hash_build_rows: self.hash_build_rows(),
+            merge_rows: self.merge_rows(),
+            seq_pages: self.seq_pages(),
+            random_pages: self.random_pages(),
+            io_cost: self.io_cost(),
+        }
+    }
+}
+
+/// Plain-data copy of [`ExecStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsSnapshot {
+    pub rows_scanned: u64,
+    pub index_lookups: u64,
+    pub join_rows: u64,
+    pub hash_build_rows: u64,
+    pub merge_rows: u64,
+    pub seq_pages: f64,
+    pub random_pages: f64,
+    pub io_cost: f64,
+}
+
+impl StatsSnapshot {
+    /// Difference between two snapshots (self - earlier), for per-statement
+    /// accounting.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            index_lookups: self.index_lookups - earlier.index_lookups,
+            join_rows: self.join_rows - earlier.join_rows,
+            hash_build_rows: self.hash_build_rows - earlier.hash_build_rows,
+            merge_rows: self.merge_rows - earlier.merge_rows,
+            seq_pages: self.seq_pages - earlier.seq_pages,
+            random_pages: self.random_pages - earlier.random_pages,
+            io_cost: self.io_cost - earlier.io_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = ExecStats::default();
+        s.add_rows_scanned(10);
+        s.add_rows_scanned(5);
+        s.add_seq_pages(3.0, 1.0);
+        s.add_random_pages(2.0, 4.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.rows_scanned, 15);
+        assert_eq!(snap.seq_pages, 3.0);
+        assert_eq!(snap.random_pages, 2.0);
+        assert_eq!(snap.io_cost, 3.0 + 8.0);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = ExecStats::default();
+        s.add_rows_scanned(10);
+        let a = s.snapshot();
+        s.add_rows_scanned(7);
+        s.add_index_lookups(2);
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.rows_scanned, 7);
+        assert_eq!(d.index_lookups, 2);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = ExecStats::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.add_rows_scanned(1);
+                        s.add_seq_pages(0.5, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.rows_scanned(), 4000);
+        assert!((s.seq_pages() - 2000.0).abs() < 1e-6);
+        assert!((s.io_cost() - 2000.0).abs() < 1e-6);
+    }
+}

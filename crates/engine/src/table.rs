@@ -1,0 +1,457 @@
+//! Heap tables: rows stored in insertion (or clustering) order, with
+//! attached secondary indexes and storage accounting.
+//!
+//! Physical clustering matters to the paper's cost model (Appendix D.1):
+//! the data table can be clustered on `rid` (checkout-friendly) or on the
+//! relation primary key; [`Table::cluster_by`] re-sorts the heap and
+//! records which key the heap is ordered by so the cost model can charge
+//! sequential vs. random page accesses appropriately.
+
+use crate::error::{EngineError, Result};
+use crate::index::{Index, IndexKey, IndexKind};
+use crate::schema::Schema;
+use crate::types::{Row, Value};
+
+/// A heap table with schema, rows, and secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    rows: Vec<Row>,
+    indexes: Vec<Index>,
+    clustered_on: Option<Vec<usize>>,
+    row_bytes_total: usize,
+}
+
+impl Table {
+    /// Create an empty table. If the schema declares a primary key, a unique
+    /// hash index named `<table>_pkey` is created automatically, mirroring
+    /// the "physical primary key index" setup of Section 3.2.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        let name = name.into();
+        let mut t = Table {
+            name: name.clone(),
+            schema,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+            clustered_on: None,
+            row_bytes_total: 0,
+        };
+        if !t.schema.primary_key.is_empty() {
+            let cols = t.schema.primary_key.clone();
+            t.indexes
+                .push(Index::new(format!("{name}_pkey"), cols, true, IndexKind::Hash));
+        }
+        t
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn row(&self, slot: usize) -> &Row {
+        &self.rows[slot]
+    }
+
+    /// Column indices the heap is currently physically sorted by, if any.
+    pub fn clustered_on(&self) -> Option<&[usize]> {
+        self.clustered_on.as_deref()
+    }
+
+    /// True if the heap is clustered on exactly the given columns.
+    pub fn is_clustered_on(&self, cols: &[usize]) -> bool {
+        self.clustered_on.as_deref() == Some(cols)
+    }
+
+    /// Average row width in bytes (used by the page cost model).
+    pub fn avg_row_bytes(&self) -> usize {
+        if self.rows.is_empty() {
+            64
+        } else {
+            (self.row_bytes_total / self.rows.len()).max(1)
+        }
+    }
+
+    /// Total storage footprint: heap bytes plus all index bytes, matching
+    /// the paper's convention of counting index size in storage numbers.
+    pub fn storage_bytes(&self) -> usize {
+        self.row_bytes_total + self.indexes.iter().map(|i| i.storage_bytes()).sum::<usize>()
+    }
+
+    /// Heap-only storage footprint.
+    pub fn heap_bytes(&self) -> usize {
+        self.row_bytes_total
+    }
+
+    /// Insert one row (validated and coerced against the schema).
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        let row = self.schema.check_row(&row)?;
+        let slot = self.rows.len();
+        // Check uniqueness on all unique indexes before mutating any.
+        for idx in &self.indexes {
+            if idx.unique {
+                let key = idx.key_of(&row);
+                if !idx.lookup(&key).is_empty() {
+                    return Err(EngineError::UniqueViolation(format!(
+                        "table {}: duplicate key {:?} for index {}",
+                        self.name, key, idx.name
+                    )));
+                }
+            }
+        }
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.insert(key, slot)?;
+        }
+        self.row_bytes_total += row_bytes(&row);
+        self.rows.push(row);
+        // Appends invalidate physical clustering unless the table is empty.
+        if self.rows.len() > 1 {
+            self.clustered_on = None;
+        }
+        Ok(())
+    }
+
+    /// Bulk insert; stops at the first constraint violation.
+    pub fn insert_many<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<usize> {
+        let mut n = 0;
+        for r in rows {
+            self.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Replace the row at `slot`, keeping indexes in sync.
+    pub fn replace_row(&mut self, slot: usize, new_row: Row) -> Result<()> {
+        let new_row = self.schema.check_row(&new_row)?;
+        // Uniqueness: the new key must not collide with a *different* slot.
+        for idx in &self.indexes {
+            if idx.unique {
+                let key = idx.key_of(&new_row);
+                if idx.lookup(&key).iter().any(|&s| s != slot) {
+                    return Err(EngineError::UniqueViolation(format!(
+                        "table {}: duplicate key {:?} for index {}",
+                        self.name, key, idx.name
+                    )));
+                }
+            }
+        }
+        let old = self.rows[slot].clone();
+        for idx in &mut self.indexes {
+            let old_key = idx.key_of(&old);
+            let new_key = idx.key_of(&new_row);
+            if old_key != new_key {
+                idx.remove(&old_key, slot);
+                idx.insert(new_key, slot)?;
+            }
+        }
+        self.row_bytes_total = self.row_bytes_total + row_bytes(&new_row) - row_bytes(&old);
+        self.rows[slot] = new_row;
+        Ok(())
+    }
+
+    /// Delete all rows at the given slots; compacts the heap and rebuilds
+    /// indexes. Returns the number of rows removed.
+    pub fn delete_slots(&mut self, mut slots: Vec<usize>) -> usize {
+        if slots.is_empty() {
+            return 0;
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        let mut keep = Vec::with_capacity(self.rows.len() - slots.len());
+        let mut del_iter = slots.iter().peekable();
+        for (i, row) in self.rows.drain(..).enumerate() {
+            if del_iter.peek() == Some(&&i) {
+                del_iter.next();
+            } else {
+                keep.push(row);
+            }
+        }
+        self.rows = keep;
+        self.rebuild_indexes();
+        self.recompute_bytes();
+        self.clustered_on = None;
+        slots.len()
+    }
+
+    /// Remove every row, keeping schema and index definitions.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+        self.row_bytes_total = 0;
+        self.clustered_on = None;
+    }
+
+    /// Create a secondary index over the named columns.
+    pub fn create_index(
+        &mut self,
+        index_name: impl Into<String>,
+        columns: &[&str],
+        unique: bool,
+        kind: IndexKind,
+    ) -> Result<()> {
+        let index_name = index_name.into();
+        if self.indexes.iter().any(|i| i.name == index_name) {
+            return Err(EngineError::Invalid(format!(
+                "index {index_name} already exists on {}",
+                self.name
+            )));
+        }
+        let cols: Result<Vec<usize>> = columns.iter().map(|c| self.schema.column_index(c)).collect();
+        let mut idx = Index::new(index_name, cols?, unique, kind);
+        for (slot, row) in self.rows.iter().enumerate() {
+            let key = idx.key_of(row);
+            idx.insert(key, slot)?;
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Find an index whose leading columns cover exactly `cols`.
+    pub fn index_on(&self, cols: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.columns == cols)
+    }
+
+    /// Find an index by name.
+    pub fn index_named(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Physically sort the heap by the given columns and rebuild indexes,
+    /// mirroring PostgreSQL's `CLUSTER`. Lookups on the clustering key are
+    /// then charged (mostly) sequential I/O by the cost model.
+    pub fn cluster_by(&mut self, columns: &[&str]) -> Result<()> {
+        let cols: Result<Vec<usize>> = columns.iter().map(|c| self.schema.column_index(c)).collect();
+        let cols = cols?;
+        self.rows.sort_by(|a, b| {
+            for &c in &cols {
+                let ord = a[c].total_cmp(&b[c]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.rebuild_indexes();
+        self.clustered_on = Some(cols);
+        Ok(())
+    }
+
+    /// Add a new nullable column (ALTER TABLE ... ADD COLUMN); existing
+    /// rows get NULL, as in the schema-evolution scheme of Section 3.3.
+    pub fn add_column(&mut self, col: crate::schema::Column) -> Result<()> {
+        if self.schema.has_column(&col.name) {
+            return Err(EngineError::Invalid(format!(
+                "column {} already exists on {}",
+                col.name, self.name
+            )));
+        }
+        if !col.nullable {
+            return Err(EngineError::Invalid(
+                "added columns must be nullable (existing rows receive NULL)".into(),
+            ));
+        }
+        self.schema.columns.push(col);
+        for row in &mut self.rows {
+            row.push(Value::Null);
+        }
+        self.row_bytes_total += self.rows.len(); // 1 byte per NULL
+        Ok(())
+    }
+
+    /// Change a column to a more general type (int → double → text),
+    /// converting stored values. Used by single-pool schema evolution.
+    pub fn alter_column_type(&mut self, name: &str, new_type: crate::types::DataType) -> Result<()> {
+        let ci = self.schema.column_index(name)?;
+        let old = self.schema.columns[ci].dtype;
+        if old == new_type {
+            return Ok(());
+        }
+        if old.generalize(new_type) != Some(new_type) {
+            return Err(EngineError::TypeMismatch(format!(
+                "cannot narrow column {name} from {old} to {new_type}"
+            )));
+        }
+        for row in &mut self.rows {
+            row[ci] = row[ci].coerce_to(new_type)?;
+        }
+        self.schema.columns[ci].dtype = new_type;
+        self.rebuild_indexes();
+        self.recompute_bytes();
+        Ok(())
+    }
+
+    fn rebuild_indexes(&mut self) {
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+        for (slot, row) in self.rows.iter().enumerate() {
+            for idx in &mut self.indexes {
+                let key = idx.key_of(row);
+                // Uniqueness was validated on the way in; rebuild can't fail.
+                let _ = idx.insert(key, slot);
+            }
+        }
+    }
+
+    fn recompute_bytes(&mut self) {
+        self.row_bytes_total = self.rows.iter().map(row_bytes).sum();
+    }
+
+    /// Slots matching a key on the index covering `cols`, if one exists.
+    pub fn index_lookup(&self, cols: &[usize], key: &IndexKey) -> Option<&[usize]> {
+        self.index_on(cols).map(|idx| idx.lookup(key))
+    }
+}
+
+fn row_bytes(row: &Row) -> usize {
+    row.iter().map(|v| v.storage_bytes()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("rid", DataType::Int),
+            Column::new("val", DataType::Text),
+        ])
+        .with_primary_key(&["rid"])
+        .unwrap();
+        Table::new("t", schema)
+    }
+
+    #[test]
+    fn insert_and_pk_enforcement() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), "a".into()]).unwrap();
+        t.insert(vec![Value::Int(2), "b".into()]).unwrap();
+        let err = t.insert(vec![Value::Int(1), "dup".into()]).unwrap_err();
+        assert!(matches!(err, EngineError::UniqueViolation(_)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pk_index_lookup() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), format!("v{i}").into()]).unwrap();
+        }
+        let slots = t.index_lookup(&[0], &vec![Value::Int(7)]).unwrap();
+        assert_eq!(slots, &[7]);
+        assert_eq!(t.row(slots[0])[1], Value::Text("v7".into()));
+    }
+
+    #[test]
+    fn replace_row_keeps_indexes_consistent() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), "a".into()]).unwrap();
+        t.insert(vec![Value::Int(2), "b".into()]).unwrap();
+        t.replace_row(0, vec![Value::Int(10), "a2".into()]).unwrap();
+        assert!(t.index_lookup(&[0], &vec![Value::Int(1)]).unwrap().is_empty());
+        assert_eq!(t.index_lookup(&[0], &vec![Value::Int(10)]).unwrap(), &[0]);
+        // Replacing with an existing other key is rejected.
+        let err = t.replace_row(0, vec![Value::Int(2), "x".into()]).unwrap_err();
+        assert!(matches!(err, EngineError::UniqueViolation(_)));
+        // Replacing a row with its own key is fine (no-op key change).
+        t.replace_row(1, vec![Value::Int(2), "b2".into()]).unwrap();
+    }
+
+    #[test]
+    fn delete_slots_compacts_and_rebuilds() {
+        let mut t = table();
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), format!("v{i}").into()]).unwrap();
+        }
+        let n = t.delete_slots(vec![1, 3]);
+        assert_eq!(n, 2);
+        assert_eq!(t.len(), 3);
+        // Remaining keys still resolvable post-compaction.
+        for k in [0i64, 2, 4] {
+            let slots = t.index_lookup(&[0], &vec![Value::Int(k)]).unwrap();
+            assert_eq!(slots.len(), 1);
+            assert_eq!(t.row(slots[0])[0], Value::Int(k));
+        }
+        assert!(t.index_lookup(&[0], &vec![Value::Int(1)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn clustering_orders_heap_and_is_invalidated_by_insert() {
+        let mut t = table();
+        for i in [5i64, 1, 3, 2, 4] {
+            t.insert(vec![Value::Int(i), "x".into()]).unwrap();
+        }
+        assert!(t.clustered_on().is_none());
+        t.cluster_by(&["rid"]).unwrap();
+        assert!(t.is_clustered_on(&[0]));
+        let keys: Vec<i64> = t.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+        t.insert(vec![Value::Int(0), "x".into()]).unwrap();
+        assert!(t.clustered_on().is_none());
+    }
+
+    #[test]
+    fn add_column_fills_nulls() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), "a".into()]).unwrap();
+        t.add_column(Column::new("extra", DataType::Int)).unwrap();
+        assert_eq!(t.schema.arity(), 3);
+        assert!(t.row(0)[2].is_null());
+        assert!(t.add_column(Column::new("extra", DataType::Int)).is_err());
+    }
+
+    #[test]
+    fn alter_column_type_generalizes() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), "a".into()]).unwrap();
+        t.alter_column_type("rid", DataType::Double).unwrap();
+        assert_eq!(t.row(0)[0], Value::Double(1.0));
+        assert!(t.alter_column_type("rid", DataType::Int).is_err());
+    }
+
+    #[test]
+    fn storage_accounting_tracks_mutations() {
+        let mut t = table();
+        assert_eq!(t.heap_bytes(), 0);
+        t.insert(vec![Value::Int(1), "abcd".into()]).unwrap();
+        let b1 = t.heap_bytes();
+        assert_eq!(b1, 8 + 4 + 4);
+        t.insert(vec![Value::Int(2), "ef".into()]).unwrap();
+        let b2 = t.heap_bytes();
+        t.delete_slots(vec![1]);
+        assert_eq!(t.heap_bytes(), b1);
+        assert!(b2 > b1);
+        assert!(t.storage_bytes() > t.heap_bytes());
+    }
+
+    #[test]
+    fn secondary_index_creation_backfills() {
+        let mut t = table();
+        for i in 0..4 {
+            t.insert(vec![Value::Int(i), Value::Text(format!("g{}", i % 2))])
+                .unwrap();
+        }
+        t.create_index("t_val", &["val"], false, IndexKind::BTree).unwrap();
+        let idx = t.index_named("t_val").unwrap();
+        assert_eq!(idx.lookup(&vec!["g0".into()]).len(), 2);
+        assert!(t.create_index("t_val", &["val"], false, IndexKind::Hash).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! The version-record bipartite graph `G = (V, R, E)` (Section 4.1,
+//! Figure 6): an edge `(vi, rj)` exists iff version `vi` contains record
+//! `rj`.
+
+use crate::{RecordId, VersionId};
+
+/// Version-record membership, stored as a sorted record list per version.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    /// `version_records[v]` = sorted, deduplicated record ids of version v.
+    version_records: Vec<Vec<RecordId>>,
+    /// Total number of distinct records |R|.
+    num_records: usize,
+    /// Total number of edges |E| = Σ |R(v)|.
+    num_edges: usize,
+}
+
+impl BipartiteGraph {
+    /// Build from per-version record lists (deduplicated and sorted here).
+    pub fn new(mut version_records: Vec<Vec<RecordId>>) -> BipartiteGraph {
+        let mut max_record: Option<RecordId> = None;
+        let mut num_edges = 0;
+        let mut seen = std::collections::HashSet::new();
+        for records in &mut version_records {
+            records.sort_unstable();
+            records.dedup();
+            num_edges += records.len();
+            for &r in records.iter() {
+                seen.insert(r);
+                max_record = Some(max_record.map_or(r, |m: usize| m.max(r)));
+            }
+        }
+        BipartiteGraph {
+            version_records,
+            num_records: seen.len(),
+            num_edges,
+        }
+    }
+
+    /// Number of versions |V|.
+    pub fn num_versions(&self) -> usize {
+        self.version_records.len()
+    }
+
+    /// Number of distinct records |R|.
+    pub fn num_records(&self) -> usize {
+        self.num_records
+    }
+
+    /// Number of membership edges |E|.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted record ids of version `v`.
+    pub fn records_of(&self, v: VersionId) -> &[RecordId] {
+        &self.version_records[v]
+    }
+
+    /// Number of records in version `v`.
+    pub fn version_size(&self, v: VersionId) -> usize {
+        self.version_records[v].len()
+    }
+
+    /// Number of common records between two versions — the edge weight
+    /// `w(vi, vj)` of the version graph.
+    pub fn common_records(&self, a: VersionId, b: VersionId) -> usize {
+        sorted_intersection_size(&self.version_records[a], &self.version_records[b])
+    }
+
+    /// Number of distinct records across a set of versions.
+    pub fn distinct_records(&self, versions: &[VersionId]) -> usize {
+        match versions.len() {
+            0 => 0,
+            1 => self.version_records[versions[0]].len(),
+            _ => {
+                let mut set = std::collections::HashSet::new();
+                for &v in versions {
+                    set.extend(self.version_records[v].iter().copied());
+                }
+                set.len()
+            }
+        }
+    }
+
+    /// Distinct record ids across a set of versions, sorted.
+    pub fn union_records(&self, versions: &[VersionId]) -> Vec<RecordId> {
+        let mut set = std::collections::HashSet::new();
+        for &v in versions {
+            set.extend(self.version_records[v].iter().copied());
+        }
+        let mut out: Vec<RecordId> = set.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Lower bound on the checkout cost: `|E| / |V|` — achieved by storing
+    /// each version as its own partition (Observation 1).
+    pub fn min_checkout_cost(&self) -> f64 {
+        if self.num_versions() == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_versions() as f64
+        }
+    }
+
+    /// Lower bound on storage: `|R|` — all versions in one partition
+    /// (Observation 2).
+    pub fn min_storage_cost(&self) -> usize {
+        self.num_records
+    }
+
+    /// Append a new version with the given records (used by online
+    /// maintenance as commits stream in).
+    pub fn push_version(&mut self, mut records: Vec<RecordId>) -> VersionId {
+        records.sort_unstable();
+        records.dedup();
+        self.num_edges += records.len();
+        // Recompute |R| incrementally: records unseen so far are new.
+        let mut new_records = 0;
+        {
+            let mut seen: std::collections::HashSet<RecordId> = std::collections::HashSet::new();
+            for v in &self.version_records {
+                seen.extend(v.iter().copied());
+            }
+            for r in &records {
+                if !seen.contains(r) {
+                    new_records += 1;
+                }
+            }
+        }
+        self.num_records += new_records;
+        self.version_records.push(records);
+        self.version_records.len() - 1
+    }
+}
+
+/// Size of the intersection of two sorted slices.
+pub fn sorted_intersection_size(a: &[RecordId], b: &[RecordId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// The bipartite graph of Figure 6(a) in the paper (versions v1..v4 over
+/// records r1..r7), used as a shared fixture across the crate's tests.
+#[cfg(test)]
+pub fn figure6_graph() -> BipartiteGraph {
+    // v1 = {r1, r2, r3}; v2 = {r2, r3, r4}; v3 = {r3, r5, r6, r7};
+    // v4 = {r2, r3, r4, r5, r6, r7}  (0-indexed below)
+    BipartiteGraph::new(vec![
+        vec![0, 1, 2],
+        vec![1, 2, 3],
+        vec![2, 4, 5, 6],
+        vec![1, 2, 3, 4, 5, 6],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_counts() {
+        let g = figure6_graph();
+        assert_eq!(g.num_versions(), 4);
+        assert_eq!(g.num_records(), 7);
+        assert_eq!(g.num_edges(), 3 + 3 + 4 + 6);
+    }
+
+    #[test]
+    fn common_records_matches_figure4_weights() {
+        let g = figure6_graph();
+        // Weights from Figure 4(b): w(v1,v2)=2, w(v1,v3)=1, w(v2,v4)=3,
+        // w(v3,v4)=4.
+        assert_eq!(g.common_records(0, 1), 2);
+        assert_eq!(g.common_records(0, 2), 1);
+        assert_eq!(g.common_records(1, 3), 3);
+        assert_eq!(g.common_records(2, 3), 4);
+    }
+
+    #[test]
+    fn distinct_and_union() {
+        let g = figure6_graph();
+        assert_eq!(g.distinct_records(&[0, 1]), 4);
+        assert_eq!(g.union_records(&[0, 1]), vec![0, 1, 2, 3]);
+        assert_eq!(g.distinct_records(&[0, 1, 2, 3]), 7);
+        assert_eq!(g.distinct_records(&[]), 0);
+    }
+
+    #[test]
+    fn extreme_scheme_bounds() {
+        let g = figure6_graph();
+        assert_eq!(g.min_storage_cost(), 7);
+        assert!((g.min_checkout_cost() - 16.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_version_updates_counts() {
+        let mut g = figure6_graph();
+        let v = g.push_version(vec![6, 7, 8]);
+        assert_eq!(v, 4);
+        assert_eq!(g.num_versions(), 5);
+        assert_eq!(g.num_records(), 9); // r8, r9 are new
+        assert_eq!(g.num_edges(), 16 + 3);
+    }
+
+    #[test]
+    fn dedups_and_sorts_input() {
+        let g = BipartiteGraph::new(vec![vec![3, 1, 3, 2]]);
+        assert_eq!(g.records_of(0), &[1, 2, 3]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    /// The 3-PARTITION reduction gadget from the proof of Theorem 1: for
+    /// each integer a_i, a biclique of a_i versions × a_i records, plus D
+    /// dummy records connected to every version. This pins the construction
+    /// the NP-hardness proof relies on.
+    #[test]
+    fn three_partition_gadget() {
+        let a = [2usize, 3, 4];
+        let dummies = 2;
+        let total: usize = a.iter().sum();
+        let mut version_records = Vec::new();
+        let mut next_record = dummies; // records 0..dummies are dummy
+        for &ai in &a {
+            let recs: Vec<RecordId> = (next_record..next_record + ai).collect();
+            next_record += ai;
+            for _ in 0..ai {
+                let mut r = recs.clone();
+                r.extend(0..dummies);
+                version_records.push(r);
+            }
+        }
+        let g = BipartiteGraph::new(version_records);
+        assert_eq!(g.num_versions(), total);
+        assert_eq!(g.num_records(), total + dummies);
+        // Every version of block i shares only the dummies with blocks j≠i.
+        assert_eq!(g.common_records(0, 2), dummies);
+        assert_eq!(g.common_records(0, 1), a[0] + dummies);
+    }
+}

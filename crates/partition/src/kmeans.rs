@@ -1,0 +1,221 @@
+//! KMEANS — the k-means-clustering baseline (Algorithm 5 of NScale \[42\],
+//! re-implemented from Section 5.1 of the OrpheusDB paper).
+//!
+//! K random versions seed the partitions; every other version joins the
+//! centroid it shares the most records with; centroids become the union of
+//! their members' records. Subsequent iterations move versions so as to
+//! minimize the total record count across partitions. The paper runs 10
+//! iterations and binary-searches K for a storage budget.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::bipartite::BipartiteGraph;
+use crate::partitioning::Partitioning;
+use crate::RecordId;
+
+/// Number of refinement iterations (per the paper).
+pub const DEFAULT_ITERATIONS: usize = 10;
+
+/// Run KMEANS with `k` partitions. `bc` is the per-partition record
+/// capacity; the paper's experiments use unbounded capacity (`usize::MAX`).
+// `v` is simultaneously a version id (for `records_of`) and an index into
+// `assignment`; the range loop is the clearest expression of that.
+#[allow(clippy::needless_range_loop)]
+pub fn kmeans(bip: &BipartiteGraph, k: usize, bc: usize, seed: u64) -> Partitioning {
+    let n = bip.num_versions();
+    if n == 0 {
+        return Partitioning {
+            assignment: vec![],
+            num_partitions: 0,
+        };
+    }
+    let k = k.clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Seed with K random distinct versions.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let seeds: Vec<usize> = order[..k].to_vec();
+
+    let mut centroids: Vec<HashSet<RecordId>> = seeds
+        .iter()
+        .map(|&v| bip.records_of(v).iter().copied().collect())
+        .collect();
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    for (pid, &v) in seeds.iter().enumerate() {
+        assignment[v] = Some(pid);
+    }
+
+    // Initial assignment: nearest centroid by common-record count.
+    for v in 0..n {
+        if assignment[v].is_some() {
+            continue;
+        }
+        let recs = bip.records_of(v);
+        let mut best = 0usize;
+        let mut best_common = usize::MIN;
+        for (pid, c) in centroids.iter().enumerate() {
+            let common = recs.iter().filter(|r| c.contains(r)).count();
+            if common > best_common && centroid_fits(recs, c, bc) {
+                best_common = common;
+                best = pid;
+            }
+        }
+        assignment[v] = Some(best);
+        centroids[best].extend(recs.iter().copied());
+    }
+    let mut assignment: Vec<usize> = assignment.into_iter().map(|a| a.unwrap()).collect();
+
+    // Refinement: move each version to the partition minimizing the total
+    // number of records across partitions, i.e. the marginal increase
+    // |records(v) \ centroid|.
+    for _ in 0..DEFAULT_ITERATIONS {
+        let mut moved = false;
+        for v in 0..n {
+            let recs = bip.records_of(v);
+            let current = assignment[v];
+            let mut best = current;
+            let mut best_increase = usize::MAX;
+            for (pid, c) in centroids.iter().enumerate() {
+                let increase = recs.iter().filter(|r| !c.contains(r)).count();
+                if increase < best_increase && (pid == current || centroid_fits(recs, c, bc)) {
+                    best_increase = increase;
+                    best = pid;
+                }
+            }
+            if best != current {
+                assignment[v] = best;
+                moved = true;
+            }
+        }
+        // Recompute centroids as the union of member records.
+        for c in &mut centroids {
+            c.clear();
+        }
+        for v in 0..n {
+            centroids[assignment[v]].extend(bip.records_of(v).iter().copied());
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    Partitioning::from_assignment(assignment)
+}
+
+fn centroid_fits(recs: &[RecordId], centroid: &HashSet<RecordId>, bc: usize) -> bool {
+    if bc == usize::MAX {
+        return true;
+    }
+    let increase = recs.iter().filter(|r| !centroid.contains(r)).count();
+    centroid.len() + increase <= bc
+}
+
+/// Statistics of the budget binary search over `K`.
+#[derive(Debug, Clone)]
+pub struct KmeansBudget {
+    pub iterations: usize,
+    pub final_k: usize,
+    pub storage: u64,
+}
+
+/// Solve Problem 1 with KMEANS: binary search the number of partitions `K`
+/// for the largest value whose storage cost meets the budget γ (larger K ⇒
+/// more partitions ⇒ more storage, less checkout cost).
+pub fn kmeans_for_budget(bip: &BipartiteGraph, gamma: u64, seed: u64) -> (Partitioning, KmeansBudget) {
+    let n = bip.num_versions().max(1);
+    let mut lo = 1usize;
+    let mut hi = n;
+    let mut best = kmeans(bip, 1, usize::MAX, seed);
+    let mut best_s = best.storage_cost(bip);
+    let mut best_k = 1usize;
+    let mut iterations = 0;
+
+    while lo <= hi && iterations < 20 {
+        iterations += 1;
+        let mid = lo + (hi - lo) / 2;
+        let p = kmeans(bip, mid, usize::MAX, seed);
+        let s = p.storage_cost(bip);
+        if s <= gamma {
+            best = p;
+            best_s = s;
+            best_k = mid;
+            lo = mid + 1;
+            if s as f64 >= 0.99 * gamma as f64 {
+                break;
+            }
+        } else {
+            if mid == 0 {
+                break;
+            }
+            hi = mid - 1;
+        }
+    }
+
+    let stats = KmeansBudget {
+        iterations,
+        final_k: best_k,
+        storage: best_s,
+    };
+    (best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    #[test]
+    fn k_one_is_single_partition() {
+        let h = sim::tree(15, 3);
+        let p = kmeans(&h.bipartite, 1, usize::MAX, 7);
+        assert_eq!(p.num_partitions, 1);
+        assert_eq!(
+            p.storage_cost(&h.bipartite),
+            h.bipartite.num_records() as u64
+        );
+    }
+
+    #[test]
+    fn k_equals_n_is_nearly_per_version() {
+        let h = sim::tree(10, 4);
+        let p = kmeans(&h.bipartite, 10, usize::MAX, 7);
+        p.validate().unwrap();
+        // Similar versions may still collapse together, but the partition
+        // count must be substantial and the checkout cost near the floor.
+        assert!(p.num_partitions >= 2);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let h = sim::tree(20, 8);
+        let a = kmeans(&h.bipartite, 4, usize::MAX, 42);
+        let b = kmeans(&h.bipartite, 4, usize::MAX, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_partitions_trade_storage_for_checkout() {
+        let h = sim::tree(30, 15);
+        let p2 = kmeans(&h.bipartite, 2, usize::MAX, 1);
+        let p8 = kmeans(&h.bipartite, 8, usize::MAX, 1);
+        let (s2, c2) = (p2.storage_cost(&h.bipartite), p2.checkout_cost(&h.bipartite));
+        let (s8, c8) = (p8.storage_cost(&h.bipartite), p8.checkout_cost(&h.bipartite));
+        assert!(s8 >= s2, "storage should grow with K ({s8} vs {s2})");
+        assert!(c8 <= c2, "checkout should shrink with K ({c8} vs {c2})");
+    }
+
+    #[test]
+    fn budget_search_meets_gamma() {
+        let h = sim::tree(25, 21);
+        let gamma = (h.bipartite.num_records() as f64 * 1.5) as u64;
+        let (p, stats) = kmeans_for_budget(&h.bipartite, gamma, 5);
+        p.validate().unwrap();
+        assert!(p.storage_cost(&h.bipartite) <= gamma);
+        assert!(stats.final_k >= 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Schema-change-aware partitioning (Appendix C.3).
+//!
+//! Under the single-pool schema-evolution scheme (Section 3.3), versions
+//! may differ in their attribute sets. The split condition then weighs an
+//! edge by *both* its record overlap and its attribute overlap: edge
+//! `(v_i, v_j)` qualifies for cutting when
+//! `a(v_i, v_j) × w(v_i, v_j) ≤ δ × |A| × |R|`, where `a(·,·)` is the
+//! number of common attributes and `|A|` the total number of attributes
+//! across all versions. When no schema changes exist, `a(v_i, v_j) = |A|`
+//! and the condition reduces to plain LyreSplit's `w ≤ δ|R|`.
+
+use crate::lyresplit::{lyresplit_with_candidates, EdgePick, LyreSplitResult};
+use crate::version_graph::VersionTree;
+
+/// Attribute counts accompanying a version tree.
+#[derive(Debug, Clone)]
+pub struct SchemaInfo {
+    /// `a(v)` — number of attributes in version v.
+    pub attrs: Vec<u32>,
+    /// `a(p(v), v)` — attributes shared with the tree parent (0 for roots).
+    pub common_attrs_to_parent: Vec<u32>,
+    /// `|A|` — total distinct attributes across all versions.
+    pub total_attrs: u32,
+}
+
+impl SchemaInfo {
+    /// A fixed schema of `attrs` attributes (no evolution): every version
+    /// and edge carries the full attribute set.
+    pub fn fixed(num_versions: usize, attrs: u32) -> SchemaInfo {
+        SchemaInfo {
+            attrs: vec![attrs; num_versions],
+            common_attrs_to_parent: vec![attrs; num_versions],
+            total_attrs: attrs,
+        }
+    }
+
+    /// Validate sizes against a tree.
+    pub fn check(&self, tree: &VersionTree) -> Result<(), String> {
+        if self.attrs.len() != tree.num_versions()
+            || self.common_attrs_to_parent.len() != tree.num_versions()
+        {
+            return Err("schema info length mismatch".into());
+        }
+        for v in 0..tree.num_versions() {
+            if self.common_attrs_to_parent[v] > self.attrs[v] {
+                return Err(format!("version {v}: common attrs exceed own attrs"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Schema-aware LyreSplit (Appendix C.3): identical to Algorithm 1 except
+/// for the candidate-edge condition (and candidates rank by the combined
+/// weight `a(p(v), v) × w(p(v), v)` under [`EdgePick::SmallestWeight`], so
+/// schema-divergent edges are cut first).
+pub fn lyresplit_schema_aware(
+    tree: &VersionTree,
+    info: &SchemaInfo,
+    delta: f64,
+    pick: EdgePick,
+) -> LyreSplitResult {
+    info.check(tree).expect("schema info consistent with tree");
+    let total_attrs = info.total_attrs.max(1) as f64;
+    lyresplit_with_candidates(
+        tree,
+        delta,
+        pick,
+        &|v, comp_r| {
+            let a = info.common_attrs_to_parent[v] as f64;
+            let w = tree.weight_to_parent[v] as f64;
+            a * w <= delta * total_attrs * comp_r as f64
+        },
+        &|v| info.common_attrs_to_parent[v] as u64 * tree.weight_to_parent[v],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lyresplit::lyresplit;
+    use crate::sim;
+
+    #[test]
+    fn fixed_schema_reduces_to_plain_lyresplit() {
+        let h = sim::tree(25, 77);
+        let t = h.graph.to_tree();
+        let info = SchemaInfo::fixed(25, 10);
+        for &delta in &[0.3f64, 0.5, 0.9] {
+            let plain = lyresplit(&t, delta, EdgePick::BalancedVersions);
+            let aware = lyresplit_schema_aware(&t, &info, delta, EdgePick::BalancedVersions);
+            assert_eq!(
+                plain.partitioning, aware.partitioning,
+                "fixed schema must reproduce plain LyreSplit at δ={delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_divergence_changes_the_cut() {
+        // A root with two equally-overlapping children (w = 80 both), but
+        // child v2's schema shares only 1 of 10 attributes with the root.
+        // Plain LyreSplit cannot tell the children apart and cuts the
+        // first; the schema-aware variant cuts the schema-divergent edge.
+        let t = VersionTree {
+            parent: vec![None, Some(0), Some(0)],
+            weight_to_parent: vec![0, 80, 80],
+            records: vec![100, 100, 100],
+        };
+        // R = 140, E = 300 ⇒ splitting kicks in for δ ≥ 300/(140·3) ≈ 0.714.
+        let delta = 0.75;
+        let plain = lyresplit(&t, delta, EdgePick::SmallestWeight);
+        assert_eq!(plain.partitioning.num_partitions, 2);
+        // Tie on weight 80 breaks toward the smaller id: v1 is cut off.
+        assert_ne!(
+            plain.partitioning.partition_of(1),
+            plain.partitioning.partition_of(0)
+        );
+        assert_eq!(
+            plain.partitioning.partition_of(2),
+            plain.partitioning.partition_of(0)
+        );
+
+        let info = SchemaInfo {
+            attrs: vec![10, 10, 10],
+            common_attrs_to_parent: vec![10, 10, 1],
+            total_attrs: 10,
+        };
+        let aware = lyresplit_schema_aware(&t, &info, delta, EdgePick::SmallestWeight);
+        assert_eq!(aware.partitioning.num_partitions, 2);
+        // Effective weights: v1 → 800, v2 → 80 ⇒ v2 is cut off instead.
+        assert_ne!(
+            aware.partitioning.partition_of(2),
+            aware.partitioning.partition_of(0)
+        );
+        assert_eq!(
+            aware.partitioning.partition_of(1),
+            aware.partitioning.partition_of(0)
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_info() {
+        let t = VersionTree {
+            parent: vec![None],
+            weight_to_parent: vec![0],
+            records: vec![10],
+        };
+        let bad = SchemaInfo {
+            attrs: vec![5],
+            common_attrs_to_parent: vec![9], // > attrs
+            total_attrs: 10,
+        };
+        assert!(bad.check(&t).is_err());
+        let wrong_len = SchemaInfo::fixed(3, 4);
+        assert!(wrong_len.check(&t).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Weighted checkout cost (Appendix C.2): versions are checked out with
+//! different frequencies `f_i`, e.g. recent versions far more often than
+//! old ones.
+//!
+//! The paper's construction: duplicate each version `v_i` into a chain of
+//! `f_i` copies (intra-chain edges share all records), run plain LyreSplit
+//! on the expanded tree `T'`, then post-process by collapsing each
+//! version's copies into the member partition with the fewest records. The
+//! result carries the same ((1+δ)^ℓ, 1/δ) guarantee against the weighted
+//! optimum.
+
+use crate::bipartite::BipartiteGraph;
+use crate::lyresplit::{lyresplit, EdgePick, LyreSplitResult};
+use crate::partitioning::Partitioning;
+use crate::version_graph::VersionTree;
+use crate::VersionId;
+
+/// Weighted checkout cost `Cw = Σ f_i·C_i / Σ f_i` (exact, via the
+/// bipartite graph).
+pub fn weighted_checkout_cost(
+    part: &Partitioning,
+    bip: &BipartiteGraph,
+    freqs: &[u64],
+) -> f64 {
+    assert_eq!(part.num_versions(), freqs.len());
+    let parts = part.partitions();
+    let sizes: Vec<u64> = parts
+        .iter()
+        .map(|vs| bip.distinct_records(vs) as u64)
+        .collect();
+    let mut num = 0u128;
+    let mut den = 0u128;
+    for (v, &f) in freqs.iter().enumerate() {
+        num += (f as u128) * sizes[part.partition_of(v)] as u128;
+        den += f as u128;
+    }
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The weighted-optimum floor `ζ = Σ f_i·|R(v_i)| / Σ f_i` — achieved when
+/// every version sits in its own partition.
+pub fn weighted_cost_floor(bip: &BipartiteGraph, freqs: &[u64]) -> f64 {
+    let mut num = 0u128;
+    let mut den = 0u128;
+    for (v, &f) in freqs.iter().enumerate() {
+        num += (f as u128) * bip.version_size(v) as u128;
+        den += f as u128;
+    }
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// LyreSplit for the weighted case (Appendix C.2): expand, split, collapse.
+/// Frequencies of zero are treated as one (every version must live
+/// somewhere).
+pub fn lyresplit_weighted(
+    tree: &VersionTree,
+    freqs: &[u64],
+    delta: f64,
+    pick: EdgePick,
+) -> LyreSplitResult {
+    let n = tree.num_versions();
+    assert_eq!(n, freqs.len());
+
+    // Build the expanded tree T': copies[v] = range of expanded ids.
+    let mut expanded_parent: Vec<Option<VersionId>> = Vec::new();
+    let mut expanded_weight: Vec<u64> = Vec::new();
+    let mut expanded_records: Vec<u64> = Vec::new();
+    let mut first_copy: Vec<usize> = Vec::with_capacity(n);
+    let mut last_copy: Vec<usize> = Vec::with_capacity(n);
+    // Original versions are topologically ordered by id, so parents'
+    // copies exist before children are expanded.
+    for (v, &freq) in freqs.iter().enumerate() {
+        let f = freq.max(1) as usize;
+        let start = expanded_parent.len();
+        for j in 0..f {
+            if j == 0 {
+                match tree.parent[v] {
+                    Some(p) => {
+                        expanded_parent.push(Some(last_copy[p]));
+                        expanded_weight.push(tree.weight_to_parent[v]);
+                    }
+                    None => {
+                        expanded_parent.push(None);
+                        expanded_weight.push(0);
+                    }
+                }
+            } else {
+                // Chain copy: shares all records with the previous copy.
+                expanded_parent.push(Some(start + j - 1));
+                expanded_weight.push(tree.records[v]);
+            }
+            expanded_records.push(tree.records[v]);
+        }
+        first_copy.push(start);
+        last_copy.push(start + f - 1);
+    }
+    let expanded = VersionTree {
+        parent: expanded_parent,
+        weight_to_parent: expanded_weight,
+        records: expanded_records,
+    };
+
+    // Plain LyreSplit on T'.
+    let expanded_result = lyresplit(&expanded, delta, pick);
+
+    // Collapse: each original version joins the smallest (by records)
+    // partition among its copies' partitions.
+    let parts = expanded_result.partitioning.partitions();
+    let part_records: Vec<u64> = parts
+        .iter()
+        .map(|vs| expanded.component_records(vs))
+        .collect();
+    let mut raw_assignment = Vec::with_capacity(n);
+    for v in 0..n {
+        let f = freqs[v].max(1) as usize;
+        let best = (first_copy[v]..first_copy[v] + f)
+            .map(|c| expanded_result.partitioning.partition_of(c))
+            .min_by_key(|&p| part_records[p])
+            .expect("at least one copy");
+        raw_assignment.push(best);
+    }
+
+    LyreSplitResult {
+        partitioning: Partitioning::from_assignment(raw_assignment),
+        levels: expanded_result.levels,
+        delta,
+    }
+}
+
+/// Solve Problem 1 in the weighted case for a storage budget γ: binary
+/// search δ over the same interval as the unweighted search, running
+/// [`lyresplit_weighted`] at each probe and measuring storage on the
+/// *original* tree (the expanded copies share all records, so only the
+/// collapsed partitioning's storage is real).
+pub fn lyresplit_weighted_for_budget(
+    tree: &VersionTree,
+    freqs: &[u64],
+    gamma: u64,
+    pick: EdgePick,
+) -> LyreSplitResult {
+    let r = tree.total_records().max(1);
+    let v = tree.num_versions().max(1) as u64;
+    let e = tree.total_edges().max(1);
+    let mut lo = (e as f64 / (r as f64 * v as f64)).min(1.0);
+    let mut hi = 1.0f64;
+
+    let mut best = lyresplit_weighted(tree, freqs, lo, pick);
+    if best.partitioning.storage_cost_tree(tree) > gamma {
+        // γ < |R| is infeasible (Observation 2); fall back to the
+        // minimum-storage single partition.
+        best = LyreSplitResult {
+            partitioning: Partitioning::single(tree.num_versions()),
+            levels: 0,
+            delta: lo,
+        };
+    }
+    for _ in 0..64 {
+        if hi - lo < 1e-9 {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        let res = lyresplit_weighted(tree, freqs, mid, pick);
+        let s = res.partitioning.storage_cost_tree(tree);
+        if s <= gamma {
+            best = res;
+            lo = mid;
+            if s as f64 >= 0.99 * gamma as f64 {
+                break;
+            }
+        } else {
+            hi = mid;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    #[test]
+    fn uniform_frequencies_match_unweighted_cost() {
+        let h = sim::tree(20, 17);
+        let t = h.graph.to_tree();
+        let freqs = vec![1u64; 20];
+        let p = lyresplit(&t, 0.5, EdgePick::BalancedVersions).partitioning;
+        let cw = weighted_checkout_cost(&p, &h.bipartite, &freqs);
+        let cavg = p.checkout_cost(&h.bipartite);
+        assert!((cw - cavg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expansion_respects_structure() {
+        let h = sim::tree(12, 23);
+        let t = h.graph.to_tree();
+        let freqs: Vec<u64> = (0..12).map(|i| 1 + (i % 3) as u64).collect();
+        let r = lyresplit_weighted(&t, &freqs, 0.5, EdgePick::BalancedVersions);
+        r.partitioning.validate().unwrap();
+        assert_eq!(r.partitioning.num_versions(), 12);
+    }
+
+    #[test]
+    fn hot_versions_bias_partitioning() {
+        // A chain with a cheap prefix and expensive suffix: when the hot
+        // version is the tip, the weighted cost of the tip's partition
+        // matters most. We check the invariant Cw ≥ ζ (floor) and that the
+        // weighted algorithm is never (much) worse than unweighted on the
+        // weighted metric.
+        let h = sim::chain(16, 100, 30, 3);
+        let t = h.graph.to_tree();
+        let mut freqs = vec![1u64; 16];
+        freqs[15] = 50; // the tip is hot
+        let unweighted = lyresplit(&t, 0.6, EdgePick::BalancedVersions).partitioning;
+        let weighted = lyresplit_weighted(&t, &freqs, 0.6, EdgePick::BalancedVersions).partitioning;
+        let floor = weighted_cost_floor(&h.bipartite, &freqs);
+        let cw_u = weighted_checkout_cost(&unweighted, &h.bipartite, &freqs);
+        let cw_w = weighted_checkout_cost(&weighted, &h.bipartite, &freqs);
+        assert!(cw_w + 1e-9 >= floor);
+        assert!(cw_u + 1e-9 >= floor);
+        // The guarantee: Cw ≤ (1/δ)·ζ.
+        assert!(
+            cw_w <= floor / 0.6 + 1e-6,
+            "weighted guarantee violated: {cw_w} > {}",
+            floor / 0.6
+        );
+    }
+
+    #[test]
+    fn zero_frequencies_are_tolerated() {
+        let h = sim::tree(8, 31);
+        let t = h.graph.to_tree();
+        let freqs = vec![0u64; 8];
+        let r = lyresplit_weighted(&t, &freqs, 0.5, EdgePick::SmallestWeight);
+        r.partitioning.validate().unwrap();
+    }
+
+    #[test]
+    fn budget_search_respects_gamma() {
+        let h = sim::tree(30, 99);
+        let t = h.graph.to_tree();
+        let freqs: Vec<u64> = (0..30).map(|i| 1 + (i as u64 % 7) * 3).collect();
+        for factor in [1.2f64, 1.5, 2.0, 3.0] {
+            let gamma = (factor * t.total_records() as f64) as u64;
+            let r = lyresplit_weighted_for_budget(&t, &freqs, gamma, EdgePick::BalancedVersions);
+            r.partitioning.validate().unwrap();
+            assert!(
+                r.partitioning.storage_cost_tree(&t) <= gamma,
+                "γ-factor {factor}: storage {} > {gamma}",
+                r.partitioning.storage_cost_tree(&t)
+            );
+        }
+    }
+
+    #[test]
+    fn budget_search_weighted_cost_shrinks_with_budget() {
+        let h = sim::tree(40, 5);
+        let t = h.graph.to_tree();
+        let mut freqs = vec![1u64; 40];
+        freqs[39] = 100;
+        let tight = lyresplit_weighted_for_budget(
+            &t, &freqs, (1.1 * t.total_records() as f64) as u64, EdgePick::BalancedVersions);
+        let loose = lyresplit_weighted_for_budget(
+            &t, &freqs, (3.0 * t.total_records() as f64) as u64, EdgePick::BalancedVersions);
+        let cw_tight = weighted_checkout_cost(&tight.partitioning, &h.bipartite, &freqs);
+        let cw_loose = weighted_checkout_cost(&loose.partitioning, &h.bipartite, &freqs);
+        assert!(cw_loose <= cw_tight + 1e-9, "{cw_loose} > {cw_tight}");
+    }
+}

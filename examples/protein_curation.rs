@@ -1,0 +1,113 @@
+//! The paper's motivating scenario (Section 1): biologists curating a
+//! shared protein-protein interaction dataset — periodically checking out
+//! versions, cleaning locally, committing into a branched network of
+//! versions, and asking global questions across versions, e.g. "the
+//! aggregate count of protein pairs with confidence > 0.9 per version" or
+//! "versions with a bulk delete".
+//!
+//! Run with `cargo run --example protein_curation`.
+
+use orpheusdb::core::commands::{run_command, MemFiles};
+use orpheusdb::prelude::*;
+
+fn main() {
+    let mut odb = OrpheusDB::new();
+    let mut files = MemFiles::default();
+
+    // The STRING-style interaction table of Figure 1 (confidence scaled
+    // to integers like the paper's data).
+    files.files.insert(
+        "string.csv".into(),
+        "protein1,protein2,neighborhood,cooccurrence,coexpression\n\
+         ENSP273047,ENSP261890,0,53,0\n\
+         ENSP273047,ENSP235932,0,87,0\n\
+         ENSP300413,ENSP274242,426,0,164\n\
+         ENSP309334,ENSP346022,0,227,975\n\
+         ENSP332973,ENSP300134,0,0,83\n\
+         ENSP472847,ENSP365773,225,0,73\n"
+            .into(),
+    );
+    files.files.insert(
+        "string.schema".into(),
+        "protein1:text!pk\nprotein2:text!pk\nneighborhood:int\ncooccurrence:int\ncoexpression:int\n"
+            .into(),
+    );
+
+    let run = |odb: &mut OrpheusDB, files: &mut MemFiles, cmd: &str| {
+        let out = run_command(odb, files, cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+        if !out.message.is_empty() {
+            println!("$ {cmd}\n{}\n", out.message);
+        }
+        out
+    };
+
+    run(&mut odb, &mut files, "init string -f string.csv -s string.schema");
+
+    // Curator 1 fixes a coexpression value (working through SQL).
+    run(&mut odb, &mut files, "create_user curator1");
+    run(&mut odb, &mut files, "config curator1");
+    run(&mut odb, &mut files, "checkout string -v 1 -t c1");
+    odb.engine
+        .execute("UPDATE c1 SET coexpression = 83 WHERE protein2 = 'ENSP261890'")
+        .expect("fix");
+    run(&mut odb, &mut files, "commit -t c1 -m 'fix ENSP261890 coexpression'");
+
+    // Curator 2 works from v1 too (a branch), pruning weak interactions —
+    // a "bulk delete" version.
+    run(&mut odb, &mut files, "create_user curator2");
+    run(&mut odb, &mut files, "config curator2");
+    run(&mut odb, &mut files, "checkout string -v 1 -t c2");
+    odb.engine
+        .execute("DELETE FROM c2 WHERE neighborhood = 0 AND cooccurrence < 100 AND coexpression < 100")
+        .expect("prune");
+    run(&mut odb, &mut files, "commit -t c2 -m 'prune weak interactions'");
+
+    // Merge the two branches (curator1's values take precedence).
+    run(&mut odb, &mut files, "checkout string -v 2 3 -t merged");
+    run(&mut odb, &mut files, "commit -t merged -m 'merge fixes + pruning'");
+
+    // Global question 1: per-version counts of high-confidence pairs.
+    let out = run(
+        &mut odb,
+        &mut files,
+        "run SELECT vid, count(*) AS strong FROM CVD string \
+         WHERE coexpression > 70 GROUP BY vid ORDER BY vid",
+    );
+    println!("high-coexpression pairs per version:");
+    for row in &out.result.expect("rows").rows {
+        println!("  v{}: {}", row[0], row[1]);
+    }
+
+    // Global question 2: versions with a bulk delete (≥ 2 records removed
+    // from their parent), answered from the version graph metadata.
+    println!("\nbulk-delete versions:");
+    let cvd = odb.cvd("string").expect("cvd");
+    for m in &cvd.versions {
+        for (p, w) in m.parents.iter().zip(&m.parent_weights) {
+            let parent_size = cvd.meta(*p).expect("parent").num_records;
+            let deleted = parent_size.saturating_sub(*w);
+            if deleted >= 2 {
+                println!("  {} deleted {} records relative to {}", m.vid, deleted, p);
+            }
+        }
+    }
+
+    // Global question 3: which versions still contain a specific record?
+    let out = run(
+        &mut odb,
+        &mut files,
+        "run SELECT vid FROM CVD string WHERE protein1 = 'ENSP332973' GROUP BY vid ORDER BY vid",
+    );
+    println!(
+        "versions containing ENSP332973 interactions: {}",
+        out.result
+            .expect("rows")
+            .rows
+            .iter()
+            .map(|r| format!("v{}", r[0]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    run(&mut odb, &mut files, "log string");
+}

@@ -1,0 +1,100 @@
+//! Quickstart: create a CVD, branch, edit, merge, diff, query.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use orpheusdb::prelude::*;
+
+fn main() {
+    let mut odb = OrpheusDB::new();
+
+    // A tiny gene-expression table with a primary key.
+    let schema = Schema::new(vec![
+        Column::new("gene", DataType::Text),
+        Column::new("tissue", DataType::Text),
+        Column::new("expression", DataType::Int),
+    ])
+    .with_primary_key(&["gene", "tissue"])
+    .expect("schema");
+    odb.init_cvd(
+        "genes",
+        schema,
+        vec![
+            vec!["brca1".into(), "breast".into(), 74.into()],
+            vec!["tp53".into(), "lung".into(), 31.into()],
+            vec!["egfr".into(), "lung".into(), 55.into()],
+        ],
+        None, // default model: split-by-rlist
+    )
+    .expect("init");
+    println!("initialized CVD 'genes' at v1");
+
+    // Alice branches from v1 and recalibrates lung measurements.
+    odb.checkout("genes", &[Vid(1)], "alice_work").expect("checkout");
+    odb.engine
+        .execute("UPDATE alice_work SET expression = expression * 2 WHERE tissue = 'lung'")
+        .expect("edit");
+    let v2 = odb.commit("alice_work", "recalibrate lung").expect("commit");
+    println!("alice committed {v2}");
+
+    // Bob also branches from v1 and adds a record.
+    odb.checkout("genes", &[Vid(1)], "bob_work").expect("checkout");
+    odb.engine
+        .execute("INSERT INTO bob_work VALUES (NULL, 'kras', 'colon', 12)")
+        .expect("edit");
+    let v3 = odb.commit("bob_work", "add kras").expect("commit");
+    println!("bob committed {v3}");
+
+    // Merge both branches; alice's values win conflicts (listed first).
+    odb.checkout("genes", &[v2, v3], "merged").expect("merge checkout");
+    let v4 = odb.commit("merged", "merge alice + bob").expect("commit");
+    println!("merged into {v4}");
+
+    // Diff the merge against the original.
+    let d = odb.diff("genes", Vid(1), v4).expect("diff");
+    println!(
+        "diff v1..v4: {} record(s) removed, {} record(s) added",
+        d.only_in_first.len(),
+        d.only_in_second.len()
+    );
+
+    // Versioned analytics: per-version record counts and averages.
+    let r = odb
+        .run(
+            "SELECT vid, count(*) AS n, avg(expression) AS mean \
+             FROM CVD genes GROUP BY vid ORDER BY vid",
+        )
+        .expect("query");
+    println!("\nvid  n  mean(expression)");
+    for row in &r.rows {
+        println!("{:>3} {:>2}  {}", row[0], row[1], row[2]);
+    }
+
+    // Query a single version without materializing it.
+    let r = odb
+        .run("SELECT gene FROM VERSION 2 OF CVD genes WHERE expression > 60 ORDER BY gene")
+        .expect("query");
+    println!(
+        "\nhighly expressed in v2: {}",
+        r.rows
+            .iter()
+            .map(|row| row[0].to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The version graph, via the metadata the middleware maintains.
+    let cvd = odb.cvd("genes").expect("cvd");
+    println!("\nversion graph:");
+    for m in &cvd.versions {
+        println!(
+            "  {} <- [{}] \"{}\"",
+            m.vid,
+            m.parents
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            m.message
+        );
+    }
+}

