@@ -15,11 +15,25 @@ fn join_db(n: usize, k: usize) -> Database {
         .expect("create");
     db.execute("CREATE TABLE rl (rid_tmp INT)").expect("create");
     let rows: Vec<Vec<Value>> = (0..n)
-        .map(|i| vec![Value::Int(i as i64), Value::Int((i % 13) as i64), Value::Int((i % 7) as i64)])
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int((i % 13) as i64),
+                Value::Int((i % 7) as i64),
+            ]
+        })
         .collect();
-    db.table_mut("data").expect("t").insert_many(rows).expect("fill");
-    let rl: Vec<Vec<Value>> = (0..k).map(|i| vec![Value::Int(((i * 7) % n) as i64)]).collect();
-    db.table_mut("rl").expect("t").insert_many(rl).expect("fill");
+    db.table_mut("data")
+        .expect("t")
+        .insert_many(rows)
+        .expect("fill");
+    let rl: Vec<Vec<Value>> = (0..k)
+        .map(|i| vec![Value::Int(((i * 7) % n) as i64)])
+        .collect();
+    db.table_mut("rl")
+        .expect("t")
+        .insert_many(rl)
+        .expect("fill");
     db.execute("CLUSTER data USING (rid)").expect("cluster");
     db
 }
@@ -29,7 +43,8 @@ fn bench_join_strategies(c: &mut Criterion) {
     group.sample_size(10);
     for strategy in ["hash", "merge", "inl"] {
         let mut db = join_db(50_000, 5_000);
-        db.execute(&format!("SET join_strategy = '{strategy}'")).expect("set");
+        db.execute(&format!("SET join_strategy = '{strategy}'"))
+            .expect("set");
         group.bench_function(strategy, |b| {
             b.iter(|| {
                 db.query("SELECT count(*) FROM data AS d, rl WHERE d.rid = rl.rid_tmp")
@@ -43,14 +58,18 @@ fn bench_join_strategies(c: &mut Criterion) {
 fn bench_containment_scan(c: &mut Criterion) {
     // The combined-table checkout primitive: ARRAY[v] <@ vlist over a scan.
     let mut db = Database::new();
-    db.execute("CREATE TABLE t (rid INT PRIMARY KEY, vlist INT[])").expect("create");
+    db.execute("CREATE TABLE t (rid INT PRIMARY KEY, vlist INT[])")
+        .expect("create");
     let rows: Vec<Vec<Value>> = (0..20_000)
         .map(|i| {
             let vl: Vec<i64> = (0..(i % 10 + 1)).map(|v| v as i64 + 1).collect();
             vec![Value::Int(i as i64), Value::IntArray(vl)]
         })
         .collect();
-    db.table_mut("t").expect("t").insert_many(rows).expect("fill");
+    db.table_mut("t")
+        .expect("t")
+        .insert_many(rows)
+        .expect("fill");
     let mut group = c.benchmark_group("engine_scans");
     group.sample_size(10);
     group.bench_function("array_containment", |b| {
@@ -61,7 +80,8 @@ fn bench_containment_scan(c: &mut Criterion) {
     });
     group.bench_function("index_point_lookup", |b| {
         b.iter(|| {
-            db.query("SELECT vlist FROM t WHERE rid = 17777").expect("lookup")
+            db.query("SELECT vlist FROM t WHERE rid = 17777")
+                .expect("lookup")
         })
     });
     group.finish();

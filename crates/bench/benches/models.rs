@@ -80,14 +80,17 @@ fn bench_load_paths(c: &mut Criterion) {
     group.bench_function("init_cvd (bulk)", |b| {
         b.iter(|| {
             let mut odb = OrpheusDB::new();
-            odb.init_cvd("d", schema.clone(), rows.clone(), None).expect("init");
+            odb.init_cvd("d", schema.clone(), rows.clone(), None)
+                .expect("init");
         })
     });
     group.bench_function("sql_inserts", |b| {
         b.iter(|| {
             let mut db = orpheus_engine::Database::new();
-            db.execute("CREATE TABLE t (a0 INT, a1 INT, a2 INT, a3 INT, a4 INT, a5 INT, a6 INT, a7 INT)")
-                .expect("create");
+            db.execute(
+                "CREATE TABLE t (a0 INT, a1 INT, a2 INT, a3 INT, a4 INT, a5 INT, a6 INT, a7 INT)",
+            )
+            .expect("create");
             orpheus_core::model::insert_rows_sql(&mut db, "t", &rows).expect("insert");
         })
     });

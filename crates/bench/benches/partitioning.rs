@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use orpheus_bench::generator::{Workload, WorkloadParams};
-use orpheus_partition::agglo::{agglo_for_budget};
+use orpheus_partition::agglo::agglo_for_budget;
 use orpheus_partition::kmeans::kmeans_for_budget;
 use orpheus_partition::lyresplit::{lyresplit, lyresplit_for_budget, EdgePick};
 use orpheus_partition::migration::{plan_migration, plan_naive};
@@ -64,5 +64,10 @@ fn bench_migration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioners, bench_edge_pick_ablation, bench_migration);
+criterion_group!(
+    benches,
+    bench_partitioners,
+    bench_edge_pick_ablation,
+    bench_migration
+);
 criterion_main!(benches);

@@ -22,11 +22,9 @@ fn bench_snapshot(c: &mut Criterion) {
     for versions in [20usize, 80] {
         let odb = workload_instance(versions);
         let bytes = persist::serialize(&odb);
-        group.bench_with_input(
-            BenchmarkId::new("serialize", versions),
-            &odb,
-            |b, odb| b.iter(|| persist::serialize(odb)),
-        );
+        group.bench_with_input(BenchmarkId::new("serialize", versions), &odb, |b, odb| {
+            b.iter(|| persist::serialize(odb))
+        });
         group.bench_with_input(
             BenchmarkId::new("deserialize", versions),
             &bytes,

@@ -12,8 +12,8 @@ use orpheus_partition::online::{OnlineConfig, OnlineMaintainer};
 use orpheus_partition::BipartiteGraph;
 
 use crate::datasets::SCI;
-use crate::harness::Report;
 use crate::generator::Workload;
+use crate::harness::Report;
 
 /// One migration event in the stream.
 #[derive(Debug, Clone)]
@@ -134,11 +134,10 @@ pub fn run() -> String {
                 ]);
                 continue;
             }
-            let smart: u64 =
-                r.migrations.iter().map(|m| m.intelligent_mods).sum::<u64>()
-                    / r.migrations.len() as u64;
-            let naive: u64 = r.migrations.iter().map(|m| m.naive_mods).sum::<u64>()
+            let smart: u64 = r.migrations.iter().map(|m| m.intelligent_mods).sum::<u64>()
                 / r.migrations.len() as u64;
+            let naive: u64 =
+                r.migrations.iter().map(|m| m.naive_mods).sum::<u64>() / r.migrations.len() as u64;
             report.row(vec![
                 format!("{mu}"),
                 r.migrations.len().to_string(),

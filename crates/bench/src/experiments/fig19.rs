@@ -15,11 +15,10 @@ use crate::harness::{ms, time_op, Report};
 /// rlist table of `k` sampled rids.
 fn setup(n: usize, k: usize, cluster_on_rid: bool) -> Database {
     let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE data (rid INT PRIMARY KEY, pk TEXT, x INT, y INT, z INT)",
-    )
-    .expect("create data");
-    db.execute("CREATE TABLE rl (rid_tmp INT)").expect("create rl");
+    db.execute("CREATE TABLE data (rid INT PRIMARY KEY, pk TEXT, x INT, y INT, z INT)")
+        .expect("create data");
+    db.execute("CREATE TABLE rl (rid_tmp INT)")
+        .expect("create rl");
     let rows: Vec<Vec<Value>> = (0..n)
         .map(|i| {
             // A PK that orders differently from rid.
@@ -33,15 +32,23 @@ fn setup(n: usize, k: usize, cluster_on_rid: bool) -> Database {
             ]
         })
         .collect();
-    db.table_mut("data").expect("data").insert_many(rows).expect("fill");
+    db.table_mut("data")
+        .expect("data")
+        .insert_many(rows)
+        .expect("fill");
     if cluster_on_rid {
         db.execute("CLUSTER data USING (rid)").expect("cluster");
     } else {
         db.execute("CLUSTER data USING (pk)").expect("cluster");
     }
     let step = (n / k).max(1);
-    let rl_rows: Vec<Vec<Value>> = (0..k).map(|i| vec![Value::Int(((i * step) % n) as i64)]).collect();
-    db.table_mut("rl").expect("rl").insert_many(rl_rows).expect("fill rl");
+    let rl_rows: Vec<Vec<Value>> = (0..k)
+        .map(|i| vec![Value::Int(((i * step) % n) as i64)])
+        .collect();
+    db.table_mut("rl")
+        .expect("rl")
+        .insert_many(rl_rows)
+        .expect("fill rl");
     db
 }
 
@@ -79,7 +86,11 @@ pub fn run() -> String {
         "model_io_cost",
     ]);
     for cluster_on_rid in [true, false] {
-        let layout = if cluster_on_rid { "clustered-rid" } else { "clustered-PK" };
+        let layout = if cluster_on_rid {
+            "clustered-rid"
+        } else {
+            "clustered-PK"
+        };
         for strategy in ["hash", "merge", "inl"] {
             for &k in &rlists {
                 for &n in &sizes {
@@ -139,7 +150,8 @@ mod tests {
     fn strategies_return_identical_results() {
         for strategy in ["hash", "merge", "inl"] {
             let mut db = setup(2_000, 100, true);
-            db.execute(&format!("SET join_strategy = '{strategy}'")).unwrap();
+            db.execute(&format!("SET join_strategy = '{strategy}'"))
+                .unwrap();
             let r = db
                 .query("SELECT count(*) FROM data AS d, rl WHERE d.rid = rl.rid_tmp")
                 .unwrap();

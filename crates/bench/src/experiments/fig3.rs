@@ -62,13 +62,7 @@ pub fn measure(spec: &DatasetSpec, model: ModelKind) -> ModelMeasurement {
 }
 
 pub fn run() -> String {
-    let mut report = Report::new(&[
-        "dataset",
-        "model",
-        "storage_MB",
-        "commit_ms",
-        "checkout_ms",
-    ]);
+    let mut report = Report::new(&["dataset", "model", "storage_MB", "commit_ms", "checkout_ms"]);
     for spec in fig3_datasets() {
         for model in ModelKind::ALL {
             let m = measure(&spec, model);

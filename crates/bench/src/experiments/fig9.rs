@@ -15,8 +15,8 @@ use orpheus_partition::Partitioning;
 
 use crate::datasets::{partitioning_datasets, DatasetSpec};
 use crate::experiments::sample_versions;
-use crate::harness::{ms, time_op, trials, Report};
 use crate::generator::Workload;
+use crate::harness::{ms, time_op, trials, Report};
 
 /// One point of the trade-off sweep.
 #[derive(Debug, Clone)]
@@ -67,7 +67,10 @@ fn measure_partitioning(w: &Workload, part: &Partitioning) -> f64 {
                 row
             })
             .collect();
-        db.table_mut(&data).expect("table").insert_many(rows).expect("fill");
+        db.table_mut(&data)
+            .expect("table")
+            .insert_many(rows)
+            .expect("fill");
         let t = db.table_mut(&rlist).expect("rlist table");
         for &v in versions {
             t.insert(vec![
@@ -158,7 +161,11 @@ pub fn sweep_dataset(spec: &DatasetSpec) -> Vec<SweepPoint> {
     }
 
     // KMEANS: sweep K (the paper could only finish small K on big data).
-    let ks: Vec<usize> = if heavy { vec![5, 10] } else { vec![2, 4, 8, 16, 32] };
+    let ks: Vec<usize> = if heavy {
+        vec![5, 10]
+    } else {
+        vec![2, 4, 8, 16, 32]
+    };
     for k in ks {
         let p = kmeans(&bip, k, usize::MAX, 7);
         push("KMEANS", format!("K={k}"), p);
@@ -168,7 +175,8 @@ pub fn sweep_dataset(spec: &DatasetSpec) -> Vec<SweepPoint> {
 }
 
 pub fn run() -> String {
-    let mut text = String::from("Figure 9: storage size vs checkout time (LyreSplit / AGGLO / KMEANS)\n");
+    let mut text =
+        String::from("Figure 9: storage size vs checkout time (LyreSplit / AGGLO / KMEANS)\n");
     for spec in partitioning_datasets() {
         let points = sweep_dataset(&spec);
         let mut report = Report::new(&[
@@ -259,8 +267,7 @@ mod tests {
         assert!(points.iter().any(|p| p.algo == "AGGLO"));
         assert!(points.iter().any(|p| p.algo == "KMEANS"));
         // Within LyreSplit, more storage should buy equal-or-lower cost.
-        let mut lyre: Vec<&SweepPoint> =
-            points.iter().filter(|p| p.algo == "LyreSplit").collect();
+        let mut lyre: Vec<&SweepPoint> = points.iter().filter(|p| p.algo == "LyreSplit").collect();
         lyre.sort_by_key(|p| p.storage_records);
         for pair in lyre.windows(2) {
             assert!(

@@ -3,20 +3,18 @@
 //! `src/bin/*` entry points call these.
 
 pub mod compression;
+pub mod fig10_11;
 pub mod fig12_13;
 pub mod fig14_15;
 pub mod fig19;
 pub mod fig3;
 pub mod fig9;
-pub mod fig10_11;
 pub mod table2;
 
 /// Shared helper: sample `n` version ids (1-based) evenly across a CVD.
 pub fn sample_versions(num_versions: usize, n: usize) -> Vec<u64> {
     let n = n.min(num_versions).max(1);
-    (0..n)
-        .map(|i| (i * num_versions / n) as u64 + 1)
-        .collect()
+    (0..n).map(|i| (i * num_versions / n) as u64 + 1).collect()
 }
 
 #[cfg(test)]

@@ -12,7 +12,10 @@ pub fn run() -> String {
         let w = spec.generate();
         let (dup, frac) = if w.parents.iter().any(|p| p.len() > 1) {
             let d = w.version_graph().duplicated_records(&w.bipartite());
-            (d.to_string(), format!("{:.1}%", 100.0 * d as f64 / w.num_records as f64))
+            (
+                d.to_string(),
+                format!("{:.1}%", 100.0 * d as f64 / w.num_records as f64),
+            )
         } else {
             ("-".into(), "-".into())
         };

@@ -127,9 +127,8 @@ impl Workload {
         for v in 1..params.versions {
             // CUR: merge a matured branch back into its parent branch.
             if params.kind == WorkloadKind::Cur {
-                let candidate = (1..branches.len()).find(|&i| {
-                    branches[i].active && branches[i].commits_since_fork >= 1
-                });
+                let candidate = (1..branches.len())
+                    .find(|&i| branches[i].active && branches[i].commits_since_fork >= 1);
                 if let Some(b) = candidate {
                     if rng.gen_bool(params.merge_prob) {
                         let pb = branches[b].parent_branch;

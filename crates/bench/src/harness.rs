@@ -1,11 +1,22 @@
-//! Experiment harness: the paper's timing protocol and table rendering.
+//! Experiment harness: the paper's timing protocol, table rendering, and
+//! the bus-level workload driver.
 //!
 //! Section 5.1: "Each experiment was repeated 5 times ... we discarded the
 //! largest and smallest number among the five trials, and then took the
 //! average of the remaining three." [`time_op`] implements exactly that
 //! protocol (with a configurable trial count for quick runs).
+//!
+//! Command-level workloads run through the typed request bus via
+//! [`drive`]: a stream of [`Request`]s is executed on any
+//! [`Executor`] (an `OrpheusDB` or a `Session`) with per-command timing,
+//! so future executors that batch or dispatch asynchronously can be
+//! measured against the sequential baseline without changing the workload
+//! definition.
 
 use std::time::Instant;
+
+use orpheus_core::request::{CommandKind, Executor, Request};
+use orpheus_core::{Checkout, Discard, Result};
 
 /// Run `op` `trials` times, drop the fastest and slowest trial (when there
 /// are at least three), and return the mean of the rest in milliseconds.
@@ -42,6 +53,75 @@ pub fn trials() -> usize {
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&t| t >= 1)
         .unwrap_or(3)
+}
+
+/// Per-command timing of one bus-driven workload run.
+#[derive(Debug, Default)]
+pub struct BusStats {
+    /// Total wall-clock of the whole stream, in milliseconds.
+    pub total_ms: f64,
+    /// (command, executions, total milliseconds), in first-seen order.
+    pub per_command: Vec<(CommandKind, usize, f64)>,
+}
+
+impl BusStats {
+    fn record(&mut self, kind: CommandKind, ms: f64) {
+        match self.per_command.iter_mut().find(|(k, _, _)| *k == kind) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += ms;
+            }
+            None => self.per_command.push((kind, 1, ms)),
+        }
+        self.total_ms += ms;
+    }
+
+    /// Number of requests executed.
+    pub fn requests(&self) -> usize {
+        self.per_command.iter().map(|(_, n, _)| n).sum()
+    }
+
+    /// Render as an aligned [`Report`] (command, count, total ms, ms/op).
+    pub fn report(&self) -> Report {
+        let mut report = Report::new(&["command", "count", "total_ms", "ms_per_op"]);
+        for &(kind, count, total) in &self.per_command {
+            report.row(vec![
+                kind.name().to_string(),
+                count.to_string(),
+                ms(total),
+                ms(total / count as f64),
+            ]);
+        }
+        report
+    }
+}
+
+/// Execute a request stream on any executor, timing every command. Stops
+/// at (and returns) the first error, so workloads fail loudly.
+pub fn drive<E: Executor>(
+    executor: &mut E,
+    requests: impl IntoIterator<Item = Request>,
+) -> Result<BusStats> {
+    let mut stats = BusStats::default();
+    for request in requests {
+        let kind = request.kind();
+        let start = Instant::now();
+        executor.execute(request)?;
+        stats.record(kind, start.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok(stats)
+}
+
+/// The bus workload behind the paper's checkout experiments: check each
+/// sampled version out into a scratch table and discard it again.
+pub fn checkout_storm(cvd: &str, versions: &[u64]) -> Vec<Request> {
+    let mut requests = Vec::with_capacity(versions.len() * 2);
+    for (i, &v) in versions.iter().enumerate() {
+        let table = format!("__bus_co_{i}_{v}");
+        requests.push(Checkout::of(cvd).version(v).into_table(&table).into());
+        requests.push(Discard::table(table).into());
+    }
+    requests
 }
 
 /// Simple aligned-column table printer for experiment output.
@@ -159,5 +239,39 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(mb(1024 * 1024), "1.00");
         assert_eq!(ms(1.23456), "1.235");
+    }
+
+    #[test]
+    fn bus_driver_times_per_command() {
+        use crate::generator::{Workload, WorkloadParams};
+        use crate::loader::load_workload;
+        use orpheus_core::{ModelKind, OrpheusDB, SharedOrpheusDB};
+
+        let w = Workload::generate(WorkloadParams::sci(12, 3, 20));
+        let mut odb = OrpheusDB::new();
+        load_workload(&mut odb, "bench", &w, ModelKind::SplitByRlist).unwrap();
+
+        // Direct executor.
+        let stats = drive(&mut odb, checkout_storm("bench", &[1, 6, 12])).unwrap();
+        assert_eq!(stats.requests(), 6);
+        assert_eq!(stats.per_command.len(), 2);
+        let (kind, count, total) = stats.per_command[0];
+        assert_eq!(kind, CommandKind::Checkout);
+        assert_eq!(count, 3);
+        assert!(total >= 0.0);
+        let rendered = stats.report().render();
+        assert!(
+            rendered.contains("checkout") && rendered.contains("discard"),
+            "{rendered}"
+        );
+
+        // The same stream drives a session over a shared instance.
+        let shared = SharedOrpheusDB::new(odb);
+        let mut session = shared.session("bench_user").unwrap();
+        let stats = drive(&mut session, checkout_storm("bench", &[3, 9])).unwrap();
+        assert_eq!(stats.requests(), 4);
+
+        // Errors surface instead of being swallowed.
+        assert!(drive(&mut session, checkout_storm("nope", &[1])).is_err());
     }
 }

@@ -34,7 +34,10 @@ pub fn load_workload(
 
     for v in 0..workload.num_versions() {
         let vid = Vid(v as u64 + 1);
-        let rlist: Vec<i64> = workload.version_rids[v].iter().map(|&r| r as i64 + 1).collect();
+        let rlist: Vec<i64> = workload.version_rids[v]
+            .iter()
+            .map(|&r| r as i64 + 1)
+            .collect();
         let new_rids = workload.new_rids_of(v);
         let new_set: std::collections::HashSet<usize> = new_rids.iter().copied().collect();
         let new_records: Vec<(i64, Vec<Value>)> = new_rids
@@ -49,20 +52,23 @@ pub fn load_workload(
         // Only the table-per-version and delta models read all_records
         // (TPV copies everything; delta diffs against the base parent);
         // skip materializing it otherwise to keep loading fast.
-        let all_records: Vec<(i64, Vec<Value>)> = if model == ModelKind::TablePerVersion
-            || model == ModelKind::DeltaBased
-        {
-            workload.version_rids[v]
-                .iter()
-                .map(|&r| (r as i64 + 1, values_of(workload, r)))
-                .collect()
-        } else {
-            new_records.clone()
-        };
-        let parents: Vec<Vid> = workload.parents[v].iter().map(|&p| Vid(p as u64 + 1)).collect();
-        let base = parents.iter().copied().max_by_key(|p| {
-            cvd.shared_with(&rlist, *p)
-        });
+        let all_records: Vec<(i64, Vec<Value>)> =
+            if model == ModelKind::TablePerVersion || model == ModelKind::DeltaBased {
+                workload.version_rids[v]
+                    .iter()
+                    .map(|&r| (r as i64 + 1, values_of(workload, r)))
+                    .collect()
+            } else {
+                new_records.clone()
+            };
+        let parents: Vec<Vid> = workload.parents[v]
+            .iter()
+            .map(|&p| Vid(p as u64 + 1))
+            .collect();
+        let base = parents
+            .iter()
+            .copied()
+            .max_by_key(|p| cvd.shared_with(&rlist, *p));
         let deleted_from_base = match base {
             Some(b) => {
                 let have: std::collections::HashSet<i64> = rlist.iter().copied().collect();
@@ -84,7 +90,10 @@ pub fn load_workload(
             deleted_from_base,
         };
         model::persist_commit(&mut odb.engine, &cvd, &data, true)?;
-        let parent_weights: Vec<u64> = parents.iter().map(|p| cvd.shared_with(&rlist, *p)).collect();
+        let parent_weights: Vec<u64> = parents
+            .iter()
+            .map(|p| cvd.shared_with(&rlist, *p))
+            .collect();
         let attributes = {
             let schema = cvd.schema.clone();
             cvd.attrs.intern_schema(&schema)

@@ -15,20 +15,21 @@
 //!
 //! Without `--db` the client runs against a fresh in-memory instance that
 //! lives for the duration of the invocation (useful with `repl` and for
-//! demos). All command parsing and execution is delegated to
-//! [`orpheus_core::commands`]; this crate adds argument handling, result
-//! rendering, and the load/save lifecycle.
+//! demos). Command lines are parsed into typed
+//! [`orpheus_core::Request`]s by [`orpheus_core::commands`] and executed
+//! over the command bus ([`orpheus_core::Executor`]); this crate adds
+//! argument handling, [`Response`](orpheus_core::Response) rendering, and
+//! the load/save lifecycle.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
-use orpheus_core::commands::{run_command, CommandOutput, RealFiles};
-use orpheus_core::{CoreError, OrpheusDB, Result};
-use orpheus_engine::QueryResult;
+use orpheus_core::commands::{run_command, RealFiles};
+use orpheus_core::{CoreError, OrpheusDB, Response, Result};
 
 mod render;
 
-pub use render::format_result;
+pub use render::{format_result, render_response};
 
 /// Parsed invocation: global options plus the command words.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +53,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
             "--db" | "-d" => {
                 let path = args
                     .get(i + 1)
-                    .ok_or_else(|| CoreError::Command("--db needs a path".into()))?;
+                    .ok_or_else(|| CoreError::parse_line("--db needs a path"))?;
                 db_path = Some(PathBuf::from(path));
                 i += 2;
             }
@@ -69,7 +70,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 })
             }
             flag => {
-                return Err(CoreError::Command(format!("unknown global flag {flag}")));
+                return Err(CoreError::parse_line(format!("unknown global flag {flag}")));
             }
         }
     }
@@ -96,6 +97,7 @@ version control commands:
   log <cvd>                                version history with messages
   ls                                       list CVDs
   drop <cvd>                               remove a CVD
+  discard <table>                          abandon a staged checkout
   optimize <cvd> [-gamma <g>] [-mu <m>]    run the LyreSplit partitioner
 
 sql:
@@ -128,18 +130,12 @@ fn close_session(inv: &Invocation, odb: &OrpheusDB) -> Result<()> {
     }
 }
 
-fn print_output(out: &mut dyn Write, output: &CommandOutput) -> std::io::Result<()> {
-    if let Some(result) = &output.result {
-        write_result(out, result)?;
-    }
-    if !output.message.is_empty() {
-        writeln!(out, "{}", output.message)?;
+fn print_output(out: &mut dyn Write, response: &Response) -> std::io::Result<()> {
+    let text = render_response(response);
+    if !text.is_empty() {
+        write!(out, "{text}")?;
     }
     Ok(())
-}
-
-fn write_result(out: &mut dyn Write, result: &QueryResult) -> std::io::Result<()> {
-    write!(out, "{}", format_result(result))
 }
 
 /// Top-level entry point, testable with in-memory streams.
@@ -155,7 +151,7 @@ pub fn run(
     err: &mut dyn Write,
 ) -> Result<()> {
     let inv = parse_args(args)?;
-    let io_err = |e: std::io::Error| CoreError::Command(format!("I/O error: {e}"));
+    let io_err = |e: std::io::Error| CoreError::Io(e.to_string());
 
     let first = inv.command.first().map(|s| s.as_str()).unwrap_or("help");
     match first {
@@ -307,8 +303,17 @@ mod tests {
         std::fs::write(&schema, "protein1:text!pk\nprotein2:text!pk\nscore:int\n").unwrap();
 
         // Invocation 1: init.
-        invoke(&["--db", db_s, "init", "protein", "-f", csv.to_str().unwrap(),
-                 "-s", schema.to_str().unwrap()]).unwrap();
+        invoke(&[
+            "--db",
+            db_s,
+            "init",
+            "protein",
+            "-f",
+            csv.to_str().unwrap(),
+            "-s",
+            schema.to_str().unwrap(),
+        ])
+        .unwrap();
         assert!(db.exists());
 
         // Invocation 2: the CVD is still there; check out a version.
@@ -321,8 +326,13 @@ mod tests {
         assert!(out.contains("v2"), "{out}");
 
         // Invocation 4: query across versions.
-        let out = invoke(&["--db", db_s,
-                           "run", "SELECT count(*) FROM VERSION 2 OF CVD protein"]).unwrap();
+        let out = invoke(&[
+            "--db",
+            db_s,
+            "run",
+            "SELECT count(*) FROM VERSION 2 OF CVD protein",
+        ])
+        .unwrap();
         assert!(out.contains('2'), "{out}");
 
         // Commit messages with spaces survive requoting + snapshotting.
@@ -336,7 +346,16 @@ mod tests {
     fn one_shot_errors_propagate_and_leave_no_snapshot() {
         let dir = tmp_dir("err");
         let db = dir.join("x.orpheus");
-        let r = invoke(&["--db", db.to_str().unwrap(), "checkout", "nope", "-v", "1", "-t", "t"]);
+        let r = invoke(&[
+            "--db",
+            db.to_str().unwrap(),
+            "checkout",
+            "nope",
+            "-v",
+            "1",
+            "-t",
+            "t",
+        ]);
         assert!(r.is_err());
         assert!(!db.exists(), "failed command must not write a snapshot");
         std::fs::remove_dir_all(&dir).unwrap();
@@ -381,11 +400,21 @@ mod tests {
         std::fs::write(&csv, "k,v\n1,a\n").unwrap();
         std::fs::write(&schema, "k:int!pk\nv:text\n").unwrap();
 
-        let script = format!("init kv -f {} -s {}\nexit\n", csv.display(), schema.display());
+        let script = format!(
+            "init kv -f {} -s {}\nexit\n",
+            csv.display(),
+            schema.display()
+        );
         let mut input = Cursor::new(script.into_bytes());
         let (mut out, mut err) = (Vec::new(), Vec::new());
-        run(&args(&["--db", db.to_str().unwrap(), "repl"]),
-            false, &mut input, &mut out, &mut err).unwrap();
+        run(
+            &args(&["--db", db.to_str().unwrap(), "repl"]),
+            false,
+            &mut input,
+            &mut out,
+            &mut err,
+        )
+        .unwrap();
 
         let listing = invoke(&["--db", db.to_str().unwrap(), "ls"]).unwrap();
         assert_eq!(listing.trim(), "kv");

@@ -1,6 +1,32 @@
-//! Query-result rendering: psql-style aligned text tables.
+//! Response rendering: the typed bus [`Response`] to terminal text, with
+//! psql-style aligned tables for query results.
 
+use orpheus_core::Response;
 use orpheus_engine::QueryResult;
+
+/// Render a bus response for the terminal: query results as an aligned
+/// table, everything else via its canonical one-line summary. The returned
+/// text is empty or newline-terminated.
+pub fn render_response(response: &Response) -> String {
+    match response {
+        // DML produces no result set; report the affected-row count.
+        Response::Rows(result) if result.schema.columns.is_empty() && result.rows.is_empty() => {
+            match result.affected {
+                0 => String::new(),
+                n => format!("{n} row(s) affected\n"),
+            }
+        }
+        Response::Rows(result) => format_result(result),
+        other => {
+            let summary = other.summary();
+            if summary.is_empty() {
+                String::new()
+            } else {
+                format!("{summary}\n")
+            }
+        }
+    }
+}
 
 /// Format a query result as an aligned text table with a header rule and a
 /// row-count footer, in the style of `psql`:
@@ -122,6 +148,33 @@ mod tests {
         let text = format_result(&r);
         assert!(text.contains("(0 rows)"), "{text}");
         assert!(text.starts_with(" x\n"), "{text}");
+    }
+
+    #[test]
+    fn renders_responses() {
+        use orpheus_core::Vid;
+        let r = result_of(
+            &["CREATE TABLE t (x INT)", "INSERT INTO t VALUES (7)"],
+            "SELECT x FROM t",
+        );
+        let text = render_response(&Response::Rows(r));
+        assert!(text.contains('7') && text.contains("(1 row)"), "{text}");
+        assert_eq!(
+            render_response(&Response::Committed {
+                target: "w".into(),
+                version: Vid(2)
+            }),
+            "committed w as v2\n"
+        );
+        assert_eq!(render_response(&Response::CvdList(vec![])), "");
+    }
+
+    #[test]
+    fn renders_dml_affected_counts() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x INT)").unwrap();
+        let r = db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        assert_eq!(render_response(&Response::Rows(r)), "2 row(s) affected\n");
     }
 
     #[test]

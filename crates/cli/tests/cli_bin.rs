@@ -42,32 +42,85 @@ fn full_session_across_processes() {
     let dir = setup_dir("session");
 
     // 1. init
-    let o = orpheus(&dir, &["--db", "team.orpheus", "init", "ppi",
-                            "-f", "interactions.csv", "-s", "schema.txt"]);
+    let o = orpheus(
+        &dir,
+        &[
+            "--db",
+            "team.orpheus",
+            "init",
+            "ppi",
+            "-f",
+            "interactions.csv",
+            "-s",
+            "schema.txt",
+        ],
+    );
     assert!(o.status.success(), "init failed: {}", stderr(&o));
     assert!(stdout(&o).contains("initialized CVD ppi"));
 
     // 2. checkout in a second process
-    let o = orpheus(&dir, &["--db", "team.orpheus", "checkout", "ppi",
-                            "-v", "1", "-t", "work"]);
+    let o = orpheus(
+        &dir,
+        &[
+            "--db",
+            "team.orpheus",
+            "checkout",
+            "ppi",
+            "-v",
+            "1",
+            "-t",
+            "work",
+        ],
+    );
     assert!(o.status.success(), "{}", stderr(&o));
 
     // 3. edit via SQL in a third process, then commit in a fourth
-    let o = orpheus(&dir, &["--db", "team.orpheus", "run",
-                            "UPDATE work SET score = 100 WHERE protein2 = 'ENSP261890'"]);
+    let o = orpheus(
+        &dir,
+        &[
+            "--db",
+            "team.orpheus",
+            "run",
+            "UPDATE work SET score = 100 WHERE protein2 = 'ENSP261890'",
+        ],
+    );
     assert!(o.status.success(), "{}", stderr(&o));
-    let o = orpheus(&dir, &["--db", "team.orpheus", "commit", "-t", "work",
-                            "-m", "recalibrated scores"]);
+    let o = orpheus(
+        &dir,
+        &[
+            "--db",
+            "team.orpheus",
+            "commit",
+            "-t",
+            "work",
+            "-m",
+            "recalibrated scores",
+        ],
+    );
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("v2"));
 
     // 4. versioned queries see the edit in v2 but not in v1
-    let o = orpheus(&dir, &["--db", "team.orpheus", "run",
-                            "SELECT score FROM VERSION 2 OF CVD ppi WHERE protein2 = 'ENSP261890'"]);
+    let o = orpheus(
+        &dir,
+        &[
+            "--db",
+            "team.orpheus",
+            "run",
+            "SELECT score FROM VERSION 2 OF CVD ppi WHERE protein2 = 'ENSP261890'",
+        ],
+    );
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("100"), "{}", stdout(&o));
-    let o = orpheus(&dir, &["--db", "team.orpheus", "run",
-                            "SELECT score FROM VERSION 1 OF CVD ppi WHERE protein2 = 'ENSP261890'"]);
+    let o = orpheus(
+        &dir,
+        &[
+            "--db",
+            "team.orpheus",
+            "run",
+            "SELECT score FROM VERSION 1 OF CVD ppi WHERE protein2 = 'ENSP261890'",
+        ],
+    );
     assert!(stdout(&o).contains("53"), "{}", stdout(&o));
 
     // 5. history shows the commit message
@@ -80,8 +133,19 @@ fn full_session_across_processes() {
 #[test]
 fn errors_exit_nonzero_with_message() {
     let dir = setup_dir("errors");
-    let o = orpheus(&dir, &["--db", "team.orpheus", "checkout", "missing",
-                            "-v", "1", "-t", "t"]);
+    let o = orpheus(
+        &dir,
+        &[
+            "--db",
+            "team.orpheus",
+            "checkout",
+            "missing",
+            "-v",
+            "1",
+            "-t",
+            "t",
+        ],
+    );
     assert!(!o.status.success());
     assert!(stderr(&o).contains("CVD not found"), "{}", stderr(&o));
 
@@ -124,8 +188,19 @@ fn repl_over_stdin_pipe() {
 #[test]
 fn corrupted_snapshot_is_reported_not_mangled() {
     let dir = setup_dir("corrupt");
-    let o = orpheus(&dir, &["--db", "team.orpheus", "init", "ppi",
-                            "-f", "interactions.csv", "-s", "schema.txt"]);
+    let o = orpheus(
+        &dir,
+        &[
+            "--db",
+            "team.orpheus",
+            "init",
+            "ppi",
+            "-f",
+            "interactions.csv",
+            "-s",
+            "schema.txt",
+        ],
+    );
     assert!(o.status.success());
 
     // Flip a byte in the snapshot.

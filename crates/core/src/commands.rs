@@ -1,20 +1,26 @@
-//! Git-style command-line front-end (Section 2.2): `checkout`, `commit`,
-//! `diff`, `init`, `ls`, `drop`, `optimize`, user management, and `run` for
-//! (versioned) SQL.
+//! The string front-end of the command bus (Section 2.2): parses git-style
+//! command lines (`checkout`, `commit`, `diff`, `init`, `ls`, `log`,
+//! `drop`, `optimize`, `discard`, user management, and `run` for versioned
+//! SQL) into typed [`Request`]s.
 //!
-//! Commands operate on an [`OrpheusDB`] instance and return a
-//! [`CommandOutput`] with a human-readable message and, for queries, the
-//! result rows. File I/O (csv/schema files) is delegated to the caller via
-//! [`FileAccess`] so the command layer stays testable without a filesystem.
+//! This module is deliberately thin: all semantics live in the
+//! [`Executor`] implementations. The only work done here besides parsing
+//! is file access for the `-f` / `-s` flags — file *contents* are inlined
+//! into the request and checkout-CSV responses are written back out, so
+//! the bus itself never touches the filesystem. [`FileAccess`] abstracts
+//! that I/O to keep the front-end testable.
 
 use std::collections::HashMap;
 
-use orpheus_engine::QueryResult;
-
-use crate::db::OrpheusDB;
 use crate::error::{CoreError, Result};
 use crate::ids::Vid;
 use crate::model::ModelKind;
+use crate::request::CommandKind as Cmd;
+use crate::request::{
+    Checkout, Commit, CommitCsv, CreateUser, Diff, Discard, DropCvd, Executor, InitFromCsv, Log,
+    Login, Optimize, Request, Run,
+};
+use crate::response::Response;
 
 /// Abstraction over file reads/writes for `-f` / `-s` flags.
 pub trait FileAccess {
@@ -28,13 +34,12 @@ pub struct RealFiles;
 
 impl FileAccess for RealFiles {
     fn read(&self, path: &str) -> Result<String> {
-        std::fs::read_to_string(path)
-            .map_err(|e| CoreError::Command(format!("cannot read {path}: {e}")))
+        std::fs::read_to_string(path).map_err(|e| CoreError::Io(format!("cannot read {path}: {e}")))
     }
 
     fn write(&mut self, path: &str, content: &str) -> Result<()> {
         std::fs::write(path, content)
-            .map_err(|e| CoreError::Command(format!("cannot write {path}: {e}")))
+            .map_err(|e| CoreError::Io(format!("cannot write {path}: {e}")))
     }
 }
 
@@ -49,7 +54,7 @@ impl FileAccess for MemFiles {
         self.files
             .get(path)
             .cloned()
-            .ok_or_else(|| CoreError::Command(format!("no such file {path}")))
+            .ok_or_else(|| CoreError::Io(format!("no such file {path}")))
     }
 
     fn write(&mut self, path: &str, content: &str) -> Result<()> {
@@ -58,23 +63,146 @@ impl FileAccess for MemFiles {
     }
 }
 
-/// Output of one command.
-#[derive(Debug, Clone)]
-pub struct CommandOutput {
-    pub message: String,
-    pub result: Option<QueryResult>,
-}
-
-impl CommandOutput {
-    fn msg(m: impl Into<String>) -> CommandOutput {
-        CommandOutput {
-            message: m.into(),
-            result: None,
+/// Parse one command line into a typed [`Request`].
+///
+/// `files` resolves `-f` / `-s` flags: referenced file contents are read
+/// here and inlined, so the resulting request is self-contained.
+pub fn parse_command(files: &dyn FileAccess, line: &str) -> Result<Request> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(CoreError::parse_line("empty command"));
+    }
+    // `run` takes the rest of the line verbatim as SQL.
+    if let Some(sql) = line
+        .strip_prefix("run ")
+        .or_else(|| line.strip_prefix("RUN "))
+    {
+        return Ok(Run::sql(sql.trim()).into());
+    }
+    let words = shell_split(line)?;
+    let cmd = words[0].to_ascii_lowercase();
+    let args = Args::parse(&words[1..]);
+    match cmd.as_str() {
+        "init" => {
+            let cvd = args.positional_cvd(Cmd::Init)?;
+            let csv = files.read(args.one(Cmd::Init, "f")?)?;
+            let schema_text = files.read(args.one(Cmd::Init, "s")?)?;
+            let mut request = InitFromCsv::cvd(cvd).csv(csv).schema_text(schema_text);
+            if let Some(m) = args.opt("model") {
+                let model = ModelKind::parse(m).ok_or_else(|| {
+                    CoreError::parse(Cmd::Init, format!("unknown data model {m}"))
+                })?;
+                request = request.model(model);
+            }
+            Ok(request.into())
         }
+        "checkout" => {
+            let cvd = args.positional_cvd(Cmd::Checkout)?;
+            let builder = Checkout::of(cvd).versions(args.vids(Cmd::Checkout, "v")?);
+            if let Some(table) = args.opt("t") {
+                Ok(builder.into_table(table).into())
+            } else if let Some(path) = args.opt("f") {
+                Ok(builder.into_csv(path).into())
+            } else {
+                Err(CoreError::parse(Cmd::Checkout, "checkout needs -t or -f"))
+            }
+        }
+        "commit" => {
+            let message = args.opt("m").unwrap_or("");
+            if let Some(table) = args.opt("t") {
+                Ok(Commit::table(table).message(message).into())
+            } else if let Some(path) = args.opt("f") {
+                let mut request = CommitCsv::path(path)
+                    .csv(files.read(path)?)
+                    .message(message);
+                if let Some(schema_path) = args.opt("s") {
+                    request = request.schema_text(files.read(schema_path)?);
+                }
+                Ok(request.into())
+            } else {
+                Err(CoreError::parse(Cmd::Commit, "commit needs -t or -f"))
+            }
+        }
+        "diff" => {
+            let cvd = args.positional_cvd(Cmd::Diff)?;
+            let vids = args.vids(Cmd::Diff, "v")?;
+            match vids.as_slice() {
+                [a, b] => Ok(Diff::of(cvd).between(*a, *b).into()),
+                _ => Err(CoreError::parse(
+                    Cmd::Diff,
+                    "diff needs exactly two versions",
+                )),
+            }
+        }
+        "ls" => Ok(Request::Ls),
+        "log" => Ok(Log::of(args.positional_cvd(Cmd::Log)?).into()),
+        "drop" => Ok(DropCvd::named(args.positional_cvd(Cmd::Drop)?).into()),
+        "optimize" => {
+            let mut request = Optimize::cvd(args.positional_cvd(Cmd::Optimize)?);
+            if let Some(g) = args.opt("gamma") {
+                request = request.gamma(
+                    g.parse::<f64>()
+                        .map_err(|_| CoreError::parse(Cmd::Optimize, format!("bad gamma {g}")))?,
+                );
+            }
+            if let Some(m) = args.opt("mu") {
+                request = request.mu(m
+                    .parse::<f64>()
+                    .map_err(|_| CoreError::parse(Cmd::Optimize, format!("bad mu {m}")))?);
+            }
+            // `-weights v:freq,v:freq` switches to the Appendix C.2
+            // workload-aware optimizer; unlisted versions default to 1.
+            if let Some(spec) = args.opt("weights") {
+                request = request.weights(parse_weights(spec)?);
+            }
+            Ok(request.into())
+        }
+        "discard" => {
+            let table = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::parse(Cmd::Discard, "discard needs a table name"))?;
+            Ok(Discard::table(table).into())
+        }
+        "create_user" => {
+            let user = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::parse(Cmd::CreateUser, "create_user needs a name"))?;
+            Ok(CreateUser::named(user).into())
+        }
+        "config" => {
+            let user = args
+                .positional
+                .first()
+                .ok_or_else(|| CoreError::parse(Cmd::Login, "config needs a user name"))?;
+            Ok(Login::as_user(user).into())
+        }
+        "whoami" => Ok(Request::Whoami),
+        other => Err(CoreError::UnknownCommand(other.to_string())),
     }
 }
 
+/// Parse one command line and execute it on any [`Executor`].
+///
+/// The single filesystem side effect of the bus front-end happens here:
+/// a `checkout -f` response's CSV text is written to its path.
+pub fn run_command<E: Executor>(
+    executor: &mut E,
+    files: &mut dyn FileAccess,
+    line: &str,
+) -> Result<Response> {
+    let request = parse_command(files, line)?;
+    let response = executor.execute(request)?;
+    if let Response::CheckedOutCsv { path, csv, .. } = &response {
+        files.write(path, csv)?;
+    }
+    Ok(response)
+}
+
 /// Split a command line into words, honoring single/double quotes.
+/// Adjacent quoted/unquoted segments join into one word (`a"b c"` is
+/// `ab c`); an unterminated quote is an error.
 fn shell_split(line: &str) -> Result<Vec<String>> {
     let mut words = Vec::new();
     let mut cur = String::new();
@@ -105,7 +233,7 @@ fn shell_split(line: &str) -> Result<Vec<String>> {
         }
     }
     if quote.is_some() {
-        return Err(CoreError::Command("unterminated quote".into()));
+        return Err(CoreError::parse_line("unterminated quote"));
     }
     if !cur.is_empty() || had_any {
         words.push(cur);
@@ -141,11 +269,18 @@ impl Args {
         Args { positional, flags }
     }
 
-    fn one(&self, flag: &str) -> Result<&str> {
+    fn positional_cvd(&self, cmd: Cmd) -> Result<&str> {
+        self.positional
+            .first()
+            .map(|s| s.as_str())
+            .ok_or_else(|| CoreError::parse(cmd, format!("{cmd} needs a CVD name")))
+    }
+
+    fn one(&self, cmd: Cmd, flag: &str) -> Result<&str> {
         match self.flags.get(flag).map(|v| v.as_slice()) {
             Some([x]) => Ok(x),
-            Some(_) => Err(CoreError::Command(format!("-{flag} takes one value"))),
-            None => Err(CoreError::Command(format!("missing -{flag}"))),
+            Some(_) => Err(CoreError::parse(cmd, format!("-{flag} takes one value"))),
+            None => Err(CoreError::parse(cmd, format!("missing -{flag}"))),
         }
     }
 
@@ -156,220 +291,25 @@ impl Args {
         }
     }
 
-    fn many(&self, flag: &str) -> Result<&[String]> {
+    fn many(&self, cmd: Cmd, flag: &str) -> Result<&[String]> {
         self.flags
             .get(flag)
             .map(|v| v.as_slice())
             .filter(|v| !v.is_empty())
-            .ok_or_else(|| CoreError::Command(format!("missing -{flag}")))
+            .ok_or_else(|| CoreError::parse(cmd, format!("missing -{flag}")))
     }
 
-    fn vids(&self, flag: &str) -> Result<Vec<Vid>> {
-        self.many(flag)?
+    fn vids(&self, cmd: Cmd, flag: &str) -> Result<Vec<Vid>> {
+        self.many(cmd, flag)?
             .iter()
             .map(|s| {
                 s.trim_start_matches('v')
                     .parse::<u64>()
                     .map(Vid)
-                    .map_err(|_| CoreError::Command(format!("bad version id {s}")))
+                    .map_err(|_| CoreError::parse(cmd, format!("bad version id {s}")))
             })
             .collect()
     }
-}
-
-/// Execute one command line against the database.
-pub fn run_command(
-    odb: &mut OrpheusDB,
-    files: &mut dyn FileAccess,
-    line: &str,
-) -> Result<CommandOutput> {
-    let line = line.trim();
-    if line.is_empty() {
-        return Ok(CommandOutput::msg(""));
-    }
-    // `run` takes the rest of the line verbatim as SQL.
-    if let Some(sql) = line
-        .strip_prefix("run ")
-        .or_else(|| line.strip_prefix("RUN "))
-    {
-        let result = odb.run(sql.trim())?;
-        return Ok(CommandOutput {
-            message: format!("{} row(s)", result.rows.len()),
-            result: Some(result),
-        });
-    }
-    let words = shell_split(line)?;
-    let cmd = words[0].to_ascii_lowercase();
-    let args = Args::parse(&words[1..]);
-    match cmd.as_str() {
-        "init" => {
-            let cvd = args
-                .positional
-                .first()
-                .ok_or_else(|| CoreError::Command("init needs a CVD name".into()))?;
-            let csv_path = args.one("f")?;
-            let schema_path = args.one("s")?;
-            let model = match args.opt("model") {
-                Some(m) => Some(ModelKind::parse(m).ok_or_else(|| {
-                    CoreError::Command(format!("unknown data model {m}"))
-                })?),
-                None => None,
-            };
-            let csv_text = files.read(csv_path)?;
-            let schema = crate::csv::parse_schema_file(&files.read(schema_path)?)?;
-            let vid = odb.init_cvd_from_csv(cvd, &csv_text, schema, model)?;
-            Ok(CommandOutput::msg(format!(
-                "initialized CVD {cvd} at version {vid}"
-            )))
-        }
-        "checkout" => {
-            let cvd = args
-                .positional
-                .first()
-                .ok_or_else(|| CoreError::Command("checkout needs a CVD name".into()))?;
-            let vids = args.vids("v")?;
-            if let Some(table) = args.opt("t") {
-                odb.checkout(cvd, &vids, table)?;
-                Ok(CommandOutput::msg(format!(
-                    "checked out {} into table {table}",
-                    fmt_vids(&vids)
-                )))
-            } else if let Some(path) = args.opt("f") {
-                let text = odb.checkout_csv(cvd, &vids, path)?;
-                files.write(path, &text)?;
-                Ok(CommandOutput::msg(format!(
-                    "checked out {} into file {path}",
-                    fmt_vids(&vids)
-                )))
-            } else {
-                Err(CoreError::Command("checkout needs -t or -f".into()))
-            }
-        }
-        "commit" => {
-            let message = args.opt("m").unwrap_or("").to_string();
-            if let Some(table) = args.opt("t") {
-                let vid = odb.commit(table, &message)?;
-                Ok(CommandOutput::msg(format!("committed {table} as {vid}")))
-            } else if let Some(path) = args.opt("f") {
-                let csv_text = files.read(path)?;
-                let schema_text = match args.opt("s") {
-                    Some(p) => Some(files.read(p)?),
-                    None => None,
-                };
-                let vid = odb.commit_csv(path, &csv_text, &message, schema_text.as_deref())?;
-                Ok(CommandOutput::msg(format!("committed {path} as {vid}")))
-            } else {
-                Err(CoreError::Command("commit needs -t or -f".into()))
-            }
-        }
-        "diff" => {
-            let cvd = args
-                .positional
-                .first()
-                .ok_or_else(|| CoreError::Command("diff needs a CVD name".into()))?;
-            let vids = args.vids("v")?;
-            if vids.len() != 2 {
-                return Err(CoreError::Command("diff needs exactly two versions".into()));
-            }
-            let d = odb.diff(cvd, vids[0], vids[1])?;
-            Ok(CommandOutput::msg(format!(
-                "{} record(s) only in {}, {} record(s) only in {}",
-                d.only_in_first.len(),
-                vids[0],
-                d.only_in_second.len(),
-                vids[1]
-            )))
-        }
-        "ls" => Ok(CommandOutput::msg(odb.ls().join("\n"))),
-        "drop" => {
-            let cvd = args
-                .positional
-                .first()
-                .ok_or_else(|| CoreError::Command("drop needs a CVD name".into()))?;
-            odb.drop_cvd(cvd)?;
-            Ok(CommandOutput::msg(format!("dropped CVD {cvd}")))
-        }
-        "optimize" => {
-            let cvd = args
-                .positional
-                .first()
-                .ok_or_else(|| CoreError::Command("optimize needs a CVD name".into()))?;
-            let gamma = match args.opt("gamma") {
-                Some(g) => g
-                    .parse::<f64>()
-                    .map_err(|_| CoreError::Command(format!("bad gamma {g}")))?,
-                None => odb.config.gamma_factor,
-            };
-            let mu = match args.opt("mu") {
-                Some(m) => m
-                    .parse::<f64>()
-                    .map_err(|_| CoreError::Command(format!("bad mu {m}")))?,
-                None => odb.config.mu,
-            };
-            // `-weights v:freq,v:freq` switches to the Appendix C.2
-            // workload-aware optimizer; unlisted versions default to 1.
-            let report = match args.opt("weights") {
-                Some(spec) => {
-                    let freqs = parse_weights(spec)?;
-                    odb.optimize_weighted_with(cvd, &freqs, gamma, mu)?
-                }
-                None => odb.optimize_with(cvd, gamma, mu)?,
-            };
-            Ok(CommandOutput::msg(format!(
-                "partitioned {cvd} into {} partition(s); est. storage {} records, \
-                 est. checkout cost {:.1} records (δ = {:.3})",
-                report.num_partitions, report.storage_records, report.cavg, report.delta
-            )))
-        }
-        "log" => {
-            let cvd_name = args
-                .positional
-                .first()
-                .ok_or_else(|| CoreError::Command("log needs a CVD name".into()))?;
-            let cvd = odb.cvd(cvd_name)?;
-            let mut lines = Vec::new();
-            for m in &cvd.versions {
-                lines.push(format!(
-                    "{} <- [{}] {} ({} records) \"{}\"",
-                    m.vid,
-                    m.parents
-                        .iter()
-                        .map(|p| p.to_string())
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                    m.commit_t,
-                    m.num_records,
-                    m.message
-                ));
-            }
-            Ok(CommandOutput::msg(lines.join("\n")))
-        }
-        "create_user" => {
-            let name = args
-                .positional
-                .first()
-                .ok_or_else(|| CoreError::Command("create_user needs a name".into()))?;
-            odb.access.create_user(name)?;
-            Ok(CommandOutput::msg(format!("created user {name}")))
-        }
-        "config" => {
-            let name = args
-                .positional
-                .first()
-                .ok_or_else(|| CoreError::Command("config needs a user name".into()))?;
-            odb.access.login(name)?;
-            Ok(CommandOutput::msg(format!("logged in as {name}")))
-        }
-        "whoami" => Ok(CommandOutput::msg(odb.access.whoami().to_string())),
-        other => Err(CoreError::Command(format!("unknown command: {other}"))),
-    }
-}
-
-fn fmt_vids(vids: &[Vid]) -> String {
-    vids.iter()
-        .map(|v| v.to_string())
-        .collect::<Vec<_>>()
-        .join(", ")
 }
 
 /// Parse a `-weights` spec: comma-separated `version:frequency` pairs,
@@ -377,22 +317,26 @@ fn fmt_vids(vids: &[Vid]) -> String {
 fn parse_weights(spec: &str) -> Result<Vec<(Vid, u64)>> {
     let mut out = Vec::new();
     for pair in spec.split(',').filter(|p| !p.is_empty()) {
-        let (v, f) = pair
-            .split_once(':')
-            .ok_or_else(|| CoreError::Command(format!("bad weight {pair}: want v:freq")))?;
+        let (v, f) = pair.split_once(':').ok_or_else(|| {
+            CoreError::parse(Cmd::Optimize, format!("bad weight {pair}: want v:freq"))
+        })?;
         let vid = v
             .trim()
             .trim_start_matches('v')
             .parse::<u64>()
-            .map_err(|_| CoreError::Command(format!("bad version id in weight {pair}")))?;
-        let freq = f
-            .trim()
-            .parse::<u64>()
-            .map_err(|_| CoreError::Command(format!("bad frequency in weight {pair}")))?;
+            .map_err(|_| {
+                CoreError::parse(Cmd::Optimize, format!("bad version id in weight {pair}"))
+            })?;
+        let freq = f.trim().parse::<u64>().map_err(|_| {
+            CoreError::parse(Cmd::Optimize, format!("bad frequency in weight {pair}"))
+        })?;
         out.push((Vid(vid), freq));
     }
     if out.is_empty() {
-        return Err(CoreError::Command("-weights needs at least one v:freq".into()));
+        return Err(CoreError::parse(
+            Cmd::Optimize,
+            "-weights needs at least one v:freq",
+        ));
     }
     Ok(out)
 }
@@ -400,6 +344,8 @@ fn parse_weights(spec: &str) -> Result<Vec<(Vid, u64)>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::OrpheusDB;
+    use crate::request::CheckoutCsv;
 
     fn setup() -> (OrpheusDB, MemFiles) {
         let mut files = MemFiles::default();
@@ -414,63 +360,159 @@ mod tests {
         (OrpheusDB::new(), files)
     }
 
-    fn ok(odb: &mut OrpheusDB, files: &mut MemFiles, line: &str) -> CommandOutput {
+    fn ok(odb: &mut OrpheusDB, files: &mut MemFiles, line: &str) -> Response {
         run_command(odb, files, line).unwrap_or_else(|e| panic!("{line}: {e}"))
+    }
+
+    #[test]
+    fn lines_parse_into_typed_requests() {
+        let (_, files) = setup();
+        assert_eq!(
+            parse_command(&files, "checkout protein -v 1 2 -t work").unwrap(),
+            Checkout::of("protein")
+                .versions([1u64, 2])
+                .into_table("work")
+                .into()
+        );
+        assert_eq!(
+            parse_command(&files, "checkout protein -v v3 -f out.csv").unwrap(),
+            Request::CheckoutCsv(CheckoutCsv {
+                cvd: "protein".into(),
+                versions: vec![Vid(3)],
+                path: "out.csv".into(),
+            })
+        );
+        assert_eq!(
+            parse_command(&files, "commit -t work -m 'two words'").unwrap(),
+            Commit::table("work").message("two words").into()
+        );
+        assert_eq!(
+            parse_command(&files, "diff protein -v 1 2").unwrap(),
+            Diff::of("protein").between(1u64, 2u64).into()
+        );
+        assert_eq!(parse_command(&files, "ls").unwrap(), Request::Ls);
+        assert_eq!(parse_command(&files, "whoami").unwrap(), Request::Whoami);
+        assert_eq!(
+            parse_command(&files, "optimize p -gamma 2.0 -mu 1.5 -weights 2:50").unwrap(),
+            Optimize::cvd("p")
+                .gamma(2.0)
+                .mu(1.5)
+                .weight(2u64, 50)
+                .into()
+        );
+        assert_eq!(
+            parse_command(&files, "discard work").unwrap(),
+            Discard::table("work").into()
+        );
+        // The init request inlines file contents.
+        match parse_command(&files, "init protein -f data.csv -s schema.txt").unwrap() {
+            Request::InitFromCsv(r) => {
+                assert!(r.csv.starts_with("protein1,protein2,score"));
+                assert!(r.schema_text.contains("!pk"));
+                assert_eq!(r.model, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_identify_the_command() {
+        let (_, files) = setup();
+        let err = parse_command(&files, "diff protein -v 1").unwrap_err();
+        assert_eq!(err.command(), Some(Cmd::Diff));
+        let err = parse_command(&files, "checkout protein -v 1").unwrap_err();
+        assert_eq!(err.command(), Some(Cmd::Checkout));
+        assert!(matches!(
+            parse_command(&files, "bogus"),
+            Err(CoreError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse_command(&files, ""),
+            Err(CoreError::Parse { command: None, .. })
+        ));
+        // Missing file for -f is an I/O error, not a parse error.
+        assert!(matches!(
+            parse_command(&files, "init x -f nope.csv -s schema.txt"),
+            Err(CoreError::Io(_))
+        ));
     }
 
     #[test]
     fn full_session() {
         let (mut odb, mut files) = setup();
-        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(
+            &mut odb,
+            &mut files,
+            "init protein -f data.csv -s schema.txt",
+        );
         let out = ok(&mut odb, &mut files, "ls");
-        assert_eq!(out.message, "protein");
+        assert_eq!(out.summary(), "protein");
 
         ok(&mut odb, &mut files, "checkout protein -v 1 -t work");
         odb.engine
             .execute("INSERT INTO work VALUES (NULL, 'x', 'y', 50)")
             .unwrap();
         let out = ok(&mut odb, &mut files, "commit -t work -m 'add xy'");
-        assert!(out.message.contains("v2"));
+        assert_eq!(out.version(), Some(Vid(2)));
 
         let out = ok(&mut odb, &mut files, "diff protein -v 1 2");
-        assert!(out.message.contains("1 record(s) only in v2"));
+        assert!(out.summary().contains("1 record(s) only in v2"));
 
         let out = ok(
             &mut odb,
             &mut files,
             "run SELECT count(*) FROM VERSION 2 OF CVD protein",
         );
-        let r = out.result.unwrap();
+        let r = out.into_rows().unwrap();
         assert_eq!(r.scalar(), Some(&orpheus_engine::Value::Int(3)));
 
         let out = ok(&mut odb, &mut files, "log protein");
-        assert!(out.message.contains("add xy"));
+        assert!(out.summary().contains("add xy"));
 
         ok(&mut odb, &mut files, "optimize protein -gamma 2.0 -mu 1.5");
         ok(&mut odb, &mut files, "drop protein");
-        assert_eq!(ok(&mut odb, &mut files, "ls").message, "");
+        assert_eq!(ok(&mut odb, &mut files, "ls").summary(), "");
     }
 
     #[test]
     fn csv_checkout_commit_via_commands() {
         let (mut odb, mut files) = setup();
-        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(
+            &mut odb,
+            &mut files,
+            "init protein -f data.csv -s schema.txt",
+        );
         ok(&mut odb, &mut files, "checkout protein -v 1 -f out.csv");
         let text = files.files.get("out.csv").unwrap().clone();
         files
             .files
             .insert("out.csv".into(), format!("{text},n1,n2,7\n"));
         let out = ok(&mut odb, &mut files, "commit -f out.csv -m 'from csv'");
-        assert!(out.message.contains("v2"));
+        assert_eq!(out.version(), Some(Vid(2)));
+    }
+
+    #[test]
+    fn discard_via_command() {
+        let (mut odb, mut files) = setup();
+        ok(
+            &mut odb,
+            &mut files,
+            "init protein -f data.csv -s schema.txt",
+        );
+        ok(&mut odb, &mut files, "checkout protein -v 1 -t work");
+        assert!(odb.engine.has_table("work"));
+        ok(&mut odb, &mut files, "discard work");
+        assert!(!odb.engine.has_table("work"));
+        assert!(odb.staged().is_empty());
     }
 
     #[test]
     fn user_management() {
         let (mut odb, mut files) = setup();
-        assert_eq!(ok(&mut odb, &mut files, "whoami").message, "default");
+        assert_eq!(ok(&mut odb, &mut files, "whoami").summary(), "default");
         ok(&mut odb, &mut files, "create_user alice");
         ok(&mut odb, &mut files, "config alice");
-        assert_eq!(ok(&mut odb, &mut files, "whoami").message, "alice");
+        assert_eq!(ok(&mut odb, &mut files, "whoami").summary(), "alice");
         assert!(run_command(&mut odb, &mut files, "config bob").is_err());
     }
 
@@ -487,14 +529,18 @@ mod tests {
     #[test]
     fn quoting_in_messages() {
         let (mut odb, mut files) = setup();
-        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(
+            &mut odb,
+            &mut files,
+            "init protein -f data.csv -s schema.txt",
+        );
         ok(&mut odb, &mut files, "checkout protein -v 1 -t w");
         let out = ok(
             &mut odb,
             &mut files,
             "commit -t w -m \"message with spaces and 'quotes'\"",
         );
-        assert!(out.message.contains("v2"));
+        assert_eq!(out.version(), Some(Vid(2)));
         let cvd = odb.cvd("protein").unwrap();
         assert_eq!(
             cvd.meta(crate::ids::Vid(2)).unwrap().message,
@@ -505,7 +551,11 @@ mod tests {
     #[test]
     fn weighted_optimize_command() {
         let (mut odb, mut files) = setup();
-        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(
+            &mut odb,
+            &mut files,
+            "init protein -f data.csv -s schema.txt",
+        );
         ok(&mut odb, &mut files, "checkout protein -v 1 -t w");
         ok(&mut odb, &mut files, "commit -t w -m v2");
         let out = ok(
@@ -513,9 +563,11 @@ mod tests {
             &mut files,
             "optimize protein -gamma 2.0 -mu 1.5 -weights 2:50",
         );
-        assert!(out.message.contains("partition"), "{}", out.message);
-        // Bad specs are rejected with a command error.
-        assert!(run_command(&mut odb, &mut files, "optimize protein -weights nonsense").is_err());
+        assert!(out.summary().contains("partition"), "{}", out.summary());
+        // Bad specs are rejected with a parse error naming optimize.
+        let err =
+            run_command(&mut odb, &mut files, "optimize protein -weights nonsense").unwrap_err();
+        assert_eq!(err.command(), Some(Cmd::Optimize));
         assert!(run_command(&mut odb, &mut files, "optimize protein -weights 9:5").is_err());
     }
 
@@ -535,17 +587,59 @@ mod tests {
     #[test]
     fn multi_version_checkout_command() {
         let (mut odb, mut files) = setup();
-        ok(&mut odb, &mut files, "init protein -f data.csv -s schema.txt");
+        ok(
+            &mut odb,
+            &mut files,
+            "init protein -f data.csv -s schema.txt",
+        );
         ok(&mut odb, &mut files, "checkout protein -v 1 -t a");
         odb.engine
             .execute("UPDATE a SET score = 1 WHERE protein2 = 'b'")
             .unwrap();
         ok(&mut odb, &mut files, "commit -t a -m v2");
         ok(&mut odb, &mut files, "checkout protein -v 2 1 -t merged");
-        let r = odb
-            .engine
-            .query("SELECT count(*) FROM merged")
-            .unwrap();
+        let r = odb.engine.query("SELECT count(*) FROM merged").unwrap();
         assert_eq!(r.scalar(), Some(&orpheus_engine::Value::Int(2)));
+    }
+
+    #[test]
+    fn shell_split_words_and_quotes() {
+        let split = |s: &str| shell_split(s).unwrap();
+        assert_eq!(split("a b  c"), vec!["a", "b", "c"]);
+        assert_eq!(split(""), Vec::<String>::new());
+        assert_eq!(split("   "), Vec::<String>::new());
+        // Quotes group words and preserve inner whitespace.
+        assert_eq!(
+            split("commit -m 'two words'"),
+            vec!["commit", "-m", "two words"]
+        );
+        assert_eq!(split("x \"a  b\""), vec!["x", "a  b"]);
+        // Quote styles nest each other literally.
+        assert_eq!(split("\"it's\""), vec!["it's"]);
+        assert_eq!(split("'say \"hi\"'"), vec!["say \"hi\""]);
+    }
+
+    #[test]
+    fn shell_split_joins_adjacent_segments() {
+        let split = |s: &str| shell_split(s).unwrap();
+        // Adjacent quoted/unquoted segments are one word, like a shell.
+        assert_eq!(split("a\"b\"c"), vec!["abc"]);
+        assert_eq!(split("a'b c'd"), vec!["ab cd"]);
+        assert_eq!(split("\"a\"'b'"), vec!["ab"]);
+        // Empty quotes still produce a (possibly empty) word.
+        assert_eq!(split("''"), vec![""]);
+        assert_eq!(split("a '' b"), vec!["a", "", "b"]);
+        assert_eq!(split("\"\"\"\""), vec![""]);
+    }
+
+    #[test]
+    fn shell_split_rejects_unterminated_quotes() {
+        for bad in ["'open", "\"open", "a 'b c", "x \"y' z"] {
+            let err = shell_split(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("unterminated quote"),
+                "{bad}: {err}"
+            );
+        }
     }
 }

@@ -430,7 +430,11 @@ mod tests {
             vec![1, 2, 3, 7, 8, 20],
         ] {
             let s = RangeSet::from_sorted_unique(&values);
-            assert_eq!(encoded_array_bytes(&values), s.encoded_bytes(), "{values:?}");
+            assert_eq!(
+                encoded_array_bytes(&values),
+                s.encoded_bytes(),
+                "{values:?}"
+            );
         }
     }
 

@@ -22,10 +22,12 @@ use parking_lot::RwLock;
 use orpheus_engine::sql::lexer::{tokenize, Token};
 use orpheus_engine::QueryResult;
 
-use crate::db::{Diff, OrpheusDB};
+use crate::db::{OrpheusDB, VersionDiff};
 use crate::error::{CoreError, Result};
 use crate::ids::Vid;
 use crate::partition_store::OptimizeReport;
+use crate::request::{Executor, Request};
+use crate::response::Response;
 
 /// A thread-safe, shareable OrpheusDB instance.
 #[derive(Debug, Clone, Default)]
@@ -117,16 +119,22 @@ impl Session {
     }
 
     /// Versioned SQL (`VERSION n OF CVD x`, `CVD x`); read-only access to
-    /// CVDs needs no ownership.
+    /// CVDs needs no ownership, but statements referencing another user's
+    /// staged table are rejected just like [`Session::sql`] — `run` passes
+    /// plain SQL through untranslated, so it is the same surface.
     pub fn run(&self, sql: &str) -> Result<QueryResult> {
-        self.with(|odb| odb.run(sql))
+        self.with(|odb| {
+            guard_sql(odb, &self.user, sql)?;
+            odb.run(sql)
+        })
     }
 
     /// Plain SQL against staged tables. Statements referencing a staged
     /// table owned by a *different* user are rejected — the access rule of
     /// Section 2.3 ("only the user who performed the checkout operation is
-    /// permitted access to the materialized table").
-    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+    /// permitted access to the materialized table"). (Named `sql` so the
+    /// bus-level [`Executor::execute`] keeps the `execute` name.)
+    pub fn sql(&self, sql: &str) -> Result<QueryResult> {
         self.with(|odb| {
             guard_sql(odb, &self.user, sql)?;
             Ok(odb.engine.execute(sql)?)
@@ -134,7 +142,7 @@ impl Session {
     }
 
     /// `diff` two versions of a CVD.
-    pub fn diff(&self, cvd: &str, a: Vid, b: Vid) -> Result<Diff> {
+    pub fn diff(&self, cvd: &str, a: Vid, b: Vid) -> Result<VersionDiff> {
         self.with(|odb| odb.diff(cvd, a, b))
     }
 
@@ -155,6 +163,39 @@ impl Session {
     }
 }
 
+/// The shared, multi-user executor: each request runs under this session's
+/// identity (acquired-lock identity swap, as for the inherent methods), so
+/// ownership checks apply per session while many sessions share one
+/// instance.
+///
+/// Two variants get session-level semantics instead of instance-level
+/// ones: `Whoami` reports the session's user, and `Login` rebinds *this
+/// session* to another existing user without touching the instance
+/// identity other sessions see.
+impl Executor for Session {
+    fn execute(&mut self, request: Request) -> Result<Response> {
+        match request {
+            Request::Login(login) => {
+                {
+                    let odb = self.db.read();
+                    if !odb.access.users().contains(&login.user) {
+                        return Err(CoreError::Invalid(format!("unknown user {}", login.user)));
+                    }
+                }
+                self.user = login.user.clone();
+                Ok(Response::LoggedIn { user: login.user })
+            }
+            Request::Whoami => Ok(Response::CurrentUser {
+                user: self.user.clone(),
+            }),
+            // Run goes through the guarded session path: the bus must not
+            // be a way around the Section 2.3 staged-table access rule.
+            Request::Run(run) => Ok(Response::Rows(self.run(&run.sql)?)),
+            other => self.with(|odb| odb.execute(other)),
+        }
+    }
+}
+
 /// Reject SQL that references another user's staged table. The check
 /// tokenizes the statement and compares identifiers against the staging
 /// registry, which catches direct reads, writes, joins, and subqueries.
@@ -170,10 +211,7 @@ fn guard_sql(odb: &OrpheusDB, user: &str, sql: &str) -> Result<()> {
     let tokens = tokenize(sql).map_err(CoreError::from)?;
     for t in &tokens {
         if let Token::Ident(name) = t {
-            if let Some(entry) = foreign
-                .iter()
-                .find(|e| e.name.eq_ignore_ascii_case(name))
-            {
+            if let Some(entry) = foreign.iter().find(|e| e.name.eq_ignore_ascii_case(name)) {
                 return Err(CoreError::PermissionDenied(format!(
                     "{} belongs to {}, not {user}",
                     entry.name, entry.owner
@@ -215,7 +253,10 @@ mod tests {
         let alice2 = shared.session("alice").unwrap();
         assert_eq!(alice2.user(), "alice");
         // The instance-level identity is untouched by session creation.
-        assert_eq!(shared.read(|odb| odb.access.whoami().to_string()), "default");
+        assert_eq!(
+            shared.read(|odb| odb.access.whoami().to_string()),
+            "default"
+        );
     }
 
     #[test]
@@ -230,17 +271,15 @@ mod tests {
         assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
         let err = bob.discard("alice_work").unwrap_err();
         assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
-        let err = bob
-            .execute("SELECT count(*) FROM alice_work")
-            .unwrap_err();
+        let err = bob.sql("SELECT count(*) FROM alice_work").unwrap_err();
         assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
-        let err = bob
-            .execute("UPDATE alice_work SET v = 9")
-            .unwrap_err();
+        let err = bob.sql("UPDATE alice_work SET v = 9").unwrap_err();
         assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
 
         // Alice can do all of the above.
-        alice.execute("UPDATE alice_work SET v = 1 WHERE k = 0").unwrap();
+        alice
+            .sql("UPDATE alice_work SET v = 1 WHERE k = 0")
+            .unwrap();
         let vid = alice.commit("alice_work", "mine").unwrap();
         assert_eq!(vid, Vid(2));
     }
@@ -271,15 +310,16 @@ mod tests {
                     let table = session.private_table("work");
                     session.checkout("data", &[Vid(1)], &table).unwrap();
                     session
-                        .execute(&format!("UPDATE {table} SET v = {u} WHERE k = {u}"))
+                        .sql(&format!("UPDATE {table} SET v = {u} WHERE k = {u}"))
                         .unwrap();
-                    let vid = session
-                        .commit(&table, &format!("edit by user{u}"))
-                        .unwrap();
+                    let vid = session.commit(&table, &format!("edit by user{u}")).unwrap();
                     // Each commit yields a distinct, valid version readable
                     // by anyone.
                     let n = session
-                        .run(&format!("SELECT count(*) FROM VERSION {} OF CVD data", vid.0))
+                        .run(&format!(
+                            "SELECT count(*) FROM VERSION {} OF CVD data",
+                            vid.0
+                        ))
                         .unwrap();
                     assert_eq!(n.scalar(), Some(&Value::Int(20)));
                 });
@@ -298,9 +338,11 @@ mod tests {
                 .map(|m| m.message.as_str())
                 .collect();
             messages.sort();
-            let expected: Vec<String> =
-                (0..USERS).map(|u| format!("edit by user{u}")).collect();
-            assert_eq!(messages, expected.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            let expected: Vec<String> = (0..USERS).map(|u| format!("edit by user{u}")).collect();
+            assert_eq!(
+                messages,
+                expected.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+            );
             // No staged tables leak.
             assert!(odb.staged().is_empty());
         });
@@ -328,9 +370,7 @@ mod tests {
                 scope.spawn(move || {
                     let s = shared.session("reader").unwrap();
                     for _ in 0..10 {
-                        let n = s
-                            .run("SELECT count(*) FROM VERSION 1 OF CVD data")
-                            .unwrap();
+                        let n = s.run("SELECT count(*) FROM VERSION 1 OF CVD data").unwrap();
                         assert_eq!(n.scalar(), Some(&Value::Int(20)));
                     }
                 });
@@ -342,15 +382,101 @@ mod tests {
     }
 
     #[test]
+    fn sessions_execute_typed_requests() {
+        use crate::request::{Checkout, Commit, Executor, Login, Request, Run};
+
+        let shared = shared_with_cvd();
+        let mut alice = shared.session("alice").unwrap();
+        let response = alice
+            .dispatch(Checkout::of("data").version(1u64).into_table("alice_bus"))
+            .unwrap();
+        assert_eq!(response.summary(), "checked out v1 into table alice_bus");
+        alice.sql("UPDATE alice_bus SET v = 5 WHERE k = 1").unwrap();
+        let response = alice
+            .dispatch(Commit::table("alice_bus").message("via bus"))
+            .unwrap();
+        assert_eq!(response.version(), Some(Vid(2)));
+
+        // The commit is attributed to the session user, and other sessions
+        // are still denied.
+        let mut bob = shared.session("bob").unwrap();
+        alice
+            .dispatch(Checkout::of("data").version(1u64).into_table("alice_bus2"))
+            .unwrap();
+        let err = bob
+            .dispatch(Commit::table("alice_bus2").message("steal"))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
+
+        // Whoami reports the session identity; Login rebinds the session
+        // without touching the shared instance identity.
+        let who = bob.execute(Request::Whoami).unwrap();
+        assert_eq!(who.summary(), "bob");
+        assert!(bob
+            .execute(Request::Login(Login::as_user("nobody")))
+            .is_err());
+        bob.execute(Request::Login(Login::as_user("alice")))
+            .unwrap();
+        assert_eq!(bob.user(), "alice");
+        bob.dispatch(Commit::table("alice_bus2").message("now allowed"))
+            .unwrap();
+        assert_eq!(
+            shared.read(|odb| odb.access.whoami().to_string()),
+            "default"
+        );
+
+        // Versioned queries flow through the same bus.
+        let rows = alice
+            .dispatch(Run::sql("SELECT count(*) FROM VERSION 2 OF CVD data"))
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows.scalar(), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn run_cannot_touch_foreign_staged_tables() {
+        use crate::request::{Executor, Run};
+
+        let shared = shared_with_cvd();
+        let alice = shared.session("alice").unwrap();
+        let mut bob = shared.session("bob").unwrap();
+        alice.checkout("data", &[Vid(1)], "alice_work").unwrap();
+
+        // Neither the inherent `run` nor the bus `Run` request lets bob
+        // read or write alice's staged table with plain pass-through SQL.
+        let err = bob.run("UPDATE alice_work SET v = 9").unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
+        let err = bob
+            .dispatch(Run::sql("SELECT count(*) FROM alice_work"))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::PermissionDenied(_)), "{err}");
+
+        // Versioned queries on the shared CVD remain open to everyone.
+        let n = bob
+            .dispatch(Run::sql("SELECT count(*) FROM VERSION 1 OF CVD data"))
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(20)));
+        // And the owner can still run SQL against their own checkout.
+        let n = alice.run("SELECT count(*) FROM alice_work").unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(20)));
+    }
+
+    #[test]
     fn name_collisions_between_users_error_cleanly() {
         let shared = shared_with_cvd();
         let alice = shared.session("alice").unwrap();
         let bob = shared.session("bob").unwrap();
         alice.checkout("data", &[Vid(1)], "work").unwrap();
         let err = bob.checkout("data", &[Vid(1)], "work").unwrap_err();
-        assert!(err.to_string().contains("staged") || err.to_string().contains("exists"),
-                "{err}");
+        assert!(
+            err.to_string().contains("staged") || err.to_string().contains("exists"),
+            "{err}"
+        );
         // private_table sidesteps the collision.
-        bob.checkout("data", &[Vid(1)], &bob.private_table("work")).unwrap();
+        bob.checkout("data", &[Vid(1)], &bob.private_table("work"))
+            .unwrap();
     }
 }

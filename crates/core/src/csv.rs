@@ -102,7 +102,11 @@ pub fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>)> {
 
 /// Convert parsed string rows to typed values under a schema. Empty fields
 /// become NULL.
-pub fn typed_rows(schema: &Schema, header: &[String], rows: &[Vec<String>]) -> Result<Vec<Vec<Value>>> {
+pub fn typed_rows(
+    schema: &Schema,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> Result<Vec<Vec<Value>>> {
     // Map schema columns to csv columns by name.
     let mut mapping = Vec::with_capacity(schema.arity());
     for col in &schema.columns {
@@ -150,8 +154,10 @@ fn parse_field(field: &str, dtype: DataType) -> Result<Value> {
             if trimmed.is_empty() {
                 return Ok(Value::IntArray(vec![]));
             }
-            let parts: std::result::Result<Vec<i64>, _> =
-                trimmed.split(',').map(|p| p.trim().parse::<i64>()).collect();
+            let parts: std::result::Result<Vec<i64>, _> = trimmed
+                .split(',')
+                .map(|p| p.trim().parse::<i64>())
+                .collect();
             parts
                 .map(Value::IntArray)
                 .map_err(|_| CoreError::Csv(format!("invalid INT[]: {field}")))
@@ -193,9 +199,7 @@ pub fn parse_schema_file(text: &str) -> Result<Schema> {
         Ok(schema)
     } else {
         let names: Vec<&str> = pk.iter().map(|s| s.as_str()).collect();
-        schema
-            .with_primary_key(&names)
-            .map_err(CoreError::from)
+        schema.with_primary_key(&names).map_err(CoreError::from)
     }
 }
 
@@ -214,7 +218,11 @@ mod tests {
     #[test]
     fn roundtrip_with_quoting() {
         let rows = vec![
-            vec![Value::Int(1), Value::Text("plain".into()), Value::Double(1.5)],
+            vec![
+                Value::Int(1),
+                Value::Text("plain".into()),
+                Value::Double(1.5),
+            ],
             vec![
                 Value::Int(2),
                 Value::Text("has, comma and \"quotes\"".into()),

@@ -184,7 +184,10 @@ impl Cvd {
         if self.has_version(vid) {
             Ok(())
         } else {
-            Err(CoreError::VersionNotFound(self.name.clone(), vid.0))
+            Err(CoreError::VersionNotFound {
+                cvd: self.name.clone(),
+                version: vid,
+            })
         }
     }
 
@@ -304,7 +307,9 @@ impl Cvd {
         t.insert(vec![
             Value::Int(m.vid.0 as i64),
             Value::IntArray(parents),
-            m.checkout_t.map(|t| Value::Int(t as i64)).unwrap_or(Value::Null),
+            m.checkout_t
+                .map(|t| Value::Int(t as i64))
+                .unwrap_or(Value::Null),
             Value::Int(m.commit_t as i64),
             Value::Text(m.message.clone()),
             Value::IntArray(attrs),

@@ -14,6 +14,8 @@ use crate::ids::Vid;
 use crate::model::{self, CommitData, ModelKind};
 use crate::partition_store::{self, CommitPlacement, OptimizeReport};
 use crate::query;
+use crate::request::{CommandKind, Executor, Request};
+use crate::response::{LogEntry, Response};
 use crate::staging::{StagedEntry, StagedKind, StagingArea};
 
 /// Instance-wide configuration.
@@ -39,7 +41,7 @@ impl Default for OrpheusConfig {
 
 /// Result of a `diff` between two versions.
 #[derive(Debug, Clone)]
-pub struct Diff {
+pub struct VersionDiff {
     /// Records (attribute values) present in the first version only.
     pub only_in_first: Vec<Vec<Value>>,
     /// Records present in the second version only.
@@ -106,7 +108,9 @@ impl OrpheusDB {
                 )));
             }
         }
-        self.clock = self.clock.max(cvd.versions.iter().map(|m| m.commit_t).max().unwrap_or(0));
+        self.clock = self
+            .clock
+            .max(cvd.versions.iter().map(|m| m.commit_t).max().unwrap_or(0));
         self.cvds.insert(key, cvd);
         Ok(())
     }
@@ -162,8 +166,7 @@ impl OrpheusDB {
 
         check_pk_duplicates(&cvd.schema, &rows)?;
         let rids = cvd.alloc_rids(rows.len());
-        let all_records: Vec<(i64, Vec<Value>)> =
-            rids.iter().copied().zip(rows).collect();
+        let all_records: Vec<(i64, Vec<Value>)> = rids.iter().copied().zip(rows).collect();
         let data = CommitData {
             vid: Vid(1),
             rlist: rids.clone(),
@@ -216,7 +219,10 @@ impl OrpheusDB {
     /// primary-key conflict resolution (Section 2.2).
     pub fn checkout(&mut self, cvd_name: &str, vids: &[Vid], table: &str) -> Result<()> {
         if vids.is_empty() {
-            return Err(CoreError::Invalid("checkout requires at least one version".into()));
+            return Err(CoreError::bad_request(
+                CommandKind::Checkout,
+                "checkout requires at least one version",
+            ));
         }
         if self.engine.has_table(table) {
             return Err(CoreError::Invalid(format!("table {table} already exists")));
@@ -282,6 +288,12 @@ impl OrpheusDB {
     /// `checkout -f`: export version(s) as CSV text (the caller writes the
     /// file; keeping I/O outside makes the API testable).
     pub fn checkout_csv(&mut self, cvd_name: &str, vids: &[Vid], path: &str) -> Result<String> {
+        if vids.is_empty() {
+            return Err(CoreError::bad_request(
+                CommandKind::Checkout,
+                "checkout requires at least one version",
+            ));
+        }
         let cvd = self.cvd(cvd_name)?.clone();
         for v in vids {
             cvd.check_version(*v)?;
@@ -342,8 +354,10 @@ impl OrpheusDB {
         let staged_schema = match schema_text {
             Some(text) => {
                 let user_schema = csv::parse_schema_file(text)?;
-                let mut cols =
-                    vec![orpheus_engine::Column::new("rid", orpheus_engine::DataType::Int)];
+                let mut cols = vec![orpheus_engine::Column::new(
+                    "rid",
+                    orpheus_engine::DataType::Int,
+                )];
                 cols.extend(user_schema.columns);
                 Schema::new(cols)
             }
@@ -434,8 +448,7 @@ impl OrpheusDB {
             }
         }
         let fresh = cvd.alloc_rids(new_values.len());
-        let new_records: Vec<(i64, Vec<Value>)> =
-            fresh.into_iter().zip(new_values).collect();
+        let new_records: Vec<(i64, Vec<Value>)> = fresh.into_iter().zip(new_values).collect();
         all_records.extend(new_records.iter().cloned());
 
         let mut rlist: Vec<i64> = all_records.iter().map(|(r, _)| *r).collect();
@@ -530,12 +543,7 @@ impl OrpheusDB {
                         if general != old {
                             new_schema.columns[i].dtype = general;
                             changed = true;
-                            alter_model_column_type(
-                                &mut self.engine,
-                                &cvd,
-                                &col.name,
-                                general,
-                            )?;
+                            alter_model_column_type(&mut self.engine, &cvd, &col.name, general)?;
                         }
                     }
                 }
@@ -560,7 +568,7 @@ impl OrpheusDB {
     // -- diff, queries, optimizer ------------------------------------------------
 
     /// `diff`: records in one version but not the other (by record id).
-    pub fn diff(&mut self, cvd_name: &str, a: Vid, b: Vid) -> Result<Diff> {
+    pub fn diff(&mut self, cvd_name: &str, a: Vid, b: Vid) -> Result<VersionDiff> {
         let cvd = self.cvd(cvd_name)?.clone();
         cvd.check_version(a)?;
         cvd.check_version(b)?;
@@ -568,7 +576,7 @@ impl OrpheusDB {
         let rows_b = model::version_rows(&mut self.engine, &cvd, b)?;
         let rids_a: HashSet<i64> = rows_a.iter().map(|(r, _)| *r).collect();
         let rids_b: HashSet<i64> = rows_b.iter().map(|(r, _)| *r).collect();
-        Ok(Diff {
+        Ok(VersionDiff {
             only_in_first: rows_a
                 .into_iter()
                 .filter(|(r, _)| !rids_b.contains(r))
@@ -669,6 +677,22 @@ impl OrpheusDB {
         self.staging.list()
     }
 
+    /// `log`: the version history of a CVD as typed entries.
+    pub fn log_entries(&self, cvd_name: &str) -> Result<Vec<LogEntry>> {
+        let cvd = self.cvd(cvd_name)?;
+        Ok(cvd
+            .versions
+            .iter()
+            .map(|m| LogEntry {
+                vid: m.vid,
+                parents: m.parents.clone(),
+                commit_t: m.commit_t,
+                num_records: m.num_records,
+                message: m.message.clone(),
+            })
+            .collect())
+    }
+
     /// Persist the whole instance (engine data + middleware state) to a
     /// checksummed snapshot file. See [`crate::persist`].
     pub fn save_to(&self, path: &std::path::Path) -> Result<()> {
@@ -678,6 +702,111 @@ impl OrpheusDB {
     /// Restore an instance previously saved with [`OrpheusDB::save_to`].
     pub fn load_from(path: &std::path::Path) -> Result<OrpheusDB> {
         crate::persist::load(path)
+    }
+}
+
+/// The single-threaded executor: every typed command maps onto the
+/// corresponding `OrpheusDB` method. [`crate::Session`] implements the
+/// same trait over a shared instance, so CLI, REPL, examples, benches, and
+/// tests all drive one bus.
+impl Executor for OrpheusDB {
+    fn execute(&mut self, request: Request) -> Result<Response> {
+        match request {
+            Request::Init(r) => {
+                let version = self.init_cvd(&r.cvd, r.schema, r.rows, r.model)?;
+                Ok(Response::Initialized {
+                    cvd: r.cvd,
+                    version,
+                })
+            }
+            Request::InitFromCsv(r) => {
+                let schema = crate::csv::parse_schema_file(&r.schema_text)?;
+                let version = self.init_cvd_from_csv(&r.cvd, &r.csv, schema, r.model)?;
+                Ok(Response::Initialized {
+                    cvd: r.cvd,
+                    version,
+                })
+            }
+            Request::Checkout(r) => {
+                self.checkout(&r.cvd, &r.versions, &r.table)?;
+                Ok(Response::CheckedOut {
+                    cvd: r.cvd,
+                    versions: r.versions,
+                    table: r.table,
+                })
+            }
+            Request::CheckoutCsv(r) => {
+                let csv = self.checkout_csv(&r.cvd, &r.versions, &r.path)?;
+                Ok(Response::CheckedOutCsv {
+                    cvd: r.cvd,
+                    versions: r.versions,
+                    path: r.path,
+                    csv,
+                })
+            }
+            Request::Commit(r) => {
+                let version = self.commit(&r.table, &r.message)?;
+                Ok(Response::Committed {
+                    target: r.table,
+                    version,
+                })
+            }
+            Request::CommitCsv(r) => {
+                let version =
+                    self.commit_csv(&r.path, &r.csv, &r.message, r.schema_text.as_deref())?;
+                Ok(Response::Committed {
+                    target: r.path,
+                    version,
+                })
+            }
+            Request::Diff(r) => {
+                let diff = self.diff(&r.cvd, r.from, r.to)?;
+                Ok(Response::Diffed {
+                    cvd: r.cvd,
+                    from: r.from,
+                    to: r.to,
+                    diff,
+                })
+            }
+            Request::Run(r) => Ok(Response::Rows(self.run(&r.sql)?)),
+            Request::Ls => Ok(Response::CvdList(self.ls())),
+            Request::Log(r) => {
+                let entries = self.log_entries(&r.cvd)?;
+                Ok(Response::Log {
+                    cvd: r.cvd,
+                    entries,
+                })
+            }
+            Request::Drop(r) => {
+                self.drop_cvd(&r.cvd)?;
+                Ok(Response::Dropped { cvd: r.cvd })
+            }
+            Request::Optimize(r) => {
+                let gamma = r.gamma.unwrap_or(self.config.gamma_factor);
+                let mu = r.mu.unwrap_or(self.config.mu);
+                let report = if r.weights.is_empty() {
+                    self.optimize_with(&r.cvd, gamma, mu)?
+                } else {
+                    self.optimize_weighted_with(&r.cvd, &r.weights, gamma, mu)?
+                };
+                Ok(Response::Optimized { cvd: r.cvd, report })
+            }
+            Request::CreateUser(r) => {
+                self.access.create_user(&r.user)?;
+                Ok(Response::UserCreated { user: r.user })
+            }
+            Request::Login(r) => {
+                self.access.login(&r.user)?;
+                Ok(Response::LoggedIn { user: r.user })
+            }
+            Request::Whoami => Ok(Response::CurrentUser {
+                user: self.access.whoami().to_string(),
+            }),
+            Request::Discard(r) => {
+                self.discard(&r.table)?;
+                Ok(Response::Discarded { table: r.table })
+            }
+        }
     }
 }
 
@@ -840,7 +969,8 @@ mod tests {
             .unwrap();
         odb.commit("a", "v2").unwrap();
         // Merge checkout listing v2 first: its p1-p2 wins.
-        odb.checkout("protein", &[Vid(2), Vid(1)], "merged").unwrap();
+        odb.checkout("protein", &[Vid(2), Vid(1)], "merged")
+            .unwrap();
         let r = odb
             .engine
             .query("SELECT cooccurrence FROM merged WHERE protein2 = 'p2'")

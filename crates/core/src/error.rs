@@ -1,9 +1,18 @@
 //! Middleware error type, wrapping engine errors with version-control
 //! specific failure modes.
+//!
+//! Errors are structured per command where that helps callers: typed
+//! requests that fail validation surface as [`CoreError::BadRequest`]
+//! carrying the [`CommandKind`] that raised them, while string front-end
+//! failures surface as [`CoreError::Parse`] / [`CoreError::UnknownCommand`]
+//! so a REPL can distinguish "bad line" from "bad state".
 
 use std::fmt;
 
 use orpheus_engine::EngineError;
+
+use crate::ids::Vid;
+use crate::request::CommandKind;
 
 pub type Result<T> = std::result::Result<T, CoreError>;
 
@@ -17,7 +26,7 @@ pub enum CoreError {
     /// A CVD with this name already exists.
     CvdExists(String),
     /// Referenced version id does not exist in the CVD.
-    VersionNotFound(String, u64),
+    VersionNotFound { cvd: String, version: Vid },
     /// The table was not produced by a checkout (no provenance entry).
     NotStaged(String),
     /// Primary-key violation detected during commit.
@@ -26,8 +35,21 @@ pub enum CoreError {
     SchemaMismatch(String),
     /// Current user lacks access to the staged table.
     PermissionDenied(String),
-    /// Command-line parse failure.
-    Command(String),
+    /// The string front-end could not parse a line into a [`crate::request::Request`].
+    Parse {
+        /// The command being parsed, when it got far enough to know.
+        command: Option<CommandKind>,
+        message: String,
+    },
+    /// The command word itself is not recognized by the string front-end.
+    UnknownCommand(String),
+    /// A typed request failed validation before touching storage.
+    BadRequest {
+        command: CommandKind,
+        reason: String,
+    },
+    /// File access on behalf of a command (`-f` / `-s` flags) failed.
+    Io(String),
     /// CSV parse failure.
     Csv(String),
     /// Snapshot persistence failure (I/O, corruption, version skew).
@@ -36,20 +58,69 @@ pub enum CoreError {
     Invalid(String),
 }
 
+impl CoreError {
+    /// Shorthand for a validation failure of one typed command.
+    pub fn bad_request(command: CommandKind, reason: impl Into<String>) -> CoreError {
+        CoreError::BadRequest {
+            command,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for a parse failure attributed to one command.
+    pub fn parse(command: CommandKind, message: impl Into<String>) -> CoreError {
+        CoreError::Parse {
+            command: Some(command),
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a parse failure with no identifiable command.
+    pub fn parse_line(message: impl Into<String>) -> CoreError {
+        CoreError::Parse {
+            command: None,
+            message: message.into(),
+        }
+    }
+
+    /// The command this error is attributable to, when known.
+    pub fn command(&self) -> Option<CommandKind> {
+        match self {
+            CoreError::Parse { command, .. } => *command,
+            CoreError::BadRequest { command, .. } => Some(*command),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Engine(e) => write!(f, "engine error: {e}"),
             CoreError::CvdNotFound(c) => write!(f, "CVD not found: {c}"),
             CoreError::CvdExists(c) => write!(f, "CVD already exists: {c}"),
-            CoreError::VersionNotFound(c, v) => write!(f, "version {v} not found in CVD {c}"),
+            CoreError::VersionNotFound { cvd, version } => {
+                write!(f, "version {} not found in CVD {cvd}", version.0)
+            }
             CoreError::NotStaged(t) => {
                 write!(f, "table {t} was not checked out from any CVD")
             }
             CoreError::PrimaryKeyViolation(m) => write!(f, "primary key violation: {m}"),
             CoreError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             CoreError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
-            CoreError::Command(m) => write!(f, "command error: {m}"),
+            CoreError::Parse {
+                command: Some(c),
+                message,
+            } => write!(f, "{c}: {message}"),
+            CoreError::Parse {
+                command: None,
+                message,
+            } => write!(f, "command error: {message}"),
+            CoreError::UnknownCommand(c) => write!(f, "unknown command: {c}"),
+            CoreError::BadRequest { command, reason } => {
+                write!(f, "invalid {command} request: {reason}")
+            }
+            CoreError::Io(m) => write!(f, "I/O error: {m}"),
             CoreError::Csv(m) => write!(f, "csv error: {m}"),
             CoreError::Storage(m) => write!(f, "storage error: {m}"),
             CoreError::Invalid(m) => write!(f, "invalid request: {m}"),
@@ -79,9 +150,35 @@ mod tests {
     #[test]
     fn display_variants() {
         assert_eq!(
-            CoreError::VersionNotFound("protein".into(), 9).to_string(),
+            CoreError::VersionNotFound {
+                cvd: "protein".into(),
+                version: Vid(9)
+            }
+            .to_string(),
             "version 9 not found in CVD protein"
         );
         assert!(CoreError::NotStaged("t1".into()).to_string().contains("t1"));
+        assert_eq!(
+            CoreError::bad_request(CommandKind::Checkout, "no versions given").to_string(),
+            "invalid checkout request: no versions given"
+        );
+        assert_eq!(
+            CoreError::UnknownCommand("bogus".into()).to_string(),
+            "unknown command: bogus"
+        );
+        assert_eq!(
+            CoreError::parse(CommandKind::Diff, "needs two versions").to_string(),
+            "diff: needs two versions"
+        );
+    }
+
+    #[test]
+    fn errors_know_their_command() {
+        assert_eq!(
+            CoreError::bad_request(CommandKind::Optimize, "x").command(),
+            Some(CommandKind::Optimize)
+        );
+        assert_eq!(CoreError::parse_line("x").command(), None);
+        assert_eq!(CoreError::CvdNotFound("d".into()).command(), None);
     }
 }

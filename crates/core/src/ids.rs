@@ -29,6 +29,12 @@ impl Vid {
     }
 }
 
+impl From<u64> for Vid {
+    fn from(v: u64) -> Vid {
+        Vid(v)
+    }
+}
+
 impl fmt::Display for Vid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "v{}", self.0)

@@ -23,6 +23,11 @@
 //!   maintenance and intelligent migration (Section 4).
 //! * **Persistence** ([`persist`]) — whole-instance snapshots (engine data
 //!   plus all middleware state) so sessions span process restarts.
+//! * **The command bus** ([`request`], [`response`]) — every paper command
+//!   as a typed [`Request`] with builders, executed by [`OrpheusDB`]
+//!   directly or by a [`Session`] over a shared instance via the
+//!   [`Executor`] trait; [`commands`] parses the git-style command lines
+//!   of Section 2.2 into the same requests.
 
 pub mod access;
 pub mod commands;
@@ -37,11 +42,18 @@ pub mod model;
 pub mod partition_store;
 pub mod persist;
 pub mod query;
+pub mod request;
+pub mod response;
 pub mod staging;
 
 pub use concurrent::{Session, SharedOrpheusDB};
 pub use cvd::Cvd;
-pub use db::{OrpheusConfig, OrpheusDB};
+pub use db::{OrpheusConfig, OrpheusDB, VersionDiff};
 pub use error::{CoreError, Result};
 pub use ids::{Rid, Vid};
 pub use model::ModelKind;
+pub use request::{
+    Checkout, CheckoutCsv, CommandKind, Commit, CommitCsv, CreateUser, Diff, Discard, DropCvd,
+    Executor, Init, InitFromCsv, Log, Login, Optimize, Request, Run,
+};
+pub use response::{LogEntry, Response};

@@ -89,7 +89,12 @@ mod tests {
         let (mut db, mut cvd) = make_cvd(ModelKind::CombinedTable);
         commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
         // Modify b's score: becomes a *new* record (immutability).
-        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 99)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("b", 99)],
+            &[Vid(1)],
+        );
 
         checkout(&mut db, &cvd, Vid(1), "t1").unwrap();
         checkout(&mut db, &cvd, Vid(2), "t2").unwrap();

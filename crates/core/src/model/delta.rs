@@ -144,7 +144,12 @@ mod tests {
         commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
         let s1 = storage_bytes(&db, &cvd);
         // Identical content: delta table is empty.
-        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("b", 2)],
+            &[Vid(1)],
+        );
         let s2 = storage_bytes(&db, &cvd);
         assert!(s2 - s1 < 64, "empty delta should cost almost nothing");
         assert_eq!(version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 2);
@@ -172,7 +177,12 @@ mod tests {
     fn lineage_replay_across_three_versions() {
         let (mut db, mut cvd) = make_cvd(ModelKind::DeltaBased);
         commit(&mut db, &mut cvd, &[record("a", 1)], &[]);
-        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("b", 2)],
+            &[Vid(1)],
+        );
         commit(
             &mut db,
             &mut cvd,
@@ -197,7 +207,12 @@ mod tests {
     fn precedent_table_records_bases() {
         let (mut db, mut cvd) = make_cvd(ModelKind::DeltaBased);
         commit(&mut db, &mut cvd, &[record("a", 1)], &[]);
-        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("b", 2)],
+            &[Vid(1)],
+        );
         let r = db
             .query(&format!(
                 "SELECT base FROM {} WHERE vid = 2",

@@ -59,9 +59,7 @@ impl ModelKind {
 
     pub fn parse(s: &str) -> Option<ModelKind> {
         match s.to_ascii_lowercase().replace('_', "-").as_str() {
-            "a-table-per-version" | "table-per-version" | "tpv" => {
-                Some(ModelKind::TablePerVersion)
-            }
+            "a-table-per-version" | "table-per-version" | "tpv" => Some(ModelKind::TablePerVersion),
             "combined-table" | "combined" => Some(ModelKind::CombinedTable),
             "split-by-vlist" | "vlist" => Some(ModelKind::SplitByVlist),
             "split-by-rlist" | "rlist" => Some(ModelKind::SplitByRlist),
@@ -196,7 +194,10 @@ pub fn sql_literal(v: &Value) -> String {
         Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
         Value::IntArray(a) => format!(
             "ARRAY[{}]",
-            a.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+            a.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
     }
 }
@@ -382,7 +383,10 @@ pub(crate) mod testutil {
             deleted_from_base,
         };
         model::persist_commit(db, cvd, &data, false).unwrap();
-        let parent_weights: Vec<u64> = parents.iter().map(|p| cvd.shared_with(&rlist, *p)).collect();
+        let parent_weights: Vec<u64> = parents
+            .iter()
+            .map(|p| cvd.shared_with(&rlist, *p))
+            .collect();
         let attributes = {
             let schema = cvd.schema.clone();
             cvd.attrs.intern_schema(&schema)
@@ -424,10 +428,7 @@ mod tests {
         assert_eq!(sql_literal(&Value::Double(2.5)), "2.5");
         assert_eq!(sql_literal(&Value::Double(2.0)), "2.0");
         assert_eq!(sql_literal(&Value::Text("it's".into())), "'it''s'");
-        assert_eq!(
-            sql_literal(&Value::IntArray(vec![1, 2])),
-            "ARRAY[1, 2]"
-        );
+        assert_eq!(sql_literal(&Value::IntArray(vec![1, 2])), "ARRAY[1, 2]");
         assert_eq!(sql_literal(&Value::Bool(true)), "TRUE");
     }
 

@@ -117,10 +117,17 @@ mod tests {
     fn commit_and_checkout_roundtrip() {
         let (mut db, mut cvd) = make_cvd(ModelKind::SplitByRlist);
         commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
-        commit(&mut db, &mut cvd, &[record("a", 1), record("c", 3)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("c", 3)],
+            &[Vid(1)],
+        );
 
         checkout(&mut db, &cvd, Vid(1), "t1").unwrap();
-        let r = db.query("SELECT name, score FROM t1 ORDER BY name").unwrap();
+        let r = db
+            .query("SELECT name, score FROM t1 ORDER BY name")
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[1][0], Value::Text("b".into()));
 
@@ -144,7 +151,12 @@ mod tests {
     fn versioning_table_has_one_row_per_version() {
         let (mut db, mut cvd) = make_cvd(ModelKind::SplitByRlist);
         commit(&mut db, &mut cvd, &[record("a", 1)], &[]);
-        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("b", 2)],
+            &[Vid(1)],
+        );
         let r = db
             .query(&format!("SELECT count(*) FROM {}", cvd.rlist_table()))
             .unwrap();

@@ -95,7 +95,12 @@ mod tests {
         let (mut db, mut cvd) = make_cvd(ModelKind::SplitByVlist);
         commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
         // v2 keeps "a", drops "b", adds "c".
-        commit(&mut db, &mut cvd, &[record("a", 1), record("c", 3)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("c", 3)],
+            &[Vid(1)],
+        );
 
         checkout(&mut db, &cvd, Vid(2), "t2").unwrap();
         let r = db.query("SELECT name FROM t2 ORDER BY name").unwrap();
@@ -116,7 +121,12 @@ mod tests {
     fn version_rows_and_counts() {
         let (mut db, mut cvd) = make_cvd(ModelKind::SplitByVlist);
         commit(&mut db, &mut cvd, &[record("a", 1)], &[]);
-        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("b", 2)],
+            &[Vid(1)],
+        );
         assert_eq!(version_rows(&mut db, &cvd, Vid(1)).unwrap().len(), 1);
         assert_eq!(version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 2);
         // Deduplicated storage: 2 data rows, 2 vlist rows.

@@ -60,7 +60,12 @@ mod tests {
     fn each_version_is_a_table() {
         let (mut db, mut cvd) = make_cvd(ModelKind::TablePerVersion);
         commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
-        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("b", 2)],
+            &[Vid(1)],
+        );
         assert!(db.has_table(&cvd.version_table(Vid(1))));
         assert!(db.has_table(&cvd.version_table(Vid(2))));
     }
@@ -72,7 +77,12 @@ mod tests {
         let (mut db, mut cvd) = make_cvd(ModelKind::TablePerVersion);
         commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
         let s1 = storage_bytes(&db, &cvd);
-        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[Vid(1)]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("b", 2)],
+            &[Vid(1)],
+        );
         let s2 = storage_bytes(&db, &cvd);
         assert!(s2 >= 2 * s1 - 16, "s1={s1} s2={s2}");
     }

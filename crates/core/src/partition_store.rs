@@ -124,7 +124,10 @@ fn create_partition_tables(
     generation: usize,
     k: usize,
 ) -> Result<()> {
-    db.create_table(&data_table_name(cvd, generation, k), cvd.physical_data_schema())?;
+    db.create_table(
+        &data_table_name(cvd, generation, k),
+        cvd.physical_data_schema(),
+    )?;
     db.execute(&format!(
         "CREATE TABLE {} (vid INT PRIMARY KEY, rlist INT[])",
         rlist_table_name(cvd, generation, k)
@@ -219,11 +222,7 @@ pub fn optimize_weighted(
     let report = OptimizeReport {
         num_partitions: best.partitioning.num_partitions,
         storage_records: best.partitioning.storage_cost_tree(&tree),
-        cavg: orpheus_partition::weighted::weighted_checkout_cost(
-            &best.partitioning,
-            &bip,
-            freqs,
-        ),
+        cavg: orpheus_partition::weighted::weighted_checkout_cost(&best.partitioning, &bip, freqs),
         delta: best.delta,
     };
     apply_partitioning(db, cvd, &best, &report, gamma_factor, mu)?;
@@ -371,7 +370,10 @@ fn apply_migration_plan(
                 )?;
                 handled_old.push(*old);
             }
-            MigrationStep::Build { new: new_k, records } => {
+            MigrationStep::Build {
+                new: new_k,
+                records,
+            } => {
                 create_partition_tables(db, cvd, new_gen, *new_k)?;
                 let rids: HashSet<i64> = records.iter().map(|&r| r as i64).collect();
                 let fetched = fetch_records(db, cvd, &rids)?;
@@ -598,7 +600,12 @@ mod tests {
         commit(
             &mut db,
             &mut cvd,
-            &[record("a", 1), record("b", 2), record("c", 3), record("d", 4)],
+            &[
+                record("a", 1),
+                record("b", 2),
+                record("c", 3),
+                record("d", 4),
+            ],
             &[Vid(2)],
         );
         let placement = on_commit(&mut db, &mut cvd, Vid(4)).unwrap();
@@ -638,8 +645,12 @@ mod tests {
             let parted = format!("wparted{v}");
             model::checkout_into(&mut db, &cvd, Vid(v), &plain).unwrap();
             checkout_partitioned(&mut db, &cvd, Vid(v), &parted).unwrap();
-            let a = db.query(&format!("SELECT * FROM {plain} ORDER BY rid")).unwrap();
-            let b = db.query(&format!("SELECT * FROM {parted} ORDER BY rid")).unwrap();
+            let a = db
+                .query(&format!("SELECT * FROM {plain} ORDER BY rid"))
+                .unwrap();
+            let b = db
+                .query(&format!("SELECT * FROM {parted} ORDER BY rid"))
+                .unwrap();
             assert_eq!(a.rows, b.rows, "version {v} differs");
         }
     }

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use orpheus_engine::storage::{
-    self, ByteReader, ByteWriter, verify_envelope, wrap_envelope, write_atomically,
+    self, verify_envelope, wrap_envelope, write_atomically, ByteReader, ByteWriter,
 };
 use orpheus_engine::{Column, DataType, Schema};
 
@@ -104,7 +104,9 @@ fn put_i64s(w: &mut ByteWriter, xs: &[i64]) {
 fn get_i64s(r: &mut ByteReader<'_>) -> Result<Vec<i64>> {
     let n = r.get_u64()? as usize;
     if n.saturating_mul(8) > r.remaining() {
-        return Err(corrupt(format!("rid list length {n} exceeds remaining bytes")));
+        return Err(corrupt(format!(
+            "rid list length {n} exceeds remaining bytes"
+        )));
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -531,19 +533,26 @@ mod tests {
             .unwrap();
         let v2 = odb.commit("w1", "bump score").unwrap();
         odb.checkout("protein", &[Vid(1)], "w2").unwrap();
-        odb.engine.execute("DELETE FROM w2 WHERE score = 3").unwrap();
+        odb.engine
+            .execute("DELETE FROM w2 WHERE score = 3")
+            .unwrap();
         let v3 = odb.commit("w2", "drop c").unwrap();
         odb.checkout("protein", &[v2, v3], "w3").unwrap();
         odb.commit("w3", "merge").unwrap();
 
-        odb.init_cvd("notes", Schema::new(vec![Column::new("k", DataType::Int)]),
-            vec![vec![1.into()], vec![2.into()]], Some(ModelKind::DeltaBased))
-            .unwrap();
+        odb.init_cvd(
+            "notes",
+            Schema::new(vec![Column::new("k", DataType::Int)]),
+            vec![vec![1.into()], vec![2.into()]],
+            Some(ModelKind::DeltaBased),
+        )
+        .unwrap();
 
         // Leave one staged table open across the snapshot.
         odb.checkout("protein", &[Vid(4)], "open_work").unwrap();
         // And a CSV export.
-        odb.checkout_csv("protein", &[Vid(1)], "/tmp/export.csv").unwrap();
+        odb.checkout_csv("protein", &[Vid(1)], "/tmp/export.csv")
+            .unwrap();
         // Partition the CVD so PartitionState roundtrips.
         odb.optimize("protein").unwrap();
         odb

@@ -37,7 +37,10 @@ pub fn translate(odb: &OrpheusDB, sql: &str) -> Result<String> {
             ) {
                 if of.is_kw("of") && cvd_kw.is_kw("cvd") {
                     let vid = Vid(n.parse::<u64>().map_err(|_| {
-                        CoreError::Command(format!("bad version number {n}"))
+                        CoreError::bad_request(
+                            crate::request::CommandKind::Run,
+                            format!("bad version number {n}"),
+                        )
                     })?);
                     let cvd = odb.cvd(name)?;
                     cvd.check_version(vid)?;
@@ -328,11 +331,14 @@ mod tests {
         ] {
             let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
             let mut odb = OrpheusDB::new();
-            odb.init_cvd("d", schema, vec![vec![Value::Int(1)], vec![Value::Int(2)]], Some(model))
-                .unwrap();
-            let r = odb
-                .run("SELECT count(*) FROM VERSION 1 OF CVD d")
-                .unwrap();
+            odb.init_cvd(
+                "d",
+                schema,
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+                Some(model),
+            )
+            .unwrap();
+            let r = odb.run("SELECT count(*) FROM VERSION 1 OF CVD d").unwrap();
             assert_eq!(r.scalar(), Some(&Value::Int(2)), "model {}", model.name());
             let r = odb
                 .run("SELECT vid, count(*) FROM CVD d GROUP BY vid")
@@ -356,5 +362,139 @@ mod tests {
         let mut odb = setup();
         assert!(odb.run("SELECT * FROM VERSION 1 OF CVD nope").is_err());
         assert!(odb.run("SELECT * FROM VERSION 99 OF CVD protein").is_err());
+    }
+
+    /// One CVD named `d` under `model`, with a single int column and one
+    /// committed version.
+    fn odb_with_model(model: ModelKind) -> OrpheusDB {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let mut odb = OrpheusDB::new();
+        odb.init_cvd("d", schema, vec![vec![Value::Int(1)]], Some(model))
+            .unwrap();
+        odb
+    }
+
+    /// Table-driven: the exact shape `VERSION 1 OF CVD d` translates to
+    /// under every data model.
+    #[test]
+    fn version_translation_per_model() {
+        struct Case {
+            model: ModelKind,
+            // Substrings the translated SQL must contain, in order.
+            expect: &'static [&'static str],
+        }
+        let cases = [
+            Case {
+                model: ModelKind::SplitByRlist,
+                expect: &[
+                    "d__data",
+                    "unnest(rlist)",
+                    "FROM d__rlist WHERE vid = 1",
+                    "AS d",
+                ],
+            },
+            Case {
+                model: ModelKind::SplitByVlist,
+                expect: &["d__data", "FROM d__vlist", "ARRAY[1] <@ vlist", "AS d"],
+            },
+            Case {
+                model: ModelKind::CombinedTable,
+                expect: &[
+                    "SELECT rid, x FROM d__combined",
+                    "ARRAY[1] <@ vlist",
+                    "AS d",
+                ],
+            },
+            Case {
+                model: ModelKind::TablePerVersion,
+                expect: &["SELECT * FROM d__v1", "AS d"],
+            },
+        ];
+        for case in cases {
+            let odb = odb_with_model(case.model);
+            let sql = translate(&odb, "SELECT count(*) FROM VERSION 1 OF CVD d").unwrap();
+            let mut cursor = 0;
+            for needle in case.expect {
+                let at = sql[cursor..]
+                    .find(needle)
+                    .unwrap_or_else(|| panic!("{}: {needle:?} not in {sql:?}", case.model.name()));
+                cursor += at + needle.len();
+            }
+            // The translated SQL actually executes.
+            let mut odb = odb_with_model(case.model);
+            let r = odb.run("SELECT count(*) FROM VERSION 1 OF CVD d").unwrap();
+            assert_eq!(r.scalar(), Some(&Value::Int(1)), "{}", case.model.name());
+        }
+
+        // The delta model refuses versioned queries with a structured error.
+        let odb = odb_with_model(ModelKind::DeltaBased);
+        let err = translate(&odb, "SELECT count(*) FROM VERSION 1 OF CVD d").unwrap_err();
+        assert!(matches!(err, CoreError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("delta"), "{err}");
+    }
+
+    /// Table-driven: whole-CVD translation (`FROM CVD d`) per model,
+    /// including the two models that cannot answer it.
+    #[test]
+    fn whole_cvd_translation_per_model() {
+        for (model, expect) in [
+            (ModelKind::SplitByRlist, "FROM d__rlist"),
+            (ModelKind::SplitByVlist, "unnest(vlist)"),
+            (ModelKind::CombinedTable, "unnest(vlist) AS vid"),
+        ] {
+            let odb = odb_with_model(model);
+            let sql = translate(&odb, "SELECT vid, count(*) FROM CVD d GROUP BY vid").unwrap();
+            assert!(sql.contains(expect), "{}: {sql:?}", model.name());
+        }
+        for model in [ModelKind::TablePerVersion, ModelKind::DeltaBased] {
+            let odb = odb_with_model(model);
+            let err = translate(&odb, "SELECT vid FROM CVD d GROUP BY vid").unwrap_err();
+            assert!(
+                matches!(err, CoreError::Invalid(_)),
+                "{}: {err}",
+                model.name()
+            );
+        }
+    }
+
+    /// Error paths of the translator itself (not the engine): unknown CVD,
+    /// unknown version, malformed version number.
+    #[test]
+    fn translate_error_paths() {
+        let odb = odb_with_model(ModelKind::SplitByRlist);
+        let err = translate(&odb, "SELECT * FROM VERSION 1 OF CVD nope").unwrap_err();
+        assert!(
+            matches!(err, CoreError::CvdNotFound(ref n) if n == "nope"),
+            "{err}"
+        );
+        let err = translate(&odb, "SELECT * FROM VERSION 99 OF CVD d").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::VersionNotFound {
+                    version: Vid(99),
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = translate(&odb, "SELECT * FROM CVD nope").unwrap_err();
+        assert!(matches!(err, CoreError::CvdNotFound(_)), "{err}");
+        // A version number too large for u64 is a bad `run` request.
+        let err = translate(
+            &odb,
+            "SELECT * FROM VERSION 99999999999999999999999 OF CVD d",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::BadRequest {
+                    command: crate::request::CommandKind::Run,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 }

@@ -1,0 +1,219 @@
+//! Structured results for the typed command bus: one [`Response`] variant
+//! per [`crate::request::Request`] family, carrying data instead of
+//! pre-formatted strings. Front-ends choose their own rendering —
+//! [`Response::summary`] provides the canonical one-line human text the
+//! CLI and REPL print.
+
+use orpheus_engine::QueryResult;
+
+use crate::db::VersionDiff;
+use crate::ids::Vid;
+use crate::partition_store::OptimizeReport;
+
+/// Outcome of one executed [`crate::request::Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// `Init` / `InitFromCsv`.
+    Initialized { cvd: String, version: Vid },
+    /// `Checkout` into a staged table.
+    CheckedOut {
+        cvd: String,
+        versions: Vec<Vid>,
+        table: String,
+    },
+    /// `CheckoutCsv`: `csv` is the exported text; writing it under `path`
+    /// is the caller's job (I/O stays off the bus).
+    CheckedOutCsv {
+        cvd: String,
+        versions: Vec<Vid>,
+        path: String,
+        csv: String,
+    },
+    /// `Commit` / `CommitCsv`; `target` is the committed table or path.
+    Committed { target: String, version: Vid },
+    /// `Diff`.
+    Diffed {
+        cvd: String,
+        from: Vid,
+        to: Vid,
+        diff: VersionDiff,
+    },
+    /// `Run`.
+    Rows(QueryResult),
+    /// `Ls`.
+    CvdList(Vec<String>),
+    /// `Log`.
+    Log { cvd: String, entries: Vec<LogEntry> },
+    /// `Drop`.
+    Dropped { cvd: String },
+    /// `Optimize`.
+    Optimized { cvd: String, report: OptimizeReport },
+    /// `CreateUser`.
+    UserCreated { user: String },
+    /// `Login`.
+    LoggedIn { user: String },
+    /// `Whoami`.
+    CurrentUser { user: String },
+    /// `Discard`.
+    Discarded { table: String },
+}
+
+/// One version's history line (the typed form of `log` output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    pub vid: Vid,
+    pub parents: Vec<Vid>,
+    pub commit_t: u64,
+    pub num_records: u64,
+    pub message: String,
+}
+
+impl Response {
+    /// The query result, for `Run` responses.
+    pub fn rows(&self) -> Option<&QueryResult> {
+        match self {
+            Response::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consume into the query result, for `Run` responses.
+    pub fn into_rows(self) -> Option<QueryResult> {
+        match self {
+            Response::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The version created by this command, for `Init`/`Commit` responses.
+    pub fn version(&self) -> Option<Vid> {
+        match self {
+            Response::Initialized { version, .. } | Response::Committed { version, .. } => {
+                Some(*version)
+            }
+            _ => None,
+        }
+    }
+
+    /// Canonical one-line (or few-line) human-readable rendering. `Rows`
+    /// summarizes to a row count; front-ends that want the full table
+    /// render [`Response::rows`] themselves.
+    pub fn summary(&self) -> String {
+        match self {
+            Response::Initialized { cvd, version } => {
+                format!("initialized CVD {cvd} at version {version}")
+            }
+            Response::CheckedOut {
+                versions, table, ..
+            } => {
+                format!("checked out {} into table {table}", fmt_vids(versions))
+            }
+            Response::CheckedOutCsv { versions, path, .. } => {
+                format!("checked out {} into file {path}", fmt_vids(versions))
+            }
+            Response::Committed { target, version } => {
+                format!("committed {target} as {version}")
+            }
+            Response::Diffed { from, to, diff, .. } => format!(
+                "{} record(s) only in {from}, {} record(s) only in {to}",
+                diff.only_in_first.len(),
+                diff.only_in_second.len()
+            ),
+            Response::Rows(r) => format!("{} row(s)", r.rows.len()),
+            Response::CvdList(names) => names.join("\n"),
+            Response::Log { entries, .. } => entries
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} <- [{}] {} ({} records) \"{}\"",
+                        e.vid,
+                        fmt_vids(&e.parents),
+                        e.commit_t,
+                        e.num_records,
+                        e.message
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n"),
+            Response::Dropped { cvd } => format!("dropped CVD {cvd}"),
+            Response::Optimized { cvd, report } => format!(
+                "partitioned {cvd} into {} partition(s); est. storage {} records, \
+                 est. checkout cost {:.1} records (δ = {:.3})",
+                report.num_partitions, report.storage_records, report.cavg, report.delta
+            ),
+            Response::UserCreated { user } => format!("created user {user}"),
+            Response::LoggedIn { user } => format!("logged in as {user}"),
+            Response::CurrentUser { user } => user.clone(),
+            Response::Discarded { table } => format!("discarded {table}"),
+        }
+    }
+}
+
+fn fmt_vids(vids: &[Vid]) -> String {
+    vids.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_read_like_the_old_cli() {
+        assert_eq!(
+            Response::Initialized {
+                cvd: "protein".into(),
+                version: Vid(1)
+            }
+            .summary(),
+            "initialized CVD protein at version v1"
+        );
+        assert_eq!(
+            Response::CheckedOut {
+                cvd: "protein".into(),
+                versions: vec![Vid(2), Vid(1)],
+                table: "w".into()
+            }
+            .summary(),
+            "checked out v2, v1 into table w"
+        );
+        assert_eq!(
+            Response::Committed {
+                target: "w".into(),
+                version: Vid(2)
+            }
+            .summary(),
+            "committed w as v2"
+        );
+        assert_eq!(
+            Response::CvdList(vec!["a".into(), "b".into()]).summary(),
+            "a\nb"
+        );
+        assert_eq!(Response::CvdList(vec![]).summary(), "");
+    }
+
+    #[test]
+    fn accessors_pick_out_typed_payloads() {
+        let committed = Response::Committed {
+            target: "w".into(),
+            version: Vid(3),
+        };
+        assert_eq!(committed.version(), Some(Vid(3)));
+        assert!(committed.rows().is_none());
+
+        let log = Response::Log {
+            cvd: "d".into(),
+            entries: vec![LogEntry {
+                vid: Vid(2),
+                parents: vec![Vid(1)],
+                commit_t: 5,
+                num_records: 7,
+                message: "edit".into(),
+            }],
+        };
+        assert_eq!(log.summary(), "v2 <- [v1] 5 (7 records) \"edit\"");
+        assert_eq!(log.version(), None);
+    }
+}

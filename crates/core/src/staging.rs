@@ -73,11 +73,7 @@ impl StagingArea {
     /// All staged artifacts for a CVD (used when dropping it).
     pub fn for_cvd(&self, cvd: &str) -> Vec<&StagedEntry> {
         let cvd = cvd.to_ascii_lowercase();
-        let mut v: Vec<&StagedEntry> = self
-            .entries
-            .values()
-            .filter(|e| e.cvd == cvd)
-            .collect();
+        let mut v: Vec<&StagedEntry> = self.entries.values().filter(|e| e.cvd == cvd).collect();
         v.sort_by(|a, b| a.name.cmp(&b.name));
         v
     }

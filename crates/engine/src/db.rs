@@ -222,13 +222,11 @@ impl Database {
                 self.create_table(&name, schema)?;
                 Ok(QueryResult::empty())
             }
-            Statement::DropTable { name, if_exists } => {
-                match self.drop_table(&name) {
-                    Ok(()) => Ok(QueryResult::empty()),
-                    Err(_) if if_exists => Ok(QueryResult::empty()),
-                    Err(e) => Err(e),
-                }
-            }
+            Statement::DropTable { name, if_exists } => match self.drop_table(&name) {
+                Ok(()) => Ok(QueryResult::empty()),
+                Err(_) if if_exists => Ok(QueryResult::empty()),
+                Err(e) => Err(e),
+            },
             Statement::Truncate { table } => {
                 self.table_mut(&table)?.truncate();
                 Ok(QueryResult::empty())
@@ -243,7 +241,8 @@ impl Database {
                 column,
                 new_type,
             } => {
-                self.table_mut(&table)?.alter_column_type(&column, new_type)?;
+                self.table_mut(&table)?
+                    .alter_column_type(&column, new_type)?;
                 Ok(QueryResult::empty())
             }
             Statement::CreateIndex {
@@ -256,7 +255,11 @@ impl Database {
                 let index_name =
                     name.unwrap_or_else(|| format!("{}_{}_idx", table, columns.join("_")));
                 let cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
-                let kind = if btree { IndexKind::BTree } else { IndexKind::Hash };
+                let kind = if btree {
+                    IndexKind::BTree
+                } else {
+                    IndexKind::Hash
+                };
                 self.table_mut(&table)?
                     .create_index(index_name, &cols, unique, kind)?;
                 Ok(QueryResult::empty())
@@ -268,10 +271,9 @@ impl Database {
             }
             Statement::Set { name, value } => {
                 if name.eq_ignore_ascii_case("join_strategy") {
-                    self.settings.join_strategy =
-                        JoinStrategy::parse(&value).ok_or_else(|| {
-                            EngineError::Invalid(format!("unknown join strategy {value}"))
-                        })?;
+                    self.settings.join_strategy = JoinStrategy::parse(&value).ok_or_else(|| {
+                        EngineError::Invalid(format!("unknown join strategy {value}"))
+                    })?;
                     Ok(QueryResult::empty())
                 } else {
                     Err(EngineError::Invalid(format!("unknown setting {name}")))
@@ -291,10 +293,7 @@ impl Database {
                     "QUERY PLAN",
                     crate::types::DataType::Text,
                 )]);
-                let rows: Vec<Row> = lines
-                    .into_iter()
-                    .map(|l| vec![Value::Text(l)])
-                    .collect();
+                let rows: Vec<Row> = lines.into_iter().map(|l| vec![Value::Text(l)]).collect();
                 Ok(QueryResult {
                     affected: rows.len(),
                     schema,
@@ -388,7 +387,9 @@ impl Database {
             };
             let strategy = self.settings.join_strategy;
             let pred = match &filter {
-                Some(f) => Some(planner::lower_table_expr(f, table, &schema, &ctx, strategy)?),
+                Some(f) => Some(planner::lower_table_expr(
+                    f, table, &schema, &ctx, strategy,
+                )?),
                 None => None,
             };
             let mut lowered_assignments = Vec::with_capacity(assignments.len());
@@ -576,7 +577,8 @@ mod tests {
     #[test]
     fn insert_with_column_list_fills_nulls() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (a INT, b TEXT, c DOUBLE)").unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT, c DOUBLE)")
+            .unwrap();
         db.execute("INSERT INTO t (c, a) VALUES (1.5, 7)").unwrap();
         let r = db.query("SELECT a, b, c FROM t").unwrap();
         assert_eq!(
@@ -634,10 +636,12 @@ mod tests {
     #[test]
     fn ddl_roundtrip_and_catalog() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)").unwrap();
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+            .unwrap();
         assert!(db.has_table("T")); // case-insensitive
         db.execute("ALTER TABLE t ADD COLUMN c DOUBLE").unwrap();
-        db.execute("ALTER TABLE t ALTER COLUMN a TYPE DOUBLE").unwrap();
+        db.execute("ALTER TABLE t ALTER COLUMN a TYPE DOUBLE")
+            .unwrap();
         db.execute("CREATE INDEX ON t (b)").unwrap();
         db.execute("CLUSTER t USING (a)").unwrap();
         db.execute("DROP TABLE IF EXISTS missing").unwrap();

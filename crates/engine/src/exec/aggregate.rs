@@ -54,8 +54,15 @@ pub struct Aggregate {
 #[derive(Debug, Clone)]
 enum Acc {
     Count(i64),
-    Sum { total: f64, all_int: bool, seen: bool },
-    Avg { total: f64, n: i64 },
+    Sum {
+        total: f64,
+        all_int: bool,
+        seen: bool,
+    },
+    Avg {
+        total: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
     ArrayAgg(Vec<i64>),

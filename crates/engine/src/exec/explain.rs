@@ -42,7 +42,11 @@ fn filter_suffix(filter: &Option<crate::expr::Expr>) -> &'static str {
 fn walk(plan: &Plan, depth: usize, lines: &mut Vec<String>) {
     match plan {
         Plan::SeqScan { table, filter } => {
-            push(lines, depth, format!("Seq Scan on {table}{}", filter_suffix(filter)));
+            push(
+                lines,
+                depth,
+                format!("Seq Scan on {table}{}", filter_suffix(filter)),
+            );
         }
         Plan::IndexLookup {
             table,
@@ -63,8 +67,15 @@ fn walk(plan: &Plan, depth: usize, lines: &mut Vec<String>) {
             );
         }
         Plan::Values { rows, .. } => {
-            push(lines, depth, format!("Values ({} row{})", rows.len(),
-                if rows.len() == 1 { "" } else { "s" }));
+            push(
+                lines,
+                depth,
+                format!(
+                    "Values ({} row{})",
+                    rows.len(),
+                    if rows.len() == 1 { "" } else { "s" }
+                ),
+            );
         }
         Plan::Filter { input, .. } => {
             push(lines, depth, "Filter".to_string());
@@ -110,7 +121,11 @@ fn walk(plan: &Plan, depth: usize, lines: &mut Vec<String>) {
                 depth,
                 format!(
                     "Nested Loop{}",
-                    if predicate.is_some() { " with predicate" } else { " (cross)" }
+                    if predicate.is_some() {
+                        " with predicate"
+                    } else {
+                        " (cross)"
+                    }
                 ),
             );
             walk(left, depth + 1, lines);
@@ -139,7 +154,11 @@ fn walk(plan: &Plan, depth: usize, lines: &mut Vec<String>) {
             push(
                 lines,
                 depth,
-                format!("Sort ({} key{})", keys.len(), if keys.len() == 1 { "" } else { "s" }),
+                format!(
+                    "Sort ({} key{})",
+                    keys.len(),
+                    if keys.len() == 1 { "" } else { "s" }
+                ),
             );
             walk(input, depth + 1, lines);
         }
@@ -170,8 +189,10 @@ mod tests {
 
     fn setup() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE d (rid INT PRIMARY KEY, v INT)").unwrap();
-        db.execute("CREATE TABLE r (vid INT PRIMARY KEY, rlist INT[])").unwrap();
+        db.execute("CREATE TABLE d (rid INT PRIMARY KEY, v INT)")
+            .unwrap();
+        db.execute("CREATE TABLE r (vid INT PRIMARY KEY, rlist INT[])")
+            .unwrap();
         db.execute("INSERT INTO d VALUES (1, 10), (2, 20)").unwrap();
         db.execute("INSERT INTO r VALUES (1, ARRAY[1,2])").unwrap();
         db
@@ -205,7 +226,10 @@ mod tests {
     #[test]
     fn renders_aggregate_sort_limit_chain() {
         let mut db = setup();
-        let t = explain_text(&mut db, "SELECT v, count(*) FROM d GROUP BY v ORDER BY v LIMIT 5");
+        let t = explain_text(
+            &mut db,
+            "SELECT v, count(*) FROM d GROUP BY v ORDER BY v LIMIT 5",
+        );
         assert!(t.contains("Limit 5"), "{t}");
         assert!(t.contains("Sort (1 key)"), "{t}");
         assert!(t.contains("Aggregate (1 group key, 1 aggregate)"), "{t}");

@@ -429,8 +429,15 @@ mod tests {
             tables: &tables,
             stats: &stats,
         };
-        let chunk =
-            execute_join(&scan("a"), &scan("b"), &[0], &[0], JoinStrategy::Merge, &ctx).unwrap();
+        let chunk = execute_join(
+            &scan("a"),
+            &scan("b"),
+            &[0],
+            &[0],
+            JoinStrategy::Merge,
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(chunk.rows.len(), 6);
     }
 }

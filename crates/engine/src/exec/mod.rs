@@ -75,7 +75,10 @@ pub enum Plan {
         filter: Option<Expr>,
     },
     /// Inline constant rows.
-    Values { schema: Schema, rows: Vec<Row> },
+    Values {
+        schema: Schema,
+        rows: Vec<Row>,
+    },
     Filter {
         input: Box<Plan>,
         predicate: Expr,
@@ -110,7 +113,10 @@ pub enum Plan {
         input: Box<Plan>,
         keys: Vec<SortKey>,
     },
-    Limit { input: Box<Plan>, limit: usize },
+    Limit {
+        input: Box<Plan>,
+        limit: usize,
+    },
 }
 
 /// Everything execution needs: the table catalog and the stats sink.
@@ -203,10 +209,8 @@ fn seq_scan(table: &str, filter: Option<&Expr>, ctx: &ExecContext) -> Result<Chu
     let t = ctx.table(table)?;
     let n = t.len();
     ctx.stats.add_rows_scanned(n as u64);
-    ctx.stats.add_seq_pages(
-        cost::pages_for(n, t.avg_row_bytes()),
-        cost::SEQ_PAGE_COST,
-    );
+    ctx.stats
+        .add_seq_pages(cost::pages_for(n, t.avg_row_bytes()), cost::SEQ_PAGE_COST);
     let mut rows = Vec::new();
     match filter {
         None => rows.extend(t.rows().iter().cloned()),
@@ -251,12 +255,7 @@ fn index_lookup(
     Ok(Chunk::new(t.schema.clone(), rows))
 }
 
-fn project(
-    input: &Plan,
-    items: &[ProjItem],
-    schema: &Schema,
-    ctx: &ExecContext,
-) -> Result<Chunk> {
+fn project(input: &Plan, items: &[ProjItem], schema: &Schema, ctx: &ExecContext) -> Result<Chunk> {
     let chunk = execute(input, ctx)?;
     let unnest_count = items.iter().filter(|i| i.unnest).count();
     if unnest_count > 1 {

@@ -201,9 +201,7 @@ impl Expr {
                 func: *func,
                 args: args.iter().map(|a| a.remap_columns(map)).collect(),
             },
-            Expr::ArrayLit(es) => {
-                Expr::ArrayLit(es.iter().map(|e| e.remap_columns(map)).collect())
-            }
+            Expr::ArrayLit(es) => Expr::ArrayLit(es.iter().map(|e| e.remap_columns(map)).collect()),
             Expr::InSet { expr, set, negated } => Expr::InSet {
                 expr: Box::new(expr.remap_columns(map)),
                 set: Rc::clone(set),
@@ -261,9 +259,7 @@ fn eval_binop(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value> 
         };
         return Ok(match (op, lb, rb) {
             (BinOp::And, Some(a), Some(b)) => Value::Bool(a && b),
-            (BinOp::And, None, Some(false)) | (BinOp::And, Some(false), None) => {
-                Value::Bool(false)
-            }
+            (BinOp::And, None, Some(false)) | (BinOp::And, Some(false), None) => Value::Bool(false),
             (BinOp::Or, Some(a), Some(b)) => Value::Bool(a || b),
             (BinOp::Or, None, Some(true)) | (BinOp::Or, Some(true), None) => Value::Bool(true),
             _ => Value::Null,
@@ -577,7 +573,11 @@ mod tests {
             Expr::col(2),
         );
         assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
-        let e = Expr::bin(BinOp::Contains, Expr::col(2), Expr::ArrayLit(vec![Expr::lit(3)]));
+        let e = Expr::bin(
+            BinOp::Contains,
+            Expr::col(2),
+            Expr::ArrayLit(vec![Expr::lit(3)]),
+        );
         assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
     }
 

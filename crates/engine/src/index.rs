@@ -33,7 +33,12 @@ pub struct Index {
 }
 
 impl Index {
-    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool, kind: IndexKind) -> Index {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Index {
         Index {
             name: name.into(),
             columns,

@@ -258,7 +258,9 @@ impl fmt::Display for SqlExpr {
                 Some(q) => write!(f, "{q}.{name}"),
                 None => write!(f, "{name}"),
             },
-            SqlExpr::BinOp { op, left, right } => write!(f, "({left} {op_s} {right})", op_s = display_op(*op)),
+            SqlExpr::BinOp { op, left, right } => {
+                write!(f, "({left} {op_s} {right})", op_s = display_op(*op))
+            }
             SqlExpr::Not(e) => write!(f, "(NOT {e})"),
             SqlExpr::Neg(e) => write!(f, "(-{e})"),
             SqlExpr::Func {
@@ -376,49 +378,49 @@ impl fmt::Display for FromItem {
 
 impl fmt::Display for SelectStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "SELECT ")?;
-            for (i, it) in self.items.iter().enumerate() {
+        write!(f, "SELECT ")?;
+        for (i, it) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{it}")?;
+        }
+        if let Some(t) = &self.into {
+            write!(f, " INTO {t}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, fi) in self.from.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
                 }
-                write!(f, "{it}")?;
+                write!(f, "{fi}")?;
             }
-            if let Some(t) = &self.into {
-                write!(f, " INTO {t}")?;
-            }
-            if !self.from.is_empty() {
-                write!(f, " FROM ")?;
-                for (i, fi) in self.from.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{fi}")?;
+        }
+        if let Some(w) = &self.filter {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
                 }
+                write!(f, "{g}")?;
             }
-            if let Some(w) = &self.filter {
-                write!(f, " WHERE {w}")?;
-            }
-            if !self.group_by.is_empty() {
-                write!(f, " GROUP BY ")?;
-                for (i, g) in self.group_by.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{g}")?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
                 }
+                write!(f, "{}{}", k.expr, if k.desc { " DESC" } else { "" })?;
             }
-            if let Some(h) = &self.having {
-                write!(f, " HAVING {h}")?;
-            }
-            if !self.order_by.is_empty() {
-                write!(f, " ORDER BY ")?;
-                for (i, k) in self.order_by.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{}{}", k.expr, if k.desc { " DESC" } else { "" })?;
-                }
-            }
+        }
         if let Some(l) = self.limit {
             write!(f, " LIMIT {l}")?;
         }
@@ -589,10 +591,7 @@ mod tests {
             )),
             ..Default::default()
         };
-        assert_eq!(
-            s.to_string(),
-            "SELECT * INTO tprime FROM t WHERE (vid = 7)"
-        );
+        assert_eq!(s.to_string(), "SELECT * INTO tprime FROM t WHERE (vid = 7)");
     }
 
     #[test]

@@ -199,7 +199,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
                     && (bytes[i + 1] as char).is_ascii_digit()
                 {
                     i += 1;
@@ -247,8 +249,7 @@ mod tests {
 
     #[test]
     fn tokenizes_checkout_query() {
-        let toks =
-            tokenize("SELECT * INTO t2 FROM t WHERE ARRAY[3] <@ vlist").unwrap();
+        let toks = tokenize("SELECT * INTO t2 FROM t WHERE ARRAY[3] <@ vlist").unwrap();
         assert!(toks.contains(&Token::ContainedBy));
         assert!(toks.contains(&Token::LBracket));
         assert_eq!(*toks.last().unwrap(), Token::Eof);

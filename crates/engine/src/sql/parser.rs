@@ -10,8 +10,8 @@ use super::lexer::{tokenize, Token};
 /// Keywords that terminate an expression / cannot be bare aliases.
 const RESERVED: &[&str] = &[
     "select", "from", "where", "group", "having", "order", "limit", "into", "as", "join", "on",
-    "inner", "and", "or", "not", "in", "is", "null", "asc", "desc", "values", "set", "union",
-    "by", "using", "cross",
+    "inner", "and", "or", "not", "in", "is", "null", "asc", "desc", "values", "set", "union", "by",
+    "using", "cross",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -227,9 +227,10 @@ impl Parser {
         }
         let limit = if self.eat_kw("limit") {
             match self.next() {
-                Token::Number(n) => Some(n.parse::<u64>().map_err(|_| {
-                    EngineError::Parse(format!("invalid LIMIT value: {n}"))
-                })?),
+                Token::Number(n) => Some(
+                    n.parse::<u64>()
+                        .map_err(|_| EngineError::Parse(format!("invalid LIMIT value: {n}")))?,
+                ),
                 other => {
                     return Err(EngineError::Parse(format!(
                         "expected LIMIT count, found {other:?}"
@@ -877,12 +878,17 @@ mod tests {
 
     #[test]
     fn parses_table1_combined_checkout() {
-        let stmt =
-            parse_statement("SELECT * INTO T2 FROM T WHERE ARRAY[3] <@ vlist").unwrap();
+        let stmt = parse_statement("SELECT * INTO T2 FROM T WHERE ARRAY[3] <@ vlist").unwrap();
         match stmt {
             Statement::Select(s) => {
                 assert_eq!(s.into.as_deref(), Some("T2"));
-                assert!(matches!(s.filter, Some(SqlExpr::BinOp { op: BinOp::ContainedBy, .. })));
+                assert!(matches!(
+                    s.filter,
+                    Some(SqlExpr::BinOp {
+                        op: BinOp::ContainedBy,
+                        ..
+                    })
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -906,15 +912,12 @@ mod tests {
 
     #[test]
     fn parses_table1_commit_statements() {
-        roundtrip(
-            "UPDATE T SET vlist = (vlist + 9) WHERE (rid IN (SELECT rid FROM T2))",
-        );
+        roundtrip("UPDATE T SET vlist = (vlist + 9) WHERE (rid IN (SELECT rid FROM T2))");
         roundtrip("INSERT INTO versioningTable VALUES (9, ARRAY(SELECT rid FROM T2))");
         // The paper's bracket spelling also parses:
-        let stmt = parse_statement(
-            "INSERT INTO versioningTable VALUES (9, ARRAY[SELECT rid FROM T2])",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("INSERT INTO versioningTable VALUES (9, ARRAY[SELECT rid FROM T2])")
+                .unwrap();
         assert!(matches!(
             stmt,
             Statement::Insert {
@@ -983,10 +986,9 @@ mod tests {
 
     #[test]
     fn parses_script() {
-        let stmts = parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1019,10 +1021,8 @@ mod tests {
     #[test]
     fn update_with_array_append() {
         // Paper Table 1: UPDATE T SET vlist=vlist+vj WHERE rid in (...)
-        let stmt = parse_statement(
-            "UPDATE T SET vlist=vlist+9 WHERE rid in (SELECT rid FROM T2)",
-        )
-        .unwrap();
+        let stmt = parse_statement("UPDATE T SET vlist=vlist+9 WHERE rid in (SELECT rid FROM T2)")
+            .unwrap();
         match stmt {
             Statement::Update { assignments, .. } => {
                 assert_eq!(assignments.len(), 1);

@@ -18,7 +18,9 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use crate::error::{EngineError, Result};
-use crate::exec::{self, Aggregate, AggFunc, Chunk, ExecContext, JoinStrategy, Plan, ProjItem, SortKey};
+use crate::exec::{
+    self, AggFunc, Aggregate, Chunk, ExecContext, JoinStrategy, Plan, ProjItem, SortKey,
+};
 use crate::expr::{BinOp, Expr, Func};
 use crate::schema::{Column, Schema};
 use crate::types::{DataType, Value};
@@ -427,10 +429,7 @@ pub fn plan_select(
 
     // Schema of the join output in plan order.
     let plan_input_schema = {
-        let mut cols = vec![
-            Column::new("?", DataType::Int);
-            scope.width
-        ];
+        let mut cols = vec![Column::new("?", DataType::Int); scope.width];
         for item in &scope.items {
             for (ci, col) in item.schema.columns.iter().enumerate() {
                 cols[plan_map[item.offset + ci]] = col.clone();
@@ -452,9 +451,25 @@ pub fn plan_select(
             .unwrap_or(false);
 
     let (mut plan, mut out_schema) = if has_group_by || has_aggs {
-        plan_aggregate(stmt, plan, &scope, &plan_map, &plan_input_schema, ctx, strategy)?
+        plan_aggregate(
+            stmt,
+            plan,
+            &scope,
+            &plan_map,
+            &plan_input_schema,
+            ctx,
+            strategy,
+        )?
     } else {
-        plan_projection(stmt, plan, &scope, &plan_map, &plan_input_schema, ctx, strategy)?
+        plan_projection(
+            stmt,
+            plan,
+            &scope,
+            &plan_map,
+            &plan_input_schema,
+            ctx,
+            strategy,
+        )?
     };
 
     // 7. ORDER BY over the projected output, falling back to sorting the
@@ -705,9 +720,12 @@ fn apply_filters_to_rel(
         let mut best: Option<&crate::index::Index> = None;
         for idx in t.indexes() {
             if idx.columns.iter().all(|c| eq_cols.contains_key(c))
-                && best.map(|b| idx.columns.len() > b.columns.len()).unwrap_or(true) {
-                    best = Some(idx);
-                }
+                && best
+                    .map(|b| idx.columns.len() > b.columns.len())
+                    .unwrap_or(true)
+            {
+                best = Some(idx);
+            }
         }
         if let Some(idx) = best {
             let key: Vec<Value> = idx.columns.iter().map(|c| eq_cols[c].clone()).collect();
@@ -817,8 +835,8 @@ fn build_join_tree(
                         return true;
                     };
                     let joined_rel = scope.rel_of(joined_abs);
-                    let joined_pos = plan_offsets[&joined_rel]
-                        + (joined_abs - scope.items[joined_rel].offset);
+                    let joined_pos =
+                        plan_offsets[&joined_rel] + (joined_abs - scope.items[joined_rel].offset);
                     left_keys.push(joined_pos);
                     right_keys.push(new_abs - rel_scope_offset);
                     false
@@ -902,9 +920,7 @@ fn contains_aggregate(e: &SqlExpr) -> bool {
 
 fn output_name(item: &SelectItem, idx: usize) -> String {
     match item {
-        SelectItem::Expr {
-            alias: Some(a), ..
-        } => a.clone(),
+        SelectItem::Expr { alias: Some(a), .. } => a.clone(),
         SelectItem::Expr {
             expr: SqlExpr::Column { name, .. },
             ..
@@ -1071,15 +1087,13 @@ fn plan_aggregate(
             // Recurse structurally over non-aggregate operators.
             match e {
                 SqlExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
-                SqlExpr::Column { qualifier, name } => {
-                    Err(EngineError::Plan(format!(
-                        "column {}{name} must appear in GROUP BY or inside an aggregate",
-                        qualifier
-                            .as_ref()
-                            .map(|q| format!("{q}."))
-                            .unwrap_or_default()
-                    )))
-                }
+                SqlExpr::Column { qualifier, name } => Err(EngineError::Plan(format!(
+                    "column {}{name} must appear in GROUP BY or inside an aggregate",
+                    qualifier
+                        .as_ref()
+                        .map(|q| format!("{q}."))
+                        .unwrap_or_default()
+                ))),
                 SqlExpr::BinOp { op, left, right } => Ok(Expr::BinOp {
                     op: *op,
                     left: Box::new(self.lower(left, aggs)?),
@@ -1216,12 +1230,13 @@ fn resolve_order_keys(
     let mut keys = Vec::with_capacity(order_by.len());
     for k in order_by {
         let expr = match &k.expr {
-            SqlExpr::Column { qualifier: None, name } => {
-                match out_schema.column_index(name) {
-                    Ok(i) => Expr::col(i),
-                    Err(_) => return Ok(OrderKeys::Unresolvable(name.clone())),
-                }
-            }
+            SqlExpr::Column {
+                qualifier: None,
+                name,
+            } => match out_schema.column_index(name) {
+                Ok(i) => Expr::col(i),
+                Err(_) => return Ok(OrderKeys::Unresolvable(name.clone())),
+            },
             SqlExpr::Literal(Value::Int(n)) => {
                 let idx = *n as usize;
                 if idx == 0 || idx > out_schema.arity() {
@@ -1311,16 +1326,16 @@ mod tests {
         assert_eq!(stats.index_lookups(), 1);
         assert_eq!(stats.rows_scanned(), 20);
         // Output columns: dataTable.* then tmp.rid_tmp.
-        assert_eq!(chunk.schema.column_names(), vec!["rid", "name", "score", "rid_tmp"]);
+        assert_eq!(
+            chunk.schema.column_names(),
+            vec!["rid", "name", "score", "rid_tmp"]
+        );
     }
 
     #[test]
     fn wildcard_and_qualified_wildcard() {
         let tables = setup();
-        let (chunk, _) = select(
-            "SELECT d.* FROM dataTable AS d WHERE d.rid < 3",
-            &tables,
-        );
+        let (chunk, _) = select("SELECT d.* FROM dataTable AS d WHERE d.rid < 3", &tables);
         assert_eq!(chunk.rows.len(), 3);
         assert_eq!(chunk.schema.arity(), 3);
     }
@@ -1355,10 +1370,7 @@ mod tests {
         let tables = setup();
         let (chunk, _) = select("SELECT 1 + 2 AS three", &tables);
         assert_eq!(chunk.rows, vec![vec![Value::Int(3)]]);
-        let (chunk, _) = select(
-            "SELECT (SELECT max(rid) FROM dataTable) AS m",
-            &tables,
-        );
+        let (chunk, _) = select("SELECT (SELECT max(rid) FROM dataTable) AS m", &tables);
         assert_eq!(chunk.rows, vec![vec![Value::Int(19)]]);
     }
 
@@ -1395,14 +1407,13 @@ mod tests {
             tables: &tables,
             stats: &stats,
         };
-        let stmt = match parse_statement(
-            "SELECT rid FROM dataTable a, dataTable b WHERE a.rid = b.rid",
-        )
-        .unwrap()
-        {
-            Statement::Select(s) => s,
-            _ => unreachable!(),
-        };
+        let stmt =
+            match parse_statement("SELECT rid FROM dataTable a, dataTable b WHERE a.rid = b.rid")
+                .unwrap()
+            {
+                Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
         let err = run_select(&stmt, &ctx, JoinStrategy::Auto).unwrap_err();
         assert!(matches!(err, EngineError::AmbiguousColumn(_)));
     }

@@ -54,7 +54,11 @@ fn crc32_table() -> &'static [u32; 256] {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -492,7 +496,11 @@ fn get_table(r: &mut ByteReader<'_>) -> Result<Table> {
             .map(|&c| table.schema.column(c).name.clone())
             .collect();
         let refs: Vec<&str> = col_names.iter().map(|s| s.as_str()).collect();
-        let kind = if def.btree { IndexKind::BTree } else { IndexKind::Hash };
+        let kind = if def.btree {
+            IndexKind::BTree
+        } else {
+            IndexKind::Hash
+        };
         table.create_index(def.name, &refs, def.unique, kind)?;
     }
 
@@ -625,7 +633,9 @@ pub fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = match dir {
         Some(d) => d.join(format!(
             ".{}.tmp.{}",
-            path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot"),
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("snapshot"),
             std::process::id()
         )),
         None => Path::new(&format!(".orpheus.tmp.{}", std::process::id())).to_path_buf(),
@@ -758,7 +768,10 @@ mod tests {
             db.execute(&format!("INSERT INTO d VALUES ({i}, 'x{i}')"))
                 .unwrap();
         }
-        db.table_mut("d").unwrap().create_index("d_v", &["v"], false, IndexKind::BTree).unwrap();
+        db.table_mut("d")
+            .unwrap()
+            .create_index("d_v", &["v"], false, IndexKind::BTree)
+            .unwrap();
         db.table_mut("d").unwrap().cluster_by(&["rid"]).unwrap();
 
         let back = deserialize_database(&serialize_database(&db)).unwrap();
@@ -814,7 +827,10 @@ mod tests {
             let mut corrupted = bytes.clone();
             corrupted[pos] ^= 0x01;
             let err = deserialize_database(&corrupted).unwrap_err();
-            assert!(matches!(err, EngineError::Storage(_)), "flip at {pos}: {err}");
+            assert!(
+                matches!(err, EngineError::Storage(_)),
+                "flip at {pos}: {err}"
+            );
         }
     }
 

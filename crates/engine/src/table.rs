@@ -39,8 +39,12 @@ impl Table {
         };
         if !t.schema.primary_key.is_empty() {
             let cols = t.schema.primary_key.clone();
-            t.indexes
-                .push(Index::new(format!("{name}_pkey"), cols, true, IndexKind::Hash));
+            t.indexes.push(Index::new(
+                format!("{name}_pkey"),
+                cols,
+                true,
+                IndexKind::Hash,
+            ));
         }
         t
     }
@@ -83,7 +87,12 @@ impl Table {
     /// Total storage footprint: heap bytes plus all index bytes, matching
     /// the paper's convention of counting index size in storage numbers.
     pub fn storage_bytes(&self) -> usize {
-        self.row_bytes_total + self.indexes.iter().map(|i| i.storage_bytes()).sum::<usize>()
+        self.row_bytes_total
+            + self
+                .indexes
+                .iter()
+                .map(|i| i.storage_bytes())
+                .sum::<usize>()
     }
 
     /// Heap-only storage footprint.
@@ -208,7 +217,10 @@ impl Table {
                 self.name
             )));
         }
-        let cols: Result<Vec<usize>> = columns.iter().map(|c| self.schema.column_index(c)).collect();
+        let cols: Result<Vec<usize>> = columns
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect();
         let mut idx = Index::new(index_name, cols?, unique, kind);
         for (slot, row) in self.rows.iter().enumerate() {
             let key = idx.key_of(row);
@@ -236,7 +248,10 @@ impl Table {
     /// mirroring PostgreSQL's `CLUSTER`. Lookups on the clustering key are
     /// then charged (mostly) sequential I/O by the cost model.
     pub fn cluster_by(&mut self, columns: &[&str]) -> Result<()> {
-        let cols: Result<Vec<usize>> = columns.iter().map(|c| self.schema.column_index(c)).collect();
+        let cols: Result<Vec<usize>> = columns
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect();
         let cols = cols?;
         self.rows.sort_by(|a, b| {
             for &c in &cols {
@@ -276,7 +291,11 @@ impl Table {
 
     /// Change a column to a more general type (int → double → text),
     /// converting stored values. Used by single-pool schema evolution.
-    pub fn alter_column_type(&mut self, name: &str, new_type: crate::types::DataType) -> Result<()> {
+    pub fn alter_column_type(
+        &mut self,
+        name: &str,
+        new_type: crate::types::DataType,
+    ) -> Result<()> {
         let ci = self.schema.column_index(name)?;
         let old = self.schema.columns[ci].dtype;
         if old == new_type {
@@ -353,7 +372,8 @@ mod tests {
     fn pk_index_lookup() {
         let mut t = table();
         for i in 0..10 {
-            t.insert(vec![Value::Int(i), format!("v{i}").into()]).unwrap();
+            t.insert(vec![Value::Int(i), format!("v{i}").into()])
+                .unwrap();
         }
         let slots = t.index_lookup(&[0], &vec![Value::Int(7)]).unwrap();
         assert_eq!(slots, &[7]);
@@ -366,10 +386,15 @@ mod tests {
         t.insert(vec![Value::Int(1), "a".into()]).unwrap();
         t.insert(vec![Value::Int(2), "b".into()]).unwrap();
         t.replace_row(0, vec![Value::Int(10), "a2".into()]).unwrap();
-        assert!(t.index_lookup(&[0], &vec![Value::Int(1)]).unwrap().is_empty());
+        assert!(t
+            .index_lookup(&[0], &vec![Value::Int(1)])
+            .unwrap()
+            .is_empty());
         assert_eq!(t.index_lookup(&[0], &vec![Value::Int(10)]).unwrap(), &[0]);
         // Replacing with an existing other key is rejected.
-        let err = t.replace_row(0, vec![Value::Int(2), "x".into()]).unwrap_err();
+        let err = t
+            .replace_row(0, vec![Value::Int(2), "x".into()])
+            .unwrap_err();
         assert!(matches!(err, EngineError::UniqueViolation(_)));
         // Replacing a row with its own key is fine (no-op key change).
         t.replace_row(1, vec![Value::Int(2), "b2".into()]).unwrap();
@@ -379,7 +404,8 @@ mod tests {
     fn delete_slots_compacts_and_rebuilds() {
         let mut t = table();
         for i in 0..5 {
-            t.insert(vec![Value::Int(i), format!("v{i}").into()]).unwrap();
+            t.insert(vec![Value::Int(i), format!("v{i}").into()])
+                .unwrap();
         }
         let n = t.delete_slots(vec![1, 3]);
         assert_eq!(n, 2);
@@ -390,7 +416,10 @@ mod tests {
             assert_eq!(slots.len(), 1);
             assert_eq!(t.row(slots[0])[0], Value::Int(k));
         }
-        assert!(t.index_lookup(&[0], &vec![Value::Int(1)]).unwrap().is_empty());
+        assert!(t
+            .index_lookup(&[0], &vec![Value::Int(1)])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -449,9 +478,12 @@ mod tests {
             t.insert(vec![Value::Int(i), Value::Text(format!("g{}", i % 2))])
                 .unwrap();
         }
-        t.create_index("t_val", &["val"], false, IndexKind::BTree).unwrap();
+        t.create_index("t_val", &["val"], false, IndexKind::BTree)
+            .unwrap();
         let idx = t.index_named("t_val").unwrap();
         assert_eq!(idx.lookup(&vec!["g0".into()]).len(), 2);
-        assert!(t.create_index("t_val", &["val"], false, IndexKind::Hash).is_err());
+        assert!(t
+            .create_index("t_val", &["val"], false, IndexKind::Hash)
+            .is_err());
     }
 }

@@ -392,10 +392,7 @@ mod tests {
             DataType::Double.generalize(DataType::Text),
             Some(DataType::Text)
         );
-        assert_eq!(
-            DataType::Int.generalize(DataType::Int),
-            Some(DataType::Int)
-        );
+        assert_eq!(DataType::Int.generalize(DataType::Int), Some(DataType::Int));
         assert_eq!(DataType::IntArray.generalize(DataType::Int), None);
     }
 
@@ -415,11 +412,13 @@ mod tests {
 
     #[test]
     fn total_order_sorts_nulls_first_and_types_by_rank() {
-        let mut vs = [Value::Text("a".into()),
+        let mut vs = [
+            Value::Text("a".into()),
             Value::Int(1),
             Value::Null,
             Value::Bool(true),
-            Value::IntArray(vec![1])];
+            Value::IntArray(vec![1]),
+        ];
         vs.sort();
         assert!(vs[0].is_null());
         assert_eq!(vs[1], Value::Bool(true));

@@ -126,7 +126,11 @@ pub struct KmeansBudget {
 /// Solve Problem 1 with KMEANS: binary search the number of partitions `K`
 /// for the largest value whose storage cost meets the budget γ (larger K ⇒
 /// more partitions ⇒ more storage, less checkout cost).
-pub fn kmeans_for_budget(bip: &BipartiteGraph, gamma: u64, seed: u64) -> (Partitioning, KmeansBudget) {
+pub fn kmeans_for_budget(
+    bip: &BipartiteGraph,
+    gamma: u64,
+    seed: u64,
+) -> (Partitioning, KmeansBudget) {
     let n = bip.num_versions().max(1);
     let mut lo = 1usize;
     let mut hi = n;
@@ -203,8 +207,14 @@ mod tests {
         let h = sim::tree(30, 15);
         let p2 = kmeans(&h.bipartite, 2, usize::MAX, 1);
         let p8 = kmeans(&h.bipartite, 8, usize::MAX, 1);
-        let (s2, c2) = (p2.storage_cost(&h.bipartite), p2.checkout_cost(&h.bipartite));
-        let (s8, c8) = (p8.storage_cost(&h.bipartite), p8.checkout_cost(&h.bipartite));
+        let (s2, c2) = (
+            p2.storage_cost(&h.bipartite),
+            p2.checkout_cost(&h.bipartite),
+        );
+        let (s8, c8) = (
+            p8.storage_cost(&h.bipartite),
+            p8.checkout_cost(&h.bipartite),
+        );
         assert!(s8 >= s2, "storage should grow with K ({s8} vs {s2})");
         assert!(c8 <= c2, "checkout should shrink with K ({c8} vs {c2})");
     }

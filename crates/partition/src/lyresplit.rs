@@ -181,9 +181,7 @@ fn try_split(
             .copied()
             .min_by_key(|&v| (effective_weight(v), v))
             .expect("candidates nonempty"),
-        EdgePick::BalancedVersions => {
-            pick_balanced(tree, members, &stats, &candidates)
-        }
+        EdgePick::BalancedVersions => pick_balanced(tree, members, &stats, &candidates),
     };
 
     // Split: subtree rooted at `cut` (within the component) vs. the rest.
@@ -238,9 +236,7 @@ fn pick_balanced(
     let mut sub_newrecs = vec![0u64; tree.num_versions()];
     for &v in order.iter().rev() {
         let newrec = match tree.parent[v] {
-            Some(p) if stats.in_comp[p] => {
-                tree.records[v].saturating_sub(tree.weight_to_parent[v])
-            }
+            Some(p) if stats.in_comp[p] => tree.records[v].saturating_sub(tree.weight_to_parent[v]),
             _ => tree.records[v],
         };
         sub_versions[v] += 1;
@@ -395,8 +391,7 @@ mod tests {
     fn tiny_delta_keeps_single_partition() {
         let t = figure8_tree();
         // δ at the theoretical floor: |E|/(|R||V|).
-        let delta = t.total_edges() as f64
-            / (t.total_records() as f64 * t.num_versions() as f64);
+        let delta = t.total_edges() as f64 / (t.total_records() as f64 * t.num_versions() as f64);
         let r = lyresplit(&t, delta * 0.999, EdgePick::BalancedVersions);
         assert_eq!(r.partitioning.num_partitions, 1);
     }
@@ -421,8 +416,7 @@ mod tests {
                 let r = lyresplit(&t, delta, pick);
                 r.partitioning.validate().unwrap();
                 let s = r.partitioning.storage_cost_tree(&t) as f64;
-                let storage_bound =
-                    (1.0 + delta).powi(r.levels as i32) * t.total_records() as f64;
+                let storage_bound = (1.0 + delta).powi(r.levels as i32) * t.total_records() as f64;
                 assert!(
                     s <= storage_bound + 1e-9,
                     "S={s} > bound={storage_bound} at δ={delta} {pick:?}"
@@ -469,8 +463,7 @@ mod tests {
     fn budget_search_uses_budget_to_reduce_checkout() {
         let t = figure8_tree();
         let tight = lyresplit_for_budget(&t, t.total_records(), EdgePick::BalancedVersions);
-        let loose =
-            lyresplit_for_budget(&t, 2 * t.total_records(), EdgePick::BalancedVersions);
+        let loose = lyresplit_for_budget(&t, 2 * t.total_records(), EdgePick::BalancedVersions);
         let c_tight = tight.0.partitioning.checkout_cost_tree(&t);
         let c_loose = loose.0.partitioning.checkout_cost_tree(&t);
         assert!(

@@ -54,11 +54,7 @@ impl MigrationPlan {
 
 /// The naive approach: drop everything, rebuild every new partition from
 /// scratch.
-pub fn plan_naive(
-    bip: &BipartiteGraph,
-    old: &Partitioning,
-    new: &Partitioning,
-) -> MigrationPlan {
+pub fn plan_naive(bip: &BipartiteGraph, old: &Partitioning, new: &Partitioning) -> MigrationPlan {
     let mut plan = MigrationPlan::default();
     for (oldid, vs) in old.partitions().iter().enumerate() {
         plan.records_deleted += bip.distinct_records(vs) as u64;
@@ -108,16 +104,14 @@ pub fn plan_migration(
     for (i, nvs) in new_parts.iter().enumerate() {
         let nset: HashSet<usize> = nvs.iter().copied().collect();
         for (j, ovs) in old_parts.iter().enumerate() {
-            let common_versions: Vec<usize> = ovs
-                .iter()
-                .copied()
-                .filter(|v| nset.contains(v))
-                .collect();
+            let common_versions: Vec<usize> =
+                ovs.iter().copied().filter(|v| nset.contains(v)).collect();
             if common_versions.is_empty() {
                 continue;
             }
             let common_records = estimate_records(bip, tree, &common_versions);
-            let cost = new_sizes[i] + old_sizes[j] - 2 * common_records.min(new_sizes[i]).min(old_sizes[j]);
+            let cost = new_sizes[i] + old_sizes[j]
+                - 2 * common_records.min(new_sizes[i]).min(old_sizes[j]);
             pairs.push((cost, i, j));
         }
     }
@@ -143,14 +137,10 @@ pub fn plan_migration(
     // Step 3: emit concrete steps.
     let mut plan = MigrationPlan::default();
     for (i, j) in chosen {
-        let new_records: HashSet<RecordId> =
-            bip.union_records(&new_parts[i]).into_iter().collect();
-        let old_records: HashSet<RecordId> =
-            bip.union_records(&old_parts[j]).into_iter().collect();
-        let mut inserts: Vec<RecordId> =
-            new_records.difference(&old_records).copied().collect();
-        let mut deletes: Vec<RecordId> =
-            old_records.difference(&new_records).copied().collect();
+        let new_records: HashSet<RecordId> = bip.union_records(&new_parts[i]).into_iter().collect();
+        let old_records: HashSet<RecordId> = bip.union_records(&old_parts[j]).into_iter().collect();
+        let mut inserts: Vec<RecordId> = new_records.difference(&old_records).copied().collect();
+        let mut deletes: Vec<RecordId> = old_records.difference(&new_records).copied().collect();
         inserts.sort_unstable();
         deletes.sort_unstable();
         plan.records_inserted += inserts.len() as u64;
@@ -168,10 +158,7 @@ pub fn plan_migration(
             let records = bip.union_records(&new_parts[i]);
             plan.records_inserted += records.len() as u64;
             plan.partitions_built += 1;
-            plan.steps.push(MigrationStep::Build {
-                new: i,
-                records,
-            });
+            plan.steps.push(MigrationStep::Build { new: i, records });
         }
     }
     for (j, assigned) in old_assigned.iter().enumerate() {

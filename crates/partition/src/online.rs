@@ -323,7 +323,9 @@ mod tests {
             }
         }
         // Online cost is at worst µ·C*avg after maintenance.
-        assert!(m.cavg() <= m.config.mu * m.cavg_star + m.tree.total_records() as f64 * 0.01 + 1e-9
-            || m.migrations_triggered() > 0);
+        assert!(
+            m.cavg() <= m.config.mu * m.cavg_star + m.tree.total_records() as f64 * 0.01 + 1e-9
+                || m.migrations_triggered() > 0
+        );
     }
 }

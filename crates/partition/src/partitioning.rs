@@ -129,7 +129,9 @@ impl Partitioning {
         let mut seen = vec![false; self.num_partitions];
         for (v, &p) in self.assignment.iter().enumerate() {
             if p >= self.num_partitions {
-                return Err(format!("version {v} assigned to out-of-range partition {p}"));
+                return Err(format!(
+                    "version {v} assigned to out-of-range partition {p}"
+                ));
             }
             seen[p] = true;
         }

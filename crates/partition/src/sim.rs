@@ -200,7 +200,10 @@ mod tests {
         assert_eq!(a.parent_lists, b.parent_lists);
         assert_eq!(a.bipartite.num_records(), b.bipartite.num_records());
         let c = tree(15, 10);
-        assert!(a.parent_lists != c.parent_lists || a.bipartite.num_records() != c.bipartite.num_records());
+        assert!(
+            a.parent_lists != c.parent_lists
+                || a.bipartite.num_records() != c.bipartite.num_records()
+        );
     }
 
     #[test]

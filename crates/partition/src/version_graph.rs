@@ -135,8 +135,7 @@ impl VersionGraph {
         let mut parent = vec![None; n];
         let mut weight = vec![0u64; n];
         for v in 0..n {
-            let best = self
-                .parents[v]
+            let best = self.parents[v]
                 .iter()
                 .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
             if let Some(&(p, w)) = best {
@@ -237,8 +236,7 @@ impl VersionTree {
     /// Distinct-record count of a *connected* component of the tree
     /// (identified by membership), computed purely from counts.
     pub fn component_records(&self, members: &[VersionId]) -> u64 {
-        let member_set: HashMap<VersionId, ()> =
-            members.iter().map(|&v| (v, ())).collect();
+        let member_set: HashMap<VersionId, ()> = members.iter().map(|&v| (v, ())).collect();
         let mut total = 0u64;
         for &v in members {
             match self.parent[v] {
@@ -297,10 +295,7 @@ mod tests {
         // Figure 17: after dropping edge (v2, v4), records r̂2 and r̂4 are
         // duplicated: |R̂| = 2.
         let bip = figure6_graph();
-        let g = VersionGraph::from_bipartite(
-            &[vec![], vec![0], vec![0], vec![1, 2]],
-            &bip,
-        );
+        let g = VersionGraph::from_bipartite(&[vec![], vec![0], vec![0], vec![1, 2]], &bip);
         assert_eq!(g.duplicated_records(&bip), 2);
     }
 

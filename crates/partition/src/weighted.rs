@@ -17,11 +17,7 @@ use crate::VersionId;
 
 /// Weighted checkout cost `Cw = Σ f_i·C_i / Σ f_i` (exact, via the
 /// bipartite graph).
-pub fn weighted_checkout_cost(
-    part: &Partitioning,
-    bip: &BipartiteGraph,
-    freqs: &[u64],
-) -> f64 {
+pub fn weighted_checkout_cost(part: &Partitioning, bip: &BipartiteGraph, freqs: &[u64]) -> f64 {
     assert_eq!(part.num_versions(), freqs.len());
     let parts = part.partitions();
     let sizes: Vec<u64> = parts
@@ -267,9 +263,17 @@ mod tests {
         let mut freqs = vec![1u64; 40];
         freqs[39] = 100;
         let tight = lyresplit_weighted_for_budget(
-            &t, &freqs, (1.1 * t.total_records() as f64) as u64, EdgePick::BalancedVersions);
+            &t,
+            &freqs,
+            (1.1 * t.total_records() as f64) as u64,
+            EdgePick::BalancedVersions,
+        );
         let loose = lyresplit_weighted_for_budget(
-            &t, &freqs, (3.0 * t.total_records() as f64) as u64, EdgePick::BalancedVersions);
+            &t,
+            &freqs,
+            (3.0 * t.total_records() as f64) as u64,
+            EdgePick::BalancedVersions,
+        );
         let cw_tight = weighted_checkout_cost(&tight.partitioning, &h.bipartite, &freqs);
         let cw_loose = weighted_checkout_cost(&loose.partitioning, &h.bipartite, &freqs);
         assert!(cw_loose <= cw_tight + 1e-9, "{cw_loose} > {cw_tight}");

@@ -1,7 +1,8 @@
 //! Collaborative analysis: several data scientists working concurrently on
 //! one shared CVD — the deployment scenario of the paper's introduction —
-//! with the session layer enforcing checkout ownership and a durable
-//! snapshot carrying the instance across restarts.
+//! with sessions as the entry point: every scientist drives the same typed
+//! command bus under their own identity, ownership is enforced between
+//! sessions, and a durable snapshot carries the instance across restarts.
 //!
 //! Run with `cargo run --example collaborative_team`.
 
@@ -26,7 +27,8 @@ fn main() {
             ]
         })
         .collect();
-    odb.init_cvd("ppi", schema, rows, None).expect("init");
+    odb.dispatch(Init::cvd("ppi").schema(schema).rows(rows))
+        .expect("init");
 
     // Share the instance; each scientist opens a named session.
     let shared = SharedOrpheusDB::new(odb);
@@ -35,21 +37,25 @@ fn main() {
         for scientist in ["alice", "bob", "carol", "dave"] {
             let shared = shared.clone();
             scope.spawn(move || {
-                let session = shared.session(scientist).expect("session");
+                let mut session = shared.session(scientist).expect("session");
                 let table = session.private_table("analysis");
 
                 // Everyone branches from v1, applies their own cleaning
-                // step, and commits — concurrently.
-                session.checkout("ppi", &[Vid(1)], &table).expect("checkout");
+                // step, and commits — concurrently, over one bus.
                 session
-                    .execute(&format!(
+                    .dispatch(Checkout::of("ppi").version(1u64).into_table(&table))
+                    .expect("checkout");
+                session
+                    .sql(&format!(
                         "DELETE FROM {table} WHERE coexpression < {}",
                         scientist.len() * 5 // each scientist's own threshold
                     ))
                     .expect("clean");
                 let vid = session
-                    .commit(&table, &format!("{scientist}'s cleaning pass"))
-                    .expect("commit");
+                    .dispatch(Commit::table(&table).message(format!("{scientist}'s cleaning pass")))
+                    .expect("commit")
+                    .version()
+                    .expect("version");
                 println!("{scientist:>6} committed {vid}");
             });
         }
@@ -57,17 +63,30 @@ fn main() {
 
     // Ownership is enforced between sessions: eve cannot touch a table that
     // alice checks out.
-    let alice = shared.session("alice").expect("session");
+    let mut alice = shared.session("alice").expect("session");
     let eve = shared.session("eve").expect("session");
-    alice.checkout("ppi", &[Vid(1)], "alice_wip").expect("checkout");
-    let denied = eve.execute("SELECT * FROM alice_wip");
+    alice
+        .dispatch(Checkout::of("ppi").version(1u64).into_table("alice_wip"))
+        .expect("checkout");
+    let denied = eve.sql("SELECT * FROM alice_wip");
     println!("eve reading alice's checkout: {}", denied.unwrap_err());
-    alice.discard("alice_wip").expect("discard");
+    // The bus is no way around the rule either: a `Run` request hits the
+    // same guard.
+    let mut eve = eve;
+    let denied = eve.dispatch(Run::sql("UPDATE alice_wip SET coexpression = 0"));
+    println!("eve writing via Run request:  {}", denied.unwrap_err());
+    alice
+        .dispatch(Discard::table("alice_wip"))
+        .expect("discard");
 
     // Global statistics across everyone's versions, straight from SQL.
     let per_version = alice
-        .run("SELECT vid, count(*) FROM CVD ppi GROUP BY vid ORDER BY vid")
-        .expect("versioned query");
+        .dispatch(Run::sql(
+            "SELECT vid, count(*) FROM CVD ppi GROUP BY vid ORDER BY vid",
+        ))
+        .expect("versioned query")
+        .into_rows()
+        .expect("rows");
     println!("\nrecords per version:");
     for row in &per_version.rows {
         println!("  v{} -> {} records", row[0], row[1]);

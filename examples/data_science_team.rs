@@ -4,22 +4,22 @@
 //! near-table-per-version latency at a bounded storage overhead
 //! (Figures 12/13 in miniature).
 //!
+//! The checkout workload runs through the typed command bus via the
+//! benchmark harness's [`drive`]/[`checkout_storm`] helpers — the same
+//! stream a batching or async executor would be measured with.
+//!
 //! Run with `cargo run --release --example data_science_team`.
 
 use std::time::Instant;
 
 use orpheusdb::bench::generator::{Workload, WorkloadParams};
+use orpheusdb::bench::harness::{checkout_storm, drive};
 use orpheusdb::bench::loader::load_workload;
 use orpheusdb::prelude::*;
 
 fn avg_checkout_ms(odb: &mut OrpheusDB, versions: &[u64]) -> f64 {
-    let start = Instant::now();
-    for (i, &v) in versions.iter().enumerate() {
-        let t = format!("bench_co_{i}_{v}");
-        odb.checkout("science", &[Vid(v)], &t).expect("checkout");
-        odb.discard(&t).expect("discard");
-    }
-    start.elapsed().as_secs_f64() * 1e3 / versions.len() as f64
+    let stats = drive(odb, checkout_storm("science", versions)).expect("bus workload");
+    stats.total_ms / versions.len() as f64
 }
 
 fn main() {
@@ -46,7 +46,13 @@ fn main() {
     );
 
     // Run the partition optimizer with the paper's γ = 2|R| budget.
-    let report = odb.optimize_with("science", 2.0, 1.5).expect("optimize");
+    let report = match odb
+        .dispatch(Optimize::cvd("science").gamma(2.0).mu(1.5))
+        .expect("optimize")
+    {
+        Response::Optimized { report, .. } => report,
+        other => panic!("unexpected response {other:?}"),
+    };
     println!(
         "LyreSplit: {} partitions, est. checkout cost {:.0} records (δ = {:.3})",
         report.num_partitions, report.cavg, report.delta
@@ -67,12 +73,22 @@ fn main() {
     // Work continues: new commits are placed by online maintenance, and
     // drifting too far from LyreSplit's best triggers migration (§4.3).
     let latest = Vid(workload.num_versions() as u64);
-    odb.checkout("science", &[latest], "cont").expect("checkout");
+    odb.dispatch(Checkout::of("science").version(latest).into_table("cont"))
+        .expect("checkout");
     odb.engine
         .execute("UPDATE cont SET a0 = a0 + 1 WHERE a1 < 50")
         .expect("edit");
-    let v = odb.commit("cont", "post-optimization commit").expect("commit");
-    let state = odb.cvd("science").expect("cvd").partition.as_ref().expect("state");
+    let v = odb
+        .dispatch(Commit::table("cont").message("post-optimization commit"))
+        .expect("commit")
+        .version()
+        .expect("version");
+    let state = odb
+        .cvd("science")
+        .expect("cvd")
+        .partition
+        .as_ref()
+        .expect("state");
     println!(
         "\ncommitted {v}; online maintenance placed it in partition {} of {} (migrations so far: {})",
         state.assignment[v.index()],

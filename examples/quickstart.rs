@@ -1,4 +1,5 @@
-//! Quickstart: create a CVD, branch, edit, merge, diff, query.
+//! Quickstart: create a CVD, branch, edit, merge, diff, query — all
+//! through the typed command bus.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -15,55 +16,77 @@ fn main() {
     ])
     .with_primary_key(&["gene", "tissue"])
     .expect("schema");
-    odb.init_cvd(
-        "genes",
-        schema,
-        vec![
+    let response = odb
+        .dispatch(Init::cvd("genes").schema(schema).rows(vec![
             vec!["brca1".into(), "breast".into(), 74.into()],
             vec!["tp53".into(), "lung".into(), 31.into()],
             vec!["egfr".into(), "lung".into(), 55.into()],
-        ],
-        None, // default model: split-by-rlist
-    )
-    .expect("init");
-    println!("initialized CVD 'genes' at v1");
+        ]))
+        .expect("init");
+    println!("{}", response.summary());
 
     // Alice branches from v1 and recalibrates lung measurements.
-    odb.checkout("genes", &[Vid(1)], "alice_work").expect("checkout");
+    odb.dispatch(Checkout::of("genes").version(1u64).into_table("alice_work"))
+        .expect("checkout");
     odb.engine
         .execute("UPDATE alice_work SET expression = expression * 2 WHERE tissue = 'lung'")
         .expect("edit");
-    let v2 = odb.commit("alice_work", "recalibrate lung").expect("commit");
+    let v2 = odb
+        .dispatch(Commit::table("alice_work").message("recalibrate lung"))
+        .expect("commit")
+        .version()
+        .expect("version");
     println!("alice committed {v2}");
 
     // Bob also branches from v1 and adds a record.
-    odb.checkout("genes", &[Vid(1)], "bob_work").expect("checkout");
+    odb.dispatch(Checkout::of("genes").version(1u64).into_table("bob_work"))
+        .expect("checkout");
     odb.engine
         .execute("INSERT INTO bob_work VALUES (NULL, 'kras', 'colon', 12)")
         .expect("edit");
-    let v3 = odb.commit("bob_work", "add kras").expect("commit");
+    let v3 = odb
+        .dispatch(Commit::table("bob_work").message("add kras"))
+        .expect("commit")
+        .version()
+        .expect("version");
     println!("bob committed {v3}");
 
     // Merge both branches; alice's values win conflicts (listed first).
-    odb.checkout("genes", &[v2, v3], "merged").expect("merge checkout");
-    let v4 = odb.commit("merged", "merge alice + bob").expect("commit");
+    odb.dispatch(
+        Checkout::of("genes")
+            .versions([v2, v3])
+            .into_table("merged"),
+    )
+    .expect("merge checkout");
+    let v4 = odb
+        .dispatch(Commit::table("merged").message("merge alice + bob"))
+        .expect("commit")
+        .version()
+        .expect("version");
     println!("merged into {v4}");
 
-    // Diff the merge against the original.
-    let d = odb.diff("genes", Vid(1), v4).expect("diff");
-    println!(
-        "diff v1..v4: {} record(s) removed, {} record(s) added",
-        d.only_in_first.len(),
-        d.only_in_second.len()
-    );
+    // Diff the merge against the original: a structured response, not text.
+    match odb
+        .dispatch(Diff::of("genes").between(Vid(1), v4))
+        .expect("diff")
+    {
+        Response::Diffed { diff, .. } => println!(
+            "diff v1..{v4}: {} record(s) removed, {} record(s) added",
+            diff.only_in_first.len(),
+            diff.only_in_second.len()
+        ),
+        other => panic!("unexpected response {other:?}"),
+    }
 
     // Versioned analytics: per-version record counts and averages.
     let r = odb
-        .run(
+        .dispatch(Run::sql(
             "SELECT vid, count(*) AS n, avg(expression) AS mean \
              FROM CVD genes GROUP BY vid ORDER BY vid",
-        )
-        .expect("query");
+        ))
+        .expect("query")
+        .into_rows()
+        .expect("rows");
     println!("\nvid  n  mean(expression)");
     for row in &r.rows {
         println!("{:>3} {:>2}  {}", row[0], row[1], row[2]);
@@ -71,8 +94,12 @@ fn main() {
 
     // Query a single version without materializing it.
     let r = odb
-        .run("SELECT gene FROM VERSION 2 OF CVD genes WHERE expression > 60 ORDER BY gene")
-        .expect("query");
+        .dispatch(Run::sql(
+            "SELECT gene FROM VERSION 2 OF CVD genes WHERE expression > 60 ORDER BY gene",
+        ))
+        .expect("query")
+        .into_rows()
+        .expect("rows");
     println!(
         "\nhighly expressed in v2: {}",
         r.rows
@@ -82,19 +109,23 @@ fn main() {
             .join(", ")
     );
 
-    // The version graph, via the metadata the middleware maintains.
-    let cvd = odb.cvd("genes").expect("cvd");
-    println!("\nversion graph:");
-    for m in &cvd.versions {
-        println!(
-            "  {} <- [{}] \"{}\"",
-            m.vid,
-            m.parents
-                .iter()
-                .map(|p| p.to_string())
-                .collect::<Vec<_>>()
-                .join(", "),
-            m.message
-        );
+    // The version graph, via the typed log response.
+    match odb.dispatch(Log::of("genes")).expect("log") {
+        Response::Log { entries, .. } => {
+            println!("\nversion graph:");
+            for e in &entries {
+                println!(
+                    "  {} <- [{}] \"{}\"",
+                    e.vid,
+                    e.parents
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    e.message
+                );
+            }
+        }
+        other => panic!("unexpected response {other:?}"),
     }
 }

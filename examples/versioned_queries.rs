@@ -1,7 +1,8 @@
 //! A tour of the versioned query language (Section 2.2 and the companion
 //! demo paper): single-version queries, cross-version joins, whole-CVD
 //! aggregates, version selection, schema evolution, and provenance
-//! queries over the metadata tables (Figures 4/5).
+//! queries over the metadata tables (Figures 4/5) — all issued as typed
+//! `Run` requests on the command bus.
 //!
 //! Run with `cargo run --example versioned_queries`.
 
@@ -13,7 +14,10 @@ fn show(title: &str, r: &orpheusdb::engine::QueryResult) {
     for row in &r.rows {
         println!(
             "   {}",
-            row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" | ")
+            row.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" | ")
         );
     }
 }
@@ -26,28 +30,34 @@ fn main() {
     ])
     .with_primary_key(&["city"])
     .expect("schema");
-    odb.init_cvd(
-        "air",
-        schema,
-        vec![
-            vec!["springfield".into(), 40.into()],
-            vec!["shelbyville".into(), 55.into()],
-            vec!["ogdenville".into(), 30.into()],
-        ],
-        None,
-    )
+    odb.dispatch(Init::cvd("air").schema(schema).rows(vec![
+        vec!["springfield".into(), 40.into()],
+        vec!["shelbyville".into(), 55.into()],
+        vec!["ogdenville".into(), 30.into()],
+    ]))
     .expect("init");
 
+    // A tiny helper: run one versioned query through the bus.
+    let query = |odb: &mut OrpheusDB, sql: &str| {
+        odb.dispatch(Run::sql(sql))
+            .unwrap_or_else(|e| panic!("{sql}: {e}"))
+            .into_rows()
+            .expect("rows")
+    };
+
     // v2: a sensor recalibration changes two cities.
-    odb.checkout("air", &[Vid(1)], "w").expect("checkout");
+    odb.dispatch(Checkout::of("air").version(1u64).into_table("w"))
+        .expect("checkout");
     odb.engine
         .execute("UPDATE w SET aqi = aqi + 20 WHERE city <> 'ogdenville'")
         .expect("edit");
-    odb.commit("w", "recalibration").expect("commit");
+    odb.dispatch(Commit::table("w").message("recalibration"))
+        .expect("commit");
 
     // v3: schema evolution — a humidity column arrives, and aqi becomes
     // a DOUBLE (single-pool evolution, Section 3.3).
-    odb.checkout("air", &[Vid(2)], "w").expect("checkout");
+    odb.dispatch(Checkout::of("air").version(2u64).into_table("w"))
+        .expect("checkout");
     odb.engine
         .execute("ALTER TABLE w ADD COLUMN humidity INT")
         .expect("alter");
@@ -57,55 +67,63 @@ fn main() {
     odb.engine
         .execute("UPDATE w SET humidity = 61 WHERE city = 'springfield'")
         .expect("edit");
-    odb.commit("w", "add humidity, widen aqi").expect("commit");
+    odb.dispatch(Commit::table("w").message("add humidity, widen aqi"))
+        .expect("commit");
 
     // 1. Query one version directly.
-    let r = odb
-        .run("SELECT city, aqi FROM VERSION 1 OF CVD air ORDER BY city")
-        .expect("q1");
+    let r = query(
+        &mut odb,
+        "SELECT city, aqi FROM VERSION 1 OF CVD air ORDER BY city",
+    );
     show("version 1 as-of query", &r);
 
     // 2. Join two versions: which cities changed between v1 and v2?
-    let r = odb
-        .run(
-            "SELECT a.city, a.aqi AS before, b.aqi AS after \
-             FROM VERSION 1 OF CVD air AS a, VERSION 2 OF CVD air AS b \
-             WHERE a.city = b.city AND a.aqi <> b.aqi ORDER BY a.city",
-        )
-        .expect("q2");
+    let r = query(
+        &mut odb,
+        "SELECT a.city, a.aqi AS before, b.aqi AS after \
+         FROM VERSION 1 OF CVD air AS a, VERSION 2 OF CVD air AS b \
+         WHERE a.city = b.city AND a.aqi <> b.aqi ORDER BY a.city",
+    );
     show("changed cities v1 -> v2", &r);
 
     // 3. Whole-CVD aggregate grouped by version.
-    let r = odb
-        .run("SELECT vid, count(*) AS n, avg(aqi) AS mean FROM CVD air GROUP BY vid ORDER BY vid")
-        .expect("q3");
+    let r = query(
+        &mut odb,
+        "SELECT vid, count(*) AS n, avg(aqi) AS mean FROM CVD air GROUP BY vid ORDER BY vid",
+    );
     show("per-version statistics", &r);
 
     // 4. Version selection: versions where some city exceeds 70 AQI.
-    let r = odb
-        .run("SELECT vid FROM CVD air WHERE aqi > 70 GROUP BY vid ORDER BY vid")
-        .expect("q4");
+    let r = query(
+        &mut odb,
+        "SELECT vid FROM CVD air WHERE aqi > 70 GROUP BY vid ORDER BY vid",
+    );
     show("versions with aqi > 70 somewhere", &r);
 
     // 5. Provenance through the metadata tables (Figure 4a): plain SQL,
     // no special syntax needed.
-    let r = odb
-        .run("SELECT vid, msg, num_records FROM air__meta ORDER BY vid")
-        .expect("q5");
+    let r = query(
+        &mut odb,
+        "SELECT vid, msg, num_records FROM air__meta ORDER BY vid",
+    );
     show("metadata table (Figure 4a)", &r);
 
     // 6. The attribute table records schema evolution (Figure 5b/c): the
     // aqi column appears twice, once as INT and once as DOUBLE.
-    let r = odb
-        .run("SELECT attr_id, attr_name, data_type FROM air__attrs ORDER BY attr_id")
-        .expect("q6");
+    let r = query(
+        &mut odb,
+        "SELECT attr_id, attr_name, data_type FROM air__attrs ORDER BY attr_id",
+    );
     show("attribute table (Figure 5)", &r);
 
     // 7. Version-graph shortcuts.
     let anc = odb.cvd("air").expect("cvd").ancestors(Vid(3)).expect("anc");
     println!(
         "\n-- ancestors of v3: {}",
-        anc.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        anc.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let (vid, t) = odb.cvd("air").expect("cvd").last_modified().expect("last");
     println!("-- last modification: {vid} at logical time {t}");

@@ -1,0 +1,63 @@
+//! Minimal offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the exact subset the workspace uses: a non-poisoning [`RwLock`] with
+//! `read`/`write`/`into_inner`. It wraps `std::sync::RwLock` and recovers
+//! from poisoning instead of propagating it, which matches parking_lot's
+//! semantics (no poisoning) for the workloads here.
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock that never poisons.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = RwLock::new(1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn concurrent_writes_serialize() {
+        let lock = Arc::new(RwLock::new(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let lock = Arc::clone(&lock);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        *lock.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), 800);
+    }
+}

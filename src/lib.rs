@@ -10,13 +10,19 @@
 //!   I/O cost model;
 //! * [`core`] (`orpheus-core`) — the versioning middleware: CVDs, the five
 //!   data models, checkout/commit/diff, versioned queries, the partition
-//!   optimizer integration;
+//!   optimizer integration, and the typed **command bus** every front-end
+//!   drives;
 //! * [`partition`] (`orpheus-partition`) — LyreSplit, the AGGLO/KMEANS
 //!   baselines, online maintenance and migration planning;
 //! * [`mod@bench`] (`orpheus-bench`) — the SCI/CUR versioning benchmark and
 //!   the harness regenerating every table and figure of the paper.
 //!
-//! ## Quickstart
+//! ## Quickstart: the command bus
+//!
+//! Every paper command is a typed [`Request`](prelude::Request) with a
+//! builder, executed through the [`Executor`](prelude::Executor) trait —
+//! by an [`OrpheusDB`](prelude::OrpheusDB) directly, or by a
+//! [`Session`](prelude::Session) over a shared instance:
 //!
 //! ```
 //! use orpheusdb::prelude::*;
@@ -26,19 +32,53 @@
 //!     Column::new("gene", DataType::Text),
 //!     Column::new("expression", DataType::Int),
 //! ]).with_primary_key(&["gene"]).unwrap();
-//! odb.init_cvd("genes", schema, vec![
+//!
+//! odb.dispatch(Init::cvd("genes").schema(schema).rows(vec![
 //!     vec!["brca1".into(), 7.into()],
 //!     vec!["tp53".into(), 3.into()],
-//! ], None).unwrap();
+//! ])).unwrap();
 //!
 //! // Check out, edit with plain SQL, commit back.
-//! odb.checkout("genes", &[Vid(1)], "work").unwrap();
+//! odb.dispatch(Checkout::of("genes").version(1u64).into_table("work")).unwrap();
 //! odb.engine.execute("UPDATE work SET expression = 9 WHERE gene = 'tp53'").unwrap();
-//! let v2 = odb.commit("work", "bump tp53").unwrap();
+//! let v2 = odb.dispatch(Commit::table("work").message("bump tp53"))
+//!     .unwrap().version().unwrap();
+//! assert_eq!(v2, Vid(2));
 //!
 //! // Versioned analytics without materializing anything.
-//! let r = odb.run("SELECT vid, count(*) FROM CVD genes GROUP BY vid").unwrap();
+//! let r = odb.dispatch(Run::sql("SELECT vid, count(*) FROM CVD genes GROUP BY vid"))
+//!     .unwrap().into_rows().unwrap();
 //! assert_eq!(r.rows.len(), 2);
+//!
+//! // Diffs come back as structured data.
+//! match odb.dispatch(Diff::of("genes").between(1u64, 2u64)).unwrap() {
+//!     Response::Diffed { diff, .. } => {
+//!         assert_eq!(diff.only_in_first.len(), 1);
+//!         assert_eq!(diff.only_in_second.len(), 1);
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+//!
+//! ## Sessions: the multi-user entry point
+//!
+//! Production deployments share one instance between many users; each
+//! user's [`Session`](prelude::Session) executes the same requests under
+//! its own identity, with checkout-ownership enforced per session:
+//!
+//! ```
+//! use orpheusdb::prelude::*;
+//!
+//! let mut odb = OrpheusDB::new();
+//! let schema = Schema::new(vec![Column::new("k", DataType::Int)]);
+//! odb.dispatch(Init::cvd("data").schema(schema).rows(vec![vec![1.into()]])).unwrap();
+//!
+//! let shared = SharedOrpheusDB::new(odb);
+//! let mut alice = shared.session("alice").unwrap();
+//! alice.dispatch(Checkout::of("data").version(1u64).into_table("w")).unwrap();
+//! alice.sql("INSERT INTO w VALUES (NULL, 2)").unwrap();
+//! let v2 = alice.dispatch(Commit::table("w").message("alice's row"))
+//!     .unwrap().version().unwrap();
 //! assert_eq!(v2, Vid(2));
 //! ```
 
@@ -47,10 +87,15 @@ pub use orpheus_core as core;
 pub use orpheus_engine as engine;
 pub use orpheus_partition as partition;
 
-/// The most common imports.
+/// The most common imports: the database types, the command bus
+/// (`Request`/`Response`, `Executor`, and every command builder), and the
+/// engine's schema/value vocabulary.
 pub mod prelude {
     pub use orpheus_core::{
-        CoreError, Cvd, ModelKind, OrpheusConfig, OrpheusDB, Rid, Session, SharedOrpheusDB, Vid,
+        Checkout, CheckoutCsv, CommandKind, Commit, CommitCsv, CoreError, CreateUser, Cvd, Diff,
+        Discard, DropCvd, Executor, Init, InitFromCsv, Log, LogEntry, Login, ModelKind, Optimize,
+        OrpheusConfig, OrpheusDB, Request, Response, Rid, Run, Session, SharedOrpheusDB,
+        VersionDiff, Vid,
     };
     pub use orpheus_engine::{Column, DataType, Database, Schema, Value};
 }

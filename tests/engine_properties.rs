@@ -267,7 +267,9 @@ proptest! {
 /// the generator emitted `on` as a column name).
 #[test]
 fn reserved_words_are_rejected_as_identifiers() {
-    for kw in ["on", "as", "from", "where", "select", "group", "order", "limit"] {
+    for kw in [
+        "on", "as", "from", "where", "select", "group", "order", "limit",
+    ] {
         assert!(
             parse_statement(&format!("SELECT {kw} FROM t")).is_err(),
             "column {kw}"

@@ -25,7 +25,15 @@ fn setup() -> Database {
         .unwrap();
 
     // Records r1..r7 with the version memberships of Figure 1.
-    type FigureRow = (i64, &'static str, &'static str, i64, i64, i64, &'static [i64]);
+    type FigureRow = (
+        i64,
+        &'static str,
+        &'static str,
+        i64,
+        i64,
+        i64,
+        &'static [i64],
+    );
     let rows: [FigureRow; 7] = [
         (1, "ENSP273047", "ENSP261890", 0, 53, 0, &[1]),
         (2, "ENSP273047", "ENSP235932", 0, 87, 0, &[1, 2, 3, 4]),
@@ -49,8 +57,10 @@ fn setup() -> Database {
             "INSERT INTO dataTable VALUES ({rid}, '{p1}', '{p2}', {n}, {co}, {cx})"
         ))
         .unwrap();
-        db.execute(&format!("INSERT INTO vlistTable VALUES ({rid}, ARRAY[{vl}])"))
-            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO vlistTable VALUES ({rid}, ARRAY[{vl}])"
+        ))
+        .unwrap();
     }
     // rlists per version (Figure 1 c.ii).
     for (vid, rlist) in [
@@ -104,10 +114,8 @@ fn split_by_vlist_column_of_table1() {
     assert_eq!(r.scalar(), Some(&Value::Int(3)));
 
     // COMMIT: UPDATE versioningTable SET vlist=vlist+vj WHERE rid in (...).
-    db.execute(
-        "UPDATE vlistTable SET vlist = vlist + 5 WHERE rid in (SELECT rid FROM Tprime)",
-    )
-    .unwrap();
+    db.execute("UPDATE vlistTable SET vlist = vlist + 5 WHERE rid in (SELECT rid FROM Tprime)")
+        .unwrap();
     let r = db
         .query("SELECT count(*) FROM vlistTable WHERE ARRAY[5] <@ vlist")
         .unwrap();
@@ -163,7 +171,9 @@ fn metadata_table_is_queryable_sql() {
     odb.init_cvd("d", schema, vec![vec![Value::Int(1)]], None)
         .unwrap();
     odb.checkout("d", &[Vid(1)], "w").unwrap();
-    odb.engine.execute("INSERT INTO w VALUES (NULL, 2)").unwrap();
+    odb.engine
+        .execute("INSERT INTO w VALUES (NULL, 2)")
+        .unwrap();
     odb.commit("w", "second").unwrap();
     let r = odb
         .engine
