@@ -1,0 +1,169 @@
+//! The per-CVD locking concurrency benchmark: N threads × M CVDs driving
+//! `contention_storm` request streams through (a) per-CVD-locked sessions
+//! on a [`SharedOrpheusDB`] and (b) the single-global-lock baseline, on
+//! identical instances and identical streams. Also runs the existing
+//! single-threaded `checkout_storm` as a smoke workload.
+//!
+//! Emits machine-readable results as `BENCH_concurrency.json` and
+//! `BENCH_checkout_storm.json` (directory from `ORPHEUS_BENCH_OUT`,
+//! default the working directory), and prints paper-style tables.
+//!
+//! Knobs (all environment variables):
+//! * `ORPHEUS_STORM_THREADS` (default 4) — concurrent sessions.
+//! * `ORPHEUS_STORM_CVDS` (default 4) — CVDs; thread `i` targets CVD
+//!   `i % M`, so threads ≤ CVDs means fully disjoint targets.
+//! * `ORPHEUS_STORM_OPS` (default 6) — checkout+commit rounds per thread.
+//! * `ORPHEUS_STORM_RECORDS` (default 400) — records per generated CVD.
+//!
+//! Run with `cargo run --release -p orpheus-bench --bin concurrency`.
+
+use std::sync::{Arc, Mutex};
+
+use orpheus_bench::generator::{Workload, WorkloadParams};
+use orpheus_bench::harness::{
+    checkout_storm, contention_storm, drive, drive_parallel, ms, GlobalLockSession, JsonObject,
+    Report, StormStats,
+};
+use orpheus_bench::loader::load_workload;
+use orpheus_core::{ModelKind, OrpheusDB, Request, Result, SharedOrpheusDB};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("concurrency bench failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<()> {
+    let threads = env_usize("ORPHEUS_STORM_THREADS", 4);
+    let cvds = env_usize("ORPHEUS_STORM_CVDS", 4);
+    let ops = env_usize("ORPHEUS_STORM_OPS", 6);
+    let records = env_usize("ORPHEUS_STORM_RECORDS", 400);
+    let versions = 8;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let workload = Workload::generate(WorkloadParams::sci(versions, 2, records / versions));
+    let build = || -> Result<OrpheusDB> {
+        let mut odb = OrpheusDB::new();
+        for c in 0..cvds {
+            load_workload(
+                &mut odb,
+                &format!("cvd{c}"),
+                &workload,
+                ModelKind::SplitByRlist,
+            )?;
+        }
+        Ok(odb)
+    };
+    let streams = || -> Vec<Vec<Request>> {
+        (0..threads)
+            .map(|t| contention_storm(&format!("cvd{}", t % cvds), t, ops))
+            .collect()
+    };
+
+    // Control arm: the whole instance behind one lock.
+    let baseline_db = Arc::new(Mutex::new(build()?));
+    let baseline = drive_parallel(
+        |t| GlobalLockSession::new(Arc::clone(&baseline_db), format!("user{t}")),
+        streams(),
+    )?;
+
+    // Treatment arm: per-CVD locking through shared sessions.
+    let shared = SharedOrpheusDB::new(build()?);
+    let per_cvd = drive_parallel(
+        |t| shared.session(&format!("user{t}")).expect("session"),
+        streams(),
+    )?;
+
+    let speedup = per_cvd.throughput_rps() / baseline.throughput_rps().max(f64::EPSILON);
+
+    let mut report = Report::new(&[
+        "executor",
+        "threads",
+        "cvds",
+        "requests",
+        "wall_ms",
+        "req_per_s",
+    ]);
+    let row = |name: &str, stats: &StormStats| {
+        vec![
+            name.to_string(),
+            threads.to_string(),
+            cvds.to_string(),
+            stats.requests.to_string(),
+            ms(stats.wall_ms),
+            format!("{:.1}", stats.throughput_rps()),
+        ]
+    };
+    report.row(row("single-lock", &baseline));
+    report.row(row("per-cvd", &per_cvd));
+    println!("contention_storm ({ops} checkout+commit rounds/thread, {records} records/CVD, {cores} cores)");
+    println!("{}", report.render());
+    println!("speedup (per-cvd vs single-lock): {speedup:.2}x");
+
+    // Smoke: the existing single-threaded checkout storm on a session.
+    let sample: Vec<u64> = (1..=versions as u64).collect();
+    let mut session = shared.session("smoke")?;
+    let smoke = drive(&mut session, checkout_storm("cvd0", &sample))?;
+    println!("\ncheckout_storm (smoke, {} requests)", smoke.requests());
+    println!("{}", smoke.report().render());
+
+    // Machine-readable artifacts.
+    let out_dir = std::env::var("ORPHEUS_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let storm_json = |stats: &StormStats| {
+        JsonObject::new()
+            .num("wall_ms", stats.wall_ms)
+            .int("requests", stats.requests as u64)
+            .num("req_per_s", stats.throughput_rps())
+    };
+    let json = JsonObject::new()
+        .str("bench", "contention_storm")
+        .int("threads", threads as u64)
+        .int("cvds", cvds as u64)
+        .int("ops_per_thread", ops as u64)
+        .int("records_per_cvd", records as u64)
+        .int("cores", cores as u64)
+        .obj("single_lock", storm_json(&baseline))
+        .obj("per_cvd", storm_json(&per_cvd))
+        .num("speedup", speedup)
+        .render();
+    let path = format!("{out_dir}/BENCH_concurrency.json");
+    std::fs::write(&path, format!("{json}\n"))
+        .map_err(|e| orpheus_core::CoreError::Io(format!("cannot write {path}: {e}")))?;
+    println!("\nwrote {path}");
+
+    let json = JsonObject::new()
+        .str("bench", "checkout_storm")
+        .int("requests", smoke.requests() as u64)
+        .num("total_ms", smoke.total_ms)
+        .render();
+    let path = format!("{out_dir}/BENCH_checkout_storm.json");
+    std::fs::write(&path, format!("{json}\n"))
+        .map_err(|e| orpheus_core::CoreError::Io(format!("cannot write {path}: {e}")))?;
+    println!("wrote {path}");
+
+    // Consistency check between the two arms — a lost update would show up
+    // as diverging version counts; fail the bench loudly.
+    let baseline_db = baseline_db.lock().unwrap_or_else(|e| e.into_inner());
+    for c in 0..cvds {
+        let name = format!("cvd{c}");
+        let base = baseline_db.cvd(&name)?.num_versions();
+        let ours = shared.read(|odb| odb.cvd(&name).map(|c| c.num_versions()))?;
+        if base != ours {
+            return Err(orpheus_core::CoreError::Invalid(format!(
+                "version graphs diverge on {name}: single-lock {base} vs per-cvd {ours}"
+            )));
+        }
+    }
+    Ok(())
+}

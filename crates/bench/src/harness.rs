@@ -13,10 +13,11 @@
 //! measured against the sequential baseline without changing the workload
 //! definition.
 
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use orpheus_core::request::{CommandKind, Executor, Request};
-use orpheus_core::{Checkout, Discard, Result};
+use orpheus_core::{Checkout, Commit, Discard, OrpheusDB, Response, Result};
 
 /// Run `op` `trials` times, drop the fastest and slowest trial (when there
 /// are at least three), and return the mean of the rest in milliseconds.
@@ -122,6 +123,171 @@ pub fn checkout_storm(cvd: &str, versions: &[u64]) -> Vec<Request> {
         requests.push(Discard::table(table).into());
     }
     requests
+}
+
+/// Per-thread request stream for the contention benchmark: `ops` rounds of
+/// checkout → commit against one CVD. Table names embed the thread id so
+/// streams from different threads never collide, whichever executor runs
+/// them.
+pub fn contention_storm(cvd: &str, thread: usize, ops: usize) -> Vec<Request> {
+    let mut requests = Vec::with_capacity(ops * 2);
+    for i in 0..ops {
+        let table = format!("__storm_t{thread}_{i}");
+        requests.push(Checkout::of(cvd).version(1u64).into_table(&table).into());
+        requests.push(
+            Commit::table(&table)
+                .message(format!("storm thread {thread} op {i}"))
+                .into(),
+        );
+    }
+    requests
+}
+
+/// Outcome of one multi-threaded storm run.
+#[derive(Debug)]
+pub struct StormStats {
+    /// Wall-clock of the whole run (all threads released together, timed
+    /// until the last one finished), in milliseconds.
+    pub wall_ms: f64,
+    /// Requests executed across all threads.
+    pub requests: usize,
+    /// Per-thread command timing.
+    pub per_thread: Vec<BusStats>,
+}
+
+impl StormStats {
+    /// Aggregate throughput in requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Drive one request stream per thread, all released simultaneously, and
+/// time the aggregate. `make_executor(i)` builds thread `i`'s executor
+/// before the start barrier, so setup cost stays out of the measurement.
+/// The same streams can be run against different executors (per-CVD
+/// sessions vs the [`GlobalLockSession`] baseline) for an
+/// apples-to-apples comparison.
+pub fn drive_parallel<E, F>(make_executor: F, streams: Vec<Vec<Request>>) -> Result<StormStats>
+where
+    E: Executor + Send,
+    F: Fn(usize) -> E + Send + Sync,
+{
+    let barrier = Barrier::new(streams.len() + 1);
+    let mut per_thread = Vec::with_capacity(streams.len());
+    let mut wall_ms = 0.0;
+    std::thread::scope(|scope| -> Result<()> {
+        let handles: Vec<_> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, stream)| {
+                let barrier = &barrier;
+                let make_executor = &make_executor;
+                scope.spawn(move || -> Result<BusStats> {
+                    let mut executor = make_executor(i);
+                    barrier.wait();
+                    drive(&mut executor, stream)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for handle in handles {
+            per_thread.push(handle.join().expect("storm thread panicked")?);
+        }
+        wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        Ok(())
+    })?;
+    let requests = per_thread.iter().map(BusStats::requests).sum();
+    Ok(StormStats {
+        wall_ms,
+        requests,
+        per_thread,
+    })
+}
+
+/// The pre-per-CVD-locking baseline: the whole instance behind one mutex,
+/// identity swapped per request — exactly what `SharedOrpheusDB` did
+/// before the catalog/per-CVD split. Kept as the control arm of
+/// [`contention_storm`] so the parallel executor is measured against the
+/// single-lock design on identical request streams.
+#[derive(Debug, Clone)]
+pub struct GlobalLockSession {
+    db: Arc<Mutex<OrpheusDB>>,
+    user: String,
+}
+
+impl GlobalLockSession {
+    pub fn new(db: Arc<Mutex<OrpheusDB>>, user: impl Into<String>) -> GlobalLockSession {
+        GlobalLockSession {
+            db,
+            user: user.into(),
+        }
+    }
+}
+
+impl Executor for GlobalLockSession {
+    fn execute(&mut self, request: Request) -> Result<Response> {
+        let mut odb = self.db.lock().unwrap_or_else(|e| e.into_inner());
+        odb.access.ensure_user(&self.user)?;
+        let prior = odb.access.whoami().to_string();
+        odb.access.login(&self.user)?;
+        let result = odb.execute(request);
+        let _ = odb.access.login(&prior);
+        result
+    }
+}
+
+/// Minimal JSON object builder for the machine-readable `BENCH_*.json`
+/// artifacts (the offline build has no serde).
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    pub fn int(mut self, key: &str, value: u64) -> JsonObject {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn num(mut self, key: &str, value: f64) -> JsonObject {
+        let rendered = if value.is_finite() {
+            format!("{value:.3}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    pub fn obj(mut self, key: &str, value: JsonObject) -> JsonObject {
+        self.fields.push((key.to_string(), value.render()));
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
 }
 
 /// Simple aligned-column table printer for experiment output.
@@ -273,5 +439,100 @@ mod tests {
 
         // Errors surface instead of being swallowed.
         assert!(drive(&mut session, checkout_storm("nope", &[1])).is_err());
+    }
+
+    #[test]
+    fn contention_storm_streams_are_disjoint_checkout_commit_pairs() {
+        let a = contention_storm("cvd0", 0, 3);
+        let b = contention_storm("cvd1", 1, 3);
+        assert_eq!(a.len(), 6);
+        for (i, req) in a.iter().enumerate() {
+            let kind = req.kind();
+            if i % 2 == 0 {
+                assert_eq!(kind, CommandKind::Checkout);
+            } else {
+                assert_eq!(kind, CommandKind::Commit);
+            }
+        }
+        // No table name appears in both threads' streams.
+        let names = |reqs: &[Request]| -> Vec<String> {
+            reqs.iter()
+                .filter_map(|r| match r {
+                    Request::Checkout(c) => Some(c.table.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        for n in names(&a) {
+            assert!(!names(&b).contains(&n), "{n} collides");
+        }
+    }
+
+    /// The parallel per-CVD executor and the single-lock baseline produce
+    /// identical version graphs from the same streams — the equivalence
+    /// that makes the throughput comparison meaningful.
+    #[test]
+    fn storm_outcomes_agree_between_baseline_and_per_cvd_sessions() {
+        use crate::generator::{Workload, WorkloadParams};
+        use crate::loader::load_workload;
+        use orpheus_core::{ModelKind, SharedOrpheusDB};
+
+        let w = Workload::generate(WorkloadParams::sci(4, 2, 10));
+        let build = || {
+            let mut odb = OrpheusDB::new();
+            for c in 0..2 {
+                load_workload(&mut odb, &format!("cvd{c}"), &w, ModelKind::SplitByRlist).unwrap();
+            }
+            odb
+        };
+        let streams = || -> Vec<Vec<Request>> {
+            (0..2)
+                .map(|t| contention_storm(&format!("cvd{t}"), t, 2))
+                .collect()
+        };
+
+        let baseline_db = Arc::new(Mutex::new(build()));
+        let base = drive_parallel(
+            |t| GlobalLockSession::new(Arc::clone(&baseline_db), format!("user{t}")),
+            streams(),
+        )
+        .unwrap();
+        assert_eq!(base.requests, 8);
+        assert!(base.wall_ms >= 0.0);
+        assert!(base.throughput_rps() > 0.0);
+
+        let shared = SharedOrpheusDB::new(build());
+        let storm =
+            drive_parallel(|t| shared.session(&format!("user{t}")).unwrap(), streams()).unwrap();
+        assert_eq!(storm.requests, 8);
+
+        // Same number of versions per CVD, no staged leftovers, either way.
+        let baseline_db = baseline_db.lock().unwrap_or_else(|e| e.into_inner());
+        for c in 0..2 {
+            let name = format!("cvd{c}");
+            let base_versions = baseline_db.cvd(&name).unwrap().num_versions();
+            let storm_versions = shared.read(|odb| odb.cvd(&name).unwrap().num_versions());
+            assert_eq!(base_versions, storm_versions, "{name}");
+        }
+        assert!(baseline_db.staged().is_empty());
+        shared.read(|odb| assert!(odb.staged().is_empty()));
+    }
+
+    #[test]
+    fn json_objects_render_valid_json() {
+        let json = JsonObject::new()
+            .str("bench", "contention_storm")
+            .int("threads", 4)
+            .num("speedup", 2.5)
+            .obj(
+                "nested",
+                JsonObject::new().str("k", "quo\"te").num("nan", f64::NAN),
+            )
+            .render();
+        assert_eq!(
+            json,
+            "{\"bench\": \"contention_storm\", \"threads\": 4, \"speedup\": 2.500, \
+             \"nested\": {\"k\": \"quo\\\"te\", \"nan\": null}}"
+        );
     }
 }

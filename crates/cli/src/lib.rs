@@ -24,8 +24,8 @@
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
-use orpheus_core::commands::{run_command, RealFiles};
-use orpheus_core::{CoreError, OrpheusDB, Response, Result};
+use orpheus_core::commands::{run_command, FileAccess, RealFiles};
+use orpheus_core::{CoreError, Executor, OrpheusDB, Response, Result, SharedOrpheusDB};
 
 mod render;
 
@@ -36,6 +36,9 @@ pub use render::{format_result, render_response};
 pub struct Invocation {
     /// Snapshot file backing this session, if any.
     pub db_path: Option<PathBuf>,
+    /// Run as this user through a concurrent session (per-CVD locking)
+    /// instead of driving the instance directly.
+    pub user: Option<String>,
     /// The command line to run (empty means "show help").
     pub command: Vec<String>,
 }
@@ -43,9 +46,11 @@ pub struct Invocation {
 /// Parse argv (without the program name) into an [`Invocation`].
 ///
 /// Recognized global flags, which must precede the command:
-/// `--db <path>` / `-d <path>`, `--help` / `-h`, `--version` / `-V`.
+/// `--db <path>` / `-d <path>`, `--as <user>` / `-u <user>`,
+/// `--help` / `-h`, `--version` / `-V`.
 pub fn parse_args(args: &[String]) -> Result<Invocation> {
     let mut db_path = None;
+    let mut user = None;
     let mut i = 0;
     // Global flags precede the command; command names never start with '-'.
     while i < args.len() && args[i].starts_with('-') {
@@ -57,15 +62,24 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 db_path = Some(PathBuf::from(path));
                 i += 2;
             }
+            "--as" | "-u" => {
+                let name = args
+                    .get(i + 1)
+                    .ok_or_else(|| CoreError::parse_line("--as needs a user name"))?;
+                user = Some(name.clone());
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Ok(Invocation {
                     db_path,
+                    user,
                     command: vec!["help".into()],
                 })
             }
             "--version" | "-V" => {
                 return Ok(Invocation {
                     db_path,
+                    user,
                     command: vec!["version".into()],
                 })
             }
@@ -76,6 +90,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
     }
     Ok(Invocation {
         db_path,
+        user,
         command: args[i..].to_vec(),
     })
 }
@@ -112,7 +127,12 @@ session:
 
 The --db flag makes sessions durable: state is loaded from the snapshot
 before the command and saved back afterwards. Without it, state lives only
-for this invocation.";
+for this invocation.
+
+The --as <user> flag runs the command through a concurrent session under
+that identity (registering the account if needed) — the same per-CVD
+locked executor a multi-user deployment uses, so checkout ownership is
+attributed to <user> rather than the instance identity.";
 
 /// Load the session instance: the snapshot if it exists, otherwise fresh.
 fn open_session(inv: &Invocation) -> Result<OrpheusDB> {
@@ -169,25 +189,45 @@ pub fn run(
     let mut odb = open_session(&inv)?;
     let mut files = RealFiles;
 
+    // One-shot command: re-join the words. `run` takes the rest of the
+    // line as verbatim SQL; for everything else, words with spaces are
+    // re-quoted so the command parser sees the shell's grouping.
+    let one_shot = |command: &[String]| -> String {
+        if first.eq_ignore_ascii_case("run") {
+            format!("run {}", command[1..].join(" "))
+        } else {
+            command
+                .iter()
+                .map(|w| requote(w))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    };
+
+    // With --as, drive everything through a concurrent session (per-CVD
+    // locking, session-scoped identity) over a shared instance.
+    if let Some(user) = &inv.user {
+        let shared = SharedOrpheusDB::new(odb);
+        let mut session = shared.session(user)?;
+        if first == "repl" {
+            repl(&mut session, &mut files, interactive, input, out, err).map_err(io_err)?;
+        } else {
+            let output = run_command(&mut session, &mut files, &one_shot(&inv.command))?;
+            print_output(out, &output).map_err(io_err)?;
+        }
+        if let Some(p) = &inv.db_path {
+            shared.save_to(p)?;
+        }
+        return Ok(());
+    }
+
     if first == "repl" {
         repl(&mut odb, &mut files, interactive, input, out, err).map_err(io_err)?;
         close_session(&inv, &odb)?;
         return Ok(());
     }
 
-    // One-shot command: re-join the words. `run` takes the rest of the
-    // line as verbatim SQL; for everything else, words with spaces are
-    // re-quoted so the command parser sees the shell's grouping.
-    let line = if first.eq_ignore_ascii_case("run") {
-        format!("run {}", inv.command[1..].join(" "))
-    } else {
-        inv.command
-            .iter()
-            .map(|w| requote(w))
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
-    let output = run_command(&mut odb, &mut files, &line)?;
+    let output = run_command(&mut odb, &mut files, &one_shot(&inv.command))?;
     print_output(out, &output).map_err(io_err)?;
     close_session(&inv, &odb)?;
     Ok(())
@@ -206,9 +246,9 @@ fn requote(word: &str) -> String {
     }
 }
 
-fn repl(
-    odb: &mut OrpheusDB,
-    files: &mut RealFiles,
+fn repl<E: Executor>(
+    executor: &mut E,
+    files: &mut dyn FileAccess,
     interactive: bool,
     input: &mut dyn BufRead,
     out: &mut dyn Write,
@@ -237,7 +277,7 @@ fn repl(
             }
             _ => {}
         }
-        match run_command(odb, files, trimmed) {
+        match run_command(executor, files, trimmed) {
             Ok(output) => print_output(out, &output)?,
             Err(e) => writeln!(err, "error: {e}")?,
         }
@@ -283,6 +323,50 @@ mod tests {
 
         assert!(parse_args(&args(&["--db"])).is_err());
         assert!(parse_args(&args(&["--bogus", "ls"])).is_err());
+    }
+
+    #[test]
+    fn session_flag_attributes_checkouts_to_the_user() {
+        let dir = tmp_dir("as-user");
+        let db = dir.join("team.orpheus");
+        let db_s = db.to_str().unwrap();
+        let csv = dir.join("d.csv");
+        let schema = dir.join("s.txt");
+        std::fs::write(&csv, "k,v\n1,10\n2,20\n").unwrap();
+        std::fs::write(&schema, "k:int!pk\nv:int\n").unwrap();
+
+        invoke(&[
+            "--db",
+            db_s,
+            "init",
+            "kv",
+            "-f",
+            csv.to_str().unwrap(),
+            "-s",
+            schema.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Alice checks out through her session; bob cannot commit her
+        // table, alice can.
+        invoke(&[
+            "--db", db_s, "--as", "alice", "checkout", "kv", "-v", "1", "-t", "work",
+        ])
+        .unwrap();
+        let err = invoke(&[
+            "--db", db_s, "--as", "bob", "commit", "-t", "work", "-m", "x",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("permission"), "{err}");
+        let out = invoke(&[
+            "--db", db_s, "--as", "alice", "commit", "-t", "work", "-m", "hers",
+        ])
+        .unwrap();
+        assert!(out.contains("v2"), "{out}");
+        // whoami reports the session identity.
+        let out = invoke(&["--db", db_s, "--as", "carol", "whoami"]).unwrap();
+        assert_eq!(out.trim(), "carol");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

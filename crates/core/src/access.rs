@@ -49,6 +49,21 @@ impl AccessController {
         &self.current
     }
 
+    /// Whether an account exists (cheaper than scanning [`Self::users`]).
+    pub fn has_user(&self, name: &str) -> bool {
+        self.users.contains(name)
+    }
+
+    /// Register `name` if it is not already an account. Used by the
+    /// session layer, where opening a session doubles as registration.
+    pub fn ensure_user(&mut self, name: &str) -> Result<()> {
+        if self.has_user(name) {
+            Ok(())
+        } else {
+            self.create_user(name)
+        }
+    }
+
     pub fn users(&self) -> Vec<String> {
         let mut v: Vec<String> = self.users.iter().cloned().collect();
         v.sort();

@@ -1,184 +1,930 @@
-//! Multi-user sessions over one shared OrpheusDB instance.
+//! Multi-user sessions over one shared OrpheusDB instance, with
+//! **two-level locking**: a catalog lock for instance-wide state plus one
+//! lock per CVD.
 //!
 //! The paper's deployment has many data scientists talking to one
 //! PostgreSQL through the middleware; each user sees their own identity
 //! (for the access controller's only-the-owner-may-touch-a-checkout rule,
-//! Section 2.3) while commits and checkouts interleave safely. This module
-//! provides that: [`SharedOrpheusDB`] wraps an instance in a reader-writer
-//! lock, and [`Session`] binds a user identity to it.
+//! Section 2.3) while commits and checkouts interleave safely. Earlier
+//! revisions guarded the whole instance with a single `RwLock<OrpheusDB>`,
+//! which made commits to *different* CVDs serialize behind each other.
+//! This module removes that bottleneck:
 //!
-//! Concurrency model: operations are serialized by the lock — the
-//! middleware guarantees *isolation and safety*, not parallel scaling of a
-//! single instance (the paper's concurrency story is the same: PostgreSQL
-//! serializes conflicting writes; checkout tables are private by access
-//! control, not by separate storage). Session identity is swapped under
-//! the lock, so interleaved sessions can never observe or act under each
-//! other's identity.
+//! * [`SharedOrpheusDB`] splits the instance into **shards** — one
+//!   single-CVD [`OrpheusDB`] per CVD (its backing tables, version graph,
+//!   and staged artifacts), plus an *auxiliary* shard for tables that
+//!   belong to no CVD. Each shard sits behind its own lock.
+//! * The **catalog lock** guards instance-wide state: the user registry,
+//!   the CVD registry (create/drop), the instance configuration, and the
+//!   staged-name index that maps checkout tables and exported CSVs to the
+//!   CVD they came from.
+//! * [`ConcurrentExecutor`] routes every [`Request`] to the right lock via
+//!   [`Request::kind`] + [`Request::target`]: catalog requests take the
+//!   catalog lock, CVD-addressed requests take one CVD's lock, staged
+//!   requests resolve through the index, and SQL is analyzed for the CVDs
+//!   it touches. Commits, checkouts, and diffs against different CVDs run
+//!   in parallel; writers to the same CVD still serialize.
+//! * [`Session`] binds a user identity to an executor. Identity-swap
+//!   semantics are per-request, exactly as before: the session logs its
+//!   user into the shard for the duration of one operation and restores
+//!   the previous identity afterwards, so interleaved sessions can never
+//!   observe or act under each other's identity.
+//!
+//! # Lock order
+//!
+//! **Catalog before CVD, never the reverse, and never two CVD locks from
+//! one operation** (snapshot paths acquire all CVD locks in sorted key
+//! order while holding the catalog lock exclusively). Internal paths
+//! release the catalog lock before blocking on a CVD lock, so a stalled
+//! commit on one CVD cannot back up into the catalog. A thread-local
+//! counter enforces the order in debug builds: acquiring the catalog lock
+//! while holding any CVD lock — or reentering the catalog lock — panics
+//! loudly instead of deadlocking silently (see
+//! [`SharedOrpheusDB::read`] / [`SharedOrpheusDB::write`]).
+//!
+//! # Cross-CVD SQL
+//!
+//! A statement that touches a single CVD (the overwhelmingly common case)
+//! runs under that CVD's lock alone. A read-only `SELECT` spanning
+//! several CVDs runs against a consistent merged snapshot of the involved
+//! shards. A *writing* statement spanning CVDs is rejected with
+//! [`CoreError::CrossCvd`] — per-CVD locking deliberately does not offer
+//! multi-CVD write transactions.
 
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use orpheus_engine::sql::lexer::{tokenize, Token};
-use orpheus_engine::QueryResult;
+use orpheus_engine::{EngineError, QueryResult};
 
-use crate::db::{OrpheusDB, VersionDiff};
+use crate::access::AccessController;
+use crate::db::{OrpheusConfig, OrpheusDB, VersionDiff};
 use crate::error::{CoreError, Result};
 use crate::ids::Vid;
 use crate::partition_store::OptimizeReport;
-use crate::request::{Executor, Request};
+use crate::request::{Executor, Request, Target};
 use crate::response::Response;
+use crate::staging::StagedKind;
 
-/// A thread-safe, shareable OrpheusDB instance.
-#[derive(Debug, Clone, Default)]
+// ---------------------------------------------------------------------------
+// Lock-order enforcement.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// `(catalog locks held, CVD locks held)` by this thread.
+    static LOCKS_HELD: Cell<(usize, usize)> = const { Cell::new((0, 0)) };
+}
+
+/// RAII record of one lock acquisition, maintaining the thread-local
+/// counters that make lock-order violations panic in debug builds.
+struct LockToken {
+    catalog: bool,
+}
+
+impl LockToken {
+    /// Note a catalog acquisition. Panics (debug builds) when the thread
+    /// already holds a CVD lock (order is catalog → CVD) or the catalog
+    /// lock itself (it is not reentrant).
+    fn catalog() -> LockToken {
+        let (catalog, shard) = LOCKS_HELD.with(Cell::get);
+        debug_assert_eq!(
+            shard, 0,
+            "lock-order violation: the catalog lock must be acquired before any \
+             CVD lock (catalog → CVD), but this thread already holds {shard} CVD lock(s)"
+        );
+        debug_assert_eq!(
+            catalog, 0,
+            "lock-order violation: the catalog lock is not reentrant — do not call \
+             SharedOrpheusDB or Session operations from inside a `write` closure"
+        );
+        LOCKS_HELD.with(|c| c.set((catalog + 1, shard)));
+        LockToken { catalog: true }
+    }
+
+    /// Note a CVD (shard) acquisition. Multiple shard locks are only ever
+    /// held by snapshot paths, which acquire them in sorted key order
+    /// under an exclusive catalog lock.
+    fn shard() -> LockToken {
+        let (catalog, shard) = LOCKS_HELD.with(Cell::get);
+        LOCKS_HELD.with(|c| c.set((catalog, shard + 1)));
+        LockToken { catalog: false }
+    }
+}
+
+impl Drop for LockToken {
+    fn drop(&mut self) {
+        LOCKS_HELD.with(|c| {
+            let (catalog, shard) = c.get();
+            if self.catalog {
+                c.set((catalog - 1, shard));
+            } else {
+                c.set((catalog, shard - 1));
+            }
+        });
+    }
+}
+
+/// A lock guard bundled with its [`LockToken`].
+struct Held<G> {
+    guard: G,
+    _token: LockToken,
+}
+
+impl<G: Deref> Deref for Held<G> {
+    type Target = G::Target;
+    fn deref(&self) -> &G::Target {
+        &self.guard
+    }
+}
+
+impl<G: DerefMut> DerefMut for Held<G> {
+    fn deref_mut(&mut self) -> &mut G::Target {
+        &mut self.guard
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shards and the catalog.
+// ---------------------------------------------------------------------------
+
+/// One CVD's state behind its own lock: a single-CVD [`OrpheusDB`] holding
+/// the CVD's backing tables, version graph, and staged artifacts.
+#[derive(Debug)]
+struct Shard {
+    /// Set when the shard has been replaced (instance-wide `write`) or its
+    /// CVD dropped. Operations that acquired the shard `Arc` before the
+    /// replacement re-resolve through the catalog instead of mutating
+    /// orphaned state.
+    retired: AtomicBool,
+    db: RwLock<OrpheusDB>,
+}
+
+impl Shard {
+    fn new(db: OrpheusDB) -> Arc<Shard> {
+        Arc::new(Shard {
+            retired: AtomicBool::new(false),
+            db: RwLock::new(db),
+        })
+    }
+
+    fn retire(&self) {
+        self.retired.store(true, Ordering::SeqCst);
+    }
+
+    fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::SeqCst)
+    }
+
+    fn read(&self) -> Held<impl Deref<Target = OrpheusDB> + '_> {
+        let token = LockToken::shard();
+        Held {
+            guard: self.db.read(),
+            _token: token,
+        }
+    }
+
+    fn write(&self) -> Held<impl DerefMut<Target = OrpheusDB> + '_> {
+        let token = LockToken::shard();
+        Held {
+            guard: self.db.write(),
+            _token: token,
+        }
+    }
+}
+
+/// Key of the auxiliary shard in the staged-name index (tables that were
+/// staged for a CVD that no longer exists live in the auxiliary shard).
+const AUX_KEY: &str = "";
+
+/// Instance-wide state behind the catalog lock.
+#[derive(Debug)]
+struct Catalog {
+    /// User registry and the *instance-level* identity (sessions carry
+    /// their own identities; this is what non-session tooling sees).
+    access: AccessController,
+    config: OrpheusConfig,
+    /// One shard per CVD, keyed by lower-cased CVD name. `BTreeMap` so
+    /// snapshot paths acquire shard locks in a deterministic sorted order.
+    shards: BTreeMap<String, Arc<Shard>>,
+    /// Tables that belong to no CVD (side tables created through plain
+    /// SQL, orphaned staged artifacts).
+    aux: Arc<Shard>,
+    /// Staged artifact name → owning CVD key ([`AUX_KEY`] for the
+    /// auxiliary shard). The routing index for `commit`/`discard` and the
+    /// global uniqueness check for checkout target names.
+    staged: HashMap<String, String>,
+}
+
+impl Catalog {
+    /// Index key for a staged artifact (tables case-insensitive, CSV paths
+    /// case-sensitive — mirroring [`crate::staging::StagingArea`]).
+    fn staged_key(name: &str, kind: StagedKind) -> String {
+        match kind {
+            StagedKind::Table => format!("t:{}", name.to_ascii_lowercase()),
+            StagedKind::Csv => format!("f:{name}"),
+        }
+    }
+
+    /// Split a whole instance into per-CVD shards plus the auxiliary
+    /// shard, and build the staged-name index.
+    fn from_instance(mut odb: OrpheusDB) -> Result<Catalog> {
+        let mut names: Vec<String> = odb.cvds.keys().cloned().collect();
+        names.sort();
+        let mut shards = BTreeMap::new();
+        let mut staged = HashMap::new();
+        for name in names {
+            let shard_db = odb.detach_cvd(&name)?;
+            for entry in shard_db.staged() {
+                staged.insert(Catalog::staged_key(&entry.name, entry.kind), name.clone());
+            }
+            shards.insert(name, Shard::new(shard_db));
+        }
+        // Whatever is left — side tables, orphaned staged artifacts — is
+        // the auxiliary shard.
+        for entry in odb.staged() {
+            staged.insert(
+                Catalog::staged_key(&entry.name, entry.kind),
+                AUX_KEY.to_string(),
+            );
+        }
+        let access = odb.access.clone();
+        let config = odb.config.clone();
+        Ok(Catalog {
+            access,
+            config,
+            shards,
+            aux: Shard::new(odb),
+            staged,
+        })
+    }
+
+    fn shard(&self, cvd: &str) -> Result<Arc<Shard>> {
+        self.shards
+            .get(&cvd.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| CoreError::CvdNotFound(cvd.to_string()))
+    }
+
+    /// Resolve a staged-index value ([`AUX_KEY`] → auxiliary shard).
+    fn shard_by_key(&self, key: &str) -> Result<Arc<Shard>> {
+        if key == AUX_KEY {
+            Ok(Arc::clone(&self.aux))
+        } else {
+            self.shard(key)
+        }
+    }
+
+    /// The CVD whose `<cvd>__` table-name prefix claims `ident`, longest
+    /// prefix winning (so `a__b`'s tables are never claimed by `a`).
+    fn claim_by_prefix(&self, ident: &str) -> Option<String> {
+        self.shards
+            .keys()
+            .filter(|key| {
+                ident.len() > key.len() + 2
+                    && ident.starts_with(key.as_str())
+                    && ident[key.len()..].starts_with("__")
+            })
+            .max_by_key(|key| key.len())
+            .cloned()
+    }
+
+    /// Consistent read snapshot of the whole instance: every shard's read
+    /// lock is taken (sorted order, auxiliary shard last) before any state
+    /// is cloned, so the merge observes one cut of history.
+    fn merged_snapshot(&self) -> Result<OrpheusDB> {
+        let arcs: Vec<Arc<Shard>> = self.shards.values().cloned().collect();
+        let guards: Vec<_> = arcs.iter().map(|s| s.read()).collect();
+        let aux = self.aux.read();
+        let mut merged = OrpheusDB::clone(&aux);
+        merged.access = self.access.clone();
+        merged.config = self.config.clone();
+        for guard in &guards {
+            merged.absorb(OrpheusDB::clone(guard))?;
+        }
+        Ok(merged)
+    }
+
+    /// Merged snapshot of a *subset* of shards (plus the auxiliary shard),
+    /// for read-only SQL spanning several CVDs.
+    fn merged_subset(&self, keys: &BTreeSet<String>) -> Result<OrpheusDB> {
+        let arcs: Vec<Arc<Shard>> = keys
+            .iter()
+            .map(|k| self.shard_by_key(k))
+            .collect::<Result<_>>()?;
+        let guards: Vec<_> = arcs.iter().map(|s| s.read()).collect();
+        let aux = self.aux.read();
+        let mut merged = OrpheusDB::clone(&aux);
+        merged.access = self.access.clone();
+        merged.config = self.config.clone();
+        for guard in &guards {
+            merged.absorb(OrpheusDB::clone(guard))?;
+        }
+        Ok(merged)
+    }
+
+    /// Quiesce every shard (write locks in sorted order), retire them, and
+    /// move all state back into one instance. Caller holds the catalog
+    /// lock exclusively and rebuilds the catalog afterwards.
+    fn take_all(&mut self) -> Result<OrpheusDB> {
+        let arcs: Vec<Arc<Shard>> = self.shards.values().cloned().collect();
+        let mut guards: Vec<_> = arcs.iter().map(|s| s.write()).collect();
+        let mut aux_guard = self.aux.write();
+        let mut merged = std::mem::take(&mut *aux_guard);
+        merged.access = self.access.clone();
+        merged.config = self.config.clone();
+        for guard in guards.iter_mut() {
+            merged.absorb(std::mem::take(&mut **guard))?;
+        }
+        // Retire *while still holding* the write guards: an operation that
+        // resolved its shard Arc before this rebuild and is blocked on the
+        // shard lock must observe `retired` the moment it gets through, or
+        // it would run against the emptied shard.
+        for arc in &arcs {
+            arc.retire();
+        }
+        self.aux.retire();
+        drop(aux_guard);
+        drop(guards);
+        Ok(merged)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared instance.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Inner {
+    catalog: RwLock<Catalog>,
+}
+
+impl Inner {
+    fn catalog_read(&self) -> Held<impl Deref<Target = Catalog> + '_> {
+        let token = LockToken::catalog();
+        Held {
+            guard: self.catalog.read(),
+            _token: token,
+        }
+    }
+
+    fn catalog_write(&self) -> Held<impl DerefMut<Target = Catalog> + '_> {
+        let token = LockToken::catalog();
+        Held {
+            guard: self.catalog.write(),
+            _token: token,
+        }
+    }
+}
+
+/// A thread-safe, shareable OrpheusDB instance with per-CVD locking (see
+/// the module docs for the locking model).
+#[derive(Debug, Clone)]
 pub struct SharedOrpheusDB {
-    inner: Arc<RwLock<OrpheusDB>>,
+    inner: Arc<Inner>,
+}
+
+impl Default for SharedOrpheusDB {
+    fn default() -> SharedOrpheusDB {
+        SharedOrpheusDB::new(OrpheusDB::default())
+    }
 }
 
 impl SharedOrpheusDB {
-    /// Wrap an instance for shared use.
+    /// Wrap an instance for shared use, splitting it into one shard per
+    /// CVD so operations on different CVDs execute in parallel.
     pub fn new(odb: OrpheusDB) -> SharedOrpheusDB {
+        let catalog = Catalog::from_instance(odb)
+            .expect("splitting an instance into per-CVD shards cannot collide");
         SharedOrpheusDB {
-            inner: Arc::new(RwLock::new(odb)),
+            inner: Arc::new(Inner {
+                catalog: RwLock::new(catalog),
+            }),
         }
     }
 
     /// Open a session for `user`, registering the account if it does not
     /// exist yet (the `create_user` + `config` flow in one step).
     pub fn session(&self, user: &str) -> Result<Session> {
-        {
-            let mut odb = self.inner.write();
-            if !odb.access.users().iter().any(|u| u == user) {
-                odb.access.create_user(user)?;
-            }
-        }
         Ok(Session {
-            db: Arc::clone(&self.inner),
+            exec: self.executor(user)?,
+        })
+    }
+
+    /// A bare [`ConcurrentExecutor`] for `user` — the routing layer behind
+    /// [`Session`], registering the account if needed.
+    pub fn executor(&self, user: &str) -> Result<ConcurrentExecutor> {
+        {
+            let mut cat = self.inner.catalog_write();
+            cat.access.ensure_user(user)?;
+        }
+        Ok(ConcurrentExecutor {
+            inner: Arc::clone(&self.inner),
             user: user.to_string(),
         })
     }
 
-    /// Run a closure with shared (read) access to the instance.
+    /// Run a closure against a consistent read snapshot of the instance
+    /// (administrative escape hatch; sessions are the normal path).
+    ///
+    /// Lock order: takes the catalog lock, then every CVD lock in sorted
+    /// order — all released *before* the closure runs, so the closure sees
+    /// an immutable merged copy and may freely call back into the shared
+    /// instance. The cost is proportional to the instance size; do not
+    /// put this on a hot path.
     pub fn read<T>(&self, f: impl FnOnce(&OrpheusDB) -> T) -> T {
-        f(&self.inner.read())
+        let merged = {
+            let cat = self.inner.catalog_read();
+            cat.merged_snapshot()
+                .expect("disjoint shards merge without collisions")
+        };
+        f(&merged)
     }
 
-    /// Run a closure with exclusive access to the instance (administrative
-    /// escape hatch; sessions are the normal path).
+    /// Run a closure with exclusive access to the whole instance
+    /// (administrative escape hatch; sessions are the normal path).
+    ///
+    /// Lock order: catalog lock first, then every CVD lock in sorted key
+    /// order; the shards are quiesced, merged into one instance, handed to
+    /// the closure, and re-split afterwards. The catalog lock is held for
+    /// the closure's whole duration — calling any `SharedOrpheusDB` or
+    /// [`Session`] operation from inside the closure is a lock-order
+    /// violation and panics in debug builds (it would deadlock in
+    /// release).
     pub fn write<T>(&self, f: impl FnOnce(&mut OrpheusDB) -> T) -> T {
-        f(&mut self.inner.write())
+        let mut cat = self.inner.catalog_write();
+        let mut merged = cat
+            .take_all()
+            .expect("disjoint shards merge without collisions");
+        // Index entries with no matching staged artifact at quiesce time
+        // are in-flight *reservations*: a checkout resolved its shard
+        // before this rebuild and will materialize right after it. They
+        // must survive the rebuild (whose index comes from shard staging
+        // alone), or the finished checkout would be unroutable and its
+        // name leaked forever. Materialized entries are NOT carried — the
+        // rebuilt index reflects whatever the closure did to them.
+        let materialized: std::collections::HashSet<String> = merged
+            .staged()
+            .iter()
+            .map(|e| Catalog::staged_key(&e.name, e.kind))
+            .collect();
+        let reservations: Vec<(String, String)> = cat
+            .staged
+            .iter()
+            .filter(|(key, _)| !materialized.contains(*key))
+            .map(|(key, cvd)| (key.clone(), cvd.clone()))
+            .collect();
+        let out = f(&mut merged);
+        *cat = Catalog::from_instance(merged)
+            .expect("splitting an instance into per-CVD shards cannot collide");
+        for (key, cvd) in reservations {
+            if !cat.staged.contains_key(&key) && (cvd == AUX_KEY || cat.shards.contains_key(&cvd)) {
+                cat.staged.insert(key, cvd);
+            }
+        }
+        out
     }
 
-    /// Persist the instance snapshot (see [`crate::persist`]).
+    /// Persist a consistent instance snapshot (see [`crate::persist`]).
     pub fn save_to(&self, path: &std::path::Path) -> Result<()> {
-        self.inner.read().save_to(path)
+        let merged = {
+            let cat = self.inner.catalog_read();
+            cat.merged_snapshot()?
+        };
+        merged.save_to(path)
+    }
+
+    /// Restore a shared instance previously saved with
+    /// [`SharedOrpheusDB::save_to`] (or [`OrpheusDB::save_to`]).
+    pub fn load_from(path: &std::path::Path) -> Result<SharedOrpheusDB> {
+        Ok(SharedOrpheusDB::new(OrpheusDB::load_from(path)?))
     }
 }
 
-/// One user's handle on a [`SharedOrpheusDB`].
+// ---------------------------------------------------------------------------
+// The routing executor.
+// ---------------------------------------------------------------------------
+
+/// Swap the shard's identity to `user` for the duration of one operation,
+/// restoring the previous identity afterwards — the per-request
+/// identity-swap that keeps ownership checks session-scoped.
+fn under_identity<T>(
+    odb: &mut OrpheusDB,
+    user: &str,
+    f: impl FnOnce(&mut OrpheusDB) -> Result<T>,
+) -> Result<T> {
+    odb.access.ensure_user(user)?;
+    let prior = odb.access.whoami().to_string();
+    odb.access.login(user)?;
+    let result = f(odb);
+    // Restore the shard-level identity regardless of the outcome.
+    let _ = odb.access.login(&prior);
+    result
+}
+
+/// How one SQL statement routes under per-CVD locking.
+#[derive(Debug)]
+struct SqlPlan {
+    /// CVD keys the statement touches ([`AUX_KEY`] never appears here).
+    cvds: BTreeSet<String>,
+    /// Whether the statement is a plain `SELECT` (read-only).
+    is_select: bool,
+}
+
+/// Scan a statement for CVD references: `CVD <name>` patterns (only when
+/// `versioned` — the `run` surface), staged-table names, and backing-table
+/// names (`<cvd>__...`).
+fn analyze_sql(cat: &Catalog, sql: &str, versioned: bool) -> Result<SqlPlan> {
+    let tokens = tokenize(sql).map_err(CoreError::from)?;
+    let is_select = tokens.first().is_some_and(|t| t.is_kw("select"));
+    let mut cvds = BTreeSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if versioned && tokens[i].is_kw("cvd") {
+            if let Some(Token::Ident(name)) = tokens.get(i + 1) {
+                let key = name.to_ascii_lowercase();
+                if !cat.shards.contains_key(&key) {
+                    return Err(CoreError::CvdNotFound(name.clone()));
+                }
+                cvds.insert(key);
+                i += 2;
+                continue;
+            }
+        }
+        if let Token::Ident(name) = &tokens[i] {
+            let key = name.to_ascii_lowercase();
+            if let Some(cvd) = cat
+                .staged
+                .get(&Catalog::staged_key(&key, StagedKind::Table))
+            {
+                if cvd != AUX_KEY {
+                    cvds.insert(cvd.clone());
+                }
+            } else if let Some(cvd) = cat.claim_by_prefix(&key) {
+                cvds.insert(cvd);
+            }
+        }
+        i += 1;
+    }
+    Ok(SqlPlan { cvds, is_select })
+}
+
+/// The shared, multi-user executor with per-CVD lock routing. Each request
+/// runs under this executor's identity (acquired-lock identity swap), so
+/// ownership checks apply per session while many sessions share one
+/// instance.
 ///
-/// Every operation acquires the instance lock, switches the access
-/// controller to this session's user, runs, and restores the previous
-/// identity — so sessions on different threads interleave without identity
-/// leaks, and ownership checks (commit, discard) apply per session.
+/// Routing, by [`Request::target`]:
+/// * [`Target::Catalog`] — catalog lock (CVD create/drop, users, `ls`).
+/// * [`Target::Cvd`] — that CVD's lock; checkouts additionally reserve the
+///   target name in the catalog's staged index first, keeping staged
+///   names globally unique.
+/// * [`Target::StagedTable`] / [`Target::StagedCsv`] — the owning CVD is
+///   resolved through the staged index, then that CVD's lock.
+/// * [`Target::Sql`] — the statement is analyzed; single-CVD statements
+///   take one CVD lock, read-only multi-CVD statements run on a merged
+///   snapshot, multi-CVD writes are rejected ([`CoreError::CrossCvd`]).
+///
+/// Two variants get session-level semantics instead of instance-level
+/// ones: `Whoami` reports the executor's user, and `Login` rebinds *this
+/// executor* to another existing user without touching the instance
+/// identity other sessions see.
 #[derive(Debug, Clone)]
-pub struct Session {
-    db: Arc<RwLock<OrpheusDB>>,
+pub struct ConcurrentExecutor {
+    inner: Arc<Inner>,
     user: String,
 }
 
-impl Session {
-    /// The identity this session operates under.
+impl ConcurrentExecutor {
+    /// The identity this executor operates under.
     pub fn user(&self) -> &str {
         &self.user
     }
 
-    fn with<T>(&self, f: impl FnOnce(&mut OrpheusDB) -> Result<T>) -> Result<T> {
-        let mut odb = self.db.write();
-        let prior = odb.access.whoami().to_string();
-        odb.access.login(&self.user)?;
-        let result = f(&mut odb);
-        // Restore the instance-level identity regardless of the outcome.
-        let _ = odb.access.login(&prior);
+    /// Run `f` under the lock of the shard `resolve` picks, retrying when
+    /// a catalog rebuild retired the shard between resolution and lock
+    /// acquisition. The catalog lock is **not** held while blocking on the
+    /// shard lock.
+    fn locked<T>(
+        &self,
+        resolve: impl Fn(&Catalog) -> Result<Arc<Shard>>,
+        f: impl FnOnce(&mut OrpheusDB) -> Result<T>,
+    ) -> Result<T> {
+        let mut f = Some(f);
+        loop {
+            let shard = {
+                let cat = self.inner.catalog_read();
+                resolve(&cat)?
+            };
+            let mut db = shard.write();
+            if shard.is_retired() {
+                continue;
+            }
+            let f = f.take().expect("closure runs at most once");
+            return under_identity(&mut db, &self.user, f);
+        }
+    }
+
+    /// Read-locked variant of [`ConcurrentExecutor::locked`] for
+    /// operations that do not mutate the shard (e.g. `log`), letting them
+    /// run in parallel with each other.
+    fn locked_read<T>(
+        &self,
+        resolve: impl Fn(&Catalog) -> Result<Arc<Shard>>,
+        f: impl FnOnce(&OrpheusDB) -> Result<T>,
+    ) -> Result<T> {
+        let mut f = Some(f);
+        loop {
+            let shard = {
+                let cat = self.inner.catalog_read();
+                resolve(&cat)?
+            };
+            let db = shard.read();
+            if shard.is_retired() {
+                continue;
+            }
+            let f = f.take().expect("closure runs at most once");
+            return f(&db);
+        }
+    }
+
+    /// Reserve a staged name in the catalog index, run the checkout-style
+    /// operation under the CVD lock, and release the reservation on
+    /// failure. The reservation keeps staged names globally unique across
+    /// CVDs without holding the catalog lock during the (expensive)
+    /// materialization.
+    fn with_reservation<T>(
+        &self,
+        cvd: &str,
+        kind: StagedKind,
+        name: &str,
+        f: impl FnOnce(&mut OrpheusDB) -> Result<T>,
+    ) -> Result<T> {
+        let key = Catalog::staged_key(name, kind);
+        let cvd_key = {
+            let mut cat = self.inner.catalog_write();
+            // CVD existence first (checkout against an unknown CVD is a
+            // CvdNotFound error even when the name also collides).
+            cat.shard(cvd)?;
+            let cvd_key = cvd.to_ascii_lowercase();
+            if cat.staged.contains_key(&key) {
+                return Err(CoreError::Invalid(format!("{name} is already staged")));
+            }
+            if kind == StagedKind::Table {
+                // Names must stay unique across *all* shards, or merging
+                // shards into a snapshot would collide. The target shard's
+                // own checkout catches collisions inside that shard; here
+                // we close the cross-shard cases: another CVD's
+                // backing-table namespace, and side tables living in the
+                // auxiliary shard.
+                let lower = name.to_ascii_lowercase();
+                if let Some(owner) = cat.claim_by_prefix(&lower) {
+                    if owner != cvd_key {
+                        return Err(CoreError::Invalid(format!(
+                            "table name {name} lies in CVD {owner}'s backing-table \
+                             namespace ({owner}__*)"
+                        )));
+                    }
+                }
+                if cat.aux.read().engine.has_table(&lower) {
+                    return Err(CoreError::Invalid(format!("table {name} already exists")));
+                }
+            }
+            cat.staged.insert(key.clone(), cvd_key.clone());
+            cvd_key
+        };
+        let result = self.locked(|cat| cat.shard(cvd), f);
+        if result.is_err() {
+            let mut cat = self.inner.catalog_write();
+            if cat.staged.get(&key) == Some(&cvd_key) {
+                cat.staged.remove(&key);
+            }
+        }
         result
     }
 
-    /// `checkout` into a private staged table owned by this session's user.
-    pub fn checkout(&self, cvd: &str, vids: &[Vid], table: &str) -> Result<()> {
-        self.with(|odb| odb.checkout(cvd, vids, table))
+    /// Route a commit/discard-style operation through the staged index to
+    /// the owning CVD's lock; drop the index entry once the operation
+    /// consumed the staged artifact.
+    fn with_staged<T>(
+        &self,
+        kind: StagedKind,
+        name: &str,
+        f: impl FnOnce(&mut OrpheusDB) -> Result<T>,
+    ) -> Result<T> {
+        let key = Catalog::staged_key(name, kind);
+        let result = self.locked(
+            |cat| {
+                let cvd_key = cat
+                    .staged
+                    .get(&key)
+                    .ok_or_else(|| CoreError::NotStaged(name.to_string()))?;
+                cat.shard_by_key(cvd_key)
+            },
+            f,
+        );
+        if result.is_ok() {
+            let mut cat = self.inner.catalog_write();
+            cat.staged.remove(&key);
+        }
+        result
     }
 
-    /// `commit` a staged table (must be owned by this session's user).
+    // -- the session-level command surface ----------------------------------
+
+    /// `checkout` into a private staged table owned by this executor's
+    /// user.
+    pub fn checkout(&self, cvd: &str, vids: &[Vid], table: &str) -> Result<()> {
+        self.with_reservation(cvd, StagedKind::Table, table, |odb| {
+            odb.checkout(cvd, vids, table)
+        })
+    }
+
+    /// `checkout -f`: export version(s) as CSV text.
+    pub fn checkout_csv(&self, cvd: &str, vids: &[Vid], path: &str) -> Result<String> {
+        self.with_reservation(cvd, StagedKind::Csv, path, |odb| {
+            odb.checkout_csv(cvd, vids, path)
+        })
+    }
+
+    /// `commit` a staged table (must be owned by this executor's user).
     pub fn commit(&self, table: &str, message: &str) -> Result<Vid> {
-        self.with(|odb| odb.commit(table, message))
+        self.with_staged(StagedKind::Table, table, |odb| odb.commit(table, message))
+    }
+
+    /// `commit -f`: commit edited CSV text previously exported with
+    /// [`ConcurrentExecutor::checkout_csv`].
+    pub fn commit_csv(
+        &self,
+        path: &str,
+        csv: &str,
+        message: &str,
+        schema_text: Option<&str>,
+    ) -> Result<Vid> {
+        self.with_staged(StagedKind::Csv, path, |odb| {
+            odb.commit_csv(path, csv, message, schema_text)
+        })
     }
 
     /// Abandon a staged table without committing.
     pub fn discard(&self, table: &str) -> Result<()> {
-        self.with(|odb| odb.discard(table))
-    }
-
-    /// Versioned SQL (`VERSION n OF CVD x`, `CVD x`); read-only access to
-    /// CVDs needs no ownership, but statements referencing another user's
-    /// staged table are rejected just like [`Session::sql`] — `run` passes
-    /// plain SQL through untranslated, so it is the same surface.
-    pub fn run(&self, sql: &str) -> Result<QueryResult> {
-        self.with(|odb| {
-            guard_sql(odb, &self.user, sql)?;
-            odb.run(sql)
-        })
-    }
-
-    /// Plain SQL against staged tables. Statements referencing a staged
-    /// table owned by a *different* user are rejected — the access rule of
-    /// Section 2.3 ("only the user who performed the checkout operation is
-    /// permitted access to the materialized table"). (Named `sql` so the
-    /// bus-level [`Executor::execute`] keeps the `execute` name.)
-    pub fn sql(&self, sql: &str) -> Result<QueryResult> {
-        self.with(|odb| {
-            guard_sql(odb, &self.user, sql)?;
-            Ok(odb.engine.execute(sql)?)
-        })
+        self.with_staged(StagedKind::Table, table, |odb| odb.discard(table))
     }
 
     /// `diff` two versions of a CVD.
     pub fn diff(&self, cvd: &str, a: Vid, b: Vid) -> Result<VersionDiff> {
-        self.with(|odb| odb.diff(cvd, a, b))
-    }
-
-    /// List CVDs.
-    pub fn ls(&self) -> Vec<String> {
-        self.db.read().ls()
+        self.locked(|cat| cat.shard(cvd), |odb| odb.diff(cvd, a, b))
     }
 
     /// Run the partition optimizer.
     pub fn optimize(&self, cvd: &str) -> Result<OptimizeReport> {
-        self.with(|odb| odb.optimize(cvd))
+        self.locked(|cat| cat.shard(cvd), |odb| odb.optimize(cvd))
     }
 
-    /// A table name namespaced to this session's user, the conventional way
-    /// to avoid staged-table name collisions between users.
-    pub fn private_table(&self, name: &str) -> String {
-        format!("{}__{}", self.user.to_ascii_lowercase(), name)
+    /// List CVDs (catalog lock only — never blocks behind a commit).
+    pub fn ls(&self) -> Vec<String> {
+        let cat = self.inner.catalog_read();
+        cat.shards.keys().cloned().collect()
+    }
+
+    /// Versioned SQL (`VERSION n OF CVD x`, `CVD x`) or plain SQL, guarded
+    /// by the Section 2.3 staged-table access rule.
+    pub fn run(&self, sql: &str) -> Result<QueryResult> {
+        self.sql_routed(sql, true)
+    }
+
+    /// Plain SQL against staged tables (no versioned-clause translation),
+    /// same access guard as [`ConcurrentExecutor::run`].
+    pub fn sql(&self, sql: &str) -> Result<QueryResult> {
+        self.sql_routed(sql, false)
+    }
+
+    fn sql_routed(&self, sql: &str, versioned: bool) -> Result<QueryResult> {
+        let plan = {
+            let cat = self.inner.catalog_read();
+            analyze_sql(&cat, sql, versioned)?
+        };
+        let exec = |odb: &mut OrpheusDB| -> Result<QueryResult> {
+            guard_sql(odb, &self.user, sql)?;
+            if versioned {
+                odb.run(sql)
+            } else {
+                Ok(odb.engine.execute(sql)?)
+            }
+        };
+        let result = match plan.cvds.len() {
+            0 => self.locked(|cat| Ok(Arc::clone(&cat.aux)), exec),
+            1 => {
+                let key = plan.cvds.iter().next().expect("len checked").clone();
+                self.locked(move |cat| cat.shard_by_key(&key), exec)
+            }
+            _ if plan.is_select => return self.sql_on_snapshot(&plan.cvds, sql, versioned),
+            _ => return Err(CoreError::CrossCvd(plan.cvds.into_iter().collect())),
+        };
+        // A SELECT that joins shard tables with auxiliary tables (or
+        // another CVD's tables the analyzer could not attribute) fails
+        // with TableNotFound inside a single shard; retry it on a full
+        // merged snapshot before giving up.
+        match result {
+            Err(CoreError::Engine(EngineError::TableNotFound(_))) if plan.is_select => {
+                self.sql_on_snapshot(&plan.cvds, sql, versioned)
+            }
+            // A *writing* statement cannot fall back to a snapshot (its
+            // effects would be discarded), so a missing table inside the
+            // routed shard gets an error that names the limitation rather
+            // than a bare TableNotFound.
+            Err(CoreError::Engine(EngineError::TableNotFound(t))) if !plan.cvds.is_empty() => {
+                let cvds: Vec<String> = plan.cvds.iter().cloned().collect();
+                Err(CoreError::Invalid(format!(
+                    "table {t} not found in the shard of CVD {}; writing statements \
+                     cannot reference tables outside that CVD under per-CVD locking",
+                    cvds.join("/")
+                )))
+            }
+            other => other,
+        }
+    }
+
+    /// Run a read-only statement on a merged snapshot of the involved
+    /// shards (plus the auxiliary shard).
+    fn sql_on_snapshot(
+        &self,
+        keys: &BTreeSet<String>,
+        sql: &str,
+        versioned: bool,
+    ) -> Result<QueryResult> {
+        let mut merged = {
+            let cat = self.inner.catalog_read();
+            if keys.is_empty() {
+                cat.merged_snapshot()?
+            } else {
+                cat.merged_subset(keys)?
+            }
+        };
+        guard_sql(&merged, &self.user, sql)?;
+        if versioned {
+            merged.run(sql)
+        } else {
+            Ok(merged.engine.execute(sql)?)
+        }
+    }
+
+    // -- catalog-level requests ----------------------------------------------
+
+    /// `init` / `init -f`: create a new CVD as a fresh shard. The shard is
+    /// built *outside* any lock — loading a large CSV must not stall
+    /// routing for unrelated CVDs — and published under a brief catalog
+    /// write, re-checking the name (a lost race surfaces as `CvdExists`).
+    fn create_cvd(&self, name: &str, request: Request) -> Result<Response> {
+        let key = name.to_ascii_lowercase();
+        let (config, access) = {
+            let cat = self.inner.catalog_read();
+            if cat.shards.contains_key(&key) {
+                return Err(CoreError::CvdExists(name.to_string()));
+            }
+            (cat.config.clone(), cat.access.clone())
+        };
+        let mut odb = OrpheusDB::with_config(config);
+        odb.access = access;
+        let response = under_identity(&mut odb, &self.user, |odb| odb.execute(request))?;
+        let mut cat = self.inner.catalog_write();
+        if cat.shards.contains_key(&key) {
+            return Err(CoreError::CvdExists(name.to_string()));
+        }
+        cat.shards.insert(key, Shard::new(odb));
+        Ok(response)
+    }
+
+    /// `drop`: remove a CVD's shard (and with it the CVD's backing tables
+    /// and staged artifacts) and its staged-index entries.
+    fn drop_cvd(&self, name: &str) -> Result<Response> {
+        let mut cat = self.inner.catalog_write();
+        let key = name.to_ascii_lowercase();
+        let shard = cat
+            .shards
+            .remove(&key)
+            .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))?;
+        shard.retire();
+        cat.staged.retain(|_, cvd| cvd != &key);
+        Ok(Response::Dropped {
+            cvd: name.to_string(),
+        })
     }
 }
 
-/// The shared, multi-user executor: each request runs under this session's
-/// identity (acquired-lock identity swap, as for the inherent methods), so
-/// ownership checks apply per session while many sessions share one
-/// instance.
-///
-/// Two variants get session-level semantics instead of instance-level
-/// ones: `Whoami` reports the session's user, and `Login` rebinds *this
-/// session* to another existing user without touching the instance
-/// identity other sessions see.
-impl Executor for Session {
+impl Executor for ConcurrentExecutor {
     fn execute(&mut self, request: Request) -> Result<Response> {
         match request {
+            // Session-scoped identity: Login rebinds this executor without
+            // touching the instance identity other sessions see.
             Request::Login(login) => {
                 {
-                    let odb = self.db.read();
-                    if !odb.access.users().contains(&login.user) {
+                    let cat = self.inner.catalog_read();
+                    if !cat.access.has_user(&login.user) {
                         return Err(CoreError::Invalid(format!("unknown user {}", login.user)));
                     }
                 }
@@ -188,11 +934,164 @@ impl Executor for Session {
             Request::Whoami => Ok(Response::CurrentUser {
                 user: self.user.clone(),
             }),
+            Request::CreateUser(r) => {
+                let mut cat = self.inner.catalog_write();
+                cat.access.create_user(&r.user)?;
+                Ok(Response::UserCreated { user: r.user })
+            }
+            Request::Ls => Ok(Response::CvdList(self.ls())),
+            Request::Init(ref r) => {
+                let name = r.cvd.clone();
+                self.create_cvd(&name, request)
+            }
+            Request::InitFromCsv(ref r) => {
+                let name = r.cvd.clone();
+                self.create_cvd(&name, request)
+            }
+            Request::Drop(r) => self.drop_cvd(&r.cvd),
             // Run goes through the guarded session path: the bus must not
             // be a way around the Section 2.3 staged-table access rule.
             Request::Run(run) => Ok(Response::Rows(self.run(&run.sql)?)),
-            other => self.with(|odb| odb.execute(other)),
+            // Log only reads the version graph: a shard *read* lock, so
+            // history inspection runs in parallel with other readers.
+            Request::Log(l) => self.locked_read(
+                |cat| cat.shard(&l.cvd),
+                |odb| {
+                    let entries = odb.log_entries(&l.cvd)?;
+                    Ok(Response::Log {
+                        cvd: l.cvd.clone(),
+                        entries,
+                    })
+                },
+            ),
+            // Everything else routes to one CVD's lock, delegating to the
+            // single-threaded executor under the session identity.
+            other => {
+                enum Route {
+                    Cvd(String),
+                    Reserve(String, StagedKind, String),
+                    Staged(StagedKind, String),
+                }
+                let route = match other.target() {
+                    Target::Cvd(cvd) => match &other {
+                        Request::Checkout(c) => {
+                            Route::Reserve(cvd.to_string(), StagedKind::Table, c.table.clone())
+                        }
+                        Request::CheckoutCsv(c) => {
+                            Route::Reserve(cvd.to_string(), StagedKind::Csv, c.path.clone())
+                        }
+                        _ => Route::Cvd(cvd.to_string()),
+                    },
+                    Target::StagedTable(name) => Route::Staged(StagedKind::Table, name.to_string()),
+                    Target::StagedCsv(path) => Route::Staged(StagedKind::Csv, path.to_string()),
+                    Target::Catalog(_) | Target::Sql(_) => {
+                        unreachable!("catalog and SQL requests handled above")
+                    }
+                };
+                match route {
+                    Route::Cvd(cvd) => {
+                        self.locked(|cat| cat.shard(&cvd), move |odb| odb.execute(other))
+                    }
+                    Route::Reserve(cvd, kind, name) => {
+                        self.with_reservation(&cvd, kind, &name, move |odb| odb.execute(other))
+                    }
+                    Route::Staged(kind, name) => {
+                        self.with_staged(kind, &name, move |odb| odb.execute(other))
+                    }
+                }
+            }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions.
+// ---------------------------------------------------------------------------
+
+/// One user's handle on a [`SharedOrpheusDB`].
+///
+/// Every operation routes through the per-CVD locking scheme (see
+/// [`ConcurrentExecutor`]): it acquires the owning CVD's lock, switches
+/// that shard's access controller to this session's user, runs, and
+/// restores the previous identity — so sessions on different threads
+/// interleave without identity leaks, ownership checks (commit, discard)
+/// apply per session, and sessions working on *different* CVDs execute in
+/// parallel.
+#[derive(Debug, Clone)]
+pub struct Session {
+    exec: ConcurrentExecutor,
+}
+
+impl Session {
+    /// The identity this session operates under.
+    pub fn user(&self) -> &str {
+        self.exec.user()
+    }
+
+    /// The routing executor behind this session.
+    pub fn executor(&self) -> &ConcurrentExecutor {
+        &self.exec
+    }
+
+    /// `checkout` into a private staged table owned by this session's user.
+    pub fn checkout(&self, cvd: &str, vids: &[Vid], table: &str) -> Result<()> {
+        self.exec.checkout(cvd, vids, table)
+    }
+
+    /// `commit` a staged table (must be owned by this session's user).
+    pub fn commit(&self, table: &str, message: &str) -> Result<Vid> {
+        self.exec.commit(table, message)
+    }
+
+    /// Abandon a staged table without committing.
+    pub fn discard(&self, table: &str) -> Result<()> {
+        self.exec.discard(table)
+    }
+
+    /// Versioned SQL (`VERSION n OF CVD x`, `CVD x`); read-only access to
+    /// CVDs needs no ownership, but statements referencing another user's
+    /// staged table are rejected just like [`Session::sql`] — `run` passes
+    /// plain SQL through untranslated, so it is the same surface.
+    pub fn run(&self, sql: &str) -> Result<QueryResult> {
+        self.exec.run(sql)
+    }
+
+    /// Plain SQL against staged tables. Statements referencing a staged
+    /// table owned by a *different* user are rejected — the access rule of
+    /// Section 2.3 ("only the user who performed the checkout operation is
+    /// permitted access to the materialized table"). (Named `sql` so the
+    /// bus-level [`Executor::execute`] keeps the `execute` name.)
+    pub fn sql(&self, sql: &str) -> Result<QueryResult> {
+        self.exec.sql(sql)
+    }
+
+    /// `diff` two versions of a CVD.
+    pub fn diff(&self, cvd: &str, a: Vid, b: Vid) -> Result<VersionDiff> {
+        self.exec.diff(cvd, a, b)
+    }
+
+    /// List CVDs.
+    pub fn ls(&self) -> Vec<String> {
+        self.exec.ls()
+    }
+
+    /// Run the partition optimizer.
+    pub fn optimize(&self, cvd: &str) -> Result<OptimizeReport> {
+        self.exec.optimize(cvd)
+    }
+
+    /// A table name namespaced to this session's user, the conventional way
+    /// to avoid staged-table name collisions between users.
+    pub fn private_table(&self, name: &str) -> String {
+        format!("{}__{}", self.user().to_ascii_lowercase(), name)
+    }
+}
+
+/// Sessions execute the typed bus by delegating to their
+/// [`ConcurrentExecutor`].
+impl Executor for Session {
+    fn execute(&mut self, request: Request) -> Result<Response> {
+        self.exec.execute(request)
     }
 }
 
@@ -478,5 +1377,235 @@ mod tests {
         // private_table sidesteps the collision.
         bob.checkout("data", &[Vid(1)], &bob.private_table("work"))
             .unwrap();
+    }
+
+    // -- per-CVD locking behavior ------------------------------------------
+
+    /// Two CVDs under one shared instance, 10 rows each.
+    fn shared_with_two_cvds() -> SharedOrpheusDB {
+        let mut odb = OrpheusDB::new();
+        for name in ["left", "right"] {
+            let schema = Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+            ])
+            .with_primary_key(&["k"])
+            .unwrap();
+            let rows: Vec<Vec<Value>> = (0..10)
+                .map(|i| vec![Value::Int(i), Value::Int(0)])
+                .collect();
+            odb.init_cvd(name, schema, rows, None).unwrap();
+        }
+        SharedOrpheusDB::new(odb)
+    }
+
+    #[test]
+    fn disjoint_cvd_commits_run_concurrently_and_land() {
+        let shared = shared_with_two_cvds();
+        std::thread::scope(|scope| {
+            for (u, cvd) in [("alice", "left"), ("bob", "right")] {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let s = shared.session(u).unwrap();
+                    for i in 0..4 {
+                        let t = s.private_table(&format!("{cvd}_{i}"));
+                        s.checkout(cvd, &[Vid(1)], &t).unwrap();
+                        s.sql(&format!("UPDATE {t} SET v = {i} WHERE k = 0"))
+                            .unwrap();
+                        s.commit(&t, &format!("{u} {i}")).unwrap();
+                    }
+                });
+            }
+        });
+        shared.read(|odb| {
+            assert_eq!(odb.cvd("left").unwrap().num_versions(), 5);
+            assert_eq!(odb.cvd("right").unwrap().num_versions(), 5);
+            assert!(odb.staged().is_empty());
+        });
+    }
+
+    #[test]
+    fn cross_cvd_selects_work_and_cross_cvd_writes_are_rejected() {
+        let shared = shared_with_two_cvds();
+        let session = shared.session("ana").unwrap();
+
+        // A read-only SELECT spanning both CVDs runs on a merged snapshot.
+        let n = session
+            .run(
+                "SELECT count(*) FROM VERSION 1 OF CVD left AS a, \
+                 VERSION 1 OF CVD right AS b WHERE a.k = b.k",
+            )
+            .unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(10)));
+
+        // Writes spanning CVDs are refused with a structured error.
+        session.checkout("left", &[Vid(1)], "lw").unwrap();
+        session.checkout("right", &[Vid(1)], "rw").unwrap();
+        let err = session
+            .sql("UPDATE lw SET v = (SELECT count(*) FROM rw)")
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::CrossCvd(ref cvds) if cvds.len() == 2),
+            "{err}"
+        );
+        assert!(err.to_string().contains("left"), "{err}");
+    }
+
+    #[test]
+    fn staged_names_stay_globally_unique_across_cvds() {
+        let shared = shared_with_two_cvds();
+        let s = shared.session("u").unwrap();
+        s.checkout("left", &[Vid(1)], "work").unwrap();
+        // The same table name cannot be staged from another CVD.
+        let err = s.checkout("right", &[Vid(1)], "work").unwrap_err();
+        assert!(err.to_string().contains("staged"), "{err}");
+        // After a discard the name is free again, for any CVD.
+        s.discard("work").unwrap();
+        s.checkout("right", &[Vid(1)], "work").unwrap();
+        s.commit("work", "reused name").unwrap();
+        shared.read(|odb| {
+            assert_eq!(odb.cvd("right").unwrap().num_versions(), 2);
+        });
+    }
+
+    #[test]
+    fn checkout_names_cannot_collide_with_side_tables_or_other_shards() {
+        let shared = shared_with_two_cvds();
+        let s = shared.session("u").unwrap();
+        // A plain-SQL side table occupies its name globally: a checkout
+        // into it is rejected up front (not discovered as a merge panic
+        // later).
+        s.sql("CREATE TABLE occupied (k INT)").unwrap();
+        let err = s.checkout("left", &[Vid(1)], "occupied").unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+        // Another CVD's backing-table namespace is off limits...
+        let err = s.checkout("left", &[Vid(1)], "right__data").unwrap_err();
+        assert!(err.to_string().contains("namespace"), "{err}");
+        // ...while a checkout inside the *target* CVD's namespace that
+        // collides with a real backing table still errors in the shard.
+        assert!(s.checkout("left", &[Vid(1)], "left__data").is_err());
+        // The snapshot paths stay collision-free afterwards.
+        shared.read(|odb| assert_eq!(odb.ls().len(), 2));
+        shared
+            .save_to(
+                &std::env::temp_dir()
+                    .join(format!("orpheus-collision-{}.orpheus", std::process::id())),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn writes_joining_shard_and_side_tables_explain_the_limitation() {
+        let shared = shared_with_two_cvds();
+        let s = shared.session("u").unwrap();
+        s.sql("CREATE TABLE side (k INT)").unwrap();
+        s.sql("INSERT INTO side VALUES (7)").unwrap();
+        s.checkout("left", &[Vid(1)], "work").unwrap();
+        // A writing statement mixing a staged table (CVD shard) with a
+        // side table (auxiliary shard) cannot run under one CVD lock; the
+        // error names the limitation instead of a bare TableNotFound.
+        let err = s
+            .sql("UPDATE work SET v = (SELECT count(*) FROM side)")
+            .unwrap_err();
+        assert!(err.to_string().contains("per-CVD locking"), "{err}");
+        // The owner's single-shard writes still work.
+        s.sql("UPDATE work SET v = 7 WHERE k = 0").unwrap();
+        s.commit("work", "fine").unwrap();
+    }
+
+    #[test]
+    fn sql_joining_shard_and_side_tables_falls_back_to_snapshot() {
+        let shared = shared_with_two_cvds();
+        // A side table that belongs to no CVD lives in the auxiliary shard.
+        let s = shared.session("u").unwrap();
+        s.sql("CREATE TABLE side (k INT)").unwrap();
+        s.sql("INSERT INTO side VALUES (1)").unwrap();
+        s.sql("INSERT INTO side VALUES (2)").unwrap();
+        // Joining it with a CVD's version routes to the CVD shard first,
+        // then falls back to the merged snapshot.
+        let n = s
+            .run(
+                "SELECT count(*) FROM VERSION 1 OF CVD left AS a, side \
+                 WHERE a.k = side.k",
+            )
+            .unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn executor_routes_requests_by_target() {
+        use crate::request::{Checkout, Commit, Diff, Log, Run};
+
+        let shared = shared_with_two_cvds();
+        let mut exec = shared.executor("driver").unwrap();
+        exec.dispatch(Checkout::of("left").version(1u64).into_table("t"))
+            .unwrap();
+        let response = exec.dispatch(Commit::table("t").message("m")).unwrap();
+        assert_eq!(response.version(), Some(Vid(2)));
+        let response = exec.dispatch(Diff::of("left").between(1u64, 2u64)).unwrap();
+        assert_eq!(
+            response.summary(),
+            "0 record(s) only in v1, 0 record(s) only in v2"
+        );
+        let response = exec.dispatch(Log::of("right")).unwrap();
+        assert!(matches!(response, Response::Log { ref entries, .. } if entries.len() == 1));
+        let rows = exec
+            .dispatch(Run::sql("SELECT count(*) FROM VERSION 2 OF CVD left"))
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows.scalar(), Some(&Value::Int(10)));
+        // Unknown CVDs surface as CvdNotFound through every route.
+        assert!(matches!(
+            exec.dispatch(Log::of("nope")).unwrap_err(),
+            CoreError::CvdNotFound(_)
+        ));
+        assert!(matches!(
+            exec.dispatch(Checkout::of("nope").version(1u64).into_table("x"))
+                .unwrap_err(),
+            CoreError::CvdNotFound(_)
+        ));
+        assert!(matches!(
+            exec.dispatch(Commit::table("never_staged")).unwrap_err(),
+            CoreError::NotStaged(_)
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_persistence() {
+        let shared = shared_with_two_cvds();
+        let s = shared.session("u").unwrap();
+        s.checkout("left", &[Vid(1)], "w").unwrap();
+        s.commit("w", "v2").unwrap();
+
+        let path = std::env::temp_dir().join(format!(
+            "orpheus-concurrent-snapshot-{}.orpheus",
+            std::process::id()
+        ));
+        shared.save_to(&path).unwrap();
+        let restored = SharedOrpheusDB::load_from(&path).unwrap();
+        restored.read(|odb| {
+            assert_eq!(odb.ls(), vec!["left", "right"]);
+            assert_eq!(odb.cvd("left").unwrap().num_versions(), 2);
+        });
+        // The restored instance is fully operational, per CVD.
+        let s = restored.session("u").unwrap();
+        s.checkout("right", &[Vid(1)], "w2").unwrap();
+        s.commit("w2", "after reload").unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn reentering_the_catalog_from_a_write_closure_panics_loudly() {
+        let shared = shared_with_cvd();
+        let reentrant = shared.clone();
+        // `write` holds the catalog lock for the closure's duration;
+        // calling back into the shared instance would deadlock silently in
+        // release builds — the guard panics instead.
+        shared.write(move |_| {
+            reentrant.read(|_| ());
+        });
     }
 }

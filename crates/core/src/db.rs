@@ -49,7 +49,7 @@ pub struct VersionDiff {
 }
 
 /// A dataset version control system bolted onto a relational engine.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OrpheusDB {
     /// The backing relational database. Public: users are free to run
     /// arbitrary SQL against staged tables, exactly as the paper intends.
@@ -112,6 +112,81 @@ impl OrpheusDB {
             .clock
             .max(cvd.versions.iter().map(|m| m.commit_t).max().unwrap_or(0));
         self.cvds.insert(key, cvd);
+        Ok(())
+    }
+
+    /// Detach one CVD — its catalog entry, backing tables, and staged
+    /// artifacts — into a standalone single-CVD instance. The inverse of
+    /// [`OrpheusDB::absorb`]; together they are the shard construction
+    /// primitives behind [`crate::SharedOrpheusDB`]'s per-CVD locking.
+    ///
+    /// Tables are *moved*, not copied: row data changes owner without
+    /// being cloned. Staged tables registered for other CVDs are never
+    /// claimed, even when their names happen to share this CVD's
+    /// `<cvd>__` prefix.
+    pub fn detach_cvd(&mut self, name: &str) -> Result<OrpheusDB> {
+        let key = name.to_ascii_lowercase();
+        let cvd = self
+            .cvds
+            .remove(&key)
+            .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))?;
+        let mut shard = OrpheusDB {
+            access: self.access.clone(),
+            config: self.config.clone(),
+            clock: self.clock,
+            ..OrpheusDB::default()
+        };
+        // Staged artifacts first, so the prefix claim below can skip
+        // staged tables that belong to other CVDs.
+        for entry in self.staging.remove_for_cvd(&key) {
+            if entry.kind == StagedKind::Table {
+                if let Ok(table) = self.engine.take_table(&entry.name) {
+                    shard.engine.add_table(table)?;
+                }
+            }
+            shard.staging.register(entry)?;
+        }
+        // Claim backing tables by the `<cvd>__` naming convention, with a
+        // longest-prefix rule so a CVD whose name extends this one (e.g.
+        // `a` vs `a__b`) keeps its own tables.
+        let prefix = format!("{key}__");
+        for t in self.engine.table_names() {
+            if !t.starts_with(&prefix) {
+                continue;
+            }
+            let better_claim = self
+                .cvds
+                .keys()
+                .any(|other| other.len() > key.len() && t.starts_with(&format!("{other}__")));
+            if better_claim || self.staging.get(&t, StagedKind::Table).is_ok() {
+                continue;
+            }
+            shard.engine.add_table(self.engine.take_table(&t)?)?;
+        }
+        shard.cvds.insert(key, cvd);
+        Ok(shard)
+    }
+
+    /// Merge another instance's CVDs, staged artifacts, tables, and user
+    /// registry into this one (the inverse of [`OrpheusDB::detach_cvd`]).
+    /// Fails on CVD or table name collisions rather than overwriting.
+    pub fn absorb(&mut self, mut other: OrpheusDB) -> Result<()> {
+        for t in other.engine.table_names() {
+            self.engine.add_table(other.engine.take_table(&t)?)?;
+        }
+        for (key, cvd) in other.cvds.drain() {
+            if self.cvds.contains_key(&key) {
+                return Err(CoreError::CvdExists(key));
+            }
+            self.cvds.insert(key, cvd);
+        }
+        for entry in other.staging.drain() {
+            self.staging.register(entry)?;
+        }
+        for user in other.access.users() {
+            self.access.ensure_user(&user)?;
+        }
+        self.clock = self.clock.max(other.clock);
         Ok(())
     }
 

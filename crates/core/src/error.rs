@@ -54,6 +54,10 @@ pub enum CoreError {
     Csv(String),
     /// Snapshot persistence failure (I/O, corruption, version skew).
     Storage(String),
+    /// A statement routed by the concurrent executor touches more than one
+    /// CVD in a way per-CVD locking cannot serve (non-SELECT statements
+    /// spanning CVDs). Carries the CVD names involved.
+    CrossCvd(Vec<String>),
     /// Catch-all for invalid API usage.
     Invalid(String),
 }
@@ -123,6 +127,12 @@ impl fmt::Display for CoreError {
             CoreError::Io(m) => write!(f, "I/O error: {m}"),
             CoreError::Csv(m) => write!(f, "csv error: {m}"),
             CoreError::Storage(m) => write!(f, "storage error: {m}"),
+            CoreError::CrossCvd(cvds) => write!(
+                f,
+                "statement writes across CVDs [{}]; only read-only (SELECT) \
+                 statements may span CVDs under per-CVD locking",
+                cvds.join(", ")
+            ),
             CoreError::Invalid(m) => write!(f, "invalid request: {m}"),
         }
     }

@@ -46,7 +46,7 @@ pub mod request;
 pub mod response;
 pub mod staging;
 
-pub use concurrent::{Session, SharedOrpheusDB};
+pub use concurrent::{ConcurrentExecutor, Session, SharedOrpheusDB};
 pub use cvd::Cvd;
 pub use db::{OrpheusConfig, OrpheusDB, VersionDiff};
 pub use error::{CoreError, Result};
@@ -54,6 +54,6 @@ pub use ids::{Rid, Vid};
 pub use model::ModelKind;
 pub use request::{
     Checkout, CheckoutCsv, CommandKind, Commit, CommitCsv, CreateUser, Diff, Discard, DropCvd,
-    Executor, Init, InitFromCsv, Log, Login, Optimize, Request, Run,
+    Executor, Init, InitFromCsv, Log, Login, Optimize, Request, Run, Target,
 };
 pub use response::{LogEntry, Response};

@@ -494,6 +494,15 @@ pub fn load(path: &Path) -> Result<OrpheusDB> {
     deserialize(&bytes)
 }
 
+/// Load a snapshot straight into a [`crate::SharedOrpheusDB`], splitting
+/// it into per-CVD shards for concurrent sessions. Snapshots are one flat
+/// format either way: a file saved by [`OrpheusDB::save_to`] and one saved
+/// by [`crate::SharedOrpheusDB::save_to`] (which merges its shards first)
+/// are interchangeable.
+pub fn load_shared(path: &Path) -> Result<crate::SharedOrpheusDB> {
+    Ok(crate::SharedOrpheusDB::new(load(path)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +602,33 @@ mod tests {
         assert_eq!(lp.num_partitions, op.num_partitions);
         // Staged artifacts preserved.
         assert_eq!(back.staged().len(), odb.staged().len());
+    }
+
+    #[test]
+    fn load_shared_splits_the_snapshot_into_working_shards() {
+        let odb = populated();
+        let path = std::env::temp_dir().join(format!(
+            "orpheus-persist-shared-{}.orpheus",
+            std::process::id()
+        ));
+        save(&odb, &path).unwrap();
+
+        let shared = load_shared(&path).unwrap();
+        shared.read(|back| {
+            assert_eq!(back.ls(), odb.ls());
+            assert_eq!(back.staged().len(), odb.staged().len());
+        });
+        // The open staged table survived the split and commits under its
+        // owner's session; the partitioned CVD still checks out.
+        let alice = shared.session("alice").unwrap();
+        let v5 = alice.commit("open_work", "post-restore commit").unwrap();
+        assert_eq!(v5, Vid(5));
+        alice.checkout("protein", &[Vid(2)], "reload_co").unwrap();
+        let res = alice
+            .run("SELECT count(*) FROM VERSION 5 OF CVD protein")
+            .unwrap();
+        assert_eq!(res.scalar(), Some(&Value::Int(3)));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

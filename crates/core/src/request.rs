@@ -90,6 +90,63 @@ impl Request {
             Request::Discard(_) => CommandKind::Discard,
         }
     }
+
+    /// The lock granularity a request needs under per-CVD locking: which
+    /// state it must pin exclusively before executing. Concurrent
+    /// executors dispatch on this (together with [`Request::kind`]) to
+    /// decide between the instance-wide catalog lock and one CVD's lock.
+    pub fn target(&self) -> Target<'_> {
+        match self {
+            // Catalog mutations: CVD create/drop and the user registry.
+            Request::Init(r) => Target::Catalog(Some(&r.cvd)),
+            Request::InitFromCsv(r) => Target::Catalog(Some(&r.cvd)),
+            Request::Drop(r) => Target::Catalog(Some(&r.cvd)),
+            Request::CreateUser(_) | Request::Login(_) | Request::Whoami | Request::Ls => {
+                Target::Catalog(None)
+            }
+            // Operations addressed to one CVD by name.
+            Request::Checkout(r) => Target::Cvd(&r.cvd),
+            Request::CheckoutCsv(r) => Target::Cvd(&r.cvd),
+            Request::Diff(r) => Target::Cvd(&r.cvd),
+            Request::Log(r) => Target::Cvd(&r.cvd),
+            Request::Optimize(r) => Target::Cvd(&r.cvd),
+            // Operations addressed to a staged artifact, whose CVD is
+            // found through the staging index.
+            Request::Commit(r) => Target::StagedTable(&r.table),
+            Request::Discard(r) => Target::StagedTable(&r.table),
+            Request::CommitCsv(r) => Target::StagedCsv(&r.path),
+            // SQL needs analysis to discover which CVDs it touches.
+            Request::Run(r) => Target::Sql(&r.sql),
+        }
+    }
+
+    /// The CVD a request addresses directly by name, when it names one.
+    /// `None` for catalog-wide requests without a CVD payload, staged-table
+    /// requests (resolved through the staging index), and SQL.
+    pub fn target_cvd(&self) -> Option<&str> {
+        match self.target() {
+            Target::Catalog(cvd) => cvd,
+            Target::Cvd(cvd) => Some(cvd),
+            Target::StagedTable(_) | Target::StagedCsv(_) | Target::Sql(_) => None,
+        }
+    }
+}
+
+/// What a request must lock before it can run (see [`Request::target`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target<'a> {
+    /// Instance-wide state behind the catalog lock: the user registry and
+    /// the CVD registry itself. Carries the CVD name for create/drop.
+    Catalog(Option<&'a str>),
+    /// One CVD's lock, addressed by name.
+    Cvd(&'a str),
+    /// One CVD's lock, found by resolving a staged table name.
+    StagedTable(&'a str),
+    /// One CVD's lock, found by resolving a staged CSV path.
+    StagedCsv(&'a str),
+    /// SQL text: the executor analyzes it for CVD and staged-table
+    /// references to pick a lock (or a read-only multi-CVD snapshot).
+    Sql(&'a str),
 }
 
 /// The command families of the bus, independent of request payloads.
@@ -625,5 +682,48 @@ mod tests {
             assert!(kinds.contains(&kind), "missing {kind}");
             assert!(!kind.name().is_empty());
         }
+    }
+
+    #[test]
+    fn targets_route_every_variant_to_the_right_lock() {
+        use Target::*;
+
+        let cases: Vec<(Request, Target<'static>)> = vec![
+            (Init::cvd("a").into(), Catalog(Some("a"))),
+            (InitFromCsv::cvd("a").into(), Catalog(Some("a"))),
+            (DropCvd::named("a").into(), Catalog(Some("a"))),
+            (CreateUser::named("u").into(), Catalog(None)),
+            (Login::as_user("u").into(), Catalog(None)),
+            (Request::Whoami, Catalog(None)),
+            (Request::Ls, Catalog(None)),
+            (
+                Checkout::of("a").version(1u64).into_table("t").into(),
+                Cvd("a"),
+            ),
+            (
+                Checkout::of("a").version(1u64).into_csv("f").into(),
+                Cvd("a"),
+            ),
+            (Diff::of("a").between(1u64, 2u64).into(), Cvd("a")),
+            (Log::of("a").into(), Cvd("a")),
+            (Optimize::cvd("a").into(), Cvd("a")),
+            (Commit::table("t").into(), StagedTable("t")),
+            (Discard::table("t").into(), StagedTable("t")),
+            (CommitCsv::path("f").into(), StagedCsv("f")),
+            (Run::sql("SELECT 1").into(), Sql("SELECT 1")),
+        ];
+        for (req, want) in &cases {
+            assert_eq!(&req.target(), want, "{req:?}");
+        }
+
+        // target_cvd surfaces the direct CVD name where one is present.
+        assert_eq!(Request::from(Init::cvd("a")).target_cvd(), Some("a"));
+        assert_eq!(
+            Request::from(Checkout::of("a").version(1u64).into_table("t")).target_cvd(),
+            Some("a")
+        );
+        assert_eq!(Request::from(Commit::table("t")).target_cvd(), None);
+        assert_eq!(Request::Ls.target_cvd(), None);
+        assert_eq!(Request::from(Run::sql("SELECT 1")).target_cvd(), None);
     }
 }

@@ -70,6 +70,31 @@ impl StagingArea {
             .ok_or_else(|| CoreError::NotStaged(name.to_string()))
     }
 
+    /// Take every entry out of the registry (used when merging instances).
+    pub fn drain(&mut self) -> Vec<StagedEntry> {
+        let mut out: Vec<StagedEntry> = self.entries.drain().map(|(_, e)| e).collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Detach all staged artifacts of one CVD (used when splitting an
+    /// instance into per-CVD shards).
+    pub fn remove_for_cvd(&mut self, cvd: &str) -> Vec<StagedEntry> {
+        let cvd = cvd.to_ascii_lowercase();
+        let keys: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.cvd == cvd)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut out: Vec<StagedEntry> = keys
+            .into_iter()
+            .map(|k| self.entries.remove(&k).expect("key collected above"))
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
     /// All staged artifacts for a CVD (used when dropping it).
     pub fn for_cvd(&self, cvd: &str) -> Vec<&StagedEntry> {
         let cvd = cvd.to_ascii_lowercase();

@@ -49,7 +49,7 @@ impl QueryResult {
 }
 
 /// An in-memory relational database instance.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: HashMap<String, Table>,
     pub settings: EngineSettings,
@@ -100,9 +100,15 @@ impl Database {
     }
 
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.take_table(name).map(|_| ())
+    }
+
+    /// Detach a table from the catalog, keeping its contents and indexes.
+    /// This is how the middleware moves tables between per-CVD engine
+    /// shards without copying row data.
+    pub fn take_table(&mut self, name: &str) -> Result<Table> {
         self.tables
             .remove(&name.to_ascii_lowercase())
-            .map(|_| ())
             .ok_or_else(|| EngineError::TableNotFound(name.to_string()))
     }
 

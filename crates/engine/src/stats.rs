@@ -134,6 +134,24 @@ impl ExecStats {
     }
 }
 
+/// Cloning copies the current counter values into fresh atomics — needed so
+/// a whole [`crate::Database`] can be cloned when the middleware merges
+/// per-CVD shards into one snapshot.
+impl Clone for ExecStats {
+    fn clone(&self) -> ExecStats {
+        ExecStats {
+            rows_scanned: AtomicU64::new(self.rows_scanned()),
+            index_lookups: AtomicU64::new(self.index_lookups()),
+            join_rows: AtomicU64::new(self.join_rows()),
+            hash_build_rows: AtomicU64::new(self.hash_build_rows()),
+            merge_rows: AtomicU64::new(self.merge_rows()),
+            seq_pages: AtomicU64::new(self.seq_pages().to_bits()),
+            random_pages: AtomicU64::new(self.random_pages().to_bits()),
+            io_cost: AtomicU64::new(self.io_cost().to_bits()),
+        }
+    }
+}
+
 /// Plain-data copy of [`ExecStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StatsSnapshot {
