@@ -1,0 +1,288 @@
+//! The request-batching benchmark: the `batch_storm` workload driven
+//! unbatched (one `execute` per request) and batched (through
+//! `Executor::batch`) on identical instances, for both the
+//! single-threaded `OrpheusDB` executor and a concurrent `Session` over a
+//! `SharedOrpheusDB`.
+//!
+//! Besides timing, this bin is the CI sanity gate for batching: it exits
+//! non-zero when a batched arm's version graph diverges from its
+//! unbatched arm on the same executor, when a batched arm leaks staged
+//! artifacts, or when batched throughput falls below 0.9x unbatched —
+//! correctness plus gross-regression only, no absolute-time assertions.
+//! The throughput floor is re-measured (up to two retries) before it
+//! fails the run, so one noisy trial on a slow shared runner cannot flake
+//! the gate; the correctness checks are deterministic and never retried.
+//!
+//! Emits `BENCH_batching.json` (directory from `ORPHEUS_BENCH_OUT`,
+//! default the working directory) and prints paper-style tables.
+//!
+//! Knobs (all environment variables):
+//! * `ORPHEUS_BATCH_CVDS` (default 3) — CVDs in the workload.
+//! * `ORPHEUS_BATCH_ROUNDS` (default 4) — rounds per stream.
+//! * `ORPHEUS_BATCH_CLUSTER` (default 4) — checkouts of the same version
+//!   per CVD per round (the shared-scan opportunity).
+//! * `ORPHEUS_BATCH_SIZE` (default 0) — requests per submitted batch;
+//!   0 submits the whole stream as one batch.
+//! * `ORPHEUS_STORM_RECORDS` (default 400) — records per generated CVD.
+//! * `ORPHEUS_TRIALS` (default 3) — timing trials per arm.
+//!
+//! Run with `cargo run --release -p orpheus-bench --bin batching`.
+
+use orpheus_bench::generator::{Workload, WorkloadParams};
+use orpheus_bench::harness::{
+    batch_storm, drive, drive_batched, ms, protocol_mean, trials, write_bench_json, BusStats,
+    JsonObject, Report,
+};
+use orpheus_bench::loader::load_workload;
+use orpheus_core::{Executor, ModelKind, OrpheusDB, Request, Result, SharedOrpheusDB, Vid};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+/// One CVD's version graph, stripped of wall-clock-dependent fields:
+/// (vid, parents, record count, message) per version. Two arms running
+/// the same stream must produce identical graphs.
+type Graph = Vec<(String, Vec<(Vid, Vec<Vid>, u64, String)>)>;
+
+fn graph_of(odb: &OrpheusDB) -> Graph {
+    odb.ls()
+        .into_iter()
+        .map(|name| {
+            let entries = odb
+                .log_entries(&name)
+                .expect("listed CVDs have histories")
+                .into_iter()
+                .map(|e| (e.vid, e.parents, e.num_records, e.message))
+                .collect();
+            (name, entries)
+        })
+        .collect()
+}
+
+/// Timing and outcome of one arm: protocol-averaged stream time, the
+/// request count, the resulting version graph, and leftover staged names.
+struct Arm {
+    label: &'static str,
+    total_ms: f64,
+    requests: usize,
+    graph: Graph,
+    staged_leftovers: usize,
+}
+
+impl Arm {
+    fn throughput_rps(&self) -> f64 {
+        if self.total_ms <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.requests as f64 / (self.total_ms / 1e3)
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("batching bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<bool> {
+    let cvds = env_usize("ORPHEUS_BATCH_CVDS", 3).max(1);
+    let rounds = env_usize("ORPHEUS_BATCH_ROUNDS", 4).max(1);
+    let cluster = env_usize("ORPHEUS_BATCH_CLUSTER", 4).max(1);
+    let batch_size = env_usize("ORPHEUS_BATCH_SIZE", 0);
+    let records = env_usize("ORPHEUS_STORM_RECORDS", 400).max(8);
+    let trials = trials();
+    let versions = 8;
+
+    let workload = Workload::generate(WorkloadParams::sci(versions, 2, records / versions));
+    let names: Vec<String> = (0..cvds).map(|c| format!("cvd{c}")).collect();
+    let build = || -> Result<OrpheusDB> {
+        let mut odb = OrpheusDB::new();
+        for name in &names {
+            load_workload(&mut odb, name, &workload, ModelKind::SplitByRlist)?;
+        }
+        Ok(odb)
+    };
+    let stream = || batch_storm(&names, rounds, cluster);
+
+    // Each trial drives a fresh instance (the stream commits versions, so
+    // re-running on the same instance would not be the same experiment);
+    // the kept sample times follow the paper's drop-extremes protocol.
+    let run_arm = |label: &'static str, batched: bool, concurrent: bool| -> Result<Arm> {
+        let mut samples = Vec::with_capacity(trials);
+        let mut outcome: Option<(usize, Graph, usize)> = None;
+        for _ in 0..trials {
+            let odb = build()?;
+            let requests: Vec<Request> = stream();
+            let drive_arm = |executor: &mut dyn DynExecutor| -> Result<BusStats> {
+                if batched {
+                    executor.drive_batched(requests.clone(), batch_size)
+                } else {
+                    executor.drive(requests.clone())
+                }
+            };
+            let (stats, graph, leftovers) = if concurrent {
+                let shared = SharedOrpheusDB::new(odb);
+                let mut session = shared.session("batcher")?;
+                let stats = drive_arm(&mut session)?;
+                let graph = shared.read(graph_of);
+                let leftovers = shared.read(|odb| odb.staged().len());
+                (stats, graph, leftovers)
+            } else {
+                let mut odb = odb;
+                let stats = drive_arm(&mut odb)?;
+                let graph = graph_of(&odb);
+                let leftovers = odb.staged().len();
+                (stats, graph, leftovers)
+            };
+            samples.push(stats.total_ms);
+            outcome = Some((stats.requests(), graph, leftovers));
+        }
+        let (requests, graph, staged_leftovers) = outcome.expect("trials >= 1");
+        Ok(Arm {
+            label,
+            total_ms: protocol_mean(samples),
+            requests,
+            graph,
+            staged_leftovers,
+        })
+    };
+
+    let measure = || -> Result<[Arm; 4]> {
+        Ok([
+            run_arm("sequential/unbatched", false, false)?,
+            run_arm("sequential/batched", true, false)?,
+            run_arm("session/unbatched", false, true)?,
+            run_arm("session/batched", true, true)?,
+        ])
+    };
+    let throughput_ok = |arms: &[Arm; 4]| {
+        arms.chunks(2)
+            .all(|pair| pair[1].throughput_rps() >= 0.9 * pair[0].throughput_rps())
+    };
+
+    // The throughput floor is a *relative* gate, but one noisy trial on a
+    // shared runner can still dip below it with no code regression —
+    // re-measure up to twice before declaring failure. The deterministic
+    // checks (graph equality, staged leaks) are never retried away: they
+    // are evaluated on whatever measurement is final.
+    let mut arms = measure()?;
+    for retry in 1..=2 {
+        if throughput_ok(&arms) {
+            break;
+        }
+        eprintln!("throughput floor missed; re-measuring (retry {retry}/2)");
+        arms = measure()?;
+    }
+
+    let mut report = Report::new(&["arm", "requests", "total_ms", "req_per_s"]);
+    for arm in &arms {
+        report.row(vec![
+            arm.label.to_string(),
+            arm.requests.to_string(),
+            ms(arm.total_ms),
+            format!("{:.1}", arm.throughput_rps()),
+        ]);
+    }
+    println!(
+        "batch_storm ({cvds} CVDs, {rounds} rounds, cluster {cluster}, \
+         {records} records/CVD, batch size {batch_size}, {trials} trial(s))"
+    );
+    println!("{}", report.render());
+
+    // -- the sanity gate ----------------------------------------------------
+    let mut ok = true;
+    for pair in arms.chunks(2) {
+        let (unbatched, batched) = (&pair[0], &pair[1]);
+        if batched.graph != unbatched.graph {
+            eprintln!(
+                "GATE: version graph of {} diverges from {}",
+                batched.label, unbatched.label
+            );
+            ok = false;
+        }
+        for arm in pair {
+            if arm.staged_leftovers != 0 {
+                eprintln!(
+                    "GATE: {} left {} staged artifact(s) behind",
+                    arm.label, arm.staged_leftovers
+                );
+                ok = false;
+            }
+        }
+        let floor = 0.9 * unbatched.throughput_rps();
+        if batched.throughput_rps() < floor {
+            eprintln!(
+                "GATE: {} throughput {:.1} req/s fell below 0.9x {} ({:.1} req/s)",
+                batched.label,
+                batched.throughput_rps(),
+                unbatched.label,
+                unbatched.throughput_rps()
+            );
+            ok = false;
+        }
+    }
+    let speedup = |unbatched: &Arm, batched: &Arm| {
+        batched.throughput_rps() / unbatched.throughput_rps().max(f64::EPSILON)
+    };
+    println!(
+        "speedup (batched vs unbatched): sequential {:.2}x, session {:.2}x",
+        speedup(&arms[0], &arms[1]),
+        speedup(&arms[2], &arms[3]),
+    );
+
+    let arm_json = |arm: &Arm| {
+        JsonObject::new()
+            .num("total_ms", arm.total_ms)
+            .int("requests", arm.requests as u64)
+            .num("req_per_s", arm.throughput_rps())
+    };
+    let json = JsonObject::new()
+        .str("bench", "batch_storm")
+        .int("cvds", cvds as u64)
+        .int("rounds", rounds as u64)
+        .int("cluster", cluster as u64)
+        .int("batch_size", batch_size as u64)
+        .int("records_per_cvd", records as u64)
+        .int("trials", trials as u64)
+        .obj("sequential_unbatched", arm_json(&arms[0]))
+        .obj("sequential_batched", arm_json(&arms[1]))
+        .obj("session_unbatched", arm_json(&arms[2]))
+        .obj("session_batched", arm_json(&arms[3]))
+        .num("speedup_sequential", speedup(&arms[0], &arms[1]))
+        .num("speedup_session", speedup(&arms[2], &arms[3]))
+        .int("gate_ok", ok as u64);
+    let path = write_bench_json("batching", json)?;
+    println!("wrote {path}");
+
+    if !ok {
+        eprintln!("batching sanity gate FAILED");
+    }
+    Ok(ok)
+}
+
+/// Object-safe driving surface so one closure serves both executor types
+/// (`Executor::batch` is generic and cannot be called through `dyn
+/// Executor` directly).
+trait DynExecutor {
+    fn drive(&mut self, requests: Vec<Request>) -> Result<BusStats>;
+    fn drive_batched(&mut self, requests: Vec<Request>, batch_size: usize) -> Result<BusStats>;
+}
+
+impl<E: Executor> DynExecutor for E {
+    fn drive(&mut self, requests: Vec<Request>) -> Result<BusStats> {
+        drive(self, requests)
+    }
+
+    fn drive_batched(&mut self, requests: Vec<Request>, batch_size: usize) -> Result<BusStats> {
+        drive_batched(self, requests, batch_size)
+    }
+}

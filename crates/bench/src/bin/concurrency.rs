@@ -21,8 +21,8 @@ use std::sync::{Arc, Mutex};
 
 use orpheus_bench::generator::{Workload, WorkloadParams};
 use orpheus_bench::harness::{
-    checkout_storm, contention_storm, drive, drive_parallel, ms, GlobalLockSession, JsonObject,
-    Report, StormStats,
+    checkout_storm, contention_storm, drive, drive_parallel, ms, write_bench_json,
+    GlobalLockSession, JsonObject, Report, StormStats,
 };
 use orpheus_bench::loader::load_workload;
 use orpheus_core::{ModelKind, OrpheusDB, Request, Result, SharedOrpheusDB};
@@ -48,9 +48,6 @@ fn run() -> Result<()> {
     let ops = env_usize("ORPHEUS_STORM_OPS", 6);
     let records = env_usize("ORPHEUS_STORM_RECORDS", 400);
     let versions = 8;
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     let workload = Workload::generate(WorkloadParams::sci(versions, 2, records / versions));
     let build = || -> Result<OrpheusDB> {
@@ -107,7 +104,10 @@ fn run() -> Result<()> {
     };
     report.row(row("single-lock", &baseline));
     report.row(row("per-cvd", &per_cvd));
-    println!("contention_storm ({ops} checkout+commit rounds/thread, {records} records/CVD, {cores} cores)");
+    println!(
+        "contention_storm ({ops} checkout+commit rounds/thread, {records} records/CVD, {} cores)",
+        per_cvd.cores
+    );
     println!("{}", report.render());
     println!("speedup (per-cvd vs single-lock): {speedup:.2}x");
 
@@ -118,8 +118,8 @@ fn run() -> Result<()> {
     println!("\ncheckout_storm (smoke, {} requests)", smoke.requests());
     println!("{}", smoke.report().render());
 
-    // Machine-readable artifacts.
-    let out_dir = std::env::var("ORPHEUS_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    // Machine-readable artifacts (`write_bench_json` stamps the detected
+    // core count into both, so all BENCH_*.json emitters share one path).
     let storm_json = |stats: &StormStats| {
         JsonObject::new()
             .num("wall_ms", stats.wall_ms)
@@ -132,24 +132,17 @@ fn run() -> Result<()> {
         .int("cvds", cvds as u64)
         .int("ops_per_thread", ops as u64)
         .int("records_per_cvd", records as u64)
-        .int("cores", cores as u64)
         .obj("single_lock", storm_json(&baseline))
         .obj("per_cvd", storm_json(&per_cvd))
-        .num("speedup", speedup)
-        .render();
-    let path = format!("{out_dir}/BENCH_concurrency.json");
-    std::fs::write(&path, format!("{json}\n"))
-        .map_err(|e| orpheus_core::CoreError::Io(format!("cannot write {path}: {e}")))?;
+        .num("speedup", speedup);
+    let path = write_bench_json("concurrency", json)?;
     println!("\nwrote {path}");
 
     let json = JsonObject::new()
         .str("bench", "checkout_storm")
         .int("requests", smoke.requests() as u64)
-        .num("total_ms", smoke.total_ms)
-        .render();
-    let path = format!("{out_dir}/BENCH_checkout_storm.json");
-    std::fs::write(&path, format!("{json}\n"))
-        .map_err(|e| orpheus_core::CoreError::Io(format!("cannot write {path}: {e}")))?;
+        .num("total_ms", smoke.total_ms);
+    let path = write_bench_json("checkout_storm", json)?;
     println!("wrote {path}");
 
     // Consistency check between the two arms — a lost update would show up

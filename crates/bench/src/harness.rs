@@ -17,7 +17,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use orpheus_core::request::{CommandKind, Executor, Request};
-use orpheus_core::{Checkout, Commit, Discard, OrpheusDB, Response, Result};
+use orpheus_core::{Checkout, Commit, CoreError, Discard, OrpheusDB, Response, Result, Run};
 
 /// Run `op` `trials` times, drop the fastest and slowest trial (when there
 /// are at least three), and return the mean of the rest in milliseconds.
@@ -29,6 +29,18 @@ pub fn time_op<F: FnMut()>(trials: usize, mut op: F) -> f64 {
         op();
         samples.push(start.elapsed().as_secs_f64() * 1e3);
     }
+    protocol_mean(samples)
+}
+
+/// The paper's aggregation applied to already-collected samples: drop the
+/// fastest and slowest (when there are at least three) and average the
+/// rest. Benchmarks whose trials rebuild state themselves (so [`time_op`]
+/// cannot wrap them) share the protocol through this.
+pub fn protocol_mean(mut samples: Vec<f64>) -> f64 {
+    assert!(
+        !samples.is_empty(),
+        "protocol_mean needs at least one sample"
+    );
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
     let kept: &[f64] = if samples.len() >= 3 {
         &samples[1..samples.len() - 1]
@@ -54,6 +66,28 @@ pub fn trials() -> usize {
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&t| t >= 1)
         .unwrap_or(3)
+}
+
+/// The machine's detected hardware parallelism (1 when detection fails).
+/// Every `BENCH_*.json` emitter reports this through one code path, so a
+/// result recorded on a 1-core container is never mistaken for a claim
+/// about the design.
+pub fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Write a machine-readable benchmark artifact as `BENCH_<name>.json`
+/// into `ORPHEUS_BENCH_OUT` (default: the working directory), stamping
+/// the detected core count into every artifact. Returns the path written.
+pub fn write_bench_json(name: &str, json: JsonObject) -> Result<String> {
+    let out_dir = std::env::var("ORPHEUS_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = format!("{out_dir}/BENCH_{name}.json");
+    let stamped = json.int("cores", detected_parallelism() as u64);
+    std::fs::write(&path, format!("{}\n", stamped.render()))
+        .map_err(|e| CoreError::Io(format!("cannot write {path}: {e}")))?;
+    Ok(path)
 }
 
 /// Per-command timing of one bus-driven workload run.
@@ -113,6 +147,42 @@ pub fn drive<E: Executor>(
     Ok(stats)
 }
 
+/// Like [`drive`], but submitting the stream through [`Executor::batch`]
+/// in chunks of `batch_size` requests (0 or anything larger than the
+/// stream means one batch for the whole stream), so batching executors
+/// get to coalesce lock acquisitions and version-row scans.
+///
+/// Timing is necessarily per *batch*; the per-command breakdown
+/// attributes each batch's wall time evenly across its requests, so
+/// treat `ms_per_op` as an amortized figure. Like [`drive`], the first
+/// per-request error aborts the run and is returned, so workloads fail
+/// loudly.
+pub fn drive_batched<E: Executor>(
+    executor: &mut E,
+    requests: impl IntoIterator<Item = Request>,
+    batch_size: usize,
+) -> Result<BusStats> {
+    let mut stats = BusStats::default();
+    let mut iter = requests.into_iter();
+    loop {
+        let chunk: Vec<Request> = match batch_size {
+            0 => iter.by_ref().collect(),
+            n => iter.by_ref().take(n).collect(),
+        };
+        if chunk.is_empty() {
+            return Ok(stats);
+        }
+        let kinds: Vec<CommandKind> = chunk.iter().map(Request::kind).collect();
+        let start = Instant::now();
+        let results = executor.batch(chunk);
+        let per_request_ms = start.elapsed().as_secs_f64() * 1e3 / kinds.len() as f64;
+        for (kind, result) in kinds.into_iter().zip(results) {
+            result?;
+            stats.record(kind, per_request_ms);
+        }
+    }
+}
+
 /// The bus workload behind the paper's checkout experiments: check each
 /// sampled version out into a scratch table and discard it again.
 pub fn checkout_storm(cvd: &str, versions: &[u64]) -> Vec<Request> {
@@ -143,6 +213,40 @@ pub fn contention_storm(cvd: &str, thread: usize, ops: usize) -> Vec<Request> {
     requests
 }
 
+/// The batching benchmark workload: per round, every CVD gets a *cluster*
+/// of checkouts of version 1 (identical version sets, so a batching
+/// executor can share one version-row scan), then a versioned count
+/// query, one commit, and discards of the remaining scratch checkouts.
+/// Rounds interleave CVDs, so batching also has to route sub-batches per
+/// shard while keeping responses in submission order. The resulting
+/// version graph (one identity commit per CVD per round, all parented at
+/// v1) is deterministic, which is what lets the `batching` bench bin
+/// compare graphs across batched and unbatched arms.
+pub fn batch_storm(cvds: &[String], rounds: usize, cluster: usize) -> Vec<Request> {
+    let cluster = cluster.max(1);
+    let mut requests = Vec::with_capacity(rounds * cvds.len() * (cluster + 2));
+    for round in 0..rounds {
+        for (c, cvd) in cvds.iter().enumerate() {
+            for j in 0..cluster {
+                let table = format!("__batch_c{c}_r{round}_{j}");
+                requests.push(Checkout::of(cvd).version(1u64).into_table(table).into());
+            }
+        }
+        for (c, cvd) in cvds.iter().enumerate() {
+            requests.push(Run::sql(format!("SELECT count(*) FROM VERSION 1 OF CVD {cvd}")).into());
+            requests.push(
+                Commit::table(format!("__batch_c{c}_r{round}_0"))
+                    .message(format!("batch_storm round {round}"))
+                    .into(),
+            );
+            for j in 1..cluster {
+                requests.push(Discard::table(format!("__batch_c{c}_r{round}_{j}")).into());
+            }
+        }
+    }
+    requests
+}
+
 /// Outcome of one multi-threaded storm run.
 #[derive(Debug)]
 pub struct StormStats {
@@ -151,6 +255,10 @@ pub struct StormStats {
     pub wall_ms: f64,
     /// Requests executed across all threads.
     pub requests: usize,
+    /// Hardware parallelism detected at run time
+    /// ([`detected_parallelism`]) — recorded here so every artifact
+    /// derived from a storm run carries the conditions it ran under.
+    pub cores: usize,
     /// Per-thread command timing.
     pub per_thread: Vec<BusStats>,
 }
@@ -205,6 +313,7 @@ where
     Ok(StormStats {
         wall_ms,
         requests,
+        cores: detected_parallelism(),
         per_thread,
     })
 }
@@ -516,6 +625,62 @@ mod tests {
         }
         assert!(baseline_db.staged().is_empty());
         shared.read(|odb| assert!(odb.staged().is_empty()));
+    }
+
+    #[test]
+    fn batched_driver_produces_the_same_graphs_as_unbatched() {
+        use crate::generator::{Workload, WorkloadParams};
+        use crate::loader::load_workload;
+        use orpheus_core::{ModelKind, SharedOrpheusDB};
+
+        let w = Workload::generate(WorkloadParams::sci(4, 2, 10));
+        let build = || {
+            let mut odb = OrpheusDB::new();
+            for c in 0..2 {
+                load_workload(&mut odb, &format!("cvd{c}"), &w, ModelKind::SplitByRlist).unwrap();
+            }
+            odb
+        };
+        let names = vec!["cvd0".to_string(), "cvd1".to_string()];
+        let stream = batch_storm(&names, 2, 3);
+
+        let mut sequential = build();
+        let unbatched = drive(&mut sequential, stream.clone()).unwrap();
+
+        let mut whole_stream = build();
+        let batched = drive_batched(&mut whole_stream, stream.clone(), 0).unwrap();
+        assert_eq!(batched.requests(), unbatched.requests());
+
+        // A session executor, driven in small chunks.
+        let shared = SharedOrpheusDB::new(build());
+        let mut session = shared.session("u").unwrap();
+        let chunked = drive_batched(&mut session, stream, 7).unwrap();
+        assert_eq!(chunked.requests(), unbatched.requests());
+
+        // All three executions commit the same version graphs and leave
+        // nothing staged.
+        for name in &names {
+            let want = sequential.cvd(name).unwrap().num_versions();
+            assert_eq!(whole_stream.cvd(name).unwrap().num_versions(), want);
+            assert_eq!(
+                shared.read(|odb| odb.cvd(name).unwrap().num_versions()),
+                want
+            );
+        }
+        assert!(sequential.staged().is_empty());
+        assert!(whole_stream.staged().is_empty());
+        shared.read(|odb| assert!(odb.staged().is_empty()));
+
+        // Errors propagate out of a batch exactly like out of `drive`.
+        assert!(drive_batched(&mut session, checkout_storm("nope", &[1]), 0).is_err());
+    }
+
+    #[test]
+    fn protocol_mean_drops_extremes() {
+        assert_eq!(protocol_mean(vec![5.0]), 5.0);
+        assert_eq!(protocol_mean(vec![1.0, 3.0]), 2.0);
+        // 100 and 0 are dropped, the rest average to 2.
+        assert_eq!(protocol_mean(vec![100.0, 2.0, 0.0, 2.0]), 2.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! orpheus --db team.orpheus checkout protein -v 1 -t work
 //! orpheus --db team.orpheus run "SELECT count(*) FROM VERSION 1 OF CVD protein"
 //! orpheus --db team.orpheus repl        # interactive session
+//! orpheus --db team.orpheus --batch script.txt   # a script as ONE batch
 //! ```
 //!
 //! Without `--db` the client runs against a fresh in-memory instance that
@@ -18,13 +19,13 @@
 //! demos). Command lines are parsed into typed
 //! [`orpheus_core::Request`]s by [`orpheus_core::commands`] and executed
 //! over the command bus ([`orpheus_core::Executor`]); this crate adds
-//! argument handling, [`Response`](orpheus_core::Response) rendering, and
+//! argument handling, [`Response`] rendering, and
 //! the load/save lifecycle.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
-use orpheus_core::commands::{run_command, FileAccess, RealFiles};
+use orpheus_core::commands::{parse_command, run_command, FileAccess, RealFiles};
 use orpheus_core::{CoreError, Executor, OrpheusDB, Response, Result, SharedOrpheusDB};
 
 mod render;
@@ -39,6 +40,9 @@ pub struct Invocation {
     /// Run as this user through a concurrent session (per-CVD locking)
     /// instead of driving the instance directly.
     pub user: Option<String>,
+    /// Script file submitted as one [`Executor::batch`] call instead of a
+    /// command.
+    pub batch: Option<PathBuf>,
     /// The command line to run (empty means "show help").
     pub command: Vec<String>,
 }
@@ -47,10 +51,11 @@ pub struct Invocation {
 ///
 /// Recognized global flags, which must precede the command:
 /// `--db <path>` / `-d <path>`, `--as <user>` / `-u <user>`,
-/// `--help` / `-h`, `--version` / `-V`.
+/// `--batch <file>` / `-b <file>`, `--help` / `-h`, `--version` / `-V`.
 pub fn parse_args(args: &[String]) -> Result<Invocation> {
     let mut db_path = None;
     let mut user = None;
+    let mut batch = None;
     let mut i = 0;
     // Global flags precede the command; command names never start with '-'.
     while i < args.len() && args[i].starts_with('-') {
@@ -69,10 +74,18 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 user = Some(name.clone());
                 i += 2;
             }
+            "--batch" | "-b" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| CoreError::parse_line("--batch needs a script file"))?;
+                batch = Some(PathBuf::from(path));
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Ok(Invocation {
                     db_path,
                     user,
+                    batch,
                     command: vec!["help".into()],
                 })
             }
@@ -80,6 +93,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 return Ok(Invocation {
                     db_path,
                     user,
+                    batch,
                     command: vec!["version".into()],
                 })
             }
@@ -91,6 +105,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
     Ok(Invocation {
         db_path,
         user,
+        batch,
         command: args[i..].to_vec(),
     })
 }
@@ -132,7 +147,13 @@ for this invocation.
 The --as <user> flag runs the command through a concurrent session under
 that identity (registering the account if needed) — the same per-CVD
 locked executor a multi-user deployment uses, so checkout ownership is
-attributed to <user> rather than the instance identity.";
+attributed to <user> rather than the instance identity.
+
+The --batch <file> flag submits a script — one command per line, `#`
+comments and blank lines skipped — as a single batch, letting the
+executor coalesce lock acquisitions and version scans. Responses come
+back in script order; a failing line is reported with its line number
+and does not abort the lines after it.";
 
 /// Load the session instance: the snapshot if it exists, otherwise fresh.
 fn open_session(inv: &Invocation) -> Result<OrpheusDB> {
@@ -174,17 +195,29 @@ pub fn run(
     let io_err = |e: std::io::Error| CoreError::Io(e.to_string());
 
     let first = inv.command.first().map(|s| s.as_str()).unwrap_or("help");
-    match first {
-        "help" => {
-            writeln!(out, "{HELP}").map_err(io_err)?;
-            return Ok(());
+    if inv.batch.is_none() {
+        match first {
+            "help" => {
+                writeln!(out, "{HELP}").map_err(io_err)?;
+                return Ok(());
+            }
+            "version" => {
+                writeln!(out, "orpheus {}", env!("CARGO_PKG_VERSION")).map_err(io_err)?;
+                return Ok(());
+            }
+            _ => {}
         }
-        "version" => {
-            writeln!(out, "orpheus {}", env!("CARGO_PKG_VERSION")).map_err(io_err)?;
-            return Ok(());
-        }
-        _ => {}
+    } else if !inv.command.is_empty() {
+        return Err(CoreError::parse_line(
+            "--batch replaces the command; drop the extra words",
+        ));
     }
+    let batch_script = match &inv.batch {
+        Some(path) => Some(std::fs::read_to_string(path).map_err(|e| {
+            CoreError::Io(format!("cannot read batch script {}: {e}", path.display()))
+        })?),
+        None => None,
+    };
 
     let mut odb = open_session(&inv)?;
     let mut files = RealFiles;
@@ -209,7 +242,9 @@ pub fn run(
     if let Some(user) = &inv.user {
         let shared = SharedOrpheusDB::new(odb);
         let mut session = shared.session(user)?;
-        if first == "repl" {
+        if let Some(script) = &batch_script {
+            run_batch_script(&mut session, &mut files, script, out, err).map_err(io_err)?;
+        } else if first == "repl" {
             repl(&mut session, &mut files, interactive, input, out, err).map_err(io_err)?;
         } else {
             let output = run_command(&mut session, &mut files, &one_shot(&inv.command))?;
@@ -218,6 +253,12 @@ pub fn run(
         if let Some(p) = &inv.db_path {
             shared.save_to(p)?;
         }
+        return Ok(());
+    }
+
+    if let Some(script) = &batch_script {
+        run_batch_script(&mut odb, &mut files, script, out, err).map_err(io_err)?;
+        close_session(&inv, &odb)?;
         return Ok(());
     }
 
@@ -230,6 +271,54 @@ pub fn run(
     let output = run_command(&mut odb, &mut files, &one_shot(&inv.command))?;
     print_output(out, &output).map_err(io_err)?;
     close_session(&inv, &odb)?;
+    Ok(())
+}
+
+/// Submit a command script as one batch: every parsable line becomes a
+/// typed request, the whole vector goes through a single
+/// [`Executor::batch`] call, and the responses print in script order.
+/// Lines that fail to parse — and requests that fail to execute — are
+/// reported to `err` with their line numbers and do not abort the rest,
+/// matching the REPL's per-line error recovery.
+fn run_batch_script<E: Executor>(
+    executor: &mut E,
+    files: &mut dyn FileAccess,
+    script: &str,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> std::io::Result<()> {
+    let mut requests = Vec::new();
+    let mut line_numbers = Vec::new();
+    for (n, line) in script.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_command(files, trimmed) {
+            Ok(request) => {
+                requests.push(request);
+                line_numbers.push(n + 1);
+            }
+            Err(e) => writeln!(err, "line {}: {e}", n + 1)?,
+        }
+    }
+    let results = executor.batch(requests);
+    for (line, result) in line_numbers.into_iter().zip(results) {
+        match result {
+            Ok(response) => {
+                // Exported CSVs are written back here, exactly like
+                // `run_command` does for one-shot checkouts.
+                if let Response::CheckedOutCsv { path, csv, .. } = &response {
+                    if let Err(e) = files.write(path, csv) {
+                        writeln!(err, "line {line}: {e}")?;
+                        continue;
+                    }
+                }
+                print_output(out, &response)?;
+            }
+            Err(e) => writeln!(err, "line {line}: {e}")?,
+        }
+    }
     Ok(())
 }
 
@@ -323,6 +412,127 @@ mod tests {
 
         assert!(parse_args(&args(&["--db"])).is_err());
         assert!(parse_args(&args(&["--bogus", "ls"])).is_err());
+
+        let inv = parse_args(&args(&["--batch", "script.txt"])).unwrap();
+        assert_eq!(inv.batch, Some(PathBuf::from("script.txt")));
+        assert!(inv.command.is_empty());
+        assert!(parse_args(&args(&["--batch"])).is_err());
+    }
+
+    #[test]
+    fn batch_flag_submits_a_script_as_one_batch() {
+        let dir = tmp_dir("batch");
+        let db = dir.join("team.orpheus");
+        let db_s = db.to_str().unwrap();
+        let csv = dir.join("d.csv");
+        let schema = dir.join("s.txt");
+        std::fs::write(&csv, "k,v\n1,10\n2,20\n").unwrap();
+        std::fs::write(&schema, "k:int!pk\nv:int\n").unwrap();
+        let script = dir.join("script.txt");
+        std::fs::write(
+            &script,
+            format!(
+                "# provision and edit in one submission\n\
+                 init kv -f {} -s {}\n\
+                 checkout kv -v 1 -t work\n\
+                 \n\
+                 bogus nonsense\n\
+                 commit -t work -m 'batched commit'\n\
+                 checkout kv -v 99 -t broken\n\
+                 log kv\n",
+                csv.display(),
+                schema.display()
+            ),
+        )
+        .unwrap();
+
+        let mut input = Cursor::new(Vec::new());
+        let (mut out, mut errs) = (Vec::new(), Vec::new());
+        run(
+            &args(&["--db", db_s, "--batch", script.to_str().unwrap()]),
+            false,
+            &mut input,
+            &mut out,
+            &mut errs,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let errs = String::from_utf8(errs).unwrap();
+
+        // Responses print in script order.
+        let init_at = out.find("initialized CVD kv").expect(&out);
+        let commit_at = out.find("committed work as v2").expect(&out);
+        let log_at = out.find("batched commit").expect(&out);
+        assert!(init_at < commit_at && commit_at < log_at, "{out}");
+        // The unparsable line and the failing checkout are reported with
+        // their script line numbers, without aborting the later lines.
+        assert!(errs.contains("line 5:"), "{errs}");
+        assert!(errs.contains("line 7:"), "{errs}");
+        // The snapshot reflects the whole batch across invocations.
+        let listing = invoke(&["--db", db_s, "log", "kv"]).unwrap();
+        assert!(listing.contains("batched commit"), "{listing}");
+
+        // Extra command words alongside --batch are a parse error.
+        assert!(run(
+            &args(&["--batch", script.to_str().unwrap(), "ls"]),
+            false,
+            &mut Cursor::new(Vec::new()),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        )
+        .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_flag_drives_a_session_with_the_given_identity() {
+        let dir = tmp_dir("batch-as");
+        let db = dir.join("team.orpheus");
+        let db_s = db.to_str().unwrap();
+        let csv = dir.join("d.csv");
+        let schema = dir.join("s.txt");
+        std::fs::write(&csv, "k,v\n1,10\n").unwrap();
+        std::fs::write(&schema, "k:int!pk\nv:int\n").unwrap();
+        invoke(&[
+            "--db",
+            db_s,
+            "init",
+            "kv",
+            "-f",
+            csv.to_str().unwrap(),
+            "-s",
+            schema.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let script = dir.join("script.txt");
+        std::fs::write(&script, "checkout kv -v 1 -t aw\n").unwrap();
+        let mut input = Cursor::new(Vec::new());
+        let (mut out, mut errs) = (Vec::new(), Vec::new());
+        run(
+            &args(&[
+                "--db",
+                db_s,
+                "--as",
+                "alice",
+                "--batch",
+                script.to_str().unwrap(),
+            ]),
+            false,
+            &mut input,
+            &mut out,
+            &mut errs,
+        )
+        .unwrap();
+        // The batched checkout is owned by alice: bob cannot commit it.
+        let err =
+            invoke(&["--db", db_s, "--as", "bob", "commit", "-t", "aw", "-m", "x"]).unwrap_err();
+        assert!(err.to_string().contains("permission"), "{err}");
+        invoke(&[
+            "--db", db_s, "--as", "alice", "commit", "-t", "aw", "-m", "hers",
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

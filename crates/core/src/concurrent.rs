@@ -63,6 +63,7 @@ use orpheus_engine::sql::lexer::{tokenize, Token};
 use orpheus_engine::{EngineError, QueryResult};
 
 use crate::access::AccessController;
+use crate::batch::{BatchPlan, BatchRouter, ShardKey, Step};
 use crate::db::{OrpheusConfig, OrpheusDB, VersionDiff};
 use crate::error::{CoreError, Result};
 use crate::ids::Vid;
@@ -291,6 +292,43 @@ impl Catalog {
             })
             .max_by_key(|key| key.len())
             .cloned()
+    }
+
+    /// Reserve a staged name for a checkout targeting `cvd` — the catalog
+    /// half of every checkout path, keeping staged names globally unique
+    /// across shards without holding the catalog lock during the
+    /// (expensive) materialization. Returns the staged-index key
+    /// inserted; the caller must remove it again if the checkout fails.
+    fn reserve(&mut self, cvd: &str, kind: StagedKind, name: &str) -> Result<String> {
+        // CVD existence first (checkout against an unknown CVD is a
+        // CvdNotFound error even when the name also collides).
+        self.shard(cvd)?;
+        let cvd_key = cvd.to_ascii_lowercase();
+        let key = Catalog::staged_key(name, kind);
+        if self.staged.contains_key(&key) {
+            return Err(CoreError::Invalid(format!("{name} is already staged")));
+        }
+        if kind == StagedKind::Table {
+            // Names must stay unique across *all* shards, or merging
+            // shards into a snapshot would collide. The target shard's
+            // own checkout catches collisions inside that shard; here we
+            // close the cross-shard cases: another CVD's backing-table
+            // namespace, and side tables living in the auxiliary shard.
+            let lower = name.to_ascii_lowercase();
+            if let Some(owner) = self.claim_by_prefix(&lower) {
+                if owner != cvd_key {
+                    return Err(CoreError::Invalid(format!(
+                        "table name {name} lies in CVD {owner}'s backing-table \
+                         namespace ({owner}__*)"
+                    )));
+                }
+            }
+            if self.aux.read().engine.has_table(&lower) {
+                return Err(CoreError::Invalid(format!("table {name} already exists")));
+            }
+        }
+        self.staged.insert(key.clone(), cvd_key);
+        Ok(key)
     }
 
     /// Consistent read snapshot of the whole instance: every shard's read
@@ -573,6 +611,67 @@ fn analyze_sql(cat: &Catalog, sql: &str, versioned: bool) -> Result<SqlPlan> {
     Ok(SqlPlan { cvds, is_select })
 }
 
+/// Remove staged-index reservations that still point at `cat_key` (a
+/// checkout that failed, or a sub-batch falling back to the per-request
+/// path). Entries re-pointed by someone else are left alone.
+fn release_reservations(inner: &Inner, cat_key: &str, keys: &[String]) {
+    if keys.is_empty() {
+        return;
+    }
+    let mut cat = inner.catalog_write();
+    for key in keys {
+        if cat.staged.get(key).map(String::as_str) == Some(cat_key) {
+            cat.staged.remove(key);
+        }
+    }
+}
+
+/// The in-shard execution of one `run` statement: the Section 2.3 access
+/// guard plus versioned translation — identical to the closure
+/// `sql_routed` runs under the shard lock.
+fn shard_sql(odb: &mut OrpheusDB, user: &str, sql: &str) -> Result<QueryResult> {
+    guard_sql(odb, user, sql)?;
+    odb.run(sql)
+}
+
+/// [`BatchRouter`] over the catalog: one read acquisition resolves the
+/// routing of a whole batch (CVD existence, the staged-name index, and
+/// per-statement SQL analysis).
+struct CatalogRouter<'a> {
+    catalog: &'a Catalog,
+}
+
+impl BatchRouter for CatalogRouter<'_> {
+    fn has_cvd(&self, name: &str) -> bool {
+        self.catalog.shards.contains_key(&name.to_ascii_lowercase())
+    }
+
+    fn staged_shard(&self, name: &str, kind: StagedKind) -> Option<ShardKey> {
+        self.catalog
+            .staged
+            .get(&Catalog::staged_key(name, kind))
+            .map(|key| {
+                if key == AUX_KEY {
+                    ShardKey::Aux
+                } else {
+                    ShardKey::Cvd(key.clone())
+                }
+            })
+    }
+
+    fn sql_shard(&self, sql: &str) -> Option<ShardKey> {
+        match analyze_sql(self.catalog, sql, true) {
+            Ok(plan) if plan.cvds.is_empty() => Some(ShardKey::Aux),
+            Ok(plan) if plan.cvds.len() == 1 => {
+                Some(ShardKey::Cvd(plan.cvds.into_iter().next().expect("len 1")))
+            }
+            // Multi-CVD statements and unparsable SQL go sequential: the
+            // per-request path picks snapshots or surfaces the error.
+            _ => None,
+        }
+    }
+}
+
 /// The shared, multi-user executor with per-CVD lock routing. Each request
 /// runs under this executor's identity (acquired-lock identity swap), so
 /// ownership checks apply per session while many sessions share one
@@ -664,45 +763,14 @@ impl ConcurrentExecutor {
         name: &str,
         f: impl FnOnce(&mut OrpheusDB) -> Result<T>,
     ) -> Result<T> {
-        let key = Catalog::staged_key(name, kind);
-        let cvd_key = {
+        let cvd_key = cvd.to_ascii_lowercase();
+        let key = {
             let mut cat = self.inner.catalog_write();
-            // CVD existence first (checkout against an unknown CVD is a
-            // CvdNotFound error even when the name also collides).
-            cat.shard(cvd)?;
-            let cvd_key = cvd.to_ascii_lowercase();
-            if cat.staged.contains_key(&key) {
-                return Err(CoreError::Invalid(format!("{name} is already staged")));
-            }
-            if kind == StagedKind::Table {
-                // Names must stay unique across *all* shards, or merging
-                // shards into a snapshot would collide. The target shard's
-                // own checkout catches collisions inside that shard; here
-                // we close the cross-shard cases: another CVD's
-                // backing-table namespace, and side tables living in the
-                // auxiliary shard.
-                let lower = name.to_ascii_lowercase();
-                if let Some(owner) = cat.claim_by_prefix(&lower) {
-                    if owner != cvd_key {
-                        return Err(CoreError::Invalid(format!(
-                            "table name {name} lies in CVD {owner}'s backing-table \
-                             namespace ({owner}__*)"
-                        )));
-                    }
-                }
-                if cat.aux.read().engine.has_table(&lower) {
-                    return Err(CoreError::Invalid(format!("table {name} already exists")));
-                }
-            }
-            cat.staged.insert(key.clone(), cvd_key.clone());
-            cvd_key
+            cat.reserve(cvd, kind, name)?
         };
         let result = self.locked(|cat| cat.shard(cvd), f);
         if result.is_err() {
-            let mut cat = self.inner.catalog_write();
-            if cat.staged.get(&key) == Some(&cvd_key) {
-                cat.staged.remove(&key);
-            }
+            release_reservations(&self.inner, &cvd_key, &[key]);
         }
         result
     }
@@ -873,6 +941,240 @@ impl ConcurrentExecutor {
         }
     }
 
+    // -- batching -------------------------------------------------------------
+
+    /// Execute a batch with per-shard lock coalescing — the
+    /// [`Executor::batch`] override. The batch is planned once under a
+    /// single catalog read ([`BatchPlan::build`]: staged-name resolution
+    /// and SQL analysis for every request, instead of one catalog
+    /// acquisition per request), then each shard's sub-batch runs under
+    /// **one** shard-lock acquisition: checkout-name reservations for the
+    /// whole sub-batch in one catalog write, the requests themselves under
+    /// one identity swap, and the staged-index bookkeeping in one closing
+    /// catalog write. Responses come back in submission order and
+    /// failures stay per-request.
+    ///
+    /// Requests the plan cannot pin to one shard — catalog mutations, SQL
+    /// spanning CVDs, staged names it cannot resolve — run through the
+    /// ordinary [`ConcurrentExecutor::execute`] path as barriers between
+    /// sub-batches. Sub-batches of *different* shards may interleave
+    /// relative to each other (they touch disjoint state); within one
+    /// shard, submission order is preserved. A read-only statement that
+    /// turns out to reference tables outside its shard is retried on a
+    /// merged snapshot *after* the sub-batch (the same fallback the
+    /// per-request path applies inline), so it may observe later requests
+    /// of its own sub-batch.
+    pub fn execute_batch(&mut self, requests: Vec<Request>) -> Vec<Result<Response>> {
+        let plan = {
+            let cat = self.inner.catalog_read();
+            BatchPlan::build(&requests, &CatalogRouter { catalog: &cat })
+        };
+        let mut slots: Vec<Option<Request>> = requests.into_iter().map(Some).collect();
+        let mut out: Vec<Option<Result<Response>>> = slots.iter().map(|_| None).collect();
+        for step in plan.steps() {
+            match step {
+                Step::Sequential(i) => {
+                    let request = slots[*i].take().expect("indices are scheduled once");
+                    out[*i] = Some(self.execute(request));
+                }
+                Step::Shard { key, indices } => {
+                    self.execute_shard_batch(&plan, key, indices, &mut slots, &mut out)
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index is scheduled"))
+            .collect()
+    }
+
+    /// One shard's sub-batch under a single lock acquisition (see
+    /// [`ConcurrentExecutor::execute_batch`]). Requests that already
+    /// failed reservation arrive as emptied slots and are skipped.
+    fn execute_shard_batch(
+        &mut self,
+        plan: &BatchPlan,
+        key: &ShardKey,
+        indices: &[usize],
+        slots: &mut [Option<Request>],
+        out: &mut [Option<Result<Response>>],
+    ) {
+        let cat_key = match key {
+            ShardKey::Aux => AUX_KEY.to_string(),
+            ShardKey::Cvd(k) => k.clone(),
+        };
+
+        // Phase 1 — reserve every checkout target name of the sub-batch
+        // in one catalog write; a name that cannot be reserved fails its
+        // request right here, without touching the shard.
+        let mut reserved: Vec<String> = Vec::new();
+        {
+            let mut cat = self.inner.catalog_write();
+            for &i in indices {
+                let (cvd, kind, name) = match slots[i].as_ref() {
+                    Some(Request::Checkout(c)) => {
+                        (c.cvd.clone(), StagedKind::Table, c.table.clone())
+                    }
+                    Some(Request::CheckoutCsv(c)) => {
+                        (c.cvd.clone(), StagedKind::Csv, c.path.clone())
+                    }
+                    _ => continue,
+                };
+                match cat.reserve(&cvd, kind, &name) {
+                    Ok(staged_key) => reserved.push(staged_key),
+                    Err(e) => {
+                        out[i] = Some(Err(e));
+                        slots[i] = None;
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — one shard-lock acquisition for the whole sub-batch,
+        // retrying when a catalog rebuild retired the shard between
+        // resolution and acquisition (same protocol as `locked`).
+        let mut consumed: Vec<String> = Vec::new();
+        let mut failed_checkouts: Vec<String> = Vec::new();
+        let mut snapshot_retries: Vec<(usize, String)> = Vec::new();
+        loop {
+            let resolved = {
+                let cat = self.inner.catalog_read();
+                cat.shard_by_key(&cat_key)
+            };
+            let shard = match resolved {
+                Ok(shard) => shard,
+                Err(_) => {
+                    // The CVD vanished between planning and execution (a
+                    // concurrent drop). Release our reservations so the
+                    // fallback cannot collide with them, then run each
+                    // remaining request through the per-request path,
+                    // which re-resolves and reports the ordinary errors.
+                    release_reservations(&self.inner, &cat_key, &reserved);
+                    for &i in indices {
+                        if let Some(request) = slots[i].take() {
+                            out[i] = Some(self.execute(request));
+                        }
+                    }
+                    return;
+                }
+            };
+            let mut db = shard.write();
+            if shard.is_retired() {
+                continue;
+            }
+            if let Err(e) = db.access.ensure_user(&self.user) {
+                drop(db);
+                release_reservations(&self.inner, &cat_key, &reserved);
+                for &i in indices {
+                    if slots[i].take().is_some() {
+                        out[i] = Some(Err(e.clone()));
+                    }
+                }
+                return;
+            }
+            // One identity swap for the whole sub-batch (each request of
+            // the sequential path swaps to the same user anyway), and one
+            // scan cache so checkouts of the same version set share a
+            // single version-row scan under this lock acquisition.
+            let prior = db.access.whoami().to_string();
+            let _ = db.access.login(&self.user);
+            let mut scan_cache = crate::db::ScanCache::new();
+            for &i in indices {
+                let Some(request) = slots[i].take() else {
+                    continue;
+                };
+                // Staged-index bookkeeping for the closing catalog write:
+                // (key, true) = consumed on success, (key, false) =
+                // reservation to release on failure.
+                let finalize = match &request {
+                    Request::Commit(c) => {
+                        Some((Catalog::staged_key(&c.table, StagedKind::Table), true))
+                    }
+                    Request::Discard(d) => {
+                        Some((Catalog::staged_key(&d.table, StagedKind::Table), true))
+                    }
+                    Request::CommitCsv(c) => {
+                        Some((Catalog::staged_key(&c.path, StagedKind::Csv), true))
+                    }
+                    Request::Checkout(c) => {
+                        Some((Catalog::staged_key(&c.table, StagedKind::Table), false))
+                    }
+                    Request::CheckoutCsv(c) => {
+                        Some((Catalog::staged_key(&c.path, StagedKind::Csv), false))
+                    }
+                    _ => None,
+                };
+                let result = match request {
+                    // Run goes through the guarded session surface, like
+                    // `sql_routed`'s in-shard closure.
+                    Request::Run(run) => {
+                        if !crate::query::is_select(&run.sql) {
+                            // Raw SQL can write into backing tables; the
+                            // cached scans must not outlive it.
+                            scan_cache.clear();
+                        }
+                        match shard_sql(&mut db, &self.user, &run.sql) {
+                            Err(CoreError::Engine(EngineError::TableNotFound(t))) => {
+                                if crate::query::is_select(&run.sql) {
+                                    // Retried on a merged snapshot once the
+                                    // shard lock is released (catalog locks
+                                    // must never be taken under a shard
+                                    // lock).
+                                    snapshot_retries.push((i, run.sql));
+                                    continue;
+                                } else if cat_key != AUX_KEY {
+                                    Err(CoreError::Invalid(format!(
+                                        "table {t} not found in the shard of CVD {cat_key}; \
+                                         writing statements cannot reference tables outside \
+                                         that CVD under per-CVD locking"
+                                    )))
+                                } else {
+                                    Err(CoreError::Engine(EngineError::TableNotFound(t)))
+                                }
+                            }
+                            other => other.map(Response::Rows),
+                        }
+                    }
+                    other => db.execute_batch_step(plan, &mut scan_cache, other),
+                };
+                match (&result, finalize) {
+                    (Ok(_), Some((key, true))) => consumed.push(key),
+                    (Err(_), Some((key, false))) => failed_checkouts.push(key),
+                    _ => {}
+                }
+                out[i] = Some(result);
+            }
+            let _ = db.access.login(&prior);
+            break;
+        }
+
+        // Phase 3 — one closing catalog write: drop the index entries of
+        // consumed staged artifacts, release the reservations of failed
+        // checkouts.
+        if !consumed.is_empty() || !failed_checkouts.is_empty() {
+            let mut cat = self.inner.catalog_write();
+            for key in consumed {
+                cat.staged.remove(&key);
+            }
+            for key in failed_checkouts {
+                if cat.staged.get(&key).map(String::as_str) == Some(cat_key.as_str()) {
+                    cat.staged.remove(&key);
+                }
+            }
+        }
+
+        // Phase 4 — snapshot retries for read-only SQL that referenced
+        // tables outside the shard (the fallback `sql_routed` applies
+        // inline, done here because it needs catalog access).
+        for (i, sql) in snapshot_retries {
+            let keys: BTreeSet<String> = if cat_key == AUX_KEY {
+                BTreeSet::new()
+            } else {
+                std::iter::once(cat_key.clone()).collect()
+            };
+            out[i] = Some(self.sql_on_snapshot(&keys, &sql, true).map(Response::Rows));
+        }
+    }
+
     // -- catalog-level requests ----------------------------------------------
 
     /// `init` / `init -f`: create a new CVD as a fresh shard. The shard is
@@ -1002,6 +1304,13 @@ impl Executor for ConcurrentExecutor {
             }
         }
     }
+
+    fn batch<I: IntoIterator<Item = Request>>(&mut self, requests: I) -> Vec<Result<Response>>
+    where
+        Self: Sized,
+    {
+        self.execute_batch(requests.into_iter().collect())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1092,6 +1401,13 @@ impl Session {
 impl Executor for Session {
     fn execute(&mut self, request: Request) -> Result<Response> {
         self.exec.execute(request)
+    }
+
+    fn batch<I: IntoIterator<Item = Request>>(&mut self, requests: I) -> Vec<Result<Response>>
+    where
+        Self: Sized,
+    {
+        self.exec.execute_batch(requests.into_iter().collect())
     }
 }
 
@@ -1593,6 +1909,70 @@ mod tests {
         s.checkout("right", &[Vid(1)], "w2").unwrap();
         s.commit("w2", "after reload").unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_requests_coalesce_per_shard_and_preserve_order() {
+        use crate::request::{Checkout, Commit, Run};
+
+        let shared = shared_with_two_cvds();
+        let mut session = shared.session("batcher").unwrap();
+        let requests: Vec<Request> = vec![
+            Checkout::of("left").version(1u64).into_table("l0").into(),
+            Checkout::of("right").version(1u64).into_table("r0").into(),
+            Commit::table("l0").message("left edit").into(),
+            Checkout::of("left").version(1u64).into_table("l1").into(),
+            Commit::table("r0").message("right edit").into(),
+            Commit::table("l1").message("left second").into(),
+            Run::sql("SELECT count(*) FROM VERSION 1 OF CVD left").into(),
+        ];
+        let results = session.batch(requests);
+        assert_eq!(results.len(), 7);
+        for (i, r) in results.iter().enumerate() {
+            assert!(r.is_ok(), "request {i}: {r:?}");
+        }
+        // Responses answer their submission positions, even though the
+        // sub-batches grouped per CVD.
+        assert_eq!(results[2].as_ref().unwrap().version(), Some(Vid(2)));
+        assert_eq!(results[4].as_ref().unwrap().version(), Some(Vid(2)));
+        assert_eq!(results[5].as_ref().unwrap().version(), Some(Vid(3)));
+        assert_eq!(
+            results[6].as_ref().unwrap().rows().unwrap().scalar(),
+            Some(&Value::Int(10))
+        );
+        shared.read(|odb| {
+            assert_eq!(odb.cvd("left").unwrap().num_versions(), 3);
+            assert_eq!(odb.cvd("right").unwrap().num_versions(), 2);
+            assert!(odb.staged().is_empty());
+        });
+    }
+
+    #[test]
+    fn batch_failures_release_reservations_and_later_requests_run() {
+        use crate::request::{Checkout, Commit};
+
+        let shared = shared_with_cvd();
+        let mut session = shared.session("u").unwrap();
+        let requests: Vec<Request> = vec![
+            // Fails inside the shard (unknown version) after its name was
+            // reserved in the catalog.
+            Checkout::of("data").version(99u64).into_table("bad").into(),
+            Checkout::of("data").version(1u64).into_table("good").into(),
+            Commit::table("good").message("fine").into(),
+        ];
+        let results = session.batch(requests);
+        assert!(
+            matches!(results[0], Err(CoreError::VersionNotFound { .. })),
+            "{:?}",
+            results[0]
+        );
+        assert!(results[1].is_ok());
+        assert_eq!(results[2].as_ref().unwrap().version(), Some(Vid(2)));
+        // The failed checkout's reservation was released: the name is free
+        // again for the very next request.
+        session.checkout("data", &[Vid(1)], "bad").unwrap();
+        session.discard("bad").unwrap();
+        shared.read(|odb| assert!(odb.staged().is_empty()));
     }
 
     #[cfg(debug_assertions)]

@@ -7,6 +7,7 @@ use std::collections::{HashMap, HashSet};
 use orpheus_engine::{Database, QueryResult, Schema, Value};
 
 use crate::access::AccessController;
+use crate::batch::{BatchPlan, BatchRouter, ShardKey};
 use crate::csv;
 use crate::cvd::{Cvd, VersionMeta};
 use crate::error::{CoreError, Result};
@@ -768,6 +769,137 @@ impl OrpheusDB {
             .collect())
     }
 
+    // -- batching ---------------------------------------------------------------
+
+    /// Execute one request of a batch against this instance: the
+    /// shared-scan checkout fast path when `plan` says the scan is reused
+    /// ([`BatchPlan::shared_scans`]), the ordinary [`Executor::execute`]
+    /// otherwise — with `cache` invalidated first whenever the request
+    /// could change version contents ([`invalidates_shared_scans`]). Both
+    /// the [`OrpheusDB`] batch override and the concurrent executor's
+    /// per-shard sub-batches run through this, so a batch coalesces
+    /// version-row scans whichever executor drives it.
+    pub(crate) fn execute_batch_step(
+        &mut self,
+        plan: &BatchPlan,
+        cache: &mut ScanCache,
+        request: Request,
+    ) -> Result<Response> {
+        match request {
+            Request::Checkout(c) if plan.shared_scans(&c.cvd, &c.versions) > 1 => self
+                .checkout_shared_scan(cache, &c.cvd, &c.versions, &c.table)
+                .map(|()| Response::CheckedOut {
+                    cvd: c.cvd,
+                    versions: c.versions,
+                    table: c.table,
+                }),
+            Request::CheckoutCsv(c) if plan.shared_scans(&c.cvd, &c.versions) > 1 => self
+                .checkout_csv_shared_scan(cache, &c.cvd, &c.versions, &c.path)
+                .map(|csv| Response::CheckedOutCsv {
+                    cvd: c.cvd,
+                    versions: c.versions,
+                    path: c.path,
+                    csv,
+                }),
+            other => {
+                if invalidates_shared_scans(&other) {
+                    cache.clear();
+                }
+                self.execute(other)
+            }
+        }
+    }
+
+    /// Checkout that reuses an already-materialized version-row scan from
+    /// `cache` (populating it on first use) instead of re-reading the
+    /// model's backing tables — the shared-scan fast path behind the
+    /// [`Executor::batch`] override. Validation (name availability, CVD
+    /// and version existence, staging registration) is identical to
+    /// [`OrpheusDB::checkout`]; only the row scan is skipped.
+    fn checkout_shared_scan(
+        &mut self,
+        cache: &mut ScanCache,
+        cvd_name: &str,
+        vids: &[Vid],
+        table: &str,
+    ) -> Result<()> {
+        if vids.is_empty() {
+            return Err(CoreError::bad_request(
+                CommandKind::Checkout,
+                "checkout requires at least one version",
+            ));
+        }
+        if self.engine.has_table(table) {
+            return Err(CoreError::Invalid(format!("table {table} already exists")));
+        }
+        let cvd = self.cvd(cvd_name)?.clone();
+        for v in vids {
+            cvd.check_version(*v)?;
+        }
+        let rows = self.scan_cached(cache, &cvd, vids)?;
+        self.engine.create_table(table, cvd.staged_schema())?;
+        model::insert_rows_bulk(&mut self.engine, table, rows)?;
+        let created_at = self.tick();
+        self.staging.register(StagedEntry {
+            name: table.to_string(),
+            cvd: cvd.name.clone(),
+            parents: vids.to_vec(),
+            owner: self.access.whoami().to_string(),
+            created_at,
+            kind: StagedKind::Table,
+        })?;
+        Ok(())
+    }
+
+    /// CSV-export variant of [`OrpheusDB::checkout_shared_scan`].
+    fn checkout_csv_shared_scan(
+        &mut self,
+        cache: &mut ScanCache,
+        cvd_name: &str,
+        vids: &[Vid],
+        path: &str,
+    ) -> Result<String> {
+        if vids.is_empty() {
+            return Err(CoreError::bad_request(
+                CommandKind::Checkout,
+                "checkout requires at least one version",
+            ));
+        }
+        let cvd = self.cvd(cvd_name)?.clone();
+        for v in vids {
+            cvd.check_version(*v)?;
+        }
+        let rows = self.scan_cached(cache, &cvd, vids)?;
+        let text = csv::to_csv(&cvd.staged_schema(), &rows);
+        let created_at = self.tick();
+        self.staging.register(StagedEntry {
+            name: path.to_string(),
+            cvd: cvd.name.clone(),
+            parents: vids.to_vec(),
+            owner: self.access.whoami().to_string(),
+            created_at,
+            kind: StagedKind::Csv,
+        })?;
+        Ok(text)
+    }
+
+    /// The merged rows of `vids`, from `cache` when an earlier checkout of
+    /// the same version set in this batch already scanned them.
+    fn scan_cached(
+        &mut self,
+        cache: &mut ScanCache,
+        cvd: &Cvd,
+        vids: &[Vid],
+    ) -> Result<Vec<Vec<Value>>> {
+        let key = (cvd.name.to_ascii_lowercase(), vids.to_vec());
+        if let Some(rows) = cache.get(&key) {
+            return Ok(rows.clone());
+        }
+        let rows = self.merged_rows(cvd, vids)?;
+        cache.insert(key, rows.clone());
+        Ok(rows)
+    }
+
     /// Persist the whole instance (engine data + middleware state) to a
     /// checksummed snapshot file. See [`crate::persist`].
     pub fn save_to(&self, path: &std::path::Path) -> Result<()> {
@@ -882,6 +1014,76 @@ impl Executor for OrpheusDB {
                 Ok(Response::Discarded { table: r.table })
             }
         }
+    }
+
+    /// Batched execution with shared version-row scans: when the batch
+    /// checks out the same version set of a CVD more than once
+    /// ([`BatchPlan::shared_scans`]), the rows are scanned once and every
+    /// later checkout materializes from the cached scan, skipping the
+    /// model read path entirely. Requests still execute in submission
+    /// order — single-threaded, there is nothing to win by reordering — so
+    /// the results equal the sequential [`Executor::execute`] loop
+    /// result-for-result. The cache is dropped whenever a request could
+    /// change what a version's rows look like (commits and their schema
+    /// evolution, CVD create/drop, optimize, non-`SELECT` SQL).
+    fn batch<I: IntoIterator<Item = Request>>(&mut self, requests: I) -> Vec<Result<Response>>
+    where
+        Self: Sized,
+    {
+        let requests: Vec<Request> = requests.into_iter().collect();
+        let plan = BatchPlan::build(&requests, self);
+        let mut cache = ScanCache::new();
+        requests
+            .into_iter()
+            .map(|request| self.execute_batch_step(&plan, &mut cache, request))
+            .collect()
+    }
+}
+
+/// The shared version-row scans of one batch: (lower-cased CVD, version
+/// list) → merged rows, rid first. Dropped when the batch ends or a
+/// request invalidates it.
+pub(crate) type ScanCache = HashMap<(String, Vec<Vid>), Vec<Vec<Value>>>;
+
+/// Routing for [`BatchPlan::build`] on a single-threaded instance. There
+/// are no locks to coalesce, so [`OrpheusDB::batch`] consults its plan
+/// only for the shared-scan hints — but the routing is still honest
+/// (commit/discard resolve through the staging area), so one plan shape
+/// serves both executors.
+impl BatchRouter for OrpheusDB {
+    fn has_cvd(&self, name: &str) -> bool {
+        self.cvds.contains_key(&name.to_ascii_lowercase())
+    }
+
+    fn staged_shard(&self, name: &str, kind: StagedKind) -> Option<ShardKey> {
+        self.staging
+            .cvd_of(name, kind)
+            .map(|cvd| ShardKey::Cvd(cvd.to_ascii_lowercase()))
+    }
+
+    fn sql_shard(&self, _sql: &str) -> Option<ShardKey> {
+        // A single-threaded instance runs all SQL in place; grouping it
+        // under the auxiliary key keeps plans barrier-free.
+        Some(ShardKey::Aux)
+    }
+}
+
+/// Requests that can change what a version's rows look like, or whether a
+/// cached scan's CVD still is the CVD it was scanned from: commits (schema
+/// evolution widens or extends every version's staged shape), CVD
+/// create/drop (a name can be reused), optimize (repartitions storage),
+/// and any SQL that is not a plain `SELECT` (raw SQL can write into a
+/// model's backing tables).
+fn invalidates_shared_scans(request: &Request) -> bool {
+    match request {
+        Request::Commit(_)
+        | Request::CommitCsv(_)
+        | Request::Init(_)
+        | Request::InitFromCsv(_)
+        | Request::Drop(_)
+        | Request::Optimize(_) => true,
+        Request::Run(r) => !query::is_select(&r.sql),
+        _ => false,
     }
 }
 

@@ -28,8 +28,13 @@
 //!   directly or by a [`Session`] over a shared instance via the
 //!   [`Executor`] trait; [`commands`] parses the git-style command lines
 //!   of Section 2.2 into the same requests.
+//! * **Batching** ([`batch`]) — [`Executor::batch`] coalesces a request
+//!   vector along a [`BatchPlan`]: shared version-row scans across
+//!   checkouts of the same version, and (on the concurrent executor) one
+//!   shard-lock acquisition per sub-batch instead of one per request.
 
 pub mod access;
+pub mod batch;
 pub mod commands;
 pub mod compress;
 pub mod concurrent;
@@ -46,6 +51,7 @@ pub mod request;
 pub mod response;
 pub mod staging;
 
+pub use batch::{BatchPlan, BatchRouter, ShardKey, Step};
 pub use concurrent::{ConcurrentExecutor, Session, SharedOrpheusDB};
 pub use cvd::Cvd;
 pub use db::{OrpheusConfig, OrpheusDB, VersionDiff};

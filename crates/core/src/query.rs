@@ -20,6 +20,18 @@ use crate::error::{CoreError, Result};
 use crate::ids::Vid;
 use crate::model::ModelKind;
 
+/// Whether a statement is a plain `SELECT`. Batching executors use this to
+/// decide when a statement can be retried on a read snapshot and when it
+/// may invalidate cached version scans (a non-SELECT can write anywhere,
+/// including a model's backing tables). Unparsable SQL reports `false` —
+/// callers treat it as potentially writing and let execution surface the
+/// parse error.
+pub fn is_select(sql: &str) -> bool {
+    tokenize(sql)
+        .map(|tokens| tokens.first().is_some_and(|t| t.is_kw("select")))
+        .unwrap_or(false)
+}
+
 /// Translate versioned SQL into engine SQL.
 pub fn translate(odb: &OrpheusDB, sql: &str) -> Result<String> {
     let tokens = tokenize(sql).map_err(CoreError::from)?;

@@ -37,10 +37,21 @@ pub trait Executor {
         self.execute(request.into())
     }
 
-    /// Execute a batch of requests in order, collecting per-request
-    /// outcomes. The default runs them sequentially; smarter executors can
-    /// override this to coalesce work (the scaling hook this bus exists
-    /// for).
+    /// Execute a batch of requests, collecting per-request outcomes.
+    ///
+    /// The contract, kept by every implementation:
+    /// * **submission order** — entry `i` of the returned vector answers
+    ///   request `i`;
+    /// * **independent failures** — a failing request never aborts the
+    ///   requests after it.
+    ///
+    /// The default runs the requests sequentially. Executors override it
+    /// to coalesce work along a [`crate::batch::BatchPlan`]:
+    /// [`crate::OrpheusDB`] shares one version-row scan across checkouts
+    /// of the same version, and [`crate::ConcurrentExecutor`] /
+    /// [`crate::Session`] take each shard lock once per sub-batch instead
+    /// of once per request (sub-batches of different CVDs may interleave;
+    /// within one CVD, submission order is preserved).
     fn batch<I: IntoIterator<Item = Request>>(&mut self, requests: I) -> Vec<Result<Response>>
     where
         Self: Sized,

@@ -1,0 +1,331 @@
+//! The batching acceptance suite: [`Executor::batch`] keeps its contract
+//! on every executor —
+//!
+//! * (a) responses come back in **submission order**, even when the batch
+//!   mixes requests to several CVDs and the executor groups them per
+//!   shard;
+//! * (b) a mid-batch error fails **only its own request** — later
+//!   requests still execute;
+//! * (c) `batch` equals the sequential `execute` loop **result for
+//!   result** on the `bus_roundtrip` corpus (every request variant,
+//!   successes and failures mixed), for `OrpheusDB`, a `Session`, and a
+//!   bare `ConcurrentExecutor`.
+
+use orpheusdb::prelude::*;
+
+const CSV: &str = "id,score\n1,10\n2,20\n3,30\n";
+const SCHEMA: &str = "id:int!pk\nscore:int\n";
+
+/// The bus_roundtrip corpus as one request vector: every variant of the
+/// command set, with deliberate failures mixed in. Self-contained (the
+/// edited CSV text is spelled out instead of being derived from the
+/// export response), so the same vector can drive a sequential loop and a
+/// single batch on fresh instances.
+fn corpus() -> Vec<Request> {
+    let ranks_schema = Schema::new(vec![
+        Column::new("name", DataType::Text),
+        Column::new("rank", DataType::Int),
+    ])
+    .with_primary_key(&["name"])
+    .unwrap();
+    vec![
+        InitFromCsv::cvd("scores")
+            .csv(CSV)
+            .schema_text(SCHEMA)
+            .into(),
+        Init::cvd("ranks")
+            .schema(ranks_schema)
+            .row(vec!["a".into(), 1.into()])
+            .row(vec!["b".into(), 2.into()])
+            .model(ModelKind::CombinedTable)
+            .into(),
+        Checkout::of("scores")
+            .version(1u64)
+            .into_table("work")
+            .into(),
+        Commit::table("work").message("no-op").into(),
+        Checkout::of("scores")
+            .version(2u64)
+            .into_csv("scores.csv")
+            .into(),
+        CommitCsv::path("scores.csv")
+            .csv("rid,id,score\n1,1,10\n2,2,20\n3,3,30\n,4,40\n")
+            .message("add row via csv")
+            .into(),
+        Diff::of("scores").between(2u64, 3u64).into(),
+        Run::sql("SELECT count(*) FROM VERSION 3 OF CVD scores").into(),
+        Request::Ls,
+        Log::of("scores").into(),
+        Optimize::cvd("scores").gamma(2.0).mu(1.5).into(),
+        CreateUser::named("courier").into(),
+        Login::as_user("courier").into(),
+        Request::Whoami,
+        Checkout::of("scores")
+            .version(1u64)
+            .into_table("scratch")
+            .into(),
+        Discard::table("scratch").into(),
+        // Failures, deliberately mid-stream: unknown version, never-staged
+        // table, unknown CVD in versioned SQL.
+        Checkout::of("scores")
+            .version(99u64)
+            .into_table("zzz")
+            .into(),
+        Commit::table("never_staged").into(),
+        Run::sql("SELECT count(*) FROM VERSION 1 OF CVD nope").into(),
+        DropCvd::named("scores").into(),
+        DropCvd::named("ranks").into(),
+        Request::Ls,
+    ]
+}
+
+/// Render one outcome for comparison: the canonical summary for
+/// successes, the error text for failures.
+fn render(result: &Result<Response, CoreError>) -> String {
+    match result {
+        Ok(response) => response.summary(),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// Drive `corpus()` through a sequential `execute` loop on one fresh
+/// executor and through one `batch` call on another, and require the
+/// rendered outcomes to agree position by position.
+fn assert_batch_equals_sequential<E: Executor>(label: &str, mut sequential: E, mut batched: E) {
+    let sequential_results: Vec<String> = corpus()
+        .into_iter()
+        .map(|r| render(&sequential.execute(r)))
+        .collect();
+    let batched_results: Vec<String> = batched.batch(corpus()).iter().map(render).collect();
+    assert_eq!(
+        sequential_results.len(),
+        batched_results.len(),
+        "{label}: one outcome per request"
+    );
+    for (i, (seq, bat)) in sequential_results.iter().zip(&batched_results).enumerate() {
+        assert_eq!(seq, bat, "{label}: request {i} diverged");
+    }
+}
+
+#[test]
+fn batch_equals_sequential_loop_on_orpheusdb() {
+    assert_batch_equals_sequential("OrpheusDB", OrpheusDB::new(), OrpheusDB::new());
+}
+
+#[test]
+fn batch_equals_sequential_loop_on_session() {
+    let a = SharedOrpheusDB::new(OrpheusDB::new());
+    let b = SharedOrpheusDB::new(OrpheusDB::new());
+    assert_batch_equals_sequential(
+        "Session",
+        a.session("driver").unwrap(),
+        b.session("driver").unwrap(),
+    );
+    // Nothing staged leaks from either path (reservations were released).
+    a.read(|odb| assert!(odb.staged().is_empty()));
+    b.read(|odb| assert!(odb.staged().is_empty()));
+}
+
+#[test]
+fn batch_equals_sequential_loop_on_concurrent_executor() {
+    let a = SharedOrpheusDB::new(OrpheusDB::new());
+    let b = SharedOrpheusDB::new(OrpheusDB::new());
+    assert_batch_equals_sequential(
+        "ConcurrentExecutor",
+        a.executor("driver").unwrap(),
+        b.executor("driver").unwrap(),
+    );
+}
+
+/// Two CVDs under one shared instance, `n` rows each.
+fn shared_with_two_cvds(n: i64) -> SharedOrpheusDB {
+    let mut odb = OrpheusDB::new();
+    for name in ["left", "right"] {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ])
+        .with_primary_key(&["k"])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Int(i), Value::Int(0)]).collect();
+        odb.init_cvd(name, schema, rows, None).unwrap();
+    }
+    SharedOrpheusDB::new(odb)
+}
+
+#[test]
+fn responses_come_back_in_submission_order_across_shards() {
+    let shared = shared_with_two_cvds(12);
+    let mut session = shared.session("u").unwrap();
+    // Interleave the two CVDs so per-shard grouping has to reorder
+    // execution — the responses must still answer their submission slots.
+    let requests: Vec<Request> = vec![
+        Checkout::of("left").version(1u64).into_table("l0").into(),
+        Checkout::of("right").version(1u64).into_table("r0").into(),
+        Run::sql("SELECT count(*) FROM VERSION 1 OF CVD right").into(),
+        Commit::table("l0").message("left one").into(),
+        Commit::table("r0").message("right one").into(),
+        Checkout::of("right").version(2u64).into_table("r1").into(),
+        Run::sql("SELECT count(*) FROM VERSION 1 OF CVD left").into(),
+        Commit::table("r1").message("right two").into(),
+        Log::of("left").into(),
+    ];
+    let expected = [
+        "checked out v1 into table l0",
+        "checked out v1 into table r0",
+        "1 row(s)",
+        "committed l0 as v2",
+        "committed r0 as v2",
+        "checked out v2 into table r1",
+        "1 row(s)",
+        "committed r1 as v3",
+    ];
+    let results = session.batch(requests);
+    assert_eq!(results.len(), 9);
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(&render(&results[i]), want, "slot {i}");
+    }
+    assert!(
+        matches!(&results[8], Ok(Response::Log { cvd, entries }) if cvd == "left" && entries.len() == 2),
+        "{:?}",
+        results[8]
+    );
+    shared.read(|odb| {
+        assert_eq!(odb.cvd("left").unwrap().num_versions(), 2);
+        assert_eq!(odb.cvd("right").unwrap().num_versions(), 3);
+        assert!(odb.staged().is_empty());
+    });
+}
+
+/// Run `scenario` through a sequential loop and a single batch on fresh
+/// two-CVD instances, requiring identical outcomes; returns the batched
+/// instance for extra assertions.
+fn assert_scenario_agrees(scenario: &dyn Fn() -> Vec<Request>) -> SharedOrpheusDB {
+    let a = shared_with_two_cvds(6);
+    let mut sequential = a.session("u").unwrap();
+    let seq: Vec<String> = scenario()
+        .into_iter()
+        .map(|r| render(&sequential.execute(r)))
+        .collect();
+    let b = shared_with_two_cvds(6);
+    let bat: Vec<String> = b
+        .session("u")
+        .unwrap()
+        .batch(scenario())
+        .iter()
+        .map(render)
+        .collect();
+    assert_eq!(seq, bat);
+    b
+}
+
+#[test]
+fn same_name_collisions_inside_a_batch_match_the_sequential_loop() {
+    // A commit of a name two checkouts fought over must land in the shard
+    // of the checkout that actually won (the first), not the doomed one.
+    let shared = assert_scenario_agrees(&|| {
+        vec![
+            Checkout::of("left").version(1u64).into_table("t").into(),
+            Checkout::of("right").version(1u64).into_table("t").into(),
+            Commit::table("t").message("m").into(),
+        ]
+    });
+    shared.read(|odb| {
+        assert_eq!(odb.cvd("left").unwrap().num_versions(), 2);
+        assert_eq!(odb.cvd("right").unwrap().num_versions(), 1);
+    });
+
+    // A failing first checkout must not poison a same-name retry later in
+    // the batch: sequentially the retry succeeds, so batched it must too.
+    let shared = assert_scenario_agrees(&|| {
+        vec![
+            Checkout::of("left").version(99u64).into_table("x").into(),
+            Checkout::of("left").version(1u64).into_table("x").into(),
+        ]
+    });
+    shared.read(|odb| assert_eq!(odb.staged().len(), 1));
+}
+
+#[test]
+fn a_mid_batch_error_does_not_abort_later_requests() {
+    for use_session in [false, true] {
+        let requests: Vec<Request> = vec![
+            InitFromCsv::cvd("d").csv(CSV).schema_text(SCHEMA).into(),
+            Checkout::of("d").version(7u64).into_table("bad").into(), // fails
+            Checkout::of("d").version(1u64).into_table("good").into(),
+            Commit::table("bad").message("never staged").into(), // fails
+            Commit::table("good").message("lands").into(),
+            Run::sql("SELECT count(*) FROM VERSION 2 OF CVD d").into(),
+        ];
+        let results = if use_session {
+            let shared = SharedOrpheusDB::new(OrpheusDB::new());
+            shared.session("u").unwrap().batch(requests)
+        } else {
+            OrpheusDB::new().batch(requests)
+        };
+        let label = if use_session { "session" } else { "direct" };
+        assert!(results[0].is_ok(), "{label}: {:?}", results[0]);
+        assert!(
+            matches!(results[1], Err(CoreError::VersionNotFound { .. })),
+            "{label}: {:?}",
+            results[1]
+        );
+        assert!(results[2].is_ok(), "{label}: {:?}", results[2]);
+        assert!(
+            matches!(results[3], Err(CoreError::NotStaged(_))),
+            "{label}: {:?}",
+            results[3]
+        );
+        assert_eq!(
+            results[4].as_ref().unwrap().version(),
+            Some(Vid(2)),
+            "{label}"
+        );
+        assert_eq!(
+            results[5].as_ref().unwrap().rows().unwrap().scalar(),
+            Some(&Value::Int(3)),
+            "{label}"
+        );
+    }
+}
+
+#[test]
+fn shared_scans_serve_checkouts_identical_to_fresh_scans() {
+    // A batch with many checkouts of the same version set exercises the
+    // shared-scan cache; every staged table must still hold exactly the
+    // version's rows (same count, same keys) and commit back cleanly.
+    let shared = shared_with_two_cvds(10);
+    let mut session = shared.session("u").unwrap();
+    let mut requests: Vec<Request> = Vec::new();
+    for i in 0..4 {
+        requests.push(
+            Checkout::of("left")
+                .version(1u64)
+                .into_table(format!("w{i}"))
+                .into(),
+        );
+    }
+    for i in 0..4 {
+        requests.push(Run::sql(format!("SELECT count(*) FROM w{i}")).into());
+    }
+    let results = session.batch(requests);
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "request {i}: {r:?}");
+    }
+    for r in &results[4..] {
+        assert_eq!(
+            r.as_ref().unwrap().rows().unwrap().scalar(),
+            Some(&Value::Int(10))
+        );
+    }
+    // One of the cached checkouts commits back as a faithful new version.
+    session.sql("UPDATE w0 SET v = 1 WHERE k = 3").unwrap();
+    let vid = session.commit("w0", "from cached checkout").unwrap();
+    let n = session
+        .run(&format!(
+            "SELECT count(*) FROM VERSION {} OF CVD left",
+            vid.0
+        ))
+        .unwrap();
+    assert_eq!(n.scalar(), Some(&Value::Int(10)));
+}
