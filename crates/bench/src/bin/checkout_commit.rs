@@ -1,0 +1,289 @@
+//! The checkout/commit latency benchmark behind the record-access fast
+//! path (OrpheusDB §6's central claim: version materialization latency —
+//! not storage — is what makes bolt-on versioning usable).
+//!
+//! Three phases:
+//!
+//! 1. **Equality** (deterministic, never retried): for every model and
+//!    every version, the fast path's rows must equal the retained Table 1
+//!    SQL formulation row-for-row — checked *before* anything is timed.
+//! 2. **The gated arm**: `version_rows` via the rid-index fast path vs the
+//!    SQL formulation over every version of a split-by-rlist CVD. CI fails
+//!    below a 1.5x speedup floor; the floor is re-measured (up to two
+//!    retries) before failing so one noisy trial cannot flake the job.
+//! 3. **Checkout/commit latency** across version counts and all models on
+//!    both executors (direct `OrpheusDB` and a concurrent `Session`) — the
+//!    end-to-end numbers the fast path feeds.
+//!
+//! Emits `BENCH_checkout_commit.json` via the shared emitter (directory
+//! from `ORPHEUS_BENCH_OUT`, default the working directory).
+//!
+//! Knobs (environment variables):
+//! * `ORPHEUS_CC_VERSIONS` (default 12) — versions in the generated CVDs.
+//! * `ORPHEUS_CC_RECORDS` (default 600) — records per CVD.
+//! * `ORPHEUS_CC_OPS` (default 4) — checkout→commit rounds per latency arm.
+//! * `ORPHEUS_TRIALS` (default 3) — timing trials per arm.
+//!
+//! Run with `cargo run --release -p orpheus-bench --bin checkout_commit`.
+
+use orpheus_bench::generator::{Workload, WorkloadParams};
+use orpheus_bench::harness::{
+    drive, ms, protocol_mean, time_op, trials, write_bench_json, JsonObject, Report,
+};
+use orpheus_bench::loader::load_workload;
+use orpheus_core::model::{self, ModelKind};
+use orpheus_core::{Checkout, Commit, OrpheusDB, Request, Result, SharedOrpheusDB, Vid};
+use orpheus_engine::Value;
+
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+fn build(workload: &Workload, model: ModelKind) -> Result<OrpheusDB> {
+    let mut odb = OrpheusDB::new();
+    load_workload(&mut odb, "bench", workload, model)?;
+    Ok(odb)
+}
+
+fn sorted(mut rows: Vec<(i64, Vec<Value>)>) -> Vec<(i64, Vec<Value>)> {
+    rows.sort_by_key(|(rid, _)| *rid);
+    rows
+}
+
+/// Row-for-row equality of fast path vs SQL formulation, every model,
+/// every version. Returns the number of (model, version) pairs checked.
+fn check_equality(workload: &Workload) -> Result<usize> {
+    let mut checked = 0;
+    for model in ModelKind::ALL {
+        let mut odb = build(workload, model)?;
+        let cvd = odb.cvd("bench")?.clone();
+        for v in 1..=cvd.num_versions() as u64 {
+            let fast = model::version_row_refs(&odb.engine, &cvd, Vid(v))?
+                .unwrap_or_else(|| panic!("fast path not ready: {} v{v}", model.name()));
+            // Both sides rid-sorted: heap order (a-table-per-version
+            // returns insertion order) is not part of the contract.
+            let fast = sorted(
+                fast.into_iter()
+                    .map(|(rid, values)| (rid, values.to_vec()))
+                    .collect(),
+            );
+            let sql = sorted(model::version_rows_sql(&mut odb.engine, &cvd, Vid(v))?);
+            if fast != sql {
+                eprintln!(
+                    "EQUALITY: {} v{v}: fast path returned {} row(s), SQL {} — contents diverge",
+                    model.name(),
+                    fast.len(),
+                    sql.len()
+                );
+                return Err(orpheus_core::CoreError::Invalid(format!(
+                    "fast path diverges from SQL formulation on {} v{v}",
+                    model.name()
+                )));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// The gated arm: total time to materialize every version of the
+/// split-by-rlist CVD, fast path vs SQL formulation.
+fn measure_version_rows(workload: &Workload, trials: usize) -> Result<(f64, f64)> {
+    let mut odb = build(workload, ModelKind::SplitByRlist)?;
+    let cvd = odb.cvd("bench")?.clone();
+    let versions = cvd.num_versions() as u64;
+    let engine = &mut odb.engine;
+    let fast_ms = time_op(trials, || {
+        for v in 1..=versions {
+            let rows = model::version_rows(engine, &cvd, Vid(v)).expect("fast read");
+            std::hint::black_box(rows.len());
+        }
+    });
+    let sql_ms = time_op(trials, || {
+        for v in 1..=versions {
+            let rows = model::version_rows_sql(engine, &cvd, Vid(v)).expect("sql read");
+            std::hint::black_box(rows.len());
+        }
+    });
+    Ok((fast_ms, sql_ms))
+}
+
+/// `ops` rounds of checkout-latest → commit, through the request bus.
+fn cycle_stream(latest: u64, ops: usize) -> Vec<Request> {
+    let mut requests = Vec::with_capacity(ops * 2);
+    for i in 0..ops {
+        let table = format!("__cc_{i}");
+        requests.push(
+            Checkout::of("bench")
+                .version(latest + i as u64)
+                .into_table(&table)
+                .into(),
+        );
+        requests.push(Commit::table(&table).message(format!("cycle {i}")).into());
+    }
+    requests
+}
+
+struct LatencyArm {
+    checkout_ms: f64,
+    commit_ms: f64,
+    session_checkout_ms: f64,
+    session_commit_ms: f64,
+}
+
+fn per_op(stats: &orpheus_bench::harness::BusStats, kind: orpheus_core::CommandKind) -> f64 {
+    stats
+        .per_command
+        .iter()
+        .find(|(k, _, _)| *k == kind)
+        .map(|(_, count, total)| total / *count as f64)
+        .unwrap_or(0.0)
+}
+
+fn measure_latency(
+    workload: &Workload,
+    model: ModelKind,
+    ops: usize,
+    trials: usize,
+) -> Result<LatencyArm> {
+    use orpheus_core::CommandKind;
+    let latest = workload.num_versions() as u64;
+    let mut direct_co = Vec::with_capacity(trials);
+    let mut direct_cm = Vec::with_capacity(trials);
+    let mut session_co = Vec::with_capacity(trials);
+    let mut session_cm = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        // Fresh instances per trial: commits grow the version graph, so
+        // re-running in place would not repeat the same experiment.
+        let mut odb = build(workload, model)?;
+        let stats = drive(&mut odb, cycle_stream(latest, ops))?;
+        direct_co.push(per_op(&stats, CommandKind::Checkout));
+        direct_cm.push(per_op(&stats, CommandKind::Commit));
+
+        let shared = SharedOrpheusDB::new(build(workload, model)?);
+        let mut session = shared.session("bench_user")?;
+        let stats = drive(&mut session, cycle_stream(latest, ops))?;
+        session_co.push(per_op(&stats, CommandKind::Checkout));
+        session_cm.push(per_op(&stats, CommandKind::Commit));
+    }
+    Ok(LatencyArm {
+        checkout_ms: protocol_mean(direct_co),
+        commit_ms: protocol_mean(direct_cm),
+        session_checkout_ms: protocol_mean(session_co),
+        session_commit_ms: protocol_mean(session_cm),
+    })
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("checkout_commit bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<bool> {
+    let versions = env_usize("ORPHEUS_CC_VERSIONS", 12).max(2);
+    let records = env_usize("ORPHEUS_CC_RECORDS", 600).max(versions * 4);
+    let ops = env_usize("ORPHEUS_CC_OPS", 4).max(1);
+    let trials = trials();
+    let workload = Workload::generate(WorkloadParams::sci(versions, 3, records / versions));
+
+    // Phase 1: row-for-row equality before any timing. Deterministic —
+    // a divergence is a correctness bug, never retried away.
+    let checked = check_equality(&workload)?;
+    println!(
+        "equality: fast path == SQL formulation on {checked} (model, version) pairs \
+         ({versions} versions, ~{records} records)"
+    );
+
+    // Phase 2: the CI-gated version_rows arm, re-measured before failing.
+    let (mut fast_ms, mut sql_ms) = measure_version_rows(&workload, trials)?;
+    for retry in 1..=2 {
+        if sql_ms >= SPEEDUP_FLOOR * fast_ms {
+            break;
+        }
+        eprintln!(
+            "speedup floor missed ({:.2}x); re-measuring (retry {retry}/2)",
+            sql_ms / fast_ms.max(f64::EPSILON)
+        );
+        (fast_ms, sql_ms) = measure_version_rows(&workload, trials)?;
+    }
+    let speedup = sql_ms / fast_ms.max(f64::EPSILON);
+    let gate_ok = speedup >= SPEEDUP_FLOOR;
+    println!(
+        "version_rows (split-by-rlist, all {versions} versions): fast {} ms, sql {} ms — {:.2}x \
+         (floor {SPEEDUP_FLOOR}x)",
+        ms(fast_ms),
+        ms(sql_ms),
+        speedup
+    );
+
+    // Phase 3: end-to-end checkout/commit latency per model and executor.
+    let mut report = Report::new(&[
+        "model",
+        "checkout_ms",
+        "commit_ms",
+        "session_checkout_ms",
+        "session_commit_ms",
+    ]);
+    let mut model_json = Vec::new();
+    for model in ModelKind::ALL {
+        let arm = measure_latency(&workload, model, ops, trials)?;
+        report.row(vec![
+            model.name().to_string(),
+            ms(arm.checkout_ms),
+            ms(arm.commit_ms),
+            ms(arm.session_checkout_ms),
+            ms(arm.session_commit_ms),
+        ]);
+        model_json.push((
+            model.name().replace('-', "_"),
+            JsonObject::new()
+                .num("checkout_ms", arm.checkout_ms)
+                .num("commit_ms", arm.commit_ms)
+                .num("session_checkout_ms", arm.session_checkout_ms)
+                .num("session_commit_ms", arm.session_commit_ms),
+        ));
+    }
+    println!("\ncheckout/commit latency ({ops} rounds per arm, {trials} trial(s), both executors)");
+    println!("{}", report.render());
+
+    let mut json = JsonObject::new()
+        .str("bench", "checkout_commit")
+        .int("versions", versions as u64)
+        .int("records", records as u64)
+        .int("ops", ops as u64)
+        .int("trials", trials as u64)
+        .int("equality_pairs", checked as u64)
+        .obj(
+            "version_rows",
+            JsonObject::new()
+                .num("fast_ms", fast_ms)
+                .num("sql_ms", sql_ms)
+                .num("speedup", speedup)
+                .num("floor", SPEEDUP_FLOOR),
+        );
+    for (name, obj) in model_json {
+        json = json.obj(&name, obj);
+    }
+    let json = json.int("gate_ok", gate_ok as u64);
+    let path = write_bench_json("checkout_commit", json)?;
+    println!("wrote {path}");
+
+    if !gate_ok {
+        eprintln!(
+            "GATE: fast-path version_rows speedup {speedup:.2}x fell below the \
+             {SPEEDUP_FLOOR}x floor"
+        );
+    }
+    Ok(gate_ok)
+}

@@ -65,19 +65,17 @@ pub fn load_workload(
             .iter()
             .map(|&p| Vid(p as u64 + 1))
             .collect();
+        // One sorted-merge overlap pass per parent feeds both the base
+        // choice and the stored weights (same as the production commit).
+        let parent_weights = cvd.parent_overlaps(&rlist, &parents);
         let base = parents
             .iter()
             .copied()
-            .max_by_key(|p| cvd.shared_with(&rlist, *p));
+            .zip(parent_weights.iter().copied())
+            .max_by_key(|&(_, w)| w)
+            .map(|(p, _)| p);
         let deleted_from_base = match base {
-            Some(b) => {
-                let have: std::collections::HashSet<i64> = rlist.iter().copied().collect();
-                cvd.rids_of(b)?
-                    .iter()
-                    .copied()
-                    .filter(|r| !have.contains(r))
-                    .collect()
-            }
+            Some(b) => orpheus_core::cvd::sorted_difference(cvd.rids_of(b)?, &rlist),
             None => Vec::new(),
         };
         let data = CommitData {
@@ -90,10 +88,6 @@ pub fn load_workload(
             deleted_from_base,
         };
         model::persist_commit(&mut odb.engine, &cvd, &data, true)?;
-        let parent_weights: Vec<u64> = parents
-            .iter()
-            .map(|p| cvd.shared_with(&rlist, *p))
-            .collect();
         let attributes = {
             let schema = cvd.schema.clone();
             cvd.attrs.intern_schema(&schema)

@@ -22,20 +22,24 @@ pub struct AttrEntry {
 }
 
 /// The attribute table of the single-pool schema-evolution scheme.
+///
+/// `intern` is called for every column of every commit (commits re-intern
+/// the whole schema), so lookups go through a `(name, type)` → id map kept
+/// alongside `entries` instead of a linear scan — wide evolving schemas
+/// would otherwise pay O(n²) interning.
 #[derive(Debug, Clone, Default)]
 pub struct AttributeRegistry {
     entries: Vec<AttrEntry>,
+    /// (lower-cased name, type) → id, kept in sync with `entries`.
+    by_key: HashMap<(String, DataType), u32>,
 }
 
 impl AttributeRegistry {
     /// Get or create the id for an attribute (name, type).
     pub fn intern(&mut self, name: &str, dtype: DataType) -> u32 {
-        if let Some(e) = self
-            .entries
-            .iter()
-            .find(|e| e.name.eq_ignore_ascii_case(name) && e.dtype == dtype)
-        {
-            return e.id;
+        let key = (name.to_ascii_lowercase(), dtype);
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
         }
         let id = self.entries.len() as u32 + 1;
         self.entries.push(AttrEntry {
@@ -43,11 +47,16 @@ impl AttributeRegistry {
             name: name.to_string(),
             dtype,
         });
+        self.by_key.insert(key, id);
         id
     }
 
     pub fn get(&self, id: u32) -> Option<&AttrEntry> {
-        self.entries.iter().find(|e| e.id == id)
+        // Ids are dense by construction: intern assigns len + 1 and
+        // from_entries requires a previous entries() output. A mismatch
+        // means a corrupt registry and reports absence.
+        let i = (id as usize).checked_sub(1)?;
+        self.entries.get(i).filter(|e| e.id == id)
     }
 
     pub fn entries(&self) -> &[AttrEntry] {
@@ -58,7 +67,11 @@ impl AttributeRegistry {
     /// must be the output of a previous [`AttributeRegistry::entries`] call;
     /// ids are preserved verbatim.
     pub fn from_entries(entries: Vec<AttrEntry>) -> AttributeRegistry {
-        AttributeRegistry { entries }
+        let by_key = entries
+            .iter()
+            .map(|e| ((e.name.to_ascii_lowercase(), e.dtype), e.id))
+            .collect();
+        AttributeRegistry { entries, by_key }
     }
 
     /// Intern every column of a schema, returning the attribute-id list
@@ -356,15 +369,60 @@ impl Cvd {
         s
     }
 
-    /// Map of rid → parent version weights used when committing: the
-    /// number of records a prospective child shares with each parent.
+    /// Number of records a prospective child (`rids`, sorted) shares with
+    /// `parent` — a sorted-merge intersection over the two already-sorted
+    /// rid lists, with no hashing and no allocation.
     pub fn shared_with(&self, rids: &[i64], parent: Vid) -> u64 {
-        let parent_set: HashMap<i64, ()> = self.version_rids[parent.index()]
-            .iter()
-            .map(|&r| (r, ()))
-            .collect();
-        rids.iter().filter(|r| parent_set.contains_key(r)).count() as u64
+        sorted_intersection_count(rids, &self.version_rids[parent.index()]) as u64
     }
+
+    /// Shared-record counts against every parent, aligned with `parents`.
+    /// Commit computes this once and derives both the base-parent choice
+    /// and the stored `parent_weights` from it, instead of re-counting per
+    /// call site.
+    pub fn parent_overlaps(&self, rids: &[i64], parents: &[Vid]) -> Vec<u64> {
+        parents.iter().map(|p| self.shared_with(rids, *p)).collect()
+    }
+}
+
+// -- sorted-rlist set algebra -------------------------------------------------
+//
+// Every rlist in the system is kept sorted (commit sorts before storing,
+// the generator emits sorted lists), so version-membership questions are
+// merges over sorted slices rather than hash-set rebuilds.
+
+/// Count of elements common to two sorted slices.
+pub fn sorted_intersection_count(a: &[i64], b: &[i64]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "lhs rlist not sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "rhs rlist not sorted");
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Elements of sorted `a` absent from sorted `b`, in order.
+pub fn sorted_difference(a: &[i64], b: &[i64]) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -508,7 +566,52 @@ mod tests {
     #[test]
     fn shared_with_counts_overlap() {
         let cvd = cvd_with_versions();
+        // Pinned counts from the original hash-based implementation: the
+        // sorted-merge rewrite must reproduce them exactly.
         assert_eq!(cvd.shared_with(&[2, 3, 4], Vid(1)), 2);
         assert_eq!(cvd.shared_with(&[2, 3, 4], Vid(2)), 3);
+        assert_eq!(cvd.shared_with(&[], Vid(1)), 0);
+        assert_eq!(cvd.shared_with(&[5, 6], Vid(3)), 0);
+        // And agree with a naive set intersection on every version.
+        for v in 1..=3u64 {
+            let parent: std::collections::HashSet<i64> =
+                cvd.rids_of(Vid(v)).unwrap().iter().copied().collect();
+            for rids in [&[2, 3, 4][..], &[1][..], &[1, 2, 3, 4][..], &[][..]] {
+                let naive = rids.iter().filter(|r| parent.contains(r)).count() as u64;
+                assert_eq!(cvd.shared_with(rids, Vid(v)), naive, "v{v} vs {rids:?}");
+            }
+        }
+        // parent_overlaps is the same computation batched across parents.
+        assert_eq!(
+            cvd.parent_overlaps(&[2, 3, 4], &[Vid(1), Vid(2)]),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn sorted_set_algebra() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 4, 5]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+        assert_eq!(sorted_difference(&[1, 3, 5], &[2, 3, 4]), vec![1, 5]);
+        assert_eq!(sorted_difference(&[1, 2], &[]), vec![1, 2]);
+        assert!(sorted_difference(&[1], &[1]).is_empty());
+    }
+
+    #[test]
+    fn attribute_registry_map_survives_restore() {
+        let mut reg = AttributeRegistry::default();
+        let a = reg.intern("a", DataType::Int);
+        let b = reg.intern("B", DataType::Text);
+        // Case-insensitive like the rest of the catalog.
+        assert_eq!(reg.intern("A", DataType::Int), a);
+        let mut restored = AttributeRegistry::from_entries(reg.entries().to_vec());
+        assert_eq!(restored.intern("b", DataType::Text), b);
+        assert_eq!(restored.get(a).unwrap().name, "a");
+        assert_eq!(restored.get(0), None);
+        assert_eq!(restored.get(99), None);
+        // New interning after restore continues the dense id sequence.
+        let c = restored.intern("c", DataType::Double);
+        assert_eq!(c, 3);
+        assert_eq!(restored.get(c).unwrap().dtype, DataType::Double);
     }
 }

@@ -2,7 +2,7 @@
 //! queries, and the partition optimizer hook (Figure 2's middleware,
 //! end to end).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use orpheus_engine::{Database, QueryResult, Schema, Value};
 
@@ -82,15 +82,7 @@ impl OrpheusDB {
     // -- catalog --------------------------------------------------------------
 
     pub fn cvd(&self, name: &str) -> Result<&Cvd> {
-        self.cvds
-            .get(&name.to_ascii_lowercase())
-            .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))
-    }
-
-    fn cvd_mut(&mut self, name: &str) -> Result<&mut Cvd> {
-        self.cvds
-            .get_mut(&name.to_ascii_lowercase())
-            .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))
+        lookup(&self.cvds, name)
     }
 
     /// Register a fully-built CVD whose backing tables already exist in the
@@ -240,7 +232,7 @@ impl OrpheusDB {
         model::init_storage(&mut self.engine, &cvd)?;
         cvd.create_meta_tables(&mut self.engine)?;
 
-        check_pk_duplicates(&cvd.schema, &rows)?;
+        check_pk_duplicates(&cvd.schema, rows.iter().map(|r| r.as_slice()))?;
         let rids = cvd.alloc_rids(rows.len());
         let all_records: Vec<(i64, Vec<Value>)> = rids.iter().copied().zip(rows).collect();
         let data = CommitData {
@@ -293,6 +285,9 @@ impl OrpheusDB {
     /// `checkout [cvd] -v vids -t table`: materialize one or more versions
     /// into a fresh table. Multiple versions merge with precedence-based
     /// primary-key conflict resolution (Section 2.2).
+    ///
+    /// The CVD is borrowed in place — only its name is copied for the
+    /// staging entry; `version_rids` is never cloned on this path.
     pub fn checkout(&mut self, cvd_name: &str, vids: &[Vid], table: &str) -> Result<()> {
         if vids.is_empty() {
             return Err(CoreError::bad_request(
@@ -303,62 +298,33 @@ impl OrpheusDB {
         if self.engine.has_table(table) {
             return Err(CoreError::Invalid(format!("table {table} already exists")));
         }
-        let cvd = self.cvd(cvd_name)?.clone();
+        let cvd = lookup(&self.cvds, cvd_name)?;
         for v in vids {
             cvd.check_version(*v)?;
         }
         if vids.len() == 1 {
             if cvd.partition.is_some() {
-                partition_store::checkout_partitioned(&mut self.engine, &cvd, vids[0], table)?;
+                partition_store::checkout_partitioned(&mut self.engine, cvd, vids[0], table)?;
             } else {
-                model::checkout_into(&mut self.engine, &cvd, vids[0], table)?;
+                model::checkout_into(&mut self.engine, cvd, vids[0], table)?;
             }
         } else {
-            let rows = self.merged_rows(&cvd, vids)?;
-            self.engine.create_table(table, cvd.staged_schema())?;
+            let rows = merged_rows(&mut self.engine, cvd, vids)?;
+            let schema = cvd.staged_schema();
+            self.engine.create_table(table, schema)?;
             model::insert_rows_bulk(&mut self.engine, table, rows)?;
         }
+        let cvd_key = cvd.name.clone();
         let created_at = self.tick();
         self.staging.register(StagedEntry {
             name: table.to_string(),
-            cvd: cvd.name.clone(),
+            cvd: cvd_key,
             parents: vids.to_vec(),
             owner: self.access.whoami().to_string(),
             created_at,
             kind: StagedKind::Table,
         })?;
         Ok(())
-    }
-
-    /// Merge multiple versions' records with PK precedence (first listed
-    /// version wins).
-    fn merged_rows(&mut self, cvd: &Cvd, vids: &[Vid]) -> Result<Vec<Vec<Value>>> {
-        let mut out: Vec<Vec<Value>> = Vec::new();
-        let mut seen_pk: HashSet<Vec<Value>> = HashSet::new();
-        let mut seen_rid: HashSet<i64> = HashSet::new();
-        let has_pk = !cvd.schema.primary_key.is_empty();
-        for &vid in vids {
-            for (rid, values) in model::version_rows(&mut self.engine, cvd, vid)? {
-                if has_pk {
-                    let pk: Vec<Value> = cvd
-                        .schema
-                        .primary_key
-                        .iter()
-                        .map(|&i| values[i].clone())
-                        .collect();
-                    if !seen_pk.insert(pk) {
-                        continue;
-                    }
-                } else if !seen_rid.insert(rid) {
-                    continue;
-                }
-                let mut row = Vec::with_capacity(values.len() + 1);
-                row.push(Value::Int(rid));
-                row.extend(values);
-                out.push(row);
-            }
-        }
-        Ok(out)
     }
 
     /// `checkout -f`: export version(s) as CSV text (the caller writes the
@@ -370,16 +336,17 @@ impl OrpheusDB {
                 "checkout requires at least one version",
             ));
         }
-        let cvd = self.cvd(cvd_name)?.clone();
+        let cvd = lookup(&self.cvds, cvd_name)?;
         for v in vids {
             cvd.check_version(*v)?;
         }
-        let rows = self.merged_rows(&cvd, vids)?;
+        let rows = merged_rows(&mut self.engine, cvd, vids)?;
         let text = csv::to_csv(&cvd.staged_schema(), &rows);
+        let cvd_key = cvd.name.clone();
         let created_at = self.tick();
         self.staging.register(StagedEntry {
             name: path.to_string(),
-            cvd: cvd.name.clone(),
+            cvd: cvd_key,
             parents: vids.to_vec(),
             owner: self.access.whoami().to_string(),
             created_at,
@@ -448,6 +415,12 @@ impl OrpheusDB {
 
     /// Shared commit core: diff staged rows against the parent versions and
     /// persist a new version (the no-cross-version-diff rule of §2.2).
+    ///
+    /// The CVD is never cloned: the diff phase borrows it (and, on the
+    /// fast path, the parent rows straight out of the engine's tables via
+    /// the rid index), and only then is the catalog entry mutated in
+    /// place. Parent overlaps are computed once per parent by sorted-merge
+    /// and reused for both base selection and the stored weights.
     fn commit_rows(
         &mut self,
         entry: &StagedEntry,
@@ -455,10 +428,10 @@ impl OrpheusDB {
         rows: Vec<Vec<Value>>,
         message: &str,
     ) -> Result<Vid> {
-        let cvd_name = entry.cvd.clone();
+        let cvd_key = entry.cvd.to_ascii_lowercase();
         // Apply any schema evolution first (Section 3.3).
-        self.apply_schema_changes(&cvd_name, staged_schema)?;
-        let mut cvd = self.cvd(&cvd_name)?.clone();
+        self.apply_schema_changes(&entry.cvd, staged_schema)?;
+        let cvd = lookup(&self.cvds, &cvd_key)?;
         let vid = Vid(cvd.num_versions() as u64 + 1);
 
         // Staged rows → (Option<rid>, values in cvd-schema order).
@@ -495,56 +468,86 @@ impl OrpheusDB {
             staged.push((rid, values));
         }
 
-        check_pk_duplicates(
-            &cvd.schema,
-            &staged.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>(),
-        )?;
-
-        // Parent record maps (rid → values), first parent takes precedence.
-        let mut parent_map: HashMap<i64, Vec<Value>> = HashMap::new();
-        for p in &entry.parents {
-            for (rid, mut values) in model::version_rows(&mut self.engine, &cvd, *p)? {
-                // Null-extend older records to the current schema width.
-                values.resize(width, Value::Null);
-                parent_map.entry(rid).or_insert(values);
-            }
-        }
+        check_pk_duplicates(&cvd.schema, staged.iter().map(|(_, v)| v.as_slice()))?;
 
         // Classify: unchanged rows keep their rid, everything else is new.
-        let mut kept = Vec::new();
-        let mut new_values: Vec<Vec<Value>> = Vec::new();
-        let mut all_records: Vec<(i64, Vec<Value>)> = Vec::new();
-        for (rid, values) in staged {
-            match rid.and_then(|r| parent_map.get(&r).map(|pv| (r, pv))) {
-                Some((r, pv)) if *pv == values => {
+        // Parent records are looked up by borrowing rows in place through
+        // each model's rid-index fast path; only when a parent cannot be
+        // fast-read are its rows materialized via the SQL formulation.
+        // First parent takes precedence (immutable records make ties
+        // value-identical anyway).
+        let keep = {
+            let mut fast: Option<Vec<Option<i64>>> = None;
+            {
+                let engine = &self.engine;
+                let mut map: HashMap<i64, &[Value]> = HashMap::new();
+                let mut ready = true;
+                for p in &entry.parents {
+                    match model::version_row_refs(engine, cvd, *p)? {
+                        Some(list) => {
+                            map.reserve(list.len());
+                            for (rid, values) in list {
+                                map.entry(rid).or_insert(values);
+                            }
+                        }
+                        None => {
+                            ready = false;
+                            break;
+                        }
+                    }
+                }
+                if ready {
+                    fast = Some(classify_staged(&staged, |r| map.get(&r).copied()));
+                }
+            }
+            match fast {
+                Some(keep) => keep,
+                None => {
+                    let mut map: HashMap<i64, Vec<Value>> = HashMap::new();
+                    for p in &entry.parents {
+                        for (rid, values) in model::version_rows(&mut self.engine, cvd, *p)? {
+                            map.entry(rid).or_insert(values);
+                        }
+                    }
+                    classify_staged(&staged, |r| map.get(&r).map(|v| v.as_slice()))
+                }
+            }
+        };
+
+        let new_count = keep.iter().filter(|k| k.is_none()).count();
+        // Allocate fresh rids on the catalog entry itself (an error later
+        // leaves a harmless gap — rids are never reused anyway).
+        let fresh = self
+            .cvds
+            .get_mut(&cvd_key)
+            .expect("checked above")
+            .alloc_rids(new_count);
+
+        let mut kept = Vec::with_capacity(staged.len() - new_count);
+        let mut new_rows: Vec<Vec<Value>> = Vec::with_capacity(new_count);
+        let mut all_records: Vec<(i64, Vec<Value>)> = Vec::with_capacity(staged.len());
+        for (keep_rid, (_, values)) in keep.into_iter().zip(staged) {
+            match keep_rid {
+                Some(r) => {
                     kept.push(r);
                     all_records.push((r, values));
                 }
-                _ => new_values.push(values),
+                None => new_rows.push(values),
             }
         }
-        let fresh = cvd.alloc_rids(new_values.len());
-        let new_records: Vec<(i64, Vec<Value>)> = fresh.into_iter().zip(new_values).collect();
+        let new_records: Vec<(i64, Vec<Value>)> = fresh.into_iter().zip(new_rows).collect();
         all_records.extend(new_records.iter().cloned());
 
         let mut rlist: Vec<i64> = all_records.iter().map(|(r, _)| *r).collect();
         rlist.sort_unstable();
 
-        // Base parent: the one sharing the most records (delta model).
-        let base = entry
-            .parents
-            .iter()
-            .copied()
-            .max_by_key(|p| cvd.shared_with(&rlist, *p));
+        let cvd = self.cvds.get(&cvd_key).expect("checked above");
+        // One sorted-merge per parent; base selection and parent_weights
+        // both come from this single pass.
+        let parent_weights = cvd.parent_overlaps(&rlist, &entry.parents);
+        let base = base_parent(&entry.parents, &parent_weights);
         let deleted_from_base = match base {
-            Some(b) => {
-                let have: HashSet<i64> = rlist.iter().copied().collect();
-                cvd.rids_of(b)?
-                    .iter()
-                    .copied()
-                    .filter(|r| !have.contains(r))
-                    .collect()
-            }
+            Some(b) => crate::cvd::sorted_difference(cvd.rids_of(b)?, &rlist),
             None => Vec::new(),
         };
 
@@ -557,14 +560,15 @@ impl OrpheusDB {
             base,
             deleted_from_base,
         };
-        model::persist_commit(&mut self.engine, &cvd, &data, false)?;
+        if let Err(e) = model::persist_commit(&mut self.engine, cvd, &data, false) {
+            // Undo any partial backing-storage writes so the vid can be
+            // reused by a retried commit.
+            model::rollback_commit(&mut self.engine, cvd, &data);
+            return Err(e);
+        }
 
-        let parent_weights: Vec<u64> = entry
-            .parents
-            .iter()
-            .map(|p| cvd.shared_with(&rlist, *p))
-            .collect();
         let commit_t = self.tick();
+        let cvd = self.cvds.get_mut(&cvd_key).expect("checked above");
         let attributes = {
             let schema = cvd.schema.clone();
             cvd.attrs.intern_schema(&schema)
@@ -581,25 +585,49 @@ impl OrpheusDB {
             base,
         });
         cvd.version_rids.push(rlist);
-        cvd.sync_meta_row(&mut self.engine, vid)?;
 
-        // Online partition maintenance (Section 4.3).
-        let placement = if cvd.partition.is_some() {
-            Some(partition_store::on_commit(&mut self.engine, &mut cvd, vid)?)
-        } else {
-            None
-        };
-        let _: Option<CommitPlacement> = placement;
-
-        self.cvds.insert(cvd_name, cvd);
+        // Finalize: metadata row + online partition maintenance
+        // (Section 4.3). The version was just published into the live
+        // catalog entry (the clone-free path has no scratch copy to throw
+        // away), so a failure here must unpublish it everywhere —
+        // catalog *and* backing storage — or a half-committed version
+        // would answer checkouts and its vid could never be reused.
+        let finalize = {
+            let cvd = self.cvds.get(&cvd_key).expect("checked above");
+            cvd.sync_meta_row(&mut self.engine, vid)
+        }
+        .and_then(|()| {
+            let cvd = self.cvds.get_mut(&cvd_key).expect("checked above");
+            if cvd.partition.is_some() {
+                let _: CommitPlacement = partition_store::on_commit(&mut self.engine, cvd, vid)?;
+            }
+            Ok(())
+        });
+        if let Err(e) = finalize {
+            let cvd = self.cvds.get_mut(&cvd_key).expect("checked above");
+            cvd.versions.pop();
+            cvd.version_rids.pop();
+            let cvd = self.cvds.get(&cvd_key).expect("checked above");
+            model::rollback_commit(&mut self.engine, cvd, &data);
+            partition_store::rollback_placement(&mut self.engine, cvd, vid);
+            let _ = self.engine.execute(&format!(
+                "DELETE FROM {} WHERE vid = {}",
+                cvd.meta_table(),
+                vid.0
+            ));
+            return Err(e);
+        }
         Ok(vid)
     }
 
     /// Evolve the CVD schema to accommodate a staged table (single-pool
     /// scheme of Section 3.3): new attributes are added with NULLs, type
-    /// conflicts widen to the more general type.
+    /// conflicts widen to the more general type. Planned against a borrow
+    /// of the CVD (only the schema — never `version_rids` — is copied),
+    /// then applied to the engine and the catalog entry.
     fn apply_schema_changes(&mut self, cvd_name: &str, staged_schema: &Schema) -> Result<()> {
-        let cvd = self.cvd(cvd_name)?.clone();
+        let key = cvd_name.to_ascii_lowercase();
+        let cvd = lookup(&self.cvds, &key)?;
         let mut new_schema = cvd.schema.clone();
         let mut changed = false;
         for col in &staged_schema.columns {
@@ -619,7 +647,7 @@ impl OrpheusDB {
                         if general != old {
                             new_schema.columns[i].dtype = general;
                             changed = true;
-                            alter_model_column_type(&mut self.engine, &cvd, &col.name, general)?;
+                            alter_model_column_type(&mut self.engine, cvd, &col.name, general)?;
                         }
                     }
                 }
@@ -629,12 +657,12 @@ impl OrpheusDB {
                         .columns
                         .push(orpheus_engine::Column::new(col.name.clone(), col.dtype));
                     changed = true;
-                    add_model_column(&mut self.engine, &cvd, &col.name, col.dtype)?;
+                    add_model_column(&mut self.engine, cvd, &col.name, col.dtype)?;
                 }
             }
         }
         if changed {
-            let cvd = self.cvd_mut(cvd_name)?;
+            let cvd = self.cvds.get_mut(&key).expect("checked above");
             cvd.schema = new_schema.clone();
             cvd.attrs.intern_schema(&new_schema);
         }
@@ -644,23 +672,25 @@ impl OrpheusDB {
     // -- diff, queries, optimizer ------------------------------------------------
 
     /// `diff`: records in one version but not the other (by record id).
+    /// Membership resolves against the sorted rlists — no hash sets, no
+    /// CVD clone.
     pub fn diff(&mut self, cvd_name: &str, a: Vid, b: Vid) -> Result<VersionDiff> {
-        let cvd = self.cvd(cvd_name)?.clone();
+        let cvd = lookup(&self.cvds, cvd_name)?;
         cvd.check_version(a)?;
         cvd.check_version(b)?;
-        let rows_a = model::version_rows(&mut self.engine, &cvd, a)?;
-        let rows_b = model::version_rows(&mut self.engine, &cvd, b)?;
-        let rids_a: HashSet<i64> = rows_a.iter().map(|(r, _)| *r).collect();
-        let rids_b: HashSet<i64> = rows_b.iter().map(|(r, _)| *r).collect();
+        let rows_a = model::version_rows(&mut self.engine, cvd, a)?;
+        let rows_b = model::version_rows(&mut self.engine, cvd, b)?;
+        let rids_a = cvd.rids_of(a)?;
+        let rids_b = cvd.rids_of(b)?;
         Ok(VersionDiff {
             only_in_first: rows_a
                 .into_iter()
-                .filter(|(r, _)| !rids_b.contains(r))
+                .filter(|(r, _)| rids_b.binary_search(r).is_err())
                 .map(|(_, v)| v)
                 .collect(),
             only_in_second: rows_b
                 .into_iter()
-                .filter(|(r, _)| !rids_a.contains(r))
+                .filter(|(r, _)| rids_a.binary_search(r).is_err())
                 .map(|(_, v)| v)
                 .collect(),
         })
@@ -687,10 +717,8 @@ impl OrpheusDB {
         gamma_factor: f64,
         mu: f64,
     ) -> Result<OptimizeReport> {
-        let mut cvd = self.cvd(cvd_name)?.clone();
-        let report = partition_store::optimize(&mut self.engine, &mut cvd, gamma_factor, mu)?;
-        self.cvds.insert(cvd.name.clone(), cvd);
-        Ok(report)
+        let cvd = lookup_mut(&mut self.cvds, cvd_name)?;
+        partition_store::optimize(&mut self.engine, cvd, gamma_factor, mu)
     }
 
     /// `optimize` for a skewed workload (Appendix C.2): `freqs` maps
@@ -713,27 +741,19 @@ impl OrpheusDB {
         gamma_factor: f64,
         mu: f64,
     ) -> Result<OptimizeReport> {
-        let mut cvd = self.cvd(cvd_name)?.clone();
+        let cvd = lookup_mut(&mut self.cvds, cvd_name)?;
         let mut full = vec![1u64; cvd.num_versions()];
         for &(vid, f) in freqs {
             cvd.check_version(vid)?;
             full[vid.index()] = f;
         }
-        let report = partition_store::optimize_weighted(
-            &mut self.engine,
-            &mut cvd,
-            &full,
-            gamma_factor,
-            mu,
-        )?;
-        self.cvds.insert(cvd.name.clone(), cvd);
-        Ok(report)
+        partition_store::optimize_weighted(&mut self.engine, cvd, &full, gamma_factor, mu)
     }
 
     /// Records of one version (rid + attribute values), for tooling.
     pub fn version_rows(&mut self, cvd_name: &str, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
-        let cvd = self.cvd(cvd_name)?.clone();
-        model::version_rows(&mut self.engine, &cvd, vid)
+        let cvd = lookup(&self.cvds, cvd_name)?;
+        model::version_rows(&mut self.engine, cvd, vid)
     }
 
     /// Total model storage for a CVD in bytes (Figure 3a's metric).
@@ -832,17 +852,19 @@ impl OrpheusDB {
         if self.engine.has_table(table) {
             return Err(CoreError::Invalid(format!("table {table} already exists")));
         }
-        let cvd = self.cvd(cvd_name)?.clone();
+        let cvd = lookup(&self.cvds, cvd_name)?;
         for v in vids {
             cvd.check_version(*v)?;
         }
-        let rows = self.scan_cached(cache, &cvd, vids)?;
-        self.engine.create_table(table, cvd.staged_schema())?;
+        let rows = scan_cached(&mut self.engine, cache, cvd, vids)?;
+        let schema = cvd.staged_schema();
+        self.engine.create_table(table, schema)?;
         model::insert_rows_bulk(&mut self.engine, table, rows)?;
+        let cvd_key = cvd.name.clone();
         let created_at = self.tick();
         self.staging.register(StagedEntry {
             name: table.to_string(),
-            cvd: cvd.name.clone(),
+            cvd: cvd_key,
             parents: vids.to_vec(),
             owner: self.access.whoami().to_string(),
             created_at,
@@ -865,39 +887,23 @@ impl OrpheusDB {
                 "checkout requires at least one version",
             ));
         }
-        let cvd = self.cvd(cvd_name)?.clone();
+        let cvd = lookup(&self.cvds, cvd_name)?;
         for v in vids {
             cvd.check_version(*v)?;
         }
-        let rows = self.scan_cached(cache, &cvd, vids)?;
+        let rows = scan_cached(&mut self.engine, cache, cvd, vids)?;
         let text = csv::to_csv(&cvd.staged_schema(), &rows);
+        let cvd_key = cvd.name.clone();
         let created_at = self.tick();
         self.staging.register(StagedEntry {
             name: path.to_string(),
-            cvd: cvd.name.clone(),
+            cvd: cvd_key,
             parents: vids.to_vec(),
             owner: self.access.whoami().to_string(),
             created_at,
             kind: StagedKind::Csv,
         })?;
         Ok(text)
-    }
-
-    /// The merged rows of `vids`, from `cache` when an earlier checkout of
-    /// the same version set in this batch already scanned them.
-    fn scan_cached(
-        &mut self,
-        cache: &mut ScanCache,
-        cvd: &Cvd,
-        vids: &[Vid],
-    ) -> Result<Vec<Vec<Value>>> {
-        let key = (cvd.name.to_ascii_lowercase(), vids.to_vec());
-        if let Some(rows) = cache.get(&key) {
-            return Ok(rows.clone());
-        }
-        let rows = self.merged_rows(cvd, vids)?;
-        cache.insert(key, rows.clone());
-        Ok(rows)
     }
 
     /// Persist the whole instance (engine data + middleware state) to a
@@ -1126,18 +1132,160 @@ fn add_model_column(
     Ok(())
 }
 
-fn check_pk_duplicates(schema: &Schema, rows: &[Vec<Value>]) -> Result<()> {
+/// Borrow a CVD from the catalog map by (case-insensitive) name. Free
+/// functions over the field — not `&self` methods — so callers can keep
+/// `self.engine` mutably borrowed while the CVD is borrowed (disjoint
+/// field borrows don't cross method boundaries).
+fn lookup<'a>(cvds: &'a HashMap<String, Cvd>, name: &str) -> Result<&'a Cvd> {
+    cvds.get(&name.to_ascii_lowercase())
+        .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))
+}
+
+/// Mutable variant of [`lookup`].
+fn lookup_mut<'a>(cvds: &'a mut HashMap<String, Cvd>, name: &str) -> Result<&'a mut Cvd> {
+    cvds.get_mut(&name.to_ascii_lowercase())
+        .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))
+}
+
+/// Merge multiple versions' records with PK precedence (first listed
+/// version wins). Dedup is borrow-keyed: the hash is computed over the
+/// candidate's PK value slice (rid when there is no PK) and collisions
+/// compare element-wise against the rows already merged — no per-row PK
+/// tuple allocation.
+fn merged_rows(engine: &mut Database, cvd: &Cvd, vids: &[Vid]) -> Result<Vec<Vec<Value>>> {
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    let has_pk = !cvd.schema.primary_key.is_empty();
+    // hash → indices into `out` (rows stored rid-first, so data column `c`
+    // of a merged row lives at `c + 1`).
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    for &vid in vids {
+        for (rid, values) in model::version_rows(engine, cvd, vid)? {
+            let hash = if has_pk {
+                hash_values(cvd.schema.primary_key.iter().map(|&c| &values[c]))
+            } else {
+                hash_values(std::iter::once(&Value::Int(rid)))
+            };
+            let bucket = buckets.entry(hash).or_default();
+            let duplicate = bucket.iter().any(|&i| {
+                let prev = &out[i];
+                if has_pk {
+                    cvd.schema
+                        .primary_key
+                        .iter()
+                        .all(|&c| prev[c + 1] == values[c])
+                } else {
+                    prev[0] == Value::Int(rid)
+                }
+            });
+            if duplicate {
+                continue;
+            }
+            bucket.push(out.len());
+            let mut row = Vec::with_capacity(values.len() + 1);
+            row.push(Value::Int(rid));
+            row.extend(values);
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// The merged rows of `vids`, from `cache` when an earlier checkout of
+/// the same version set in this batch already scanned them.
+fn scan_cached(
+    engine: &mut Database,
+    cache: &mut ScanCache,
+    cvd: &Cvd,
+    vids: &[Vid],
+) -> Result<Vec<Vec<Value>>> {
+    let key = (cvd.name.to_ascii_lowercase(), vids.to_vec());
+    if let Some(rows) = cache.get(&key) {
+        return Ok(rows.clone());
+    }
+    let rows = merged_rows(engine, cvd, vids)?;
+    cache.insert(key, rows.clone());
+    Ok(rows)
+}
+
+/// Hash a sequence of values with the engine's `Value` hashing rules
+/// (numerically equal ints and doubles hash identically).
+fn hash_values<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Per staged row: `Some(rid)` when the row carries a rid whose parent
+/// record matches it value-for-value (the row is inherited unchanged),
+/// `None` when it needs a fresh rid. `lookup` resolves a rid to the parent
+/// record's values (possibly narrower than the current schema — older
+/// frozen tables — in which case missing trailing attributes match NULL).
+fn classify_staged<'a>(
+    staged: &[(Option<i64>, Vec<Value>)],
+    lookup: impl Fn(i64) -> Option<&'a [Value]>,
+) -> Vec<Option<i64>> {
+    staged
+        .iter()
+        .map(|(rid, values)| rid.filter(|r| lookup(*r).is_some_and(|pv| values_match(pv, values))))
+        .collect()
+}
+
+/// Whether a (possibly narrower) parent record equals a staged row
+/// null-extended to the staged width — the comparison the commit core's
+/// no-cross-version-diff rule is built on.
+fn values_match(parent: &[Value], staged: &[Value]) -> bool {
+    if parent.len() > staged.len() {
+        return false;
+    }
+    staged.iter().enumerate().all(|(i, v)| match parent.get(i) {
+        Some(p) => p == v,
+        None => v.is_null(),
+    })
+}
+
+/// The base parent for the delta model: the parent sharing the most
+/// records with the child, ties broken to the *last* listed — the
+/// behavior of the `Iterator::max_by_key` scan it replaces, now fed by
+/// one precomputed weight per parent.
+pub(crate) fn base_parent(parents: &[Vid], weights: &[u64]) -> Option<Vid> {
+    debug_assert_eq!(parents.len(), weights.len());
+    let mut best: Option<(usize, u64)> = None;
+    for (i, &w) in weights.iter().enumerate() {
+        match best {
+            Some((_, bw)) if w < bw => {}
+            _ => best = Some((i, w)),
+        }
+    }
+    best.map(|(i, _)| parents[i])
+}
+
+/// Reject duplicate primary keys among staged rows. Borrow-keyed like
+/// [`merged_rows`]: rows are hashed over their PK value slices and
+/// compared in place — callers pass borrowed row slices, no copies.
+fn check_pk_duplicates<'a>(
+    schema: &Schema,
+    rows: impl IntoIterator<Item = &'a [Value]>,
+) -> Result<()> {
     if schema.primary_key.is_empty() {
         return Ok(());
     }
-    let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(rows.len());
+    let mut buckets: HashMap<u64, Vec<&'a [Value]>> = HashMap::new();
     for row in rows {
-        let pk: Vec<Value> = schema.primary_key.iter().map(|&i| row[i].clone()).collect();
-        if !seen.insert(pk.clone()) {
+        let hash = hash_values(schema.primary_key.iter().map(|&c| &row[c]));
+        let bucket = buckets.entry(hash).or_default();
+        if bucket
+            .iter()
+            .any(|prev| schema.primary_key.iter().all(|&c| prev[c] == row[c]))
+        {
+            let pk: Vec<&Value> = schema.primary_key.iter().map(|&c| &row[c]).collect();
             return Err(CoreError::PrimaryKeyViolation(format!(
                 "duplicate key {pk:?}"
             )));
         }
+        bucket.push(row);
     }
     Ok(())
 }
@@ -1261,6 +1409,57 @@ mod tests {
     }
 
     #[test]
+    fn merge_checkout_dedups_by_rid_without_primary_key() {
+        // No-PK CVDs dedup merged checkouts by rid; shared records appear
+        // once, and the first listed version's rows come first.
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let mut odb = OrpheusDB::new();
+        odb.init_cvd(
+            "nopk",
+            schema,
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            None,
+        )
+        .unwrap();
+        odb.checkout("nopk", &[Vid(1)], "w").unwrap();
+        odb.engine
+            .execute("INSERT INTO w VALUES (NULL, 3)")
+            .unwrap();
+        odb.commit("w", "v2").unwrap();
+        odb.checkout("nopk", &[Vid(2), Vid(1)], "merged").unwrap();
+        let r = odb.engine.query("SELECT count(*) FROM merged").unwrap();
+        // v2 = {1, 2, 3}, v1 = {1, 2} — union by rid has 3 records.
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn pk_merge_precedence_with_double_keys() {
+        // Doubles hash by numeric value (1 == 1.0 under the engine's
+        // rules); the borrow-keyed dedup must land both spellings in one
+        // bucket and keep the first listed version's record.
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Double),
+            Column::new("v", DataType::Int),
+        ])
+        .with_primary_key(&["k"])
+        .unwrap();
+        let mut odb = OrpheusDB::new();
+        odb.init_cvd(
+            "nums",
+            schema,
+            vec![vec![Value::Double(1.0), Value::Int(10)]],
+            None,
+        )
+        .unwrap();
+        odb.checkout("nums", &[Vid(1)], "w").unwrap();
+        odb.engine.execute("UPDATE w SET v = 20").unwrap();
+        odb.commit("w", "v2").unwrap();
+        odb.checkout("nums", &[Vid(2), Vid(1)], "m").unwrap();
+        let r = odb.engine.query("SELECT v FROM m").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(20)]]);
+    }
+
+    #[test]
     fn diff_reports_both_sides() {
         let mut odb = setup();
         odb.checkout("protein", &[Vid(1)], "w").unwrap();
@@ -1328,6 +1527,92 @@ mod tests {
         odb.access.login("eve").unwrap();
         let err = odb.commit("mine", "steal").unwrap_err();
         assert!(matches!(err, CoreError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn failed_commit_finalize_unpublishes_the_version() {
+        // The clone-free commit mutates the live catalog entry; a failure
+        // in the finalize phase (metadata row / partition maintenance)
+        // must roll the version back out, exactly like the discarded
+        // scratch clone used to.
+        let mut odb = setup();
+        odb.checkout("protein", &[Vid(1)], "w").unwrap();
+        odb.engine.drop_table("protein__meta").unwrap();
+        assert!(odb.commit("w", "doomed").is_err());
+        let cvd = odb.cvd("protein").unwrap();
+        assert_eq!(cvd.num_versions(), 1);
+        assert_eq!(cvd.version_rids.len(), 1);
+        assert!(odb.version_rows("protein", Vid(2)).is_err());
+        // The staged table survives the failed commit.
+        assert!(odb.engine.has_table("w"));
+        // Backing storage was rolled back too: once the cause is repaired,
+        // the retried commit reuses the vid without colliding with
+        // leftovers from the aborted attempt.
+        odb.engine
+            .execute(
+                "CREATE TABLE protein__meta (vid INT PRIMARY KEY, parents INT[], \
+                 checkout_t INT, commit_t INT, msg TEXT, attributes INT[], num_records INT)",
+            )
+            .unwrap();
+        let v2 = odb.commit("w", "retry").unwrap();
+        assert_eq!(v2, Vid(2));
+        assert_eq!(odb.version_rows("protein", Vid(2)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn failed_partition_maintenance_keeps_state_and_version_count() {
+        let mut odb = setup();
+        for i in 0..3 {
+            let t = format!("w{i}");
+            odb.checkout("protein", &[Vid(i + 1)], &t).unwrap();
+            odb.engine
+                .execute(&format!(
+                    "INSERT INTO {t} VALUES (NULL, 'x{i}', 'y{i}', {i})"
+                ))
+                .unwrap();
+            odb.commit(&t, "grow").unwrap();
+        }
+        odb.optimize("protein").unwrap();
+        odb.checkout("protein", &[Vid(4)], "doomed").unwrap();
+        let before = odb.cvd("protein").unwrap().partition.clone().unwrap();
+        // Sabotage the partitioned layout so on_commit cannot place the
+        // next version whichever branch it takes: joining an existing
+        // partition hits a dropped rlist table, opening a new one
+        // collides with the pre-created blocker.
+        for k in 0..before.num_partitions {
+            odb.engine
+                .drop_table(&format!("protein__g{}p{}_rlist", before.generation, k))
+                .unwrap();
+        }
+        odb.engine
+            .execute(&format!(
+                "CREATE TABLE protein__g{}p{}_data (x INT)",
+                before.generation, before.num_partitions
+            ))
+            .unwrap();
+        assert!(odb.commit("doomed", "x").is_err());
+        let cvd = odb.cvd("protein").unwrap();
+        // Version rolled back, partition state restored (not wiped).
+        assert_eq!(cvd.num_versions(), 4);
+        let after = cvd.partition.as_ref().unwrap();
+        assert_eq!(after.assignment, before.assignment);
+        assert_eq!(after.generation, before.generation);
+        assert_eq!(after.num_partitions, before.num_partitions);
+        // Repair the layout and retry: the vid is reusable, nothing left
+        // over from the aborted placement collides (the blocker table
+        // was cleaned up by the rollback itself).
+        for k in 0..before.num_partitions {
+            odb.engine
+                .execute(&format!(
+                    "CREATE TABLE IF NOT EXISTS protein__g{}p{}_rlist \
+                     (vid INT PRIMARY KEY, rlist INT[])",
+                    before.generation, k
+                ))
+                .unwrap();
+        }
+        let v5 = odb.commit("doomed", "retry").unwrap();
+        assert_eq!(v5, Vid(5));
+        assert_eq!(odb.cvd("protein").unwrap().num_versions(), 5);
     }
 
     #[test]

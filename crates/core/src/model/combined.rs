@@ -10,7 +10,7 @@ use crate::cvd::Cvd;
 use crate::error::Result;
 use crate::ids::Vid;
 use crate::model::{
-    append_vid_to_vlist, insert_rows_bulk, insert_rows_sql, rid_and_attrs,
+    self, append_vid_to_vlist, insert_rows_bulk, insert_rows_sql, rid_and_attrs,
     split_rlist::rows_to_records, CommitData,
 };
 
@@ -32,15 +32,48 @@ pub fn init(db: &mut Database, cvd: &Cvd) -> Result<()> {
 pub fn persist(db: &mut Database, cvd: &Cvd, data: &CommitData, bulk: bool) -> Result<()> {
     append_vid_to_vlist(db, &cvd.combined_table(), data.vid, &data.kept, bulk)?;
     if !data.new_records.is_empty() {
+        // Build rows in the table's *physical* column order: schema
+        // evolution appends new data columns after `vlist`, so the
+        // rid ++ attrs ++ vlist layout cannot be assumed. The name
+        // resolution is loop-invariant — map each physical column to its
+        // source once, not per row.
+        enum Source {
+            Rid,
+            Vlist,
+            Attr(usize),
+            Missing,
+        }
+        let sources: Vec<Source> = {
+            let columns = &db.table(&cvd.combined_table())?.schema.columns;
+            columns
+                .iter()
+                .map(|c| {
+                    if c.name.eq_ignore_ascii_case("rid") {
+                        Source::Rid
+                    } else if c.name.eq_ignore_ascii_case("vlist") {
+                        Source::Vlist
+                    } else {
+                        match cvd.schema.column_index(&c.name) {
+                            Ok(i) => Source::Attr(i),
+                            Err(_) => Source::Missing,
+                        }
+                    }
+                })
+                .collect()
+        };
         let rows: Vec<Vec<Value>> = data
             .new_records
             .iter()
             .map(|(rid, values)| {
-                let mut row = Vec::with_capacity(values.len() + 2);
-                row.push(Value::Int(*rid));
-                row.extend(values.iter().cloned());
-                row.push(Value::IntArray(vec![data.vid.0 as i64]));
-                row
+                sources
+                    .iter()
+                    .map(|s| match s {
+                        Source::Rid => Value::Int(*rid),
+                        Source::Vlist => Value::IntArray(vec![data.vid.0 as i64]),
+                        Source::Attr(i) => values.get(*i).cloned().unwrap_or(Value::Null),
+                        Source::Missing => Value::Null,
+                    })
+                    .collect()
             })
             .collect();
         if bulk {
@@ -63,12 +96,21 @@ pub fn checkout_sql(cvd: &Cvd, vid: Vid, target: &str) -> String {
     )
 }
 
+/// Checkout: rid-index fast path over the combined table (the trailing
+/// `vlist` column is projected away, exactly like the SQL statement); the
+/// Table 1 containment scan is the fallback — and the only path once
+/// schema evolution has appended a data column after `vlist`.
 pub fn checkout(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
+    let rlist = cvd.rids_of(vid)?;
+    if model::checkout_resolved(db, &cvd.combined_table(), cvd, Some(rlist), 1, target)? {
+        return Ok(());
+    }
     db.execute(&checkout_sql(cvd, vid, target))?;
     Ok(())
 }
 
-pub fn version_rows(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+/// The Table 1 read formulation, executed through the SQL layer.
+pub fn version_rows_sql(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
     let r = db.query(&format!(
         "SELECT {} FROM {} WHERE ARRAY[{}] <@ vlist",
         rid_and_attrs(cvd),
@@ -133,6 +175,40 @@ mod tests {
         let (mut db, mut cvd) = make_cvd(ModelKind::CombinedTable);
         commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
         commit(&mut db, &mut cvd, &[record("b", 2)], &[Vid(1)]);
-        assert_eq!(version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 1);
+        assert_eq!(model::version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 1);
+        // The fast path strips the vlist column, like the SQL projection.
+        let fast: Vec<(i64, Vec<Value>)> = model::version_row_refs(&db, &cvd, Vid(1))
+            .unwrap()
+            .expect("fast path ready")
+            .into_iter()
+            .map(|(r, vals)| (r, vals.to_vec()))
+            .collect();
+        let mut sql = version_rows_sql(&mut db, &cvd, Vid(1)).unwrap();
+        sql.sort_by_key(|(r, _)| *r);
+        assert_eq!(fast, sql);
+        assert!(fast.iter().all(|(_, vals)| vals.len() == 2));
+    }
+
+    #[test]
+    fn layout_drift_falls_back_to_sql() {
+        let (mut db, mut cvd) = make_cvd(ModelKind::CombinedTable);
+        commit(&mut db, &mut cvd, &[record("a", 1)], &[]);
+        // Simulate schema evolution appending a data column *after* the
+        // combined table's vlist: the prefix check must refuse the fast
+        // path and both reads route through the containment scan.
+        db.execute(&format!(
+            "ALTER TABLE {} ADD COLUMN extra INT",
+            cvd.combined_table()
+        ))
+        .unwrap();
+        cvd.schema
+            .columns
+            .push(orpheus_engine::Column::new("extra", DataType::Int));
+        assert!(!model::fast_path_ready(&db, &cvd, Vid(1)));
+        let rows = model::version_rows(&mut db, &cvd, Vid(1)).unwrap();
+        assert_eq!(rows.len(), 1);
+        checkout(&mut db, &cvd, Vid(1), "fallback_t").unwrap();
+        let r = db.query("SELECT count(*) FROM fallback_t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
     }
 }

@@ -16,7 +16,7 @@ use orpheus_engine::{Column, DataType, Database, Schema, Value};
 use crate::cvd::Cvd;
 use crate::error::Result;
 use crate::ids::Vid;
-use crate::model::{insert_rows_bulk, insert_rows_sql, CommitData};
+use crate::model::{self, insert_rows_bulk, insert_rows_sql, CommitData};
 
 /// Schema of a delta table: rid PK ++ attrs ++ tombstone flag.
 pub fn delta_schema(cvd: &Cvd) -> Schema {
@@ -61,7 +61,7 @@ pub fn persist(db: &mut Database, cvd: &Cvd, data: &CommitData, bulk: bool) -> R
     for rid in &data.deleted_from_base {
         let mut row = Vec::with_capacity(attr_count + 2);
         row.push(Value::Int(*rid));
-        row.extend(std::iter::repeat_n(Value::Null, attr_count));
+        row.resize(attr_count + 1, Value::Null);
         row.push(Value::Bool(true));
         rows.push(row);
     }
@@ -112,15 +112,73 @@ pub fn reconstruct(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, V
     Ok(out)
 }
 
+/// Fast lineage replay: the same base-chain walk as [`reconstruct`], but
+/// reading delta-table heaps directly through the table API — no SQL
+/// parse/plan per chain link. `None` (fallback to [`reconstruct`]) when a
+/// chain table is missing or has drifted from the delta layout.
+pub fn version_row_refs<'a>(db: &'a Database, cvd: &Cvd, vid: Vid) -> Option<model::RowRefs<'a>> {
+    let mut chain = Vec::new();
+    let mut cur = Some(vid);
+    while let Some(v) = cur {
+        chain.push(v);
+        cur = cvd.meta(v).ok()?.base;
+    }
+    let mut seen: HashSet<i64> = HashSet::new();
+    let mut out: model::RowRefs<'a> = Vec::new();
+    for v in chain {
+        let t = db.table(&cvd.delta_table(v)).ok()?;
+        let width = model::attr_prefix_len(&t.schema, cvd, 1)?;
+        for row in t.rows() {
+            let Value::Int(rid) = row[0] else { return None };
+            let Value::Bool(tombstone) = row[width + 1] else {
+                return None;
+            };
+            if seen.insert(rid) && !tombstone {
+                out.push((rid, &row[1..1 + width]));
+            }
+        }
+    }
+    out.sort_by_key(|(rid, _)| *rid);
+    Some(out)
+}
+
 pub fn checkout(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
+    let records: Vec<(i64, Vec<Value>)> = match version_row_refs(db, cvd, vid) {
+        Some(refs) => refs
+            .into_iter()
+            .map(|(rid, values)| (rid, values.to_vec()))
+            .collect(),
+        None => reconstruct(db, cvd, vid)?,
+    };
+    materialize(db, cvd, records, target)
+}
+
+/// The SQL-layer checkout formulation: lineage replay through per-table
+/// `SELECT *` statements (the delta model has no single Table 1
+/// statement), materialized like [`checkout`].
+pub fn checkout_sql_replay(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
     let records = reconstruct(db, cvd, vid)?;
+    materialize(db, cvd, records, target)
+}
+
+fn materialize(
+    db: &mut Database,
+    cvd: &Cvd,
+    records: Vec<(i64, Vec<Value>)>,
+    target: &str,
+) -> Result<()> {
     db.create_table(target, cvd.staged_schema())?;
+    let width = cvd.schema.arity() + 1;
     let rows: Vec<Vec<Value>> = records
         .into_iter()
         .map(|(rid, values)| {
-            let mut row = Vec::with_capacity(values.len() + 1);
+            let mut row = Vec::with_capacity(width);
             row.push(Value::Int(rid));
             row.extend(values);
+            // Records replayed from tables frozen before a schema
+            // evolution are narrower; the staged table carries NULL for
+            // the attributes they predate.
+            row.resize(width, Value::Null);
             row
         })
         .collect();
@@ -128,7 +186,8 @@ pub fn checkout(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<
     Ok(())
 }
 
-pub fn version_rows(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+/// The replay read via the SQL layer ([`reconstruct`]) — the spec path.
+pub fn version_rows_sql(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
     reconstruct(db, cvd, vid)
 }
 
@@ -152,7 +211,7 @@ mod tests {
         );
         let s2 = storage_bytes(&db, &cvd);
         assert!(s2 - s1 < 64, "empty delta should cost almost nothing");
-        assert_eq!(version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 2);
+        assert_eq!(model::version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 2);
     }
 
     #[test]
@@ -168,7 +227,7 @@ mod tests {
             ))
             .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(1)));
-        let rows = version_rows(&mut db, &cvd, Vid(2)).unwrap();
+        let rows = model::version_rows(&mut db, &cvd, Vid(2)).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1[0], Value::Text("a".into()));
     }
@@ -189,7 +248,7 @@ mod tests {
             &[record("a", 7), record("b", 2), record("c", 3)],
             &[Vid(2)],
         );
-        let rows = version_rows(&mut db, &cvd, Vid(3)).unwrap();
+        let rows = model::version_rows(&mut db, &cvd, Vid(3)).unwrap();
         assert_eq!(rows.len(), 3);
         // "a" was modified: its reconstructed score is the new one.
         let a = rows

@@ -5,14 +5,16 @@
 //! rlist INT[])` mapping each version to its records. Commit appends *one*
 //! tuple to the versioning table; checkout resolves the version's rlist via
 //! the primary-key index on `vid`, unnests it, and hash-joins with the data
-//! table (Table 1, right column).
+//! table (Table 1, right column). The fast path short-circuits that join:
+//! the sorted rlist resolves to data-table heap slots directly through the
+//! rid primary-key index ([`crate::model::version_row_refs`]).
 
 use orpheus_engine::{Database, Value};
 
 use crate::cvd::Cvd;
 use crate::error::Result;
 use crate::ids::Vid;
-use crate::model::{insert_rows_bulk, insert_rows_sql, int_list, CommitData};
+use crate::model::{self, insert_rows_bulk, insert_rows_sql, int_list, CommitData};
 
 pub fn init(db: &mut Database, cvd: &Cvd) -> Result<()> {
     db.create_table(&cvd.data_table(), cvd.physical_data_schema())?;
@@ -72,12 +74,18 @@ pub fn checkout_sql(cvd: &Cvd, vid: Vid, target: &str) -> String {
     )
 }
 
+/// Checkout: rid-index fast path, Table 1 SQL as the fallback spec path.
 pub fn checkout(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
+    let rlist = cvd.rids_of(vid)?;
+    if model::checkout_resolved(db, &cvd.data_table(), cvd, Some(rlist), 0, target)? {
+        return Ok(());
+    }
     db.execute(&checkout_sql(cvd, vid, target))?;
     Ok(())
 }
 
-pub fn version_rows(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+/// The Table 1 read formulation, executed through the SQL layer.
+pub fn version_rows_sql(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
     let r = db.query(&format!(
         "SELECT d.* FROM {} AS d, \
          (SELECT unnest(rlist) AS rid_tmp FROM {} WHERE vid = {}) AS tmp \
@@ -141,10 +149,33 @@ mod tests {
     fn version_rows_match_rlist() {
         let (mut db, mut cvd) = make_cvd(ModelKind::SplitByRlist);
         commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
-        let rows = version_rows(&mut db, &cvd, Vid(1)).unwrap();
+        let rows = model::version_rows(&mut db, &cvd, Vid(1)).unwrap();
         assert_eq!(rows.len(), 2);
         let rids: Vec<i64> = rows.iter().map(|(r, _)| *r).collect();
         assert_eq!(rids, cvd.rids_of(Vid(1)).unwrap());
+    }
+
+    #[test]
+    fn fast_path_matches_sql_formulation() {
+        let (mut db, mut cvd) = make_cvd(ModelKind::SplitByRlist);
+        commit(&mut db, &mut cvd, &[record("a", 1), record("b", 2)], &[]);
+        commit(
+            &mut db,
+            &mut cvd,
+            &[record("a", 1), record("c", 3)],
+            &[Vid(1)],
+        );
+        for v in [Vid(1), Vid(2)] {
+            assert!(model::fast_path_ready(&db, &cvd, v));
+            let fast = model::version_row_refs(&db, &cvd, v).unwrap().unwrap();
+            let fast: Vec<(i64, Vec<Value>)> = fast
+                .into_iter()
+                .map(|(r, vals)| (r, vals.to_vec()))
+                .collect();
+            let mut sql = version_rows_sql(&mut db, &cvd, v).unwrap();
+            sql.sort_by_key(|(r, _)| *r);
+            assert_eq!(fast, sql, "{v}");
+        }
     }
 
     #[test]

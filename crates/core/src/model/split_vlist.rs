@@ -10,7 +10,7 @@ use crate::cvd::Cvd;
 use crate::error::Result;
 use crate::ids::Vid;
 use crate::model::{
-    append_vid_to_vlist, insert_rows_bulk, insert_rows_sql, split_rlist::rows_to_records,
+    self, append_vid_to_vlist, insert_rows_bulk, insert_rows_sql, split_rlist::rows_to_records,
     CommitData,
 };
 
@@ -67,12 +67,20 @@ pub fn checkout_sql(cvd: &Cvd, vid: Vid, target: &str) -> String {
     )
 }
 
+/// Checkout: the version's sorted rlist (the same membership the vlist
+/// containment scan would discover) resolves straight through the data
+/// table's rid index; the Table 1 SQL statement is the fallback.
 pub fn checkout(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
+    let rlist = cvd.rids_of(vid)?;
+    if model::checkout_resolved(db, &cvd.data_table(), cvd, Some(rlist), 0, target)? {
+        return Ok(());
+    }
     db.execute(&checkout_sql(cvd, vid, target))?;
     Ok(())
 }
 
-pub fn version_rows(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+/// The Table 1 read formulation, executed through the SQL layer.
+pub fn version_rows_sql(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
     let r = db.query(&format!(
         "SELECT d.* FROM {} AS d, \
          (SELECT rid AS rid_tmp FROM {} WHERE ARRAY[{}] <@ vlist) AS tmp \
@@ -127,8 +135,20 @@ mod tests {
             &[record("a", 1), record("b", 2)],
             &[Vid(1)],
         );
-        assert_eq!(version_rows(&mut db, &cvd, Vid(1)).unwrap().len(), 1);
-        assert_eq!(version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 2);
+        assert_eq!(model::version_rows(&mut db, &cvd, Vid(1)).unwrap().len(), 1);
+        assert_eq!(model::version_rows(&mut db, &cvd, Vid(2)).unwrap().len(), 2);
+        // Fast path and containment-scan SQL agree record-for-record.
+        for v in [Vid(1), Vid(2)] {
+            let fast: Vec<(i64, Vec<Value>)> = model::version_row_refs(&db, &cvd, v)
+                .unwrap()
+                .expect("fast path ready")
+                .into_iter()
+                .map(|(r, vals)| (r, vals.to_vec()))
+                .collect();
+            let mut sql = version_rows_sql(&mut db, &cvd, v).unwrap();
+            sql.sort_by_key(|(r, _)| *r);
+            assert_eq!(fast, sql, "{v}");
+        }
         // Deduplicated storage: 2 data rows, 2 vlist rows.
         let r = db
             .query(&format!("SELECT count(*) FROM {}", cvd.vlist_table()))

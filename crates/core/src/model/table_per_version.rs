@@ -7,7 +7,9 @@ use orpheus_engine::{Database, Value};
 use crate::cvd::Cvd;
 use crate::error::Result;
 use crate::ids::Vid;
-use crate::model::{insert_rows_bulk, insert_rows_sql, split_rlist::rows_to_records, CommitData};
+use crate::model::{
+    self, insert_rows_bulk, insert_rows_sql, split_rlist::rows_to_records, CommitData,
+};
 
 pub fn init(_db: &mut Database, _cvd: &Cvd) -> Result<()> {
     // Tables are created per commit.
@@ -40,14 +42,34 @@ pub fn checkout_sql(cvd: &Cvd, vid: Vid, target: &str) -> String {
     format!("SELECT * INTO {target} FROM {}", cvd.version_table(vid))
 }
 
+/// Checkout: straight table-API copy of the version's table (no SQL
+/// parse/plan for a plain `SELECT * INTO`); SQL fallback on layout drift.
 pub fn checkout(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
+    if model::checkout_resolved(db, &cvd.version_table(vid), cvd, None, 0, target)? {
+        return Ok(());
+    }
     db.execute(&checkout_sql(cvd, vid, target))?;
     Ok(())
 }
 
-pub fn version_rows(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+/// The Table 1 read formulation, executed through the SQL layer.
+pub fn version_rows_sql(db: &mut Database, cvd: &Cvd, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
     let r = db.query(&format!("SELECT * FROM {}", cvd.version_table(vid)))?;
     rows_to_records(r.rows)
+}
+
+/// Fast read: the version's table holds exactly its records; borrow them
+/// in heap order (what `SELECT *` returns). Old tables frozen before a
+/// schema evolution yield narrower slices, as their SQL reads do.
+pub fn version_row_refs<'a>(db: &'a Database, cvd: &Cvd, vid: Vid) -> Option<model::RowRefs<'a>> {
+    let t = db.table(&cvd.version_table(vid)).ok()?;
+    let width = model::attr_prefix_len(&t.schema, cvd, 0)?;
+    let mut out = Vec::with_capacity(t.len());
+    for row in t.rows() {
+        let Value::Int(rid) = row[0] else { return None };
+        out.push((rid, &row[1..1 + width]));
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -94,6 +116,13 @@ mod tests {
         checkout(&mut db, &cvd, Vid(1), "t1").unwrap();
         let r = db.query("SELECT name, score FROM t1").unwrap();
         assert_eq!(r.rows.len(), 1);
-        assert_eq!(version_rows(&mut db, &cvd, Vid(1)).unwrap().len(), 1);
+        assert_eq!(model::version_rows(&mut db, &cvd, Vid(1)).unwrap().len(), 1);
+        // Fast read equals the SELECT * formulation, row for row.
+        let fast: Vec<(i64, Vec<Value>)> = version_row_refs(&db, &cvd, Vid(1))
+            .expect("fast path ready")
+            .into_iter()
+            .map(|(r, vals)| (r, vals.to_vec()))
+            .collect();
+        assert_eq!(fast, version_rows_sql(&mut db, &cvd, Vid(1)).unwrap());
     }
 }

@@ -256,7 +256,14 @@ fn apply_partitioning(
         }
         Some(mut state) => {
             let old = state.partitioning();
-            migrate(db, cvd, &state, &old, &best.partitioning)?;
+            // The CVD is mutated in place (no scratch clone since the
+            // clone-free refactor): a failed migration must put the
+            // untouched state back rather than leave the CVD silently
+            // unpartitioned.
+            if let Err(e) = migrate(db, cvd, &state, &old, &best.partitioning) {
+                cvd.partition = Some(state);
+                return Err(e);
+            }
             state.assignment = best.partitioning.assignment.clone();
             state.num_partitions = best.partitioning.num_partitions;
             state.generation += 1;
@@ -405,13 +412,39 @@ fn apply_migration_plan(
 /// Place a freshly committed version into the partitioned layout
 /// (Section 4.3 online maintenance). Must be called after the version's
 /// records are in the global data table and metadata is updated.
+///
+/// Operates on the live catalog entry: on failure the pre-call
+/// [`PartitionState`] is restored (the state snapshot is one `Vec<usize>`
+/// of assignments plus scalars — cheap next to the rows being placed), so
+/// an aborted placement never leaves the CVD unpartitioned or pointing at
+/// a half-updated assignment.
 pub fn on_commit(db: &mut Database, cvd: &mut Cvd, vid: Vid) -> Result<CommitPlacement> {
     require_rlist(cvd)?;
     let mut state = cvd
         .partition
         .take()
         .ok_or_else(|| CoreError::Invalid("CVD is not partitioned".into()))?;
+    let snapshot = state.clone();
+    match place_commit(db, cvd, vid, &mut state) {
+        Ok(placement) => {
+            cvd.partition = Some(state);
+            Ok(placement)
+        }
+        Err(e) => {
+            cvd.partition = Some(snapshot);
+            Err(e)
+        }
+    }
+}
 
+/// The fallible body of [`on_commit`]: placement, physical record moves,
+/// and the drift check, all against a detached `state`.
+fn place_commit(
+    db: &mut Database,
+    cvd: &Cvd,
+    vid: Vid,
+    state: &mut PartitionState,
+) -> Result<CommitPlacement> {
     let tree = cvd.version_tree();
     let v = vid.index();
     let total_r = tree.total_records();
@@ -475,7 +508,7 @@ pub fn on_commit(db: &mut Database, cvd: &mut Cvd, vid: Vid) -> Result<CommitPla
 
     let migration = if cavg > state.mu * state.cavg_star {
         let (modified, reused, built, naive) =
-            migrate(db, cvd, &state, &current, &best.partitioning)?;
+            migrate(db, cvd, state, &current, &best.partitioning)?;
         state.assignment = best.partitioning.assignment.clone();
         state.num_partitions = best.partitioning.num_partitions;
         state.generation += 1;
@@ -490,7 +523,6 @@ pub fn on_commit(db: &mut Database, cvd: &mut Cvd, vid: Vid) -> Result<CommitPla
         None
     };
 
-    cvd.partition = Some(state);
     Ok(CommitPlacement {
         partition,
         opened_partition: opened,
@@ -498,8 +530,39 @@ pub fn on_commit(db: &mut Database, cvd: &mut Cvd, vid: Vid) -> Result<CommitPla
     })
 }
 
+/// Best-effort undo of a failed [`on_commit`] placement's physical
+/// writes, run after the state snapshot has been restored: removes the
+/// vid's tuple from every partition rlist table (a retried commit reuses
+/// the vid and would otherwise collide) and drops the tables of a
+/// partition the aborted placement may have opened (the next index past
+/// the restored count). Orphaned records in partition data tables are
+/// harmless — nothing references them — and are left behind.
+pub fn rollback_placement(db: &mut Database, cvd: &Cvd, vid: Vid) {
+    let Some(state) = &cvd.partition else { return };
+    for k in 0..state.num_partitions {
+        let _ = db.execute(&format!(
+            "DELETE FROM {} WHERE vid = {}",
+            rlist_table_name(cvd, state.generation, k),
+            vid.0
+        ));
+    }
+    let _ = db.drop_table(&data_table_name(
+        cvd,
+        state.generation,
+        state.num_partitions,
+    ));
+    let _ = db.drop_table(&rlist_table_name(
+        cvd,
+        state.generation,
+        state.num_partitions,
+    ));
+}
+
 /// Checkout against the partitioned layout: only the version's partition is
-/// touched (the Table 1 statement with partition-local tables).
+/// touched. The version's sorted rlist resolves to heap slots through the
+/// partition data table's rid index (the same record-access fast path as
+/// the unpartitioned models); the Table 1 statement against the
+/// partition-local tables remains the fallback spec path.
 pub fn checkout_partitioned(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str) -> Result<()> {
     let state = cvd
         .partition
@@ -507,11 +570,15 @@ pub fn checkout_partitioned(db: &mut Database, cvd: &Cvd, vid: Vid, target: &str
         .ok_or_else(|| CoreError::Invalid("CVD is not partitioned".into()))?;
     cvd.check_version(vid)?;
     let k = state.assignment[vid.index()];
+    let data_table = data_table_name(cvd, state.generation, k);
+    if model::checkout_resolved(db, &data_table, cvd, Some(cvd.rids_of(vid)?), 0, target)? {
+        return Ok(());
+    }
     db.execute(&format!(
         "SELECT d.* INTO {target} FROM {} AS d, \
          (SELECT unnest(rlist) AS rid_tmp FROM {} WHERE vid = {}) AS tmp \
          WHERE rid = rid_tmp",
-        data_table_name(cvd, state.generation, k),
+        data_table,
         rlist_table_name(cvd, state.generation, k),
         vid.0
     ))?;

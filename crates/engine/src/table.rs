@@ -336,6 +336,27 @@ impl Table {
     pub fn index_lookup(&self, cols: &[usize], key: &IndexKey) -> Option<&[usize]> {
         self.index_on(cols).map(|idx| idx.lookup(key))
     }
+
+    /// Resolve many integer keys to heap slots in one call through the
+    /// index covering `col` — the multi-key point-lookup that turns an
+    /// rlist into row slots without going through SQL. Returns the matched
+    /// `(key, slot)` pairs in key order (keys without a match are skipped,
+    /// keys matching several slots emit one pair per slot), or `None` when
+    /// no index covers `col`.
+    pub fn resolve_int_keys(&self, col: usize, keys: &[i64]) -> Option<Vec<(i64, usize)>> {
+        let idx = self.index_on(&[col])?;
+        let mut out = Vec::with_capacity(keys.len());
+        // One reusable key buffer: the per-lookup cost is a hash probe,
+        // not an allocation.
+        let mut key: IndexKey = vec![Value::Int(0)];
+        for &k in keys {
+            key[0] = Value::Int(k);
+            for &slot in idx.lookup(&key) {
+                out.push((k, slot));
+            }
+        }
+        Some(out)
+    }
 }
 
 fn row_bytes(row: &Row) -> usize {
@@ -469,6 +490,24 @@ mod tests {
         assert_eq!(t.heap_bytes(), b1);
         assert!(b2 > b1);
         assert!(t.storage_bytes() > t.heap_bytes());
+    }
+
+    #[test]
+    fn resolve_int_keys_batches_point_lookups() {
+        let mut t = table();
+        for i in 0..6 {
+            t.insert(vec![Value::Int(i * 10), format!("v{i}").into()])
+                .unwrap();
+        }
+        // Matches come back in key order; misses are skipped.
+        let pairs = t.resolve_int_keys(0, &[50, 7, 10, 30]).unwrap();
+        assert_eq!(pairs, vec![(50, 5), (10, 1), (30, 3)]);
+        for (k, slot) in pairs {
+            assert_eq!(t.row(slot)[0], Value::Int(k));
+        }
+        // No index on the value column → None, not a scan.
+        assert!(t.resolve_int_keys(1, &[1]).is_none());
+        assert_eq!(t.resolve_int_keys(0, &[]).unwrap(), vec![]);
     }
 
     #[test]
