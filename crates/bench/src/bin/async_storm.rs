@@ -1,0 +1,322 @@
+//! The async-executor benchmark: the contention-storm workload (its
+//! checkout-heavy `clustered_storm` form) driven
+//! through (a) synchronous per-CVD sessions (`ConcurrentExecutor`, the
+//! PR-2 treatment arm and the baseline here), (b) async handles one
+//! request at a time (`execute` = submit + wait), and (c) async handles
+//! pipelined (each thread submits its whole stream before awaiting the
+//! first response) — all on identical instances and identical streams.
+//!
+//! Besides timing, this bin is the CI sanity gate for the async executor:
+//! it exits non-zero when any arm's version graph diverges from a
+//! sequential reference run of the same streams (order-insensitive
+//! comparison — concurrent arms may interleave commits, so version *ids*
+//! differ while the set of committed versions must not), when an arm
+//! leaks staged artifacts, or when the best async arm's throughput falls
+//! below the floor (default 1.0x the synchronous session arm — the async
+//! layer must not lose to the executor it wraps, even on one core). The
+//! floor is re-measured (up to two retries) before it fails the run;
+//! graph checks are deterministic and never retried.
+//!
+//! Emits `BENCH_async.json` (directory from `ORPHEUS_BENCH_OUT`, default
+//! the working directory), every storm arm rendered through the shared
+//! `harness::storm_json` path so the recorded core count is the one the
+//! run observed.
+//!
+//! Knobs (all environment variables):
+//! * `ORPHEUS_STORM_THREADS` (default 4) — concurrent clients.
+//! * `ORPHEUS_STORM_CVDS` (default 2) — CVDs; client `i` targets CVD
+//!   `i % M`, so the default contends two clients per CVD.
+//! * `ORPHEUS_STORM_OPS` (default 6) — rounds per client.
+//! * `ORPHEUS_STORM_CLUSTER` (default 4) — checkouts of the same version
+//!   per round (see `harness::clustered_storm`; reads dominate writes,
+//!   as in the paper's workloads — and the cross-client shared-scan
+//!   opportunity only an executor that coalesces requests can take).
+//! * `ORPHEUS_STORM_RECORDS` (default 400) — records per generated CVD.
+//! * `ORPHEUS_ASYNC_WORKERS` (default: hardware-sized) — worker pool size.
+//! * `ORPHEUS_ASYNC_FLOOR` (default 1.0) — required best-async/session
+//!   throughput ratio.
+//! * `ORPHEUS_TRIALS` (default 3) — timing trials per arm.
+//!
+//! Run with `cargo run --release -p orpheus-bench --bin async_storm`.
+
+use orpheus_bench::generator::{Workload, WorkloadParams};
+use orpheus_bench::harness::{
+    clustered_storm, drive, drive_parallel, drive_parallel_batched, env_f64, env_usize, ms,
+    protocol_mean, storm_json, trials, write_bench_json, JsonObject, Report, StormStats,
+};
+use orpheus_bench::loader::load_workload;
+use orpheus_core::{AsyncExecutor, ModelKind, OrpheusDB, Request, Result, SharedOrpheusDB, Vid};
+
+/// One CVD's committed history, order-insensitive: version ids are
+/// assigned in commit-arrival order (which concurrent arms are free to
+/// permute), so versions compare as a sorted multiset of
+/// (parents, record count, message) — messages are unique per
+/// (thread, op) in `contention_storm`, making this exact.
+type Graph = Vec<(String, Vec<(Vec<Vid>, u64, String)>)>;
+
+fn graph_of(odb: &OrpheusDB) -> Graph {
+    odb.ls()
+        .into_iter()
+        .map(|name| {
+            let mut entries: Vec<(Vec<Vid>, u64, String)> = odb
+                .log_entries(&name)
+                .expect("listed CVDs have histories")
+                .into_iter()
+                .map(|e| (e.parents, e.num_records, e.message))
+                .collect();
+            entries.sort();
+            (name, entries)
+        })
+        .collect()
+}
+
+/// Timing and outcome of one arm: protocol-averaged storm stats, the
+/// resulting (order-insensitive) version graph, and staged leftovers.
+struct Arm {
+    label: &'static str,
+    wall_ms: f64,
+    stats: StormStats,
+    graph: Graph,
+    staged_leftovers: usize,
+}
+
+impl Arm {
+    fn throughput_rps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.stats.requests as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("async_storm bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<bool> {
+    let threads = env_usize("ORPHEUS_STORM_THREADS", 4).max(1);
+    let cvds = env_usize("ORPHEUS_STORM_CVDS", 2).max(1);
+    let ops = env_usize("ORPHEUS_STORM_OPS", 6).max(1);
+    let cluster = env_usize("ORPHEUS_STORM_CLUSTER", 4);
+    let records = env_usize("ORPHEUS_STORM_RECORDS", 400).max(1);
+    // Explicit 0 selects coordinator-only (inline) mode; unset means the
+    // hardware-sized default.
+    let workers = std::env::var("ORPHEUS_ASYNC_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    let floor = env_f64("ORPHEUS_ASYNC_FLOOR", 1.0);
+    let trials = trials();
+    let versions = 8;
+
+    let workload = Workload::generate(WorkloadParams::sci(versions, 2, records / versions));
+    let build = || -> Result<OrpheusDB> {
+        let mut odb = OrpheusDB::new();
+        for c in 0..cvds {
+            load_workload(
+                &mut odb,
+                &format!("cvd{c}"),
+                &workload,
+                ModelKind::SplitByRlist,
+            )?;
+        }
+        Ok(odb)
+    };
+    let streams = || -> Vec<Vec<Request>> {
+        (0..threads)
+            .map(|t| clustered_storm(&format!("cvd{}", t % cvds), t, ops, cluster))
+            .collect()
+    };
+    let make_pool = |shared: &SharedOrpheusDB| -> AsyncExecutor {
+        match workers {
+            Some(n) => AsyncExecutor::with_workers(shared.clone(), n),
+            None => AsyncExecutor::new(shared.clone()),
+        }
+    };
+
+    // The reference outcome: the same streams, concatenated in thread
+    // order, through a plain sequential executor. Concurrent arms must
+    // commit exactly this set of versions (order-insensitively) and
+    // leave exactly the same staged artifacts (the CSV exports stay
+    // registered; everything else must be consumed).
+    let (reference, reference_staged) = {
+        let mut odb = build()?;
+        for stream in streams() {
+            drive(&mut odb, stream)?;
+        }
+        let staged = odb.staged().len();
+        (graph_of(&odb), staged)
+    };
+
+    // Each trial drives a fresh instance; kept samples follow the
+    // paper's drop-extremes protocol.
+    let run_arm = |label: &'static str, mode: usize| -> Result<Arm> {
+        let mut samples = Vec::with_capacity(trials);
+        let mut outcome: Option<(StormStats, Graph, usize)> = None;
+        for _ in 0..trials {
+            let shared = SharedOrpheusDB::new(build()?);
+            let stats = match mode {
+                0 => drive_parallel(
+                    |t| shared.session(&format!("user{t}")).expect("session"),
+                    streams(),
+                )?,
+                1 => {
+                    let pool = make_pool(&shared);
+                    let stats = drive_parallel(
+                        |t| pool.handle(&format!("user{t}")).expect("handle"),
+                        streams(),
+                    )?;
+                    drop(pool);
+                    stats
+                }
+                _ => {
+                    let pool = make_pool(&shared);
+                    let stats = drive_parallel_batched(
+                        |t| pool.handle(&format!("user{t}")).expect("handle"),
+                        streams(),
+                    )?;
+                    drop(pool);
+                    stats
+                }
+            };
+            samples.push(stats.wall_ms);
+            let graph = shared.read(graph_of);
+            let leftovers = shared.read(|odb| odb.staged().len());
+            outcome = Some((stats, graph, leftovers));
+        }
+        let (stats, graph, staged_leftovers) = outcome.expect("trials >= 1");
+        Ok(Arm {
+            label,
+            wall_ms: protocol_mean(samples),
+            stats,
+            graph,
+            staged_leftovers,
+        })
+    };
+
+    let measure = || -> Result<[Arm; 3]> {
+        Ok([
+            run_arm("session", 0)?,
+            run_arm("async/request", 1)?,
+            run_arm("async/pipelined", 2)?,
+        ])
+    };
+    let best_async_ratio = |arms: &[Arm; 3]| {
+        let session = arms[0].throughput_rps().max(f64::EPSILON);
+        (arms[1].throughput_rps() / session).max(arms[2].throughput_rps() / session)
+    };
+
+    // The throughput floor is relative, but one noisy trial on a shared
+    // runner can still dip below it with no code regression — re-measure
+    // up to twice before declaring failure. The deterministic checks
+    // (graph equality, staged leaks) are evaluated on the final
+    // measurement and never retried away.
+    let mut arms = measure()?;
+    for retry in 1..=2 {
+        if best_async_ratio(&arms) >= floor {
+            break;
+        }
+        eprintln!("async throughput floor missed; re-measuring (retry {retry}/2)");
+        arms = measure()?;
+    }
+
+    let pool_workers = {
+        let probe = make_pool(&SharedOrpheusDB::default());
+        probe.workers()
+    };
+    let mut report = Report::new(&["arm", "threads", "requests", "wall_ms", "req_per_s"]);
+    for arm in &arms {
+        report.row(vec![
+            arm.label.to_string(),
+            threads.to_string(),
+            arm.stats.requests.to_string(),
+            ms(arm.wall_ms),
+            format!("{:.1}", arm.throughput_rps()),
+        ]);
+    }
+    println!(
+        "async_storm ({threads} clients x {ops} rounds x {cluster} checkouts, {cvds} CVDs, \
+         {records} records/CVD, {pool_workers} workers, {} cores, {trials} trial(s))",
+        arms[0].stats.cores
+    );
+    println!("{}", report.render());
+
+    // -- the sanity gate ----------------------------------------------------
+    let mut ok = true;
+    for arm in &arms {
+        if arm.graph != reference {
+            eprintln!(
+                "GATE: version graph of {} diverges from the sequential reference",
+                arm.label
+            );
+            ok = false;
+        }
+        if arm.staged_leftovers != reference_staged {
+            eprintln!(
+                "GATE: {} left {} staged artifact(s) behind (sequential reference: {})",
+                arm.label, arm.staged_leftovers, reference_staged
+            );
+            ok = false;
+        }
+    }
+    let ratio = best_async_ratio(&arms);
+    if ratio < floor {
+        eprintln!(
+            "GATE: best async arm reached {:.2}x the session arm, below the {floor:.2}x floor",
+            ratio
+        );
+        ok = false;
+    }
+    println!(
+        "async vs session: request-at-a-time {:.2}x, pipelined {:.2}x (floor {floor:.2}x on \
+         best arm)",
+        arms[1].throughput_rps() / arms[0].throughput_rps().max(f64::EPSILON),
+        arms[2].throughput_rps() / arms[0].throughput_rps().max(f64::EPSILON),
+    );
+
+    // Per-arm objects carry the protocol-mean wall time, so the req_per_s
+    // inside each object is the same number the speedups and the gate
+    // were computed from — one consistent figure per arm, not a last-trial
+    // one next to a mean one.
+    let mean_stats = |arm: &Arm| StormStats {
+        wall_ms: arm.wall_ms,
+        requests: arm.stats.requests,
+        cores: arm.stats.cores,
+        per_thread: Vec::new(),
+    };
+    let json = JsonObject::new()
+        .str("bench", "async_storm")
+        .int("threads", threads as u64)
+        .int("cvds", cvds as u64)
+        .int("ops_per_thread", ops as u64)
+        .int("cluster", cluster as u64)
+        .int("records_per_cvd", records as u64)
+        .int("workers", pool_workers as u64)
+        .int("trials", trials as u64)
+        .obj("session", storm_json(&mean_stats(&arms[0])))
+        .obj("async_request", storm_json(&mean_stats(&arms[1])))
+        .obj("async_pipelined", storm_json(&mean_stats(&arms[2])))
+        .num(
+            "speedup_request",
+            arms[1].throughput_rps() / arms[0].throughput_rps().max(f64::EPSILON),
+        )
+        .num(
+            "speedup_pipelined",
+            arms[2].throughput_rps() / arms[0].throughput_rps().max(f64::EPSILON),
+        )
+        .num("floor", floor)
+        .int("gate_ok", ok as u64);
+    let path = write_bench_json("async", json)?;
+    println!("wrote {path}");
+
+    if !ok {
+        eprintln!("async_storm sanity gate FAILED");
+    }
+    Ok(ok)
+}

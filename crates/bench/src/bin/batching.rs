@@ -30,18 +30,11 @@
 
 use orpheus_bench::generator::{Workload, WorkloadParams};
 use orpheus_bench::harness::{
-    batch_storm, drive, drive_batched, ms, protocol_mean, trials, write_bench_json, BusStats,
-    JsonObject, Report,
+    batch_storm, drive, drive_batched, env_usize, ms, protocol_mean, trials, write_bench_json,
+    BusStats, JsonObject, Report,
 };
 use orpheus_bench::loader::load_workload;
 use orpheus_core::{Executor, ModelKind, OrpheusDB, Request, Result, SharedOrpheusDB, Vid};
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(default)
-}
 
 /// One CVD's version graph, stripped of wall-clock-dependent fields:
 /// (vid, parents, record count, message) per version. Two arms running

@@ -28,7 +28,7 @@
 
 use orpheus_bench::generator::{Workload, WorkloadParams};
 use orpheus_bench::harness::{
-    drive, ms, protocol_mean, time_op, trials, write_bench_json, JsonObject, Report,
+    drive, env_usize, ms, protocol_mean, time_op, trials, write_bench_json, JsonObject, Report,
 };
 use orpheus_bench::loader::load_workload;
 use orpheus_core::model::{self, ModelKind};
@@ -36,13 +36,6 @@ use orpheus_core::{Checkout, Commit, OrpheusDB, Request, Result, SharedOrpheusDB
 use orpheus_engine::Value;
 
 const SPEEDUP_FLOOR: f64 = 1.5;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(default)
-}
 
 fn build(workload: &Workload, model: ModelKind) -> Result<OrpheusDB> {
     let mut odb = OrpheusDB::new();

@@ -21,19 +21,11 @@ use std::sync::{Arc, Mutex};
 
 use orpheus_bench::generator::{Workload, WorkloadParams};
 use orpheus_bench::harness::{
-    checkout_storm, contention_storm, drive, drive_parallel, ms, write_bench_json,
-    GlobalLockSession, JsonObject, Report, StormStats,
+    checkout_storm, contention_storm, detected_parallelism, drive, drive_parallel, env_usize, ms,
+    storm_json, write_bench_json, GlobalLockSession, JsonObject, Report, StormStats,
 };
 use orpheus_bench::loader::load_workload;
 use orpheus_core::{ModelKind, OrpheusDB, Request, Result, SharedOrpheusDB};
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or(default)
-}
 
 fn main() {
     if let Err(e) = run() {
@@ -43,10 +35,10 @@ fn main() {
 }
 
 fn run() -> Result<()> {
-    let threads = env_usize("ORPHEUS_STORM_THREADS", 4);
-    let cvds = env_usize("ORPHEUS_STORM_CVDS", 4);
-    let ops = env_usize("ORPHEUS_STORM_OPS", 6);
-    let records = env_usize("ORPHEUS_STORM_RECORDS", 400);
+    let threads = env_usize("ORPHEUS_STORM_THREADS", 4).max(1);
+    let cvds = env_usize("ORPHEUS_STORM_CVDS", 4).max(1);
+    let ops = env_usize("ORPHEUS_STORM_OPS", 6).max(1);
+    let records = env_usize("ORPHEUS_STORM_RECORDS", 400).max(1);
     let versions = 8;
 
     let workload = Workload::generate(WorkloadParams::sci(versions, 2, records / versions));
@@ -118,14 +110,22 @@ fn run() -> Result<()> {
     println!("\ncheckout_storm (smoke, {} requests)", smoke.requests());
     println!("{}", smoke.report().render());
 
-    // Machine-readable artifacts (`write_bench_json` stamps the detected
-    // core count into both, so all BENCH_*.json emitters share one path).
-    let storm_json = |stats: &StormStats| {
-        JsonObject::new()
-            .num("wall_ms", stats.wall_ms)
-            .int("requests", stats.requests as u64)
-            .num("req_per_s", stats.throughput_rps())
-    };
+    // Machine-readable artifacts. Every storm arm — including the
+    // GlobalLockSession baseline — renders through the shared
+    // `harness::storm_json`, so the per-arm core counts come from the
+    // runs themselves; the top-level stamp from `write_bench_json` must
+    // agree with both, or the artifact would claim two different
+    // machines.
+    for (label, stats) in [("single_lock", &baseline), ("per_cvd", &per_cvd)] {
+        if stats.cores != detected_parallelism() {
+            eprintln!(
+                "cores drifted mid-run: {label} recorded {} but {} detected now",
+                stats.cores,
+                detected_parallelism()
+            );
+            std::process::exit(1);
+        }
+    }
     let json = JsonObject::new()
         .str("bench", "contention_storm")
         .int("threads", threads as u64)

@@ -61,11 +61,29 @@ pub fn time_once<T, F: FnOnce() -> T>(op: F) -> (T, f64) {
 /// Number of timing trials (default 3; `ORPHEUS_TRIALS` overrides — the
 /// paper uses 5).
 pub fn trials() -> usize {
-    std::env::var("ORPHEUS_TRIALS")
+    env_usize("ORPHEUS_TRIALS", 3).max(1)
+}
+
+/// Read a `usize` knob from the environment, falling back to `default`
+/// when unset or unparsable. The shared parser behind every bench bin's
+/// `ORPHEUS_*` knob; callers with a lower bound clamp at the use site
+/// (e.g. `.max(1)`), since some knobs — batch size, worker count — take 0
+/// meaningfully.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or(3)
+        .unwrap_or(default)
+}
+
+/// [`env_usize`] for floating-point knobs (finite and positive, else the
+/// default).
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .unwrap_or(default)
 }
 
 /// The machine's detected hardware parallelism (1 when detection fails).
@@ -213,6 +231,39 @@ pub fn contention_storm(cvd: &str, thread: usize, ops: usize) -> Vec<Request> {
     requests
 }
 
+/// Read-heavy variant of [`contention_storm`]: each round exports the
+/// same version as CSV `cluster` times (distinct export paths, identical
+/// version set — the profile of many clients pulling the current dataset,
+/// which Section 6's workloads show dominating commits), then runs one
+/// checkout → commit round exactly like [`contention_storm`]. The
+/// repeated identical exports are the shared-scan opportunity a batching
+/// or async executor can exploit *across* interleaved clients of one
+/// CVD, which per-request sessions structurally cannot: the version
+/// merge runs once per sub-batch instead of once per export.
+/// `cluster == 0` degenerates to the plain `contention_storm` shape.
+///
+/// The exported CSVs stay registered in the staging area (a real client
+/// would `commit -f` or abandon them later), so outcome comparisons
+/// should expect `ops * cluster` staged CSV entries per thread rather
+/// than zero.
+pub fn clustered_storm(cvd: &str, thread: usize, ops: usize, cluster: usize) -> Vec<Request> {
+    let mut requests = Vec::with_capacity(ops * (cluster + 2));
+    for i in 0..ops {
+        for j in 0..cluster {
+            let path = format!("__storm_t{thread}_{i}_{j}.csv");
+            requests.push(Checkout::of(cvd).version(1u64).into_csv(path).into());
+        }
+        let table = format!("__storm_t{thread}_{i}");
+        requests.push(Checkout::of(cvd).version(1u64).into_table(&table).into());
+        requests.push(
+            Commit::table(&table)
+                .message(format!("storm thread {thread} op {i}"))
+                .into(),
+        );
+    }
+    requests
+}
+
 /// The batching benchmark workload: per round, every CVD gets a *cluster*
 /// of checkouts of version 1 (identical version sets, so a batching
 /// executor can share one version-row scan), then a versioned count
@@ -277,14 +328,61 @@ impl StormStats {
 /// time the aggregate. `make_executor(i)` builds thread `i`'s executor
 /// before the start barrier, so setup cost stays out of the measurement.
 /// The same streams can be run against different executors (per-CVD
-/// sessions vs the [`GlobalLockSession`] baseline) for an
-/// apples-to-apples comparison.
+/// sessions vs the [`GlobalLockSession`] baseline vs async handles) for
+/// an apples-to-apples comparison.
 pub fn drive_parallel<E, F>(make_executor: F, streams: Vec<Vec<Request>>) -> Result<StormStats>
 where
     E: Executor + Send,
     F: Fn(usize) -> E + Send + Sync,
 {
-    let barrier = Barrier::new(streams.len() + 1);
+    drive_parallel_with(make_executor, streams, |executor, stream| {
+        drive(executor, stream)
+    })
+}
+
+/// Like [`drive_parallel`], but each thread submits its whole stream as
+/// one [`Executor::batch`] call (pipelined submission). On an async
+/// handle this is the fire-then-wait pattern: every request is enqueued
+/// before the first response is awaited.
+pub fn drive_parallel_batched<E, F>(
+    make_executor: F,
+    streams: Vec<Vec<Request>>,
+) -> Result<StormStats>
+where
+    E: Executor + Send,
+    F: Fn(usize) -> E + Send + Sync,
+{
+    drive_parallel_with(make_executor, streams, |executor, stream| {
+        drive_batched(executor, stream, 0)
+    })
+}
+
+/// The engine behind [`drive_parallel`] / [`drive_parallel_batched`]:
+/// per-thread executors built before a shared start barrier, one `run`
+/// call per thread, aggregate wall time from barrier release to last
+/// completion, cores recorded via [`detected_parallelism`] (the single
+/// stamping path every `BENCH_*.json` emitter shares — see
+/// [`storm_json`]).
+fn drive_parallel_with<E, F, R>(
+    make_executor: F,
+    streams: Vec<Vec<Request>>,
+    run: R,
+) -> Result<StormStats>
+where
+    E: Executor + Send,
+    F: Fn(usize) -> E + Send + Sync,
+    R: Fn(&mut E, Vec<Request>) -> Result<BusStats> + Send + Sync,
+{
+    // Two barriers: `ready` proves every thread finished its (untimed)
+    // executor setup; `go` releases the work. The clock starts between
+    // them — after setup, before any thread can run a request — so setup
+    // stays out of the measurement AND no thread gets a head start before
+    // the stamp (on a loaded single-core host, stamping after a single
+    // barrier's `wait` returned on the main thread would let workers run
+    // whole scheduler slices first, undercounting every arm by a
+    // different amount).
+    let ready = Barrier::new(streams.len() + 1);
+    let go = Barrier::new(streams.len() + 1);
     let mut per_thread = Vec::with_capacity(streams.len());
     let mut wall_ms = 0.0;
     std::thread::scope(|scope| -> Result<()> {
@@ -292,17 +390,21 @@ where
             .into_iter()
             .enumerate()
             .map(|(i, stream)| {
-                let barrier = &barrier;
+                let ready = &ready;
+                let go = &go;
                 let make_executor = &make_executor;
+                let run = &run;
                 scope.spawn(move || -> Result<BusStats> {
                     let mut executor = make_executor(i);
-                    barrier.wait();
-                    drive(&mut executor, stream)
+                    ready.wait();
+                    go.wait();
+                    run(&mut executor, stream)
                 })
             })
             .collect();
-        barrier.wait();
+        ready.wait();
         let start = Instant::now();
+        go.wait();
         for handle in handles {
             per_thread.push(handle.join().expect("storm thread panicked")?);
         }
@@ -318,11 +420,29 @@ where
     })
 }
 
+/// Render one storm arm for a `BENCH_*.json` artifact, carrying the core
+/// count *the run recorded* ([`StormStats::cores`]) rather than
+/// re-detecting at write time. Every storm-based emitter goes through
+/// this — including the [`GlobalLockSession`] baseline arms, which used
+/// to be stamped only by [`write_bench_json`]'s top-level detection — so
+/// an arm measured under one condition can never be stamped with
+/// another.
+pub fn storm_json(stats: &StormStats) -> JsonObject {
+    JsonObject::new()
+        .num("wall_ms", stats.wall_ms)
+        .int("requests", stats.requests as u64)
+        .num("req_per_s", stats.throughput_rps())
+        .int("cores", stats.cores as u64)
+}
+
 /// The pre-per-CVD-locking baseline: the whole instance behind one mutex,
 /// identity swapped per request — exactly what `SharedOrpheusDB` did
 /// before the catalog/per-CVD split. Kept as the control arm of
 /// [`contention_storm`] so the parallel executor is measured against the
-/// single-lock design on identical request streams.
+/// single-lock design on identical request streams. Its storm runs are
+/// emitted through [`storm_json`] like every other arm's, so the baseline
+/// carries the same recorded core count as the treatment arms instead of
+/// a separately-detected one.
 #[derive(Debug, Clone)]
 pub struct GlobalLockSession {
     db: Arc<Mutex<OrpheusDB>>,

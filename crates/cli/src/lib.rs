@@ -12,6 +12,7 @@
 //! orpheus --db team.orpheus run "SELECT count(*) FROM VERSION 1 OF CVD protein"
 //! orpheus --db team.orpheus repl        # interactive session
 //! orpheus --db team.orpheus --batch script.txt   # a script as ONE batch
+//! orpheus --db team.orpheus --async --as alice --batch script.txt
 //! ```
 //!
 //! Without `--db` the client runs against a fresh in-memory instance that
@@ -26,7 +27,9 @@ use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
 use orpheus_core::commands::{parse_command, run_command, FileAccess, RealFiles};
-use orpheus_core::{CoreError, Executor, OrpheusDB, Response, Result, SharedOrpheusDB};
+use orpheus_core::{
+    AsyncExecutor, CoreError, Executor, OrpheusDB, Response, Result, SharedOrpheusDB,
+};
 
 mod render;
 
@@ -40,6 +43,10 @@ pub struct Invocation {
     /// Run as this user through a concurrent session (per-CVD locking)
     /// instead of driving the instance directly.
     pub user: Option<String>,
+    /// Drive everything through an [`AsyncExecutor`] handle (coordinator
+    /// thread + per-shard worker pool) instead of a synchronous executor.
+    /// Combines with `--as <user>` for the handle identity.
+    pub use_async: bool,
     /// Script file submitted as one [`Executor::batch`] call instead of a
     /// command.
     pub batch: Option<PathBuf>,
@@ -50,11 +57,12 @@ pub struct Invocation {
 /// Parse argv (without the program name) into an [`Invocation`].
 ///
 /// Recognized global flags, which must precede the command:
-/// `--db <path>` / `-d <path>`, `--as <user>` / `-u <user>`,
+/// `--db <path>` / `-d <path>`, `--as <user>` / `-u <user>`, `--async`,
 /// `--batch <file>` / `-b <file>`, `--help` / `-h`, `--version` / `-V`.
 pub fn parse_args(args: &[String]) -> Result<Invocation> {
     let mut db_path = None;
     let mut user = None;
+    let mut use_async = false;
     let mut batch = None;
     let mut i = 0;
     // Global flags precede the command; command names never start with '-'.
@@ -74,6 +82,10 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 user = Some(name.clone());
                 i += 2;
             }
+            "--async" => {
+                use_async = true;
+                i += 1;
+            }
             "--batch" | "-b" => {
                 let path = args
                     .get(i + 1)
@@ -85,6 +97,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 return Ok(Invocation {
                     db_path,
                     user,
+                    use_async,
                     batch,
                     command: vec!["help".into()],
                 })
@@ -93,6 +106,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 return Ok(Invocation {
                     db_path,
                     user,
+                    use_async,
                     batch,
                     command: vec!["version".into()],
                 })
@@ -105,6 +119,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
     Ok(Invocation {
         db_path,
         user,
+        use_async,
         batch,
         command: args[i..].to_vec(),
     })
@@ -153,7 +168,14 @@ The --batch <file> flag submits a script — one command per line, `#`
 comments and blank lines skipped — as a single batch, letting the
 executor coalesce lock acquisitions and version scans. Responses come
 back in script order; a failing line is reported with its line number
-and does not abort the lines after it.";
+and does not abort the lines after it.
+
+The --async flag puts the async executor (a coordinator thread plus a
+per-shard worker pool) in front of the shared instance and drives the
+command, REPL, or --batch script through an async handle. Combine with
+--as <user> to pick the handle identity. Results are identical to the
+synchronous executors; the difference is that submissions never block
+on shard locks, which matters when many clients share one instance.";
 
 /// Load the session instance: the snapshot if it exists, otherwise fresh.
 fn open_session(inv: &Invocation) -> Result<OrpheusDB> {
@@ -237,18 +259,70 @@ pub fn run(
         }
     };
 
-    // With --as, drive everything through a concurrent session (per-CVD
-    // locking, session-scoped identity) over a shared instance.
-    if let Some(user) = &inv.user {
+    // What this invocation actually drives through whichever executor the
+    // flags select: a batch script, the REPL, or one command line.
+    enum Mode<'a> {
+        Batch(&'a str),
+        Repl,
+        OneShot(String),
+    }
+    let mode = match (&batch_script, first) {
+        (Some(script), _) => Mode::Batch(script),
+        (None, "repl") => Mode::Repl,
+        _ => Mode::OneShot(one_shot(&inv.command)),
+    };
+    fn drive<E: Executor>(
+        executor: &mut E,
+        files: &mut dyn FileAccess,
+        mode: &Mode<'_>,
+        interactive: bool,
+        input: &mut dyn BufRead,
+        out: &mut dyn Write,
+        err: &mut dyn Write,
+    ) -> Result<()> {
+        let io_err = |e: std::io::Error| CoreError::Io(e.to_string());
+        match mode {
+            Mode::Batch(script) => {
+                run_batch_script(executor, files, script, out, err).map_err(io_err)
+            }
+            Mode::Repl => repl(executor, files, interactive, input, out, err).map_err(io_err),
+            Mode::OneShot(line) => {
+                let output = run_command(executor, files, line)?;
+                print_output(out, &output).map_err(io_err)
+            }
+        }
+    }
+
+    // With --as or --async, the instance becomes shared: --as drives a
+    // concurrent session (per-CVD locking, session-scoped identity);
+    // --async additionally puts the coordinator + per-shard worker pool
+    // in front, driving everything through an AsyncExecutor handle.
+    if inv.use_async || inv.user.is_some() {
         let shared = SharedOrpheusDB::new(odb);
-        let mut session = shared.session(user)?;
-        if let Some(script) = &batch_script {
-            run_batch_script(&mut session, &mut files, script, out, err).map_err(io_err)?;
-        } else if first == "repl" {
-            repl(&mut session, &mut files, interactive, input, out, err).map_err(io_err)?;
+        if inv.use_async {
+            let mut pool = AsyncExecutor::new(shared.clone());
+            match &inv.user {
+                Some(user) => {
+                    let mut handle = pool.handle(user)?;
+                    drive(&mut handle, &mut files, &mode, interactive, input, out, err)?;
+                }
+                None => drive(&mut pool, &mut files, &mode, interactive, input, out, err)?,
+            }
+            // Join the coordinator and workers before snapshotting, so the
+            // saved state reflects every accepted submission.
+            drop(pool);
         } else {
-            let output = run_command(&mut session, &mut files, &one_shot(&inv.command))?;
-            print_output(out, &output).map_err(io_err)?;
+            let user = inv.user.as_deref().expect("--as checked");
+            let mut session = shared.session(user)?;
+            drive(
+                &mut session,
+                &mut files,
+                &mode,
+                interactive,
+                input,
+                out,
+                err,
+            )?;
         }
         if let Some(p) = &inv.db_path {
             shared.save_to(p)?;
@@ -256,20 +330,7 @@ pub fn run(
         return Ok(());
     }
 
-    if let Some(script) = &batch_script {
-        run_batch_script(&mut odb, &mut files, script, out, err).map_err(io_err)?;
-        close_session(&inv, &odb)?;
-        return Ok(());
-    }
-
-    if first == "repl" {
-        repl(&mut odb, &mut files, interactive, input, out, err).map_err(io_err)?;
-        close_session(&inv, &odb)?;
-        return Ok(());
-    }
-
-    let output = run_command(&mut odb, &mut files, &one_shot(&inv.command))?;
-    print_output(out, &output).map_err(io_err)?;
+    drive(&mut odb, &mut files, &mode, interactive, input, out, err)?;
     close_session(&inv, &odb)?;
     Ok(())
 }
@@ -417,6 +478,78 @@ mod tests {
         assert_eq!(inv.batch, Some(PathBuf::from("script.txt")));
         assert!(inv.command.is_empty());
         assert!(parse_args(&args(&["--batch"])).is_err());
+
+        let inv = parse_args(&args(&["--async", "--as", "alice", "ls"])).unwrap();
+        assert!(inv.use_async);
+        assert_eq!(inv.user.as_deref(), Some("alice"));
+        assert_eq!(inv.command, vec!["ls"]);
+        assert!(!parse_args(&args(&["ls"])).unwrap().use_async);
+    }
+
+    #[test]
+    fn async_flag_drives_commands_through_the_pool() {
+        let dir = tmp_dir("async");
+        let db = dir.join("team.orpheus");
+        let db_s = db.to_str().unwrap();
+        let csv = dir.join("d.csv");
+        let schema = dir.join("s.txt");
+        std::fs::write(&csv, "k,v\n1,10\n2,20\n").unwrap();
+        std::fs::write(&schema, "k:int!pk\nv:int\n").unwrap();
+
+        // One-shot commands under --async behave exactly like the
+        // synchronous path, including snapshot durability.
+        invoke(&[
+            "--db",
+            db_s,
+            "--async",
+            "init",
+            "kv",
+            "-f",
+            csv.to_str().unwrap(),
+            "-s",
+            schema.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = invoke(&["--db", db_s, "--async", "ls"]).unwrap();
+        assert_eq!(out.trim(), "kv");
+
+        // --async --as attributes checkouts to the handle identity.
+        invoke(&[
+            "--db", db_s, "--async", "--as", "alice", "checkout", "kv", "-v", "1", "-t", "aw",
+        ])
+        .unwrap();
+        let err =
+            invoke(&["--db", db_s, "--as", "bob", "commit", "-t", "aw", "-m", "x"]).unwrap_err();
+        assert!(err.to_string().contains("permission"), "{err}");
+        let out = invoke(&[
+            "--db", db_s, "--async", "--as", "alice", "commit", "-t", "aw", "-m", "hers",
+        ])
+        .unwrap();
+        assert!(out.contains("v2"), "{out}");
+
+        // A batch script through the async pool, responses in order.
+        let script = dir.join("script.txt");
+        std::fs::write(
+            &script,
+            "checkout kv -v 2 -t w2\ncommit -t w2 -m 'async batch'\nlog kv\n",
+        )
+        .unwrap();
+        let mut input = Cursor::new(Vec::new());
+        let (mut out, mut errs) = (Vec::new(), Vec::new());
+        run(
+            &args(&["--db", db_s, "--async", "--batch", script.to_str().unwrap()]),
+            false,
+            &mut input,
+            &mut out,
+            &mut errs,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let checkout_at = out.find("checked out v2").expect(&out);
+        let commit_at = out.find("committed w2 as v3").expect(&out);
+        assert!(checkout_at < commit_at, "{out}");
+        assert!(out.contains("async batch"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

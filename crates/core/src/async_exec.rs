@@ -1,0 +1,901 @@
+//! The async executor: submit requests without blocking on shard locks.
+//!
+//! The paper's deployment (Section 6 evaluates multi-client throughput)
+//! has many users hitting one instance at once. The synchronous executors
+//! make each *caller* pay for lock waits: a `Session` blocks its thread on
+//! the target CVD's lock for every request. This module turns the
+//! dispatch data the batching layer already produces — a [`BatchPlan`]
+//! of per-shard [`Step::Shard`] sub-batches separated by
+//! [`Step::Sequential`] barriers — into a running machine:
+//!
+//! * a **coordinator thread** drains the submission channel into chunks,
+//!   plans each chunk under one catalog read
+//!   ([`SharedOrpheusDB::plan_batch`](crate::SharedOrpheusDB)), hands
+//!   shard steps to the worker pool, and executes sequential barriers
+//!   itself (waiting for all in-flight shard work first — barriers order
+//!   strictly against every step around them);
+//! * a **worker pool** with one logical FIFO queue per shard: steps
+//!   between two barriers are mutually independent (they target disjoint
+//!   shards), so different workers execute them in parallel, while two
+//!   sub-batches of the *same* shard never run concurrently — per-shard
+//!   submission order is preserved by construction. Workers execute
+//!   sub-batches through
+//!   [`ConcurrentExecutor::run_shard_items`](crate::ConcurrentExecutor) —
+//!   one shard-lock acquisition, reservation and staged-index bookkeeping
+//!   in single catalog writes, shared version-row scans, identity swapped
+//!   per request owner;
+//! * clients hold an [`AsyncHandle`] and get a [`Ticket`] per submission —
+//!   a future-like slot fulfilled by whichever thread finishes the
+//!   request. `submit` never blocks on shard locks; [`Ticket::wait`]
+//!   blocks only that client.
+//!
+//! Everything is built from the vendored `parking_lot` shim's
+//! `Mutex`/`Condvar` plus `std::sync::mpsc` — no async runtime exists in
+//! this offline workspace, and none is needed: the concurrency is
+//! thread-per-worker with condition-variable parking.
+//!
+//! # Ordering and failure semantics
+//!
+//! * **Per client** — one handle's submissions execute in submission
+//!   order relative to each other whenever they target the same shard or
+//!   are separated by a barrier; responses always answer their own
+//!   submission ([`Ticket`]s don't shuffle).
+//! * **Across clients** — requests to *different* shards interleave
+//!   freely (that is the point); catalog requests are global barriers.
+//! * **Failures** — per request, exactly as [`Executor::batch`]: a failed
+//!   request never aborts the requests after it.
+//! * **Panics** — a panic inside a worker poisons only that shard's
+//!   in-flight sub-batch: those tickets resolve to
+//!   [`CoreError::WorkerPanicked`], checkout reservations are released,
+//!   and both other shards and later submissions to the same shard are
+//!   unaffected.
+//!
+//! # Example
+//!
+//! ```
+//! use orpheus_core::{AsyncExecutor, Checkout, Commit, OrpheusDB, SharedOrpheusDB};
+//! use orpheus_engine::{Column, DataType, Schema, Value};
+//!
+//! let mut odb = OrpheusDB::new();
+//! let schema = Schema::new(vec![Column::new("k", DataType::Int)]);
+//! odb.init_cvd("data", schema, vec![vec![Value::Int(1)]], None).unwrap();
+//!
+//! let pool = AsyncExecutor::new(SharedOrpheusDB::new(odb));
+//! let alice = pool.handle("alice").unwrap();
+//!
+//! // Submit without blocking; wait on the tickets when the results are
+//! // actually needed. Same-shard submissions execute in order, so the
+//! // commit sees the checkout.
+//! let t1 = alice.submit(Checkout::of("data").version(1u64).into_table("w"));
+//! let t2 = alice.submit(Commit::table("w").message("async commit"));
+//! t1.wait().unwrap();
+//! let response = t2.wait().unwrap();
+//! assert_eq!(response.summary(), "committed w as v2");
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::batch::{BatchPlan, ShardKey, Step};
+use crate::concurrent::{ConcurrentExecutor, SharedOrpheusDB, SubItem};
+use crate::error::{CoreError, Result};
+use crate::request::{Executor, Request};
+use crate::response::Response;
+
+/// Upper bound on requests planned as one chunk. Large enough that a
+/// burst coalesces into few plans (few catalog reads, big sub-batches),
+/// small enough that one chunk's barrier never starves the queue.
+const CHUNK_MAX: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Tickets.
+// ---------------------------------------------------------------------------
+
+/// The slot a [`Ticket`] waits on: fulfilled exactly once by whichever
+/// thread finishes the request (first write wins; later writes are
+/// dropped, which makes poisoning idempotent).
+#[derive(Debug)]
+struct TicketCell {
+    state: Mutex<Option<Result<Response>>>,
+    ready: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> Arc<TicketCell> {
+        Arc::new(TicketCell {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, result: Result<Response>) {
+        let mut state = self.state.lock();
+        if state.is_none() {
+            *state = Some(result);
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// A pending response: returned by [`AsyncHandle::submit`], resolved by
+/// [`Ticket::wait`]. Dropping a ticket abandons the response (the request
+/// still executes).
+#[derive(Debug)]
+pub struct Ticket(Arc<TicketCell>);
+
+impl Ticket {
+    /// Block until the request finished and return its outcome.
+    pub fn wait(self) -> Result<Response> {
+        let mut state = self.0.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            self.0.ready.wait(&mut state);
+        }
+    }
+
+    /// Whether the response is already available ([`Ticket::wait`] would
+    /// return without blocking).
+    pub fn is_ready(&self) -> bool {
+        self.0.state.lock().is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool: one logical FIFO queue per shard.
+// ---------------------------------------------------------------------------
+
+/// One request inside a queued shard job.
+struct WorkItem {
+    user: String,
+    request: Option<Request>,
+    ticket: Arc<TicketCell>,
+}
+
+/// One `Step::Shard` sub-batch, queued for its shard.
+struct Job {
+    plan: Arc<BatchPlan>,
+    key: ShardKey,
+    items: Vec<WorkItem>,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Pending jobs per shard, FIFO. Jobs of one shard never run
+    /// concurrently (see `active`), which preserves per-shard submission
+    /// order.
+    queues: HashMap<ShardKey, VecDeque<Job>>,
+    /// Shards with pending jobs and no worker on them, in arrival order.
+    ready: VecDeque<ShardKey>,
+    /// Shards a worker is currently executing a job for.
+    active: Vec<ShardKey>,
+    /// Jobs enqueued but not yet finished (queued + executing) — the
+    /// coordinator's barrier condition is `pending == 0`.
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signals workers: a shard became ready, or shutdown.
+    work: Condvar,
+    /// Signals the coordinator: `pending` dropped to zero.
+    idle: Condvar,
+}
+
+impl Pool {
+    fn new() -> Arc<Pool> {
+        Arc::new(Pool {
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        })
+    }
+
+    fn enqueue(&self, job: Job) {
+        let mut state = self.state.lock();
+        let key = job.key.clone();
+        state.queues.entry(key.clone()).or_default().push_back(job);
+        state.pending += 1;
+        if !state.active.contains(&key) && !state.ready.contains(&key) {
+            state.ready.push_back(key);
+            self.work.notify_one();
+        }
+    }
+
+    /// Block until every enqueued job finished — the barrier before a
+    /// sequential step and between chunks.
+    fn wait_idle(&self) {
+        let mut state = self.state.lock();
+        while state.pending > 0 {
+            self.idle.wait(&mut state);
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut state = self.state.lock();
+        state.shutdown = true;
+        self.work.notify_all();
+    }
+
+    /// Worker loop: claim a ready shard, run its front job, hand the
+    /// shard back (re-readying it if more jobs queued up meanwhile).
+    fn worker_loop(&self, exec: &ConcurrentExecutor) {
+        loop {
+            let (key, job) = {
+                let mut state = self.state.lock();
+                loop {
+                    if let Some(key) = state.ready.pop_front() {
+                        let job = state
+                            .queues
+                            .get_mut(&key)
+                            .and_then(VecDeque::pop_front)
+                            .expect("ready shards have queued jobs");
+                        state.active.push(key.clone());
+                        break (key, job);
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    self.work.wait(&mut state);
+                }
+            };
+            run_job(exec, job);
+            let mut state = self.state.lock();
+            state.active.retain(|k| k != &key);
+            state.pending -= 1;
+            if state.queues.get(&key).is_some_and(|q| !q.is_empty()) {
+                state.ready.push_back(key.clone());
+                self.work.notify_one();
+            }
+            if state.pending == 0 {
+                self.idle.notify_all();
+            }
+        }
+    }
+}
+
+/// Execute one shard sub-batch and fulfill its tickets. Panic containment
+/// lives inside [`ConcurrentExecutor::run_shard_items`]; the outer
+/// `catch_unwind` is a last line of defense (a panic in the surrounding
+/// bookkeeping must not kill the worker thread), after which any item
+/// left without an outcome resolves to [`CoreError::WorkerPanicked`].
+fn run_job(exec: &ConcurrentExecutor, mut job: Job) {
+    let mut items: Vec<SubItem> = job
+        .items
+        .iter_mut()
+        .map(|w| SubItem {
+            user: w.user.clone(),
+            request: w.request.take(),
+            out: None,
+        })
+        .collect();
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        exec.run_shard_items(&job.plan, &job.key, &mut items);
+    }));
+    let label = job.key.label();
+    for (work, item) in job.items.iter().zip(items) {
+        let outcome = item.out.unwrap_or_else(|| {
+            Err(CoreError::WorkerPanicked {
+                shard: label.to_string(),
+            })
+        });
+        work.ticket.fulfill(outcome);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The coordinator.
+// ---------------------------------------------------------------------------
+
+/// One submitted request, travelling from a handle to the coordinator.
+struct Submission {
+    user: String,
+    request: Request,
+    ticket: Arc<TicketCell>,
+}
+
+enum Msg {
+    Submit(Submission),
+    /// One client's pipelined batch, travelling as a single message so
+    /// the coordinator sees it whole (one chunk, maximal sub-batches)
+    /// instead of reassembling it from interleaved singles.
+    SubmitMany(Vec<Submission>),
+    Shutdown,
+}
+
+/// Runs a chunk with the coordinator itself defended: a panic anywhere in
+/// the chunk bookkeeping (planning, slot accounting — the per-request
+/// execution paths carry their own `catch_unwind`) poisons that chunk's
+/// tickets instead of stranding their waiters.
+fn process_chunk_guarded(
+    shared: &SharedOrpheusDB,
+    exec: &ConcurrentExecutor,
+    pool: &Arc<Pool>,
+    chunk: Vec<Submission>,
+    inline: bool,
+) {
+    let tickets: Vec<Arc<TicketCell>> = chunk.iter().map(|s| Arc::clone(&s.ticket)).collect();
+    let panicked = catch_unwind(AssertUnwindSafe(|| {
+        process_chunk(shared, exec, pool, chunk, inline);
+    }))
+    .is_err();
+    if panicked {
+        // Restore the chunk-closing barrier the unwind skipped — jobs the
+        // chunk already enqueued must finish before (a) their tickets are
+        // adjudicated and (b) the next chunk plans against the catalog.
+        // Fulfillment is first-write-wins, so every ticket a job answered
+        // keeps its real result; only genuinely unanswered ones poison.
+        pool.wait_idle();
+        for ticket in tickets {
+            ticket.fulfill(Err(CoreError::WorkerPanicked {
+                shard: "coordinator".to_string(),
+            }));
+        }
+    }
+}
+
+/// Wakes the worker pool out of its parked state when the coordinator
+/// returns — by any path, including an unwind the guards above missed —
+/// so [`AsyncExecutor`]'s drop can always join the workers.
+struct PoolShutdownGuard(Arc<Pool>);
+
+impl Drop for PoolShutdownGuard {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Coordinator loop: drain the channel into chunks, plan each chunk, fan
+/// shard steps out to the pool (or run them inline when the pool is
+/// empty — single-core hosts), run sequential barriers inline.
+fn coordinator_loop(
+    shared: SharedOrpheusDB,
+    pool: Arc<Pool>,
+    rx: mpsc::Receiver<Msg>,
+    closed: Arc<AtomicBool>,
+    inline: bool,
+) {
+    let _shutdown_on_exit = PoolShutdownGuard(Arc::clone(&pool));
+    // The coordinator's own sub-batch engine for inline shard steps and
+    // sequential barriers; identity travels per item/submission, so the
+    // executor's own user never executes anything.
+    let exec = shared.internal_executor("__async_coordinator");
+    let mut shutting_down = false;
+    while !shutting_down {
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => break, // every sender gone
+        };
+        let mut chunk: Vec<Submission> = Vec::new();
+        match first {
+            Msg::Submit(s) => chunk.push(s),
+            Msg::SubmitMany(batch) => chunk.extend(batch),
+            Msg::Shutdown => shutting_down = true,
+        }
+        // Coalesce whatever else already queued up: under load this is
+        // what turns request-at-a-time clients into big per-shard
+        // sub-batches. A SubmitMany batch always lands in one chunk
+        // (CHUNK_MAX bounds the drain, not an already-atomic batch).
+        while !shutting_down && chunk.len() < CHUNK_MAX {
+            match rx.try_recv() {
+                Ok(Msg::Submit(s)) => chunk.push(s),
+                Ok(Msg::SubmitMany(batch)) => chunk.extend(batch),
+                Ok(Msg::Shutdown) => shutting_down = true,
+                Err(_) => break,
+            }
+        }
+        if !chunk.is_empty() {
+            process_chunk_guarded(&shared, &exec, &pool, chunk, inline);
+        }
+    }
+    // Shutdown handshake, phase 1 — finish the work that was already
+    // accepted: any submission whose send completed before this point is
+    // in the queue now (a drain loops until `Empty`), so synchronous
+    // callers blocked on tickets are not stranded.
+    while let Ok(msg) = rx.try_recv() {
+        match msg {
+            Msg::Submit(s) => process_chunk_guarded(&shared, &exec, &pool, vec![s], inline),
+            Msg::SubmitMany(batch) if !batch.is_empty() => {
+                process_chunk_guarded(&shared, &exec, &pool, batch, inline)
+            }
+            _ => {}
+        }
+    }
+    // Phase 2 — publish `closed`, then *refuse* (never execute) whatever
+    // raced in. Together with `AsyncHandle::close_race_check` this makes
+    // the race deterministic: a submission concurrent with shutdown
+    // either landed before `closed` and fully executed above, or it
+    // resolves to the shutdown error WITHOUT side effects — here if the
+    // message arrived, in `close_race_check` if it was lost. It can
+    // never both execute and report failure.
+    closed.store(true, Ordering::SeqCst);
+    while let Ok(msg) = rx.try_recv() {
+        let refused = match msg {
+            Msg::Submit(s) => vec![s],
+            Msg::SubmitMany(batch) => batch,
+            Msg::Shutdown => continue,
+        };
+        for submission in refused {
+            submission.ticket.fulfill(Err(shutdown_error()));
+        }
+    }
+}
+
+/// Plan one chunk and execute its steps. The chunk is one
+/// [`BatchPlan`]: shard steps between barriers run on the pool in
+/// parallel (or inline, in coordinator-only mode), sequential steps run
+/// here after a full barrier. A trailing barrier closes the chunk, so the
+/// next chunk's plan reads catalog state that reflects everything this
+/// chunk did — cross-chunk per-client ordering (e.g. re-checking-out a
+/// name a failed checkout just released) depends on it.
+fn process_chunk(
+    shared: &SharedOrpheusDB,
+    exec: &ConcurrentExecutor,
+    pool: &Arc<Pool>,
+    chunk: Vec<Submission>,
+    inline: bool,
+) {
+    let mut users: Vec<String> = Vec::with_capacity(chunk.len());
+    let mut tickets: Vec<Arc<TicketCell>> = Vec::with_capacity(chunk.len());
+    let mut requests: Vec<Request> = Vec::with_capacity(chunk.len());
+    for s in chunk {
+        users.push(s.user);
+        tickets.push(s.ticket);
+        requests.push(s.request);
+    }
+    let plan = Arc::new(shared.plan_batch(&requests));
+    let mut slots: Vec<Option<Request>> = requests.into_iter().map(Some).collect();
+
+    for step in plan.steps() {
+        match step {
+            Step::Sequential(i) => {
+                pool.wait_idle();
+                let request = slots[*i].take().expect("indices are scheduled once");
+                let mut seq = shared.internal_executor(&users[*i]);
+                let outcome = catch_unwind(AssertUnwindSafe(|| seq.execute(request)))
+                    .unwrap_or_else(|_| {
+                        Err(CoreError::WorkerPanicked {
+                            shard: "sequential".to_string(),
+                        })
+                    });
+                tickets[*i].fulfill(outcome);
+            }
+            Step::Shard { key, indices } => {
+                let items: Vec<WorkItem> = indices
+                    .iter()
+                    .map(|&i| WorkItem {
+                        user: users[i].clone(),
+                        request: slots[i].take(),
+                        ticket: Arc::clone(&tickets[i]),
+                    })
+                    .collect();
+                let job = Job {
+                    plan: Arc::clone(&plan),
+                    key: key.clone(),
+                    items,
+                };
+                if inline {
+                    // Coordinator-only mode: no worker can overlap this
+                    // step anyway (one hardware thread), so skip the
+                    // cross-thread handoff entirely. Semantics are
+                    // identical — per-shard order is trivially preserved
+                    // by the single execution thread.
+                    run_job(exec, job);
+                } else {
+                    pool.enqueue(job);
+                }
+            }
+        }
+    }
+    pool.wait_idle();
+}
+
+// ---------------------------------------------------------------------------
+// The public surface.
+// ---------------------------------------------------------------------------
+
+/// A shared OrpheusDB instance behind a coordinator thread and a per-shard
+/// worker pool (see the module docs for the architecture). Cheap to query
+/// for handles; owns the threads and joins them on drop, after finishing
+/// all accepted submissions.
+///
+/// Implements [`Executor`] through an internal handle bound to the
+/// instance identity, so executor-generic code (the CLI, the bench
+/// harness's `drive`) runs on it unchanged; concurrent clients each take
+/// their own [`AsyncHandle`].
+#[derive(Debug)]
+pub struct AsyncExecutor {
+    shared: SharedOrpheusDB,
+    tx: mpsc::Sender<Msg>,
+    /// Published (true) by the coordinator once it will never read the
+    /// channel again — the submit-side half of the shutdown handshake.
+    closed: Arc<AtomicBool>,
+    root: AsyncHandle,
+    coordinator: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl AsyncExecutor {
+    /// Spawn the coordinator plus a worker pool sized to the detected
+    /// hardware parallelism: clamped to [2, 8] on multi-core hosts (below
+    /// two, shard steps could never overlap; above eight, workers
+    /// outnumber useful shard concurrency in every workload we generate),
+    /// and **zero** on a single hardware thread — there, fanning out can
+    /// overlap nothing, so the coordinator runs shard steps inline and
+    /// saves the cross-thread handoffs.
+    pub fn new(shared: SharedOrpheusDB) -> AsyncExecutor {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = if parallelism <= 1 {
+            0
+        } else {
+            parallelism.clamp(2, 8)
+        };
+        AsyncExecutor::with_workers(shared, workers)
+    }
+
+    /// Spawn with an explicit worker-pool size. Zero workers selects
+    /// coordinator-only mode: shard steps run inline on the coordinator
+    /// thread with identical semantics (submission still never blocks the
+    /// client on shard locks) but no cross-shard parallelism.
+    pub fn with_workers(shared: SharedOrpheusDB, workers: usize) -> AsyncExecutor {
+        let pool = Pool::new();
+        let (tx, rx) = mpsc::channel();
+        let closed = Arc::new(AtomicBool::new(false));
+        let inline = workers == 0;
+        let coordinator = {
+            let shared = shared.clone();
+            let pool = Arc::clone(&pool);
+            let closed = Arc::clone(&closed);
+            std::thread::spawn(move || coordinator_loop(shared, pool, rx, closed, inline))
+        };
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                // The worker's own identity never executes anything —
+                // every sub-batch item carries its submitting session's
+                // user — so an unregistered placeholder is correct here.
+                let exec = shared.internal_executor("__async_worker");
+                std::thread::spawn(move || pool.worker_loop(&exec))
+            })
+            .collect();
+        let root = AsyncHandle {
+            tx: tx.clone(),
+            closed: Arc::clone(&closed),
+            user: shared.instance_user(),
+        };
+        AsyncExecutor {
+            shared,
+            tx,
+            closed,
+            root,
+            coordinator: Some(coordinator),
+            workers: worker_handles,
+        }
+    }
+
+    /// Open a client handle operating as `user` (registering the account
+    /// if needed — same semantics as [`SharedOrpheusDB::session`]).
+    pub fn handle(&self, user: &str) -> Result<AsyncHandle> {
+        // Registration goes through the catalog exactly as for sessions.
+        self.shared.executor(user)?;
+        Ok(AsyncHandle {
+            tx: self.tx.clone(),
+            closed: Arc::clone(&self.closed),
+            user: user.to_string(),
+        })
+    }
+
+    /// The shared instance behind this executor (snapshots, `read`).
+    pub fn shared(&self) -> &SharedOrpheusDB {
+        &self.shared
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit through the instance-identity handle without blocking.
+    pub fn submit(&self, request: impl Into<Request>) -> Ticket {
+        self.root.submit(request)
+    }
+}
+
+impl Drop for AsyncExecutor {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(coordinator) = self.coordinator.take() {
+            let _ = coordinator.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Executor-generic code drives the pool through its instance-identity
+/// handle: `execute` submits and waits, `batch` pipelines (submit
+/// everything, then wait in submission order).
+impl Executor for AsyncExecutor {
+    fn execute(&mut self, request: Request) -> Result<Response> {
+        self.root.execute(request)
+    }
+
+    fn batch<I: IntoIterator<Item = Request>>(&mut self, requests: I) -> Vec<Result<Response>>
+    where
+        Self: Sized,
+    {
+        self.root.batch(requests)
+    }
+}
+
+/// One client's handle on an [`AsyncExecutor`]: the async counterpart of
+/// [`crate::Session`], carrying a user identity. Clone freely — clones
+/// share the identity *at clone time* but rebind independently on
+/// `Login`.
+///
+/// `submit` enqueues and returns a [`Ticket`] immediately; the
+/// [`Executor`] impl layers the synchronous contract on top (`execute` =
+/// submit + wait; `batch` = submit all, wait all, preserving submission
+/// order and per-request failures). A `Login` request through `execute`
+/// or `batch` rebinds this handle on success, exactly like a session;
+/// through bare `submit` it validates the user but rebinds nothing (a
+/// `&self` submission cannot retarget the handle).
+#[derive(Debug, Clone)]
+pub struct AsyncHandle {
+    tx: mpsc::Sender<Msg>,
+    /// See [`AsyncExecutor::closed`]: true once the coordinator will
+    /// never read the channel again.
+    closed: Arc<AtomicBool>,
+    user: String,
+}
+
+fn shutdown_error() -> CoreError {
+    CoreError::Invalid("async executor has shut down".to_string())
+}
+
+impl AsyncHandle {
+    /// The identity this handle submits under.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Enqueue a request without blocking on any shard lock. If the
+    /// executor has shut down, the ticket resolves immediately to an
+    /// error instead of waiting forever.
+    pub fn submit(&self, request: impl Into<Request>) -> Ticket {
+        let cell = TicketCell::new();
+        let submission = Submission {
+            user: self.user.clone(),
+            request: request.into(),
+            ticket: Arc::clone(&cell),
+        };
+        if self.tx.send(Msg::Submit(submission)).is_err() {
+            cell.fulfill(Err(shutdown_error()));
+        }
+        self.close_race_check(std::slice::from_ref(&cell));
+        Ticket(cell)
+    }
+
+    /// Enqueue a whole request vector as **one** message: the coordinator
+    /// plans it as a single chunk (maximal per-shard sub-batches, maximal
+    /// shared scans) instead of reassembling it from interleaved
+    /// singles. Returns one [`Ticket`] per request, in submission order.
+    pub fn submit_batch<I>(&self, requests: I) -> Vec<Ticket>
+    where
+        I: IntoIterator,
+        I::Item: Into<Request>,
+    {
+        let mut submissions: Vec<Submission> = Vec::new();
+        let mut cells: Vec<Arc<TicketCell>> = Vec::new();
+        for request in requests {
+            let cell = TicketCell::new();
+            submissions.push(Submission {
+                user: self.user.clone(),
+                request: request.into(),
+                ticket: Arc::clone(&cell),
+            });
+            cells.push(cell);
+        }
+        if !submissions.is_empty() {
+            if self.tx.send(Msg::SubmitMany(submissions)).is_err() {
+                for cell in &cells {
+                    cell.fulfill(Err(shutdown_error()));
+                }
+            }
+            self.close_race_check(&cells);
+        }
+        cells.into_iter().map(Ticket).collect()
+    }
+
+    /// The submit half of the shutdown handshake. A send can succeed in
+    /// the instant between the coordinator's final drain and the receiver
+    /// being dropped; without this, such a submission would be silently
+    /// lost and its ticket would wait forever. The coordinator publishes
+    /// `closed` between its execute-drain and its refuse-drain, so after
+    /// a send exactly one of these holds: `closed` was still false — the
+    /// send completed before the refuse-drain began, so one of the two
+    /// drains is guaranteed to fulfill the ticket (executing it if it
+    /// made the execute-drain, refusing it otherwise); or `closed` reads
+    /// true — the message might be lost entirely, and poisoning here
+    /// covers that. The refuse-drain never executes, so a raced
+    /// submission can never both run and report the shutdown error;
+    /// fulfillment is first-write-wins, so double poisoning is harmless
+    /// and a ticket the coordinator already answered keeps its real
+    /// result.
+    fn close_race_check(&self, cells: &[Arc<TicketCell>]) {
+        if self.closed.load(Ordering::SeqCst) {
+            for cell in cells {
+                cell.fulfill(Err(shutdown_error()));
+            }
+        }
+    }
+}
+
+impl Executor for AsyncHandle {
+    fn execute(&mut self, request: Request) -> Result<Response> {
+        let rebind = match &request {
+            Request::Login(login) => Some(login.user.clone()),
+            _ => None,
+        };
+        let result = self.submit(request).wait();
+        if let (Some(user), Ok(_)) = (rebind, &result) {
+            self.user = user;
+        }
+        result
+    }
+
+    fn batch<I: IntoIterator<Item = Request>>(&mut self, requests: I) -> Vec<Result<Response>>
+    where
+        Self: Sized,
+    {
+        enum Slot {
+            Done(Result<Response>),
+            Pending(Ticket),
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut run: Vec<Request> = Vec::new();
+        for request in requests {
+            if matches!(request, Request::Login(_)) {
+                // A login's outcome decides the identity of every later
+                // submission, so it is a pipeline barrier: flush the run
+                // collected so far as one atomic batch, then wait for the
+                // login itself (safe — the coordinator finishes
+                // everything submitted before it first; `Login` plans as
+                // a sequential step).
+                slots.extend(
+                    self.submit_batch(run.drain(..))
+                        .into_iter()
+                        .map(Slot::Pending),
+                );
+                slots.push(Slot::Done(self.execute(request)));
+            } else {
+                run.push(request);
+            }
+        }
+        slots.extend(self.submit_batch(run).into_iter().map(Slot::Pending));
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Done(result) => result,
+                Slot::Pending(ticket) => ticket.wait(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::OrpheusDB;
+    use crate::ids::Vid;
+    use crate::request::{Checkout, Commit, Login, Run};
+    use orpheus_engine::{Column, DataType, Schema, Value};
+
+    fn shared_with_cvds(names: &[&str]) -> SharedOrpheusDB {
+        let mut odb = OrpheusDB::new();
+        for name in names {
+            let schema = Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+            ])
+            .with_primary_key(&["k"])
+            .unwrap();
+            let rows: Vec<Vec<Value>> = (0..10)
+                .map(|i| vec![Value::Int(i), Value::Int(0)])
+                .collect();
+            odb.init_cvd(name, schema, rows, None).unwrap();
+        }
+        SharedOrpheusDB::new(odb)
+    }
+
+    #[test]
+    fn tickets_resolve_in_submission_order_per_shard() {
+        let pool = AsyncExecutor::with_workers(shared_with_cvds(&["data"]), 2);
+        let h = pool.handle("alice").unwrap();
+        let t1 = h.submit(Checkout::of("data").version(1u64).into_table("w"));
+        let t2 = h.submit(Commit::table("w").message("first"));
+        let t3 = h.submit(Run::sql("SELECT count(*) FROM VERSION 2 OF CVD data"));
+        assert!(t1.wait().is_ok());
+        assert_eq!(t2.wait().unwrap().version(), Some(Vid(2)));
+        let rows = t3.wait().unwrap().into_rows().unwrap();
+        assert_eq!(rows.scalar(), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn failures_stay_per_request() {
+        let pool = AsyncExecutor::with_workers(shared_with_cvds(&["data"]), 2);
+        let mut h = pool.handle("u").unwrap();
+        let results = h.batch(vec![
+            Checkout::of("data").version(9u64).into_table("bad").into(),
+            Checkout::of("data").version(1u64).into_table("good").into(),
+            Commit::table("good").message("lands").into(),
+        ]);
+        assert!(matches!(results[0], Err(CoreError::VersionNotFound { .. })));
+        assert_eq!(results[2].as_ref().unwrap().version(), Some(Vid(2)));
+        // The failed checkout's reservation was released.
+        pool.shared()
+            .session("u")
+            .unwrap()
+            .checkout("data", &[Vid(1)], "bad")
+            .unwrap();
+    }
+
+    #[test]
+    fn many_handles_commit_concurrently() {
+        let pool = Arc::new(AsyncExecutor::new(shared_with_cvds(&["left", "right"])));
+        std::thread::scope(|scope| {
+            for (u, cvd) in [("a", "left"), ("b", "right"), ("c", "left"), ("d", "right")] {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    let h = pool.handle(u).unwrap();
+                    for i in 0..3 {
+                        let table = format!("{u}_{i}");
+                        let t1 = h.submit(Checkout::of(cvd).version(1u64).into_table(&table));
+                        let t2 = h.submit(Commit::table(&table).message(format!("{u} {i}")));
+                        t1.wait().unwrap();
+                        t2.wait().unwrap();
+                    }
+                });
+            }
+        });
+        pool.shared().read(|odb| {
+            assert_eq!(odb.cvd("left").unwrap().num_versions(), 7);
+            assert_eq!(odb.cvd("right").unwrap().num_versions(), 7);
+            assert!(odb.staged().is_empty());
+        });
+    }
+
+    #[test]
+    fn login_rebinds_the_handle_through_execute_and_batch() {
+        let pool = AsyncExecutor::with_workers(shared_with_cvds(&["data"]), 2);
+        pool.shared().executor("carol").unwrap();
+        let mut h = pool.handle("alice").unwrap();
+        let results = h.batch(vec![Login::as_user("carol").into(), Request::Whoami]);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().unwrap().summary(), "carol");
+        assert_eq!(h.user(), "carol");
+        // A failing login leaves the handle untouched.
+        assert!(h.execute(Login::as_user("nobody").into()).is_err());
+        assert_eq!(h.user(), "carol");
+    }
+
+    #[test]
+    fn shutdown_poisons_late_submissions_cleanly() {
+        let pool = AsyncExecutor::with_workers(shared_with_cvds(&["data"]), 1);
+        let h = pool.handle("u").unwrap();
+        drop(pool);
+        let err = h.submit(Request::Ls).wait().unwrap_err();
+        assert!(err.to_string().contains("shut down"), "{err}");
+    }
+}

@@ -15,7 +15,11 @@
 //!   ([`crate::OrpheusDB`], via [`BatchPlan::shared_scans`]),
 //! * resolve staged-name routing and analyze SQL for the whole batch under
 //!   a single catalog acquisition (the [`BatchRouter`] is consulted only
-//!   while the plan is built).
+//!   while the plan is built),
+//! * run mutually independent [`Step::Shard`] sub-batches on different
+//!   worker threads — the async executor ([`crate::async_exec`]) is
+//!   exactly this plan turned into a coordinator plus a per-shard worker
+//!   pool.
 //!
 //! # Semantics contract
 //!
@@ -52,6 +56,19 @@ pub enum ShardKey {
     Aux,
     /// One CVD's shard, keyed by lower-cased CVD name.
     Cvd(String),
+}
+
+impl ShardKey {
+    /// Human-readable shard name for error messages
+    /// ([`crate::CoreError::WorkerPanicked`] carries it) — one place
+    /// decides how the auxiliary shard renders, for the sync and async
+    /// paths alike.
+    pub fn label(&self) -> &str {
+        match self {
+            ShardKey::Aux => "aux",
+            ShardKey::Cvd(name) => name,
+        }
+    }
 }
 
 /// One scheduling step of a [`BatchPlan`].

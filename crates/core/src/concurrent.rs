@@ -50,12 +50,26 @@
 //! shards. A *writing* statement spanning CVDs is rejected with
 //! [`CoreError::CrossCvd`] — per-CVD locking deliberately does not offer
 //! multi-CVD write transactions.
+//!
+//! # Sub-batch execution
+//!
+//! [`ConcurrentExecutor::execute_batch`] and the async executor
+//! ([`crate::async_exec`]) share one per-shard sub-batch engine,
+//! `ConcurrentExecutor::run_shard_items` (crate-internal): reservations for every
+//! checkout of the sub-batch in one catalog write, the requests under one
+//! shard-lock acquisition (identity-swapped per request owner, so one
+//! sub-batch may carry work from several sessions), and the staged-index
+//! bookkeeping in one closing catalog write. A panic inside a request is
+//! contained there: the panicking request and the rest of its sub-batch
+//! fail with [`CoreError::WorkerPanicked`], reservations are released, and
+//! the shard itself stays usable (the shim locks do not poison).
 
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
 
 use parking_lot::RwLock;
 
@@ -527,6 +541,30 @@ impl SharedOrpheusDB {
         out
     }
 
+    /// Build a [`BatchPlan`] for `requests` under one catalog read — the
+    /// routing step the async executor's coordinator runs per chunk
+    /// ([`crate::async_exec::AsyncExecutor`]).
+    pub(crate) fn plan_batch(&self, requests: &[Request]) -> BatchPlan {
+        let cat = self.inner.catalog_read();
+        BatchPlan::build(requests, &CatalogRouter { catalog: &cat })
+    }
+
+    /// The instance-level identity (what non-session tooling operates as).
+    pub(crate) fn instance_user(&self) -> String {
+        let cat = self.inner.catalog_read();
+        cat.access.whoami().to_string()
+    }
+
+    /// A [`ConcurrentExecutor`] without user registration — for internal
+    /// plumbing (async workers) whose own identity never executes
+    /// anything. [`SharedOrpheusDB::executor`] is the public path.
+    pub(crate) fn internal_executor(&self, user: &str) -> ConcurrentExecutor {
+        ConcurrentExecutor {
+            inner: Arc::clone(&self.inner),
+            user: user.to_string(),
+        }
+    }
+
     /// Persist a consistent instance snapshot (see [`crate::persist`]).
     pub fn save_to(&self, path: &std::path::Path) -> Result<()> {
         let merged = {
@@ -611,6 +649,59 @@ fn analyze_sql(cat: &Catalog, sql: &str, versioned: bool) -> Result<SqlPlan> {
     Ok(SqlPlan { cvds, is_select })
 }
 
+/// Fast-path flag for the panic-injection test hook below: checked with
+/// one relaxed atomic load per sub-batch request, so the hook costs
+/// nothing when disarmed (the overwhelmingly common case).
+static PANIC_HOOK_ARMED: AtomicBool = AtomicBool::new(false);
+/// Staged-table name that makes sub-batch execution panic right before
+/// the matching checkout runs (see [`arm_checkout_panic`]).
+static PANIC_HOOK_NAME: StdMutex<Option<String>> = StdMutex::new(None);
+
+/// Test-only: make any sub-batch worker panic immediately before it
+/// executes a checkout into `table`. This exercises the panic-containment
+/// path of [`ConcurrentExecutor::run_shard_items`] (and through it the
+/// async executor's worker poisoning) with a real unwinding panic instead
+/// of a simulated error. Disarm with [`disarm_checkout_panic`].
+#[doc(hidden)]
+pub fn arm_checkout_panic(table: &str) {
+    *PANIC_HOOK_NAME.lock().unwrap_or_else(|e| e.into_inner()) = Some(table.to_string());
+    PANIC_HOOK_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Test-only: disarm [`arm_checkout_panic`].
+#[doc(hidden)]
+pub fn disarm_checkout_panic() {
+    PANIC_HOOK_ARMED.store(false, Ordering::SeqCst);
+    *PANIC_HOOK_NAME.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Fire the injected panic if the hook is armed for this checkout target.
+fn maybe_injected_panic(request: &Request) {
+    if !PANIC_HOOK_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Request::Checkout(c) = request {
+        let armed = PANIC_HOOK_NAME.lock().unwrap_or_else(|e| e.into_inner());
+        if armed.as_deref() == Some(c.table.as_str()) {
+            panic!("injected worker panic on checkout into {}", c.table);
+        }
+    }
+}
+
+/// One request of a per-shard sub-batch: the identity it runs under, the
+/// request itself (`None` once consumed — executed, or failed before the
+/// shard was touched), and its outcome slot. The synchronous
+/// [`ConcurrentExecutor::execute_batch`] and the async executor's workers
+/// both feed these to [`ConcurrentExecutor::run_shard_items`]; carrying
+/// the user per item (rather than per batch) is what lets one worker
+/// execute a sub-batch assembled from many sessions' submissions.
+#[derive(Debug)]
+pub(crate) struct SubItem {
+    pub(crate) user: String,
+    pub(crate) request: Option<Request>,
+    pub(crate) out: Option<Result<Response>>,
+}
+
 /// Remove staged-index reservations that still point at `cat_key` (a
 /// checkout that failed, or a sub-batch falling back to the per-request
 /// path). Entries re-pointed by someone else are left alone.
@@ -632,6 +723,21 @@ fn release_reservations(inner: &Inner, cat_key: &str, keys: &[String]) {
 fn shard_sql(odb: &mut OrpheusDB, user: &str, sql: &str) -> Result<QueryResult> {
     guard_sql(odb, user, sql)?;
     odb.run(sql)
+}
+
+/// The staged-index bookkeeping a request implies for the closing catalog
+/// write of a sub-batch: `(key, true)` — entry consumed on success
+/// (commit/discard); `(key, false)` — reservation to release on failure
+/// (checkout).
+fn staged_mark(request: &Request) -> Option<(String, bool)> {
+    match request {
+        Request::Commit(c) => Some((Catalog::staged_key(&c.table, StagedKind::Table), true)),
+        Request::Discard(d) => Some((Catalog::staged_key(&d.table, StagedKind::Table), true)),
+        Request::CommitCsv(c) => Some((Catalog::staged_key(&c.path, StagedKind::Csv), true)),
+        Request::Checkout(c) => Some((Catalog::staged_key(&c.table, StagedKind::Table), false)),
+        Request::CheckoutCsv(c) => Some((Catalog::staged_key(&c.path, StagedKind::Csv), false)),
+        _ => None,
+    }
 }
 
 /// [`BatchRouter`] over the catalog: one read acquisition resolves the
@@ -925,6 +1031,19 @@ impl ConcurrentExecutor {
         sql: &str,
         versioned: bool,
     ) -> Result<QueryResult> {
+        self.sql_on_snapshot_as(&self.user, keys, sql, versioned)
+    }
+
+    /// [`ConcurrentExecutor::sql_on_snapshot`] under an explicit identity —
+    /// sub-batches carry a user per item, so their snapshot retries cannot
+    /// assume this executor's user.
+    fn sql_on_snapshot_as(
+        &self,
+        user: &str,
+        keys: &BTreeSet<String>,
+        sql: &str,
+        versioned: bool,
+    ) -> Result<QueryResult> {
         let mut merged = {
             let cat = self.inner.catalog_read();
             if keys.is_empty() {
@@ -933,7 +1052,7 @@ impl ConcurrentExecutor {
                 cat.merged_subset(keys)?
             }
         };
-        guard_sql(&merged, &self.user, sql)?;
+        guard_sql(&merged, user, sql)?;
         if versioned {
             merged.run(sql)
         } else {
@@ -989,7 +1108,9 @@ impl ConcurrentExecutor {
 
     /// One shard's sub-batch under a single lock acquisition (see
     /// [`ConcurrentExecutor::execute_batch`]). Requests that already
-    /// failed reservation arrive as emptied slots and are skipped.
+    /// failed reservation arrive as emptied slots and are skipped. Thin
+    /// adapter over [`ConcurrentExecutor::run_shard_items`], which the
+    /// async executor's workers drive directly.
     fn execute_shard_batch(
         &mut self,
         plan: &BatchPlan,
@@ -998,6 +1119,35 @@ impl ConcurrentExecutor {
         slots: &mut [Option<Request>],
         out: &mut [Option<Result<Response>>],
     ) {
+        let mut items: Vec<SubItem> = indices
+            .iter()
+            .map(|&i| SubItem {
+                user: self.user.clone(),
+                request: slots[i].take(),
+                out: out[i].take(),
+            })
+            .collect();
+        self.run_shard_items(plan, key, &mut items);
+        for (&i, item) in indices.iter().zip(items) {
+            out[i] = item.out;
+        }
+    }
+
+    /// Execute one shard's sub-batch under a single shard-lock
+    /// acquisition — the engine shared by [`Executor::batch`] on this
+    /// executor and by the async executor's per-shard workers
+    /// ([`crate::async_exec`]). Each [`SubItem`] carries its own identity,
+    /// so one sub-batch may interleave requests from many sessions; the
+    /// shard identity is swapped whenever the owner changes and restored
+    /// afterwards.
+    ///
+    /// A panic while executing a request is contained here: the panicking
+    /// request and every item still pending in this sub-batch fail with
+    /// [`CoreError::WorkerPanicked`], their checkout reservations are
+    /// released, and already-completed items keep their results. The shard
+    /// lock itself does not poison (shim `parking_lot` semantics), so
+    /// later sub-batches on the same shard run normally.
+    pub(crate) fn run_shard_items(&self, plan: &BatchPlan, key: &ShardKey, items: &mut [SubItem]) {
         let cat_key = match key {
             ShardKey::Aux => AUX_KEY.to_string(),
             ShardKey::Cvd(k) => k.clone(),
@@ -1009,8 +1159,8 @@ impl ConcurrentExecutor {
         let mut reserved: Vec<String> = Vec::new();
         {
             let mut cat = self.inner.catalog_write();
-            for &i in indices {
-                let (cvd, kind, name) = match slots[i].as_ref() {
+            for item in items.iter_mut() {
+                let (cvd, kind, name) = match item.request.as_ref() {
                     Some(Request::Checkout(c)) => {
                         (c.cvd.clone(), StagedKind::Table, c.table.clone())
                     }
@@ -1022,8 +1172,8 @@ impl ConcurrentExecutor {
                 match cat.reserve(&cvd, kind, &name) {
                     Ok(staged_key) => reserved.push(staged_key),
                     Err(e) => {
-                        out[i] = Some(Err(e));
-                        slots[i] = None;
+                        item.out = Some(Err(e));
+                        item.request = None;
                     }
                 }
             }
@@ -1034,7 +1184,7 @@ impl ConcurrentExecutor {
         // resolution and acquisition (same protocol as `locked`).
         let mut consumed: Vec<String> = Vec::new();
         let mut failed_checkouts: Vec<String> = Vec::new();
-        let mut snapshot_retries: Vec<(usize, String)> = Vec::new();
+        let mut snapshot_retries: Vec<(usize, String, String)> = Vec::new();
         loop {
             let resolved = {
                 let cat = self.inner.catalog_read();
@@ -1049,9 +1199,13 @@ impl ConcurrentExecutor {
                     // remaining request through the per-request path,
                     // which re-resolves and reports the ordinary errors.
                     release_reservations(&self.inner, &cat_key, &reserved);
-                    for &i in indices {
-                        if let Some(request) = slots[i].take() {
-                            out[i] = Some(self.execute(request));
+                    for item in items.iter_mut() {
+                        if let Some(request) = item.request.take() {
+                            let mut exec = ConcurrentExecutor {
+                                inner: Arc::clone(&self.inner),
+                                user: item.user.clone(),
+                            };
+                            item.out = Some(exec.execute(request));
                         }
                     }
                     return;
@@ -1061,87 +1215,107 @@ impl ConcurrentExecutor {
             if shard.is_retired() {
                 continue;
             }
-            if let Err(e) = db.access.ensure_user(&self.user) {
-                drop(db);
-                release_reservations(&self.inner, &cat_key, &reserved);
-                for &i in indices {
-                    if slots[i].take().is_some() {
-                        out[i] = Some(Err(e.clone()));
-                    }
-                }
-                return;
-            }
-            // One identity swap for the whole sub-batch (each request of
-            // the sequential path swaps to the same user anyway), and one
-            // scan cache so checkouts of the same version set share a
-            // single version-row scan under this lock acquisition.
+            // Identity swap whenever the item owner changes (sub-batches
+            // built by `execute_batch` carry one user throughout; async
+            // sub-batches interleave sessions), and one scan cache so
+            // checkouts of the same version set share a single
+            // version-row scan under this lock acquisition.
             let prior = db.access.whoami().to_string();
-            let _ = db.access.login(&self.user);
+            let mut current: Option<String> = None;
             let mut scan_cache = crate::db::ScanCache::new();
-            for &i in indices {
-                let Some(request) = slots[i].take() else {
+            let mut poisoned = false;
+            for (i, item) in items.iter_mut().enumerate() {
+                let Some(request) = item.request.take() else {
                     continue;
                 };
+                if poisoned {
+                    // A panic earlier in this sub-batch: poison the rest
+                    // of its in-flight requests instead of running them
+                    // against state of unknown integrity.
+                    if let Some((key, false)) = staged_mark(&request) {
+                        failed_checkouts.push(key);
+                    }
+                    item.out = Some(Err(CoreError::WorkerPanicked {
+                        shard: key.label().to_string(),
+                    }));
+                    continue;
+                }
+                if current.as_deref() != Some(item.user.as_str()) {
+                    if let Err(e) = db.access.ensure_user(&item.user) {
+                        if let Some((key, false)) = staged_mark(&request) {
+                            failed_checkouts.push(key);
+                        }
+                        item.out = Some(Err(e));
+                        continue;
+                    }
+                    let _ = db.access.login(&item.user);
+                    current = Some(item.user.clone());
+                }
                 // Staged-index bookkeeping for the closing catalog write:
                 // (key, true) = consumed on success, (key, false) =
                 // reservation to release on failure.
-                let finalize = match &request {
-                    Request::Commit(c) => {
-                        Some((Catalog::staged_key(&c.table, StagedKind::Table), true))
-                    }
-                    Request::Discard(d) => {
-                        Some((Catalog::staged_key(&d.table, StagedKind::Table), true))
-                    }
-                    Request::CommitCsv(c) => {
-                        Some((Catalog::staged_key(&c.path, StagedKind::Csv), true))
-                    }
-                    Request::Checkout(c) => {
-                        Some((Catalog::staged_key(&c.table, StagedKind::Table), false))
-                    }
-                    Request::CheckoutCsv(c) => {
-                        Some((Catalog::staged_key(&c.path, StagedKind::Csv), false))
-                    }
-                    _ => None,
-                };
-                let result = match request {
-                    // Run goes through the guarded session surface, like
-                    // `sql_routed`'s in-shard closure.
-                    Request::Run(run) => {
-                        if !crate::query::is_select(&run.sql) {
-                            // Raw SQL can write into backing tables; the
-                            // cached scans must not outlive it.
-                            scan_cache.clear();
-                        }
-                        match shard_sql(&mut db, &self.user, &run.sql) {
-                            Err(CoreError::Engine(EngineError::TableNotFound(t))) => {
-                                if crate::query::is_select(&run.sql) {
-                                    // Retried on a merged snapshot once the
-                                    // shard lock is released (catalog locks
-                                    // must never be taken under a shard
-                                    // lock).
-                                    snapshot_retries.push((i, run.sql));
-                                    continue;
-                                } else if cat_key != AUX_KEY {
-                                    Err(CoreError::Invalid(format!(
-                                        "table {t} not found in the shard of CVD {cat_key}; \
-                                         writing statements cannot reference tables outside \
-                                         that CVD under per-CVD locking"
-                                    )))
-                                } else {
-                                    Err(CoreError::Engine(EngineError::TableNotFound(t)))
-                                }
+                let finalize = staged_mark(&request);
+                let user = &item.user;
+                let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    maybe_injected_panic(&request);
+                    match request {
+                        // Run goes through the guarded session surface,
+                        // like `sql_routed`'s in-shard closure.
+                        Request::Run(run) => {
+                            if !crate::query::is_select(&run.sql) {
+                                // Raw SQL can write into backing tables;
+                                // the cached scans must not outlive it.
+                                scan_cache.clear();
                             }
-                            other => other.map(Response::Rows),
+                            match shard_sql(&mut db, user, &run.sql) {
+                                Err(CoreError::Engine(EngineError::TableNotFound(t))) => {
+                                    if crate::query::is_select(&run.sql) {
+                                        // Retried on a merged snapshot once
+                                        // the shard lock is released
+                                        // (catalog locks must never be
+                                        // taken under a shard lock).
+                                        Err(run.sql)
+                                    } else if cat_key != AUX_KEY {
+                                        Ok(Err(CoreError::Invalid(format!(
+                                            "table {t} not found in the shard of CVD {cat_key}; \
+                                             writing statements cannot reference tables outside \
+                                             that CVD under per-CVD locking"
+                                        ))))
+                                    } else {
+                                        Ok(Err(CoreError::Engine(EngineError::TableNotFound(t))))
+                                    }
+                                }
+                                other => Ok(other.map(Response::Rows)),
+                            }
                         }
+                        other => Ok(db.execute_batch_step(plan, &mut scan_cache, other)),
                     }
-                    other => db.execute_batch_step(plan, &mut scan_cache, other),
+                }));
+                let result = match executed {
+                    Ok(Ok(result)) => result,
+                    Ok(Err(retry_sql)) => {
+                        snapshot_retries.push((i, item.user.clone(), retry_sql));
+                        continue;
+                    }
+                    Err(_) => {
+                        // The request panicked mid-flight. Treat it as
+                        // failed (its checkout, if any, is released below)
+                        // and poison the rest of the sub-batch; the shard
+                        // state this request already touched is whatever
+                        // the unwind left behind, exactly as a panicking
+                        // single-request executor would leave it.
+                        poisoned = true;
+                        Err(CoreError::WorkerPanicked {
+                            shard: key.label().to_string(),
+                        })
+                    }
                 };
                 match (&result, finalize) {
                     (Ok(_), Some((key, true))) => consumed.push(key),
                     (Err(_), Some((key, false))) => failed_checkouts.push(key),
                     _ => {}
                 }
-                out[i] = Some(result);
+                item.out = Some(result);
             }
             let _ = db.access.login(&prior);
             break;
@@ -1165,13 +1339,16 @@ impl ConcurrentExecutor {
         // Phase 4 — snapshot retries for read-only SQL that referenced
         // tables outside the shard (the fallback `sql_routed` applies
         // inline, done here because it needs catalog access).
-        for (i, sql) in snapshot_retries {
+        for (i, user, sql) in snapshot_retries {
             let keys: BTreeSet<String> = if cat_key == AUX_KEY {
                 BTreeSet::new()
             } else {
                 std::iter::once(cat_key.clone()).collect()
             };
-            out[i] = Some(self.sql_on_snapshot(&keys, &sql, true).map(Response::Rows));
+            items[i].out = Some(
+                self.sql_on_snapshot_as(&user, &keys, &sql, true)
+                    .map(Response::Rows),
+            );
         }
     }
 

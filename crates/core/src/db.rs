@@ -799,6 +799,15 @@ impl OrpheusDB {
     /// the [`OrpheusDB`] batch override and the concurrent executor's
     /// per-shard sub-batches run through this, so a batch coalesces
     /// version-row scans whichever executor drives it.
+    ///
+    /// Sharing is only engaged where the scan is the dominant cost:
+    /// multi-version table checkouts (the version merge happens exactly
+    /// once per batch) and CSV exports (no table materialization to pay
+    /// for). A *single-version table* checkout goes through the plain
+    /// rid→slot fast path even inside a batch: measured on the storm
+    /// workloads, caching its rows costs more (row-set clones) than the
+    /// already-index-backed scan a cache hit would save — see
+    /// [`ScanCache`].
     pub(crate) fn execute_batch_step(
         &mut self,
         plan: &BatchPlan,
@@ -806,13 +815,16 @@ impl OrpheusDB {
         request: Request,
     ) -> Result<Response> {
         match request {
-            Request::Checkout(c) if plan.shared_scans(&c.cvd, &c.versions) > 1 => self
-                .checkout_shared_scan(cache, &c.cvd, &c.versions, &c.table)
-                .map(|()| Response::CheckedOut {
-                    cvd: c.cvd,
-                    versions: c.versions,
-                    table: c.table,
-                }),
+            Request::Checkout(c)
+                if c.versions.len() > 1 && plan.shared_scans(&c.cvd, &c.versions) > 1 =>
+            {
+                self.checkout_shared_scan(cache, &c.cvd, &c.versions, &c.table)
+                    .map(|()| Response::CheckedOut {
+                        cvd: c.cvd,
+                        versions: c.versions,
+                        table: c.table,
+                    })
+            }
             Request::CheckoutCsv(c) if plan.shared_scans(&c.cvd, &c.versions) > 1 => self
                 .checkout_csv_shared_scan(cache, &c.cvd, &c.versions, &c.path)
                 .map(|csv| Response::CheckedOutCsv {
@@ -831,11 +843,13 @@ impl OrpheusDB {
     }
 
     /// Checkout that reuses an already-materialized version-row scan from
-    /// `cache` (populating it on first use) instead of re-reading the
-    /// model's backing tables — the shared-scan fast path behind the
-    /// [`Executor::batch`] override. Validation (name availability, CVD
-    /// and version existence, staging registration) is identical to
-    /// [`OrpheusDB::checkout`]; only the row scan is skipped.
+    /// `cache` (seeding it on first use — its callers only route
+    /// multi-version checkouts here, whose merged rows must be
+    /// materialized anyway) instead of re-running the version merge.
+    /// Validation (name availability, CVD and version existence, staging
+    /// registration) is identical to [`OrpheusDB::checkout`]; only the row
+    /// source differs, and the rows themselves are identical whichever
+    /// path produced them.
     fn checkout_shared_scan(
         &mut self,
         cache: &mut ScanCache,
@@ -1046,10 +1060,43 @@ impl Executor for OrpheusDB {
     }
 }
 
-/// The shared version-row scans of one batch: (lower-cased CVD, version
-/// list) → merged rows, rid first. Dropped when the batch ends or a
-/// request invalidates it.
-pub(crate) type ScanCache = HashMap<(String, Vec<Vid>), Vec<Vec<Value>>>;
+/// Key of one shared scan: (lower-cased CVD, version list).
+pub(crate) type ScanKey = (String, Vec<Vid>);
+
+/// The shared version-row scans of one batch: [`ScanKey`] → merged rows,
+/// rid first. Dropped when the batch ends or a request invalidates it.
+///
+/// The cache is only fed where materializing an entry is (close to) free
+/// because the merged rows exist anyway — multi-version table checkouts
+/// and CSV exports — and only consulted on those same paths. Rows of
+/// *single-version table* checkouts are deliberately never cached: the
+/// rid→slot fast path ([`model::checkout_into`]) copies records straight
+/// into the staged table, and measurements on the storm workloads show a
+/// cache round-trip (materialize, clone, bulk-insert) costs more than
+/// that path ever saves.
+#[derive(Debug, Default)]
+pub(crate) struct ScanCache {
+    rows: HashMap<ScanKey, Vec<Vec<Value>>>,
+}
+
+impl ScanCache {
+    pub(crate) fn new() -> ScanCache {
+        ScanCache::default()
+    }
+
+    /// Drop every cached scan (a request changed what versions contain).
+    pub(crate) fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    fn get(&self, key: &ScanKey) -> Option<&Vec<Vec<Value>>> {
+        self.rows.get(key)
+    }
+
+    fn insert(&mut self, key: ScanKey, rows: Vec<Vec<Value>>) {
+        self.rows.insert(key, rows);
+    }
+}
 
 /// Routing for [`BatchPlan::build`] on a single-threaded instance. There
 /// are no locks to coalesce, so [`OrpheusDB::batch`] consults its plan

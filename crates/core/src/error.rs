@@ -58,6 +58,12 @@ pub enum CoreError {
     /// CVD in a way per-CVD locking cannot serve (non-SELECT statements
     /// spanning CVDs). Carries the CVD names involved.
     CrossCvd(Vec<String>),
+    /// Executing a request panicked inside a batch/async worker. The panic
+    /// was contained to the shard named here: the panicking request and
+    /// everything still in flight in the same sub-batch fail with this
+    /// error, while other shards — and later submissions to this one —
+    /// are unaffected.
+    WorkerPanicked { shard: String },
     /// Catch-all for invalid API usage.
     Invalid(String),
 }
@@ -132,6 +138,11 @@ impl fmt::Display for CoreError {
                 "statement writes across CVDs [{}]; only read-only (SELECT) \
                  statements may span CVDs under per-CVD locking",
                 cvds.join(", ")
+            ),
+            CoreError::WorkerPanicked { shard } => write!(
+                f,
+                "a worker panicked while executing the sub-batch of shard {shard}; \
+                 the request (and any still in flight on that shard) was abandoned"
             ),
             CoreError::Invalid(m) => write!(f, "invalid request: {m}"),
         }

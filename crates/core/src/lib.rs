@@ -32,8 +32,13 @@
 //!   vector along a [`BatchPlan`]: shared version-row scans across
 //!   checkouts of the same version, and (on the concurrent executor) one
 //!   shard-lock acquisition per sub-batch instead of one per request.
+//! * **Async execution** ([`async_exec`]) — an [`AsyncExecutor`] runs the
+//!   same [`BatchPlan`] steps on a coordinator thread plus a per-shard
+//!   worker pool; clients submit through an [`AsyncHandle`] and wait on
+//!   [`Ticket`]s instead of blocking on shard locks.
 
 pub mod access;
+pub mod async_exec;
 pub mod batch;
 pub mod commands;
 pub mod compress;
@@ -51,6 +56,7 @@ pub mod request;
 pub mod response;
 pub mod staging;
 
+pub use async_exec::{AsyncExecutor, AsyncHandle, Ticket};
 pub use batch::{BatchPlan, BatchRouter, ShardKey, Step};
 pub use concurrent::{ConcurrentExecutor, Session, SharedOrpheusDB};
 pub use cvd::Cvd;

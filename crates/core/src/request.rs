@@ -5,11 +5,12 @@
 //! The bus is the single public path for issuing commands: the CLI and
 //! REPL parse text into `Request`s ([`crate::commands`]), programs build
 //! them directly (`Checkout::of("protein").versions([1, 2]).into_table("w")`),
-//! and both [`crate::OrpheusDB`] (single-threaded) and
-//! [`crate::Session`] (shared, multi-user) execute them. Because requests
-//! are plain data, they can be queued, logged, replayed, and — the point
-//! of this design — batched and dispatched asynchronously by future
-//! executors without touching any front-end.
+//! and [`crate::OrpheusDB`] (single-threaded), [`crate::Session`]
+//! (shared, multi-user), and [`crate::AsyncExecutor`] (coordinator +
+//! per-shard worker pool) all execute them. Because requests are plain
+//! data, they can be queued, logged, replayed, batched
+//! ([`Executor::batch`]), and dispatched asynchronously
+//! ([`crate::async_exec`]) without touching any front-end.
 //!
 //! File I/O never appears on the bus: CSV-flavored requests carry file
 //! *contents*, and [`crate::response::Response::CheckedOutCsv`] carries the
@@ -48,10 +49,30 @@ pub trait Executor {
     /// The default runs the requests sequentially. Executors override it
     /// to coalesce work along a [`crate::batch::BatchPlan`]:
     /// [`crate::OrpheusDB`] shares one version-row scan across checkouts
-    /// of the same version, and [`crate::ConcurrentExecutor`] /
+    /// of the same version, [`crate::ConcurrentExecutor`] /
     /// [`crate::Session`] take each shard lock once per sub-batch instead
-    /// of once per request (sub-batches of different CVDs may interleave;
-    /// within one CVD, submission order is preserved).
+    /// of once per request, and [`crate::AsyncHandle`] pipelines the
+    /// whole vector through the async worker pool (sub-batches of
+    /// different CVDs may interleave; within one CVD, submission order is
+    /// preserved).
+    ///
+    /// ```
+    /// use orpheus_core::{Checkout, Commit, Executor, Init, OrpheusDB, Request, Vid};
+    /// use orpheus_engine::{Column, DataType, Schema, Value};
+    ///
+    /// let mut odb = OrpheusDB::new();
+    /// let schema = Schema::new(vec![Column::new("k", DataType::Int)]);
+    /// let results = odb.batch(vec![
+    ///     Init::cvd("data").schema(schema).rows(vec![vec![Value::Int(1)]]).into(),
+    ///     Checkout::of("data").version(1u64).into_table("w").into(),
+    ///     Checkout::of("data").version(9u64).into_table("bad").into(), // fails
+    ///     Commit::table("w").message("batched").into(),                // still runs
+    /// ]);
+    /// assert_eq!(results.len(), 4);
+    /// assert!(results[0].is_ok() && results[1].is_ok());
+    /// assert!(results[2].is_err());
+    /// assert_eq!(results[3].as_ref().unwrap().version(), Some(Vid(2)));
+    /// ```
     fn batch<I: IntoIterator<Item = Request>>(&mut self, requests: I) -> Vec<Result<Response>>
     where
         Self: Sized,

@@ -1,10 +1,13 @@
 //! Minimal offline stand-in for the `parking_lot` crate.
 //!
 //! The build environment has no access to crates.io, so this shim provides
-//! the exact subset the workspace uses: a non-poisoning [`RwLock`] with
-//! `read`/`write`/`into_inner`. It wraps `std::sync::RwLock` and recovers
-//! from poisoning instead of propagating it, which matches parking_lot's
-//! semantics (no poisoning) for the workloads here.
+//! the exact subset the workspace uses: non-poisoning [`RwLock`] and
+//! [`Mutex`] types plus a [`Condvar`] with parking_lot's `&mut guard`
+//! signature. They wrap the `std::sync` primitives and recover from
+//! poisoning instead of propagating it, which matches parking_lot's
+//! semantics (no poisoning) for the workloads here. The `Mutex`/`Condvar`
+//! pair is what `orpheus-core`'s async executor builds its job queues and
+//! tickets from.
 
 use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
@@ -29,6 +32,72 @@ impl<T: ?Sized> RwLock<T> {
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mutual-exclusion lock that never poisons.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+}
+
+/// Guard of a [`Mutex`]. Holds an `Option` internally so [`Condvar::wait`]
+/// can take the std guard out and put the re-acquired one back through a
+/// `&mut` borrow — parking_lot's signature, std's machinery.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable usable with [`Mutex`]/[`MutexGuard`]. As in
+/// parking_lot, `wait` takes the guard by `&mut` and the caller keeps
+/// using it after the wakeup; spurious wakeups are possible, so always
+/// wait in a predicate loop.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -59,5 +128,34 @@ mod tests {
             }
         });
         assert_eq!(*lock.read(), 800);
+    }
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pair = Arc::clone(&pair);
+                scope.spawn(move || {
+                    let (m, cv) = &*pair;
+                    let mut count = m.lock();
+                    *count += 1;
+                    cv.notify_all();
+                    // The guard stays usable after waits (predicate loop).
+                    while *count < 4 {
+                        cv.wait(&mut count);
+                    }
+                });
+            }
+        });
+        assert_eq!(*pair.0.lock(), 4);
     }
 }

@@ -92,10 +92,10 @@ pub use orpheus_partition as partition;
 /// engine's schema/value vocabulary.
 pub mod prelude {
     pub use orpheus_core::{
-        Checkout, CheckoutCsv, CommandKind, Commit, CommitCsv, ConcurrentExecutor, CoreError,
-        CreateUser, Cvd, Diff, Discard, DropCvd, Executor, Init, InitFromCsv, Log, LogEntry, Login,
-        ModelKind, Optimize, OrpheusConfig, OrpheusDB, Request, Response, Rid, Run, Session,
-        SharedOrpheusDB, Target, VersionDiff, Vid,
+        AsyncExecutor, AsyncHandle, Checkout, CheckoutCsv, CommandKind, Commit, CommitCsv,
+        ConcurrentExecutor, CoreError, CreateUser, Cvd, Diff, Discard, DropCvd, Executor, Init,
+        InitFromCsv, Log, LogEntry, Login, ModelKind, Optimize, OrpheusConfig, OrpheusDB, Request,
+        Response, Rid, Run, Session, SharedOrpheusDB, Target, Ticket, VersionDiff, Vid,
     };
     pub use orpheus_engine::{Column, DataType, Database, Schema, Value};
 }

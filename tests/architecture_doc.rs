@@ -1,0 +1,55 @@
+//! Keeps `docs/ARCHITECTURE.md` honest: every repository path referenced
+//! in an inline code span must exist. The `docs` CI job runs the same
+//! check as a shell grep; this test makes it part of tier-1 so a rename
+//! fails fast locally too.
+
+use std::path::Path;
+
+/// Extract path-like inline code spans: at least one `/`, no spaces, no
+/// `::`, built from path characters only. `Executor::batch`, flags like
+/// `--async`, and prose never match.
+fn referenced_paths(markdown: &str) -> Vec<String> {
+    let mut paths = Vec::new();
+    for chunk in markdown.split('`').skip(1).step_by(2) {
+        let candidate = chunk.trim();
+        let path_like = candidate.contains('/')
+            && !candidate.contains("::")
+            && !candidate.contains(' ')
+            && candidate
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '/' | '.' | '_' | '-'))
+            && !candidate.starts_with('-');
+        if path_like {
+            paths.push(candidate.to_string());
+        }
+    }
+    paths.sort();
+    paths.dedup();
+    paths
+}
+
+#[test]
+fn every_path_referenced_by_the_architecture_doc_exists() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let doc = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md"))
+        .expect("docs/ARCHITECTURE.md exists");
+    let paths = referenced_paths(&doc);
+    assert!(
+        paths.len() >= 10,
+        "the architecture doc should anchor its claims in file pointers; \
+         found only {paths:?}"
+    );
+    let missing: Vec<&String> = paths.iter().filter(|p| !root.join(p).exists()).collect();
+    assert!(
+        missing.is_empty(),
+        "docs/ARCHITECTURE.md references paths that do not exist: {missing:?} — \
+         update the doc in the same PR that moved them"
+    );
+}
+
+#[test]
+fn the_span_extractor_ignores_non_paths() {
+    let doc = "`Executor::batch` and `--async` and `cargo test` and \
+               `crates/core/src/batch.rs` and `Step::Shard`";
+    assert_eq!(referenced_paths(doc), vec!["crates/core/src/batch.rs"]);
+}
