@@ -1,0 +1,370 @@
+//! The network benchmark: a real multi-process client/server run. The
+//! parent process loads the SCI workload into a shared instance, binds a
+//! `NetServer` on an ephemeral port, and re-execs **itself** N times as
+//! client processes (`ORPHEUS_NET_ROLE=client`); every client opens a
+//! `RemoteExecutor` connection and drives its own `clustered_storm`
+//! stream over TCP — separate address spaces, a real socket, the full
+//! handshake/frame/codec path.
+//!
+//! Two arms, identical streams:
+//! * `net/request` — one round trip per request (`execute`), which is
+//!   also where the per-request latency samples (p50/p99) come from;
+//! * `net/pipelined` — each client ships its whole stream as **one**
+//!   batch frame and the server pipelines it through the async executor,
+//!   the wire amortization `--batch` users get.
+//!
+//! Besides timing, this bin is the CI sanity gate for the service stack:
+//! it exits non-zero when either arm's committed version graph diverges
+//! from a sequential in-process reference of the same streams
+//! (order-insensitive, as in `async_storm`) or leaves different staged
+//! artifacts behind — i.e. running OrpheusDB over the wire must be
+//! *indistinguishable in outcome* from running it in-process.
+//!
+//! Emits `BENCH_net.json` (directory from `ORPHEUS_BENCH_OUT`, default
+//! the working directory) with req/s per arm and latency percentiles.
+//!
+//! Knobs (all environment variables):
+//! * `ORPHEUS_NET_CLIENTS` (default 4) — client processes.
+//! * `ORPHEUS_STORM_CVDS` (default 2) — CVDs; client `i` targets CVD
+//!   `i % M`.
+//! * `ORPHEUS_STORM_OPS` (default 5) — rounds per client.
+//! * `ORPHEUS_STORM_CLUSTER` (default 4) — checkouts per round.
+//! * `ORPHEUS_STORM_RECORDS` (default 400) — records per generated CVD.
+//! * `ORPHEUS_TRIALS` (default 3) — timing trials per arm.
+//!
+//! Run with `cargo run --release -p orpheus-bench --bin net_storm`.
+
+use std::fmt::Write as _;
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+use orpheus_bench::generator::{Workload, WorkloadParams};
+use orpheus_bench::harness::{
+    clustered_storm, drive, env_usize, ms, protocol_mean, storm_json, trials, write_bench_json,
+    JsonObject, Report, StormStats,
+};
+use orpheus_bench::loader::load_workload;
+use orpheus_core::{CoreError, Executor, ModelKind, OrpheusDB, Result, SharedOrpheusDB, Vid};
+use orpheus_net::{NetServer, RemoteExecutor};
+
+/// One CVD's committed history, order-insensitive (see `async_storm`):
+/// concurrent clients may permute commit arrival, so version *ids* are
+/// free while the multiset of (parents, record count, message) is not.
+type Graph = Vec<(String, Vec<(Vec<Vid>, u64, String)>)>;
+
+fn graph_of(odb: &OrpheusDB) -> Graph {
+    odb.ls()
+        .into_iter()
+        .map(|name| {
+            let mut entries: Vec<(Vec<Vid>, u64, String)> = odb
+                .log_entries(&name)
+                .expect("listed CVDs have histories")
+                .into_iter()
+                .map(|e| (e.parents, e.num_records, e.message))
+                .collect();
+            entries.sort();
+            (name, entries)
+        })
+        .collect()
+}
+
+fn main() {
+    // Child processes re-enter here with the role variable set.
+    if let Ok(addr) = std::env::var("ORPHEUS_NET_ADDR") {
+        if std::env::var("ORPHEUS_NET_ROLE").as_deref() == Ok("client") {
+            let index = env_usize("ORPHEUS_NET_CLIENT", 0);
+            let pipelined = std::env::var("ORPHEUS_NET_MODE").as_deref() == Ok("pipelined");
+            match client_main(&addr, index, pipelined) {
+                Ok(()) => return,
+                Err(e) => {
+                    eprintln!("net_storm client {index} failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("net_storm bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The child: connect, drive the stream, report samples on stdout.
+/// Output protocol (parsed by the parent): zero or more `lat_us <v>`
+/// lines, then one `done <requests> <wall_ms>` line.
+fn client_main(addr: &str, index: usize, pipelined: bool) -> Result<()> {
+    let cvds = env_usize("ORPHEUS_STORM_CVDS", 2).max(1);
+    let ops = env_usize("ORPHEUS_STORM_OPS", 5).max(1);
+    let cluster = env_usize("ORPHEUS_STORM_CLUSTER", 4);
+    let stream = clustered_storm(&format!("cvd{}", index % cvds), index, ops, cluster);
+    let requests = stream.len();
+
+    let mut remote = RemoteExecutor::connect(addr, &format!("user{index}"))?;
+    let mut report = String::new();
+    let start = Instant::now();
+    if pipelined {
+        for (i, result) in remote.batch(stream).into_iter().enumerate() {
+            result.map_err(|e| CoreError::Network(format!("batched request {i}: {e}")))?;
+        }
+    } else {
+        for request in stream {
+            let t0 = Instant::now();
+            remote.execute(request)?;
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            writeln!(report, "lat_us {us:.1}").expect("string write");
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    writeln!(report, "done {requests} {wall_ms:.3}").expect("string write");
+    print!("{report}");
+    Ok(())
+}
+
+/// What one fleet of client processes reported back.
+struct FleetRun {
+    requests: usize,
+    /// Max client wall (the storm convention: run ends when the last
+    /// client finishes).
+    wall_ms: f64,
+    latencies_us: Vec<f64>,
+    graph: Graph,
+    staged: usize,
+}
+
+/// One measured arm across trials.
+struct Arm {
+    label: &'static str,
+    wall_ms: f64,
+    requests: usize,
+    latencies_us: Vec<f64>,
+    graph: Graph,
+    staged: usize,
+}
+
+impl Arm {
+    fn throughput_rps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run() -> Result<bool> {
+    let clients = env_usize("ORPHEUS_NET_CLIENTS", 4).max(1);
+    let cvds = env_usize("ORPHEUS_STORM_CVDS", 2).max(1);
+    let ops = env_usize("ORPHEUS_STORM_OPS", 5).max(1);
+    let cluster = env_usize("ORPHEUS_STORM_CLUSTER", 4);
+    let records = env_usize("ORPHEUS_STORM_RECORDS", 400).max(1);
+    let trials = trials();
+    let versions = 8;
+    let exe = std::env::current_exe()
+        .map_err(|e| CoreError::Io(format!("cannot locate the bench binary: {e}")))?;
+
+    let workload = Workload::generate(WorkloadParams::sci(versions, 2, records / versions));
+    let build = || -> Result<OrpheusDB> {
+        let mut odb = OrpheusDB::new();
+        for c in 0..cvds {
+            load_workload(
+                &mut odb,
+                &format!("cvd{c}"),
+                &workload,
+                ModelKind::SplitByRlist,
+            )?;
+        }
+        Ok(odb)
+    };
+
+    // The reference outcome: the same streams, concatenated in client
+    // order, through a plain in-process sequential executor. Running over
+    // the network must commit exactly this version set and stage exactly
+    // these artifacts.
+    let (reference, reference_staged) = {
+        let mut odb = build()?;
+        for i in 0..clients {
+            drive(
+                &mut odb,
+                clustered_storm(&format!("cvd{}", i % cvds), i, ops, cluster),
+            )?;
+        }
+        let staged = odb.staged().len();
+        (graph_of(&odb), staged)
+    };
+
+    // One fleet: fresh instance, fresh server, N fresh client processes.
+    let fleet = |mode: &str| -> Result<FleetRun> {
+        let shared = SharedOrpheusDB::new(build()?);
+        let server = NetServer::bind("127.0.0.1:0", shared.clone())?;
+        let addr = server.local_addr().to_string();
+        let spawn_err = |e: std::io::Error| CoreError::Io(format!("cannot spawn client: {e}"));
+        let children = (0..clients)
+            .map(|i| {
+                Command::new(&exe)
+                    .env("ORPHEUS_NET_ROLE", "client")
+                    .env("ORPHEUS_NET_ADDR", &addr)
+                    .env("ORPHEUS_NET_CLIENT", i.to_string())
+                    .env("ORPHEUS_NET_MODE", mode)
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()
+                    .map_err(spawn_err)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut requests = 0usize;
+        let mut wall_ms = 0f64;
+        let mut latencies_us = Vec::new();
+        for child in children {
+            let output = child
+                .wait_with_output()
+                .map_err(|e| CoreError::Io(format!("client did not finish: {e}")))?;
+            if !output.status.success() {
+                return Err(CoreError::Network(format!(
+                    "a client process exited with {}",
+                    output.status
+                )));
+            }
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            let mut done = false;
+            for line in stdout.lines() {
+                if let Some(v) = line.strip_prefix("lat_us ") {
+                    latencies_us.push(v.parse::<f64>().unwrap_or(0.0));
+                } else if let Some(rest) = line.strip_prefix("done ") {
+                    let mut parts = rest.split_whitespace();
+                    let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                    let w: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.0);
+                    requests += n;
+                    wall_ms = wall_ms.max(w);
+                    done = true;
+                }
+            }
+            if !done {
+                return Err(CoreError::Network(
+                    "a client process reported no result".to_string(),
+                ));
+            }
+        }
+        server.shutdown();
+        let graph = shared.read(graph_of);
+        let staged = shared.read(|odb| odb.staged().len());
+        Ok(FleetRun {
+            requests,
+            wall_ms,
+            latencies_us,
+            graph,
+            staged,
+        })
+    };
+
+    let run_arm = |label: &'static str, mode: &str| -> Result<Arm> {
+        let mut samples = Vec::with_capacity(trials);
+        let mut latencies_us = Vec::new();
+        let mut outcome: Option<FleetRun> = None;
+        for _ in 0..trials {
+            let run = fleet(mode)?;
+            samples.push(run.wall_ms);
+            latencies_us.extend_from_slice(&run.latencies_us);
+            outcome = Some(run);
+        }
+        let last = outcome.expect("trials >= 1");
+        Ok(Arm {
+            label,
+            wall_ms: protocol_mean(samples),
+            requests: last.requests,
+            latencies_us,
+            graph: last.graph,
+            staged: last.staged,
+        })
+    };
+
+    let arms = [
+        run_arm("net/request", "request")?,
+        run_arm("net/pipelined", "pipelined")?,
+    ];
+
+    let mut lat = arms[0].latencies_us.clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let p50 = percentile(&lat, 0.50);
+    let p99 = percentile(&lat, 0.99);
+
+    let mut report = Report::new(&["arm", "clients", "requests", "wall_ms", "req_per_s"]);
+    for arm in &arms {
+        report.row(vec![
+            arm.label.to_string(),
+            clients.to_string(),
+            arm.requests.to_string(),
+            ms(arm.wall_ms),
+            format!("{:.1}", arm.throughput_rps()),
+        ]);
+    }
+    println!(
+        "net_storm ({clients} client processes x {ops} rounds x {cluster} checkouts, {cvds} \
+         CVDs, {records} records/CVD, {trials} trial(s))"
+    );
+    println!("{}", report.render());
+    println!(
+        "round-trip latency: p50 {p50:.0}us, p99 {p99:.0}us over {} samples",
+        lat.len()
+    );
+
+    // -- the sanity gate ----------------------------------------------------
+    let mut ok = true;
+    for arm in &arms {
+        if arm.graph != reference {
+            eprintln!(
+                "GATE: version graph of {} diverges from the in-process reference",
+                arm.label
+            );
+            ok = false;
+        }
+        if arm.staged != reference_staged {
+            eprintln!(
+                "GATE: {} left {} staged artifact(s) (in-process reference: {})",
+                arm.label, arm.staged, reference_staged
+            );
+            ok = false;
+        }
+    }
+
+    let stats = |arm: &Arm| StormStats {
+        wall_ms: arm.wall_ms,
+        requests: arm.requests,
+        cores: orpheus_bench::harness::detected_parallelism(),
+        per_thread: Vec::new(),
+    };
+    let json = JsonObject::new()
+        .str("bench", "net_storm")
+        .int("clients", clients as u64)
+        .int("cvds", cvds as u64)
+        .int("ops_per_client", ops as u64)
+        .int("cluster", cluster as u64)
+        .int("records_per_cvd", records as u64)
+        .int("trials", trials as u64)
+        .obj("net_request", storm_json(&stats(&arms[0])))
+        .obj("net_pipelined", storm_json(&stats(&arms[1])))
+        .num("lat_us_p50", p50)
+        .num("lat_us_p99", p99)
+        .num(
+            "speedup_pipelined",
+            arms[1].throughput_rps() / arms[0].throughput_rps().max(f64::EPSILON),
+        )
+        .int("gate_ok", ok as u64);
+    let path = write_bench_json("net", json)?;
+    println!("wrote {path}");
+
+    if !ok {
+        eprintln!("net_storm sanity gate FAILED");
+    }
+    Ok(ok)
+}

@@ -13,6 +13,8 @@
 //! orpheus --db team.orpheus repl        # interactive session
 //! orpheus --db team.orpheus --batch script.txt   # a script as ONE batch
 //! orpheus --db team.orpheus --async --as alice --batch script.txt
+//! orpheus --db team.orpheus --serve 127.0.0.1:7617   # run as a service
+//! orpheus --connect 127.0.0.1:7617 --as alice ls     # ...and talk to it
 //! ```
 //!
 //! Without `--db` the client runs against a fresh in-memory instance that
@@ -30,6 +32,7 @@ use orpheus_core::commands::{parse_command, run_command, FileAccess, RealFiles};
 use orpheus_core::{
     AsyncExecutor, CoreError, Executor, OrpheusDB, Response, Result, SharedOrpheusDB,
 };
+use orpheus_net::{NetServer, RemoteExecutor};
 
 mod render;
 
@@ -50,6 +53,12 @@ pub struct Invocation {
     /// Script file submitted as one [`Executor::batch`] call instead of a
     /// command.
     pub batch: Option<PathBuf>,
+    /// Listen for remote clients on this address instead of running a
+    /// command; the process serves until stdin closes (or says `exit`).
+    pub serve: Option<String>,
+    /// Drive the command, REPL, or batch script against a remote server
+    /// at this address instead of a local instance.
+    pub connect: Option<String>,
     /// The command line to run (empty means "show help").
     pub command: Vec<String>,
 }
@@ -58,12 +67,15 @@ pub struct Invocation {
 ///
 /// Recognized global flags, which must precede the command:
 /// `--db <path>` / `-d <path>`, `--as <user>` / `-u <user>`, `--async`,
-/// `--batch <file>` / `-b <file>`, `--help` / `-h`, `--version` / `-V`.
+/// `--batch <file>` / `-b <file>`, `--serve <addr>`, `--connect <addr>`
+/// / `-c <addr>`, `--help` / `-h`, `--version` / `-V`.
 pub fn parse_args(args: &[String]) -> Result<Invocation> {
     let mut db_path = None;
     let mut user = None;
     let mut use_async = false;
     let mut batch = None;
+    let mut serve = None;
+    let mut connect = None;
     let mut i = 0;
     // Global flags precede the command; command names never start with '-'.
     while i < args.len() && args[i].starts_with('-') {
@@ -93,12 +105,28 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 batch = Some(PathBuf::from(path));
                 i += 2;
             }
+            "--serve" => {
+                let addr = args
+                    .get(i + 1)
+                    .ok_or_else(|| CoreError::parse_line("--serve needs an address"))?;
+                serve = Some(addr.clone());
+                i += 2;
+            }
+            "--connect" | "-c" => {
+                let addr = args
+                    .get(i + 1)
+                    .ok_or_else(|| CoreError::parse_line("--connect needs an address"))?;
+                connect = Some(addr.clone());
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Ok(Invocation {
                     db_path,
                     user,
                     use_async,
                     batch,
+                    serve,
+                    connect,
                     command: vec!["help".into()],
                 })
             }
@@ -108,6 +136,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                     user,
                     use_async,
                     batch,
+                    serve,
+                    connect,
                     command: vec!["version".into()],
                 })
             }
@@ -121,6 +151,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
         user,
         use_async,
         batch,
+        serve,
+        connect,
         command: args[i..].to_vec(),
     })
 }
@@ -175,7 +207,20 @@ per-shard worker pool) in front of the shared instance and drives the
 command, REPL, or --batch script through an async handle. Combine with
 --as <user> to pick the handle identity. Results are identical to the
 synchronous executors; the difference is that submissions never block
-on shard locks, which matters when many clients share one instance.";
+on shard locks, which matters when many clients share one instance.
+
+network service:
+  --serve <addr>       listen for remote clients (port 0 picks a free
+                       port; the resolved address is printed first). The
+                       process serves until stdin closes or says `exit`,
+                       then drains in-flight work and saves the snapshot.
+  --connect <addr>     run the command, REPL, or --batch script against
+                       a server instead of a local instance. Composes
+                       with --as (the connection identity) but not with
+                       --db or --async: the snapshot and the async
+                       executor live on the server.
+Per connection, responses always come back in submission order — even
+though the server overlaps execution across shards and clients.";
 
 /// Load the session instance: the snapshot if it exists, otherwise fresh.
 fn open_session(inv: &Invocation) -> Result<OrpheusDB> {
@@ -216,8 +261,33 @@ pub fn run(
     let inv = parse_args(args)?;
     let io_err = |e: std::io::Error| CoreError::Io(e.to_string());
 
+    if inv.serve.is_some() {
+        if inv.connect.is_some() {
+            return Err(CoreError::parse_line(
+                "--serve and --connect are mutually exclusive",
+            ));
+        }
+        if inv.batch.is_some() || !inv.command.is_empty() {
+            return Err(CoreError::parse_line(
+                "--serve runs until stdin closes; it takes no command",
+            ));
+        }
+    }
+    if inv.connect.is_some() {
+        if inv.db_path.is_some() {
+            return Err(CoreError::parse_line(
+                "--connect talks to a server; the snapshot lives there (drop --db)",
+            ));
+        }
+        if inv.use_async {
+            return Err(CoreError::parse_line(
+                "--connect already runs on the server's async executor (drop --async)",
+            ));
+        }
+    }
+
     let first = inv.command.first().map(|s| s.as_str()).unwrap_or("help");
-    if inv.batch.is_none() {
+    if inv.batch.is_none() && inv.serve.is_none() {
         match first {
             "help" => {
                 writeln!(out, "{HELP}").map_err(io_err)?;
@@ -240,6 +310,34 @@ pub fn run(
         })?),
         None => None,
     };
+
+    // --serve: put a NetServer in front of the (snapshot-backed) instance
+    // and block until stdin closes or says `exit` — script- and
+    // CI-friendly (close the pipe to stop the server). The resolved
+    // address prints first so `--serve 127.0.0.1:0` is usable.
+    if let Some(addr) = &inv.serve {
+        let shared = SharedOrpheusDB::new(open_session(&inv)?);
+        let server = NetServer::bind(addr.as_str(), shared.clone())?;
+        writeln!(out, "listening on {}", server.local_addr()).map_err(io_err)?;
+        out.flush().map_err(io_err)?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if input.read_line(&mut line).map_err(io_err)? == 0 {
+                break;
+            }
+            if matches!(line.trim(), "exit" | "quit" | "\\q") {
+                break;
+            }
+        }
+        // Graceful: refuse new frames, drain accepted work, then persist
+        // everything the drained work produced.
+        server.shutdown();
+        if let Some(p) = &inv.db_path {
+            shared.save_to(p)?;
+        }
+        return Ok(());
+    }
 
     let mut odb = open_session(&inv)?;
     let mut files = RealFiles;
@@ -291,6 +389,15 @@ pub fn run(
                 print_output(out, &output).map_err(io_err)
             }
         }
+    }
+
+    // --connect: the same modes, driven through a RemoteExecutor — the
+    // Executor impl over a server connection. --as picks the connection
+    // identity (login is part of connection setup).
+    if let Some(addr) = &inv.connect {
+        let user = inv.user.as_deref().unwrap_or("default");
+        let mut remote = RemoteExecutor::connect(addr.as_str(), user)?;
+        return drive(&mut remote, &mut files, &mode, interactive, input, out, err);
     }
 
     // With --as or --async, the instance becomes shared: --as drives a
@@ -484,6 +591,208 @@ mod tests {
         assert_eq!(inv.user.as_deref(), Some("alice"));
         assert_eq!(inv.command, vec!["ls"]);
         assert!(!parse_args(&args(&["ls"])).unwrap().use_async);
+
+        let inv = parse_args(&args(&["--serve", "127.0.0.1:0"])).unwrap();
+        assert_eq!(inv.serve.as_deref(), Some("127.0.0.1:0"));
+        let inv = parse_args(&args(&["--connect", "127.0.0.1:7617", "ls"])).unwrap();
+        assert_eq!(inv.connect.as_deref(), Some("127.0.0.1:7617"));
+        assert_eq!(inv.command, vec!["ls"]);
+        assert!(parse_args(&args(&["--serve"])).is_err());
+        assert!(parse_args(&args(&["--connect"])).is_err());
+    }
+
+    #[test]
+    fn network_flag_conflicts_are_clean_errors() {
+        let bad = |argv: &[&str], needle: &str| {
+            let e = invoke(argv).unwrap_err().to_string();
+            assert!(e.contains(needle), "{argv:?}: {e}");
+        };
+        bad(
+            &["--serve", "127.0.0.1:0", "--connect", "127.0.0.1:1", "ls"],
+            "mutually exclusive",
+        );
+        bad(&["--serve", "127.0.0.1:0", "ls"], "takes no command");
+        bad(
+            &["--serve", "127.0.0.1:0", "--batch", "s.txt"],
+            "takes no command",
+        );
+        bad(
+            &["--connect", "127.0.0.1:1", "--db", "x.orpheus", "ls"],
+            "drop --db",
+        );
+        bad(
+            &["--connect", "127.0.0.1:1", "--async", "ls"],
+            "drop --async",
+        );
+    }
+
+    /// A stdin that blocks until the test feeds it bytes (or hangs up) —
+    /// how a shell pipe behaves, which is what `--serve` reads from.
+    struct PipedInput {
+        rx: std::sync::mpsc::Receiver<Vec<u8>>,
+        buf: Vec<u8>,
+        pos: usize,
+    }
+
+    impl std::io::Read for PipedInput {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos == self.buf.len() {
+                match self.rx.recv() {
+                    Ok(bytes) => {
+                        self.buf = bytes;
+                        self.pos = 0;
+                    }
+                    Err(_) => return Ok(0), // writer hung up: EOF
+                }
+            }
+            let n = (self.buf.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// An output sink the test can observe while `run` still borrows it.
+    #[derive(Clone, Default)]
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedOut {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn serve_and_connect_round_trip() {
+        let dir = tmp_dir("serve");
+        let db = dir.join("team.orpheus");
+        let db_s = db.to_str().unwrap().to_string();
+        let csv = dir.join("d.csv");
+        let schema = dir.join("s.txt");
+        std::fs::write(&csv, "k,v\n1,10\n2,20\n").unwrap();
+        std::fs::write(&schema, "k:int!pk\nv:int\n").unwrap();
+
+        // The server: `orpheus --db team.orpheus --serve 127.0.0.1:0`,
+        // with stdin held open the way a shell pipe would be.
+        let (stdin_tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let server_out = SharedOut::default();
+        let server = {
+            let argv = args(&["--db", &db_s, "--serve", "127.0.0.1:0"]);
+            let mut out = server_out.clone();
+            std::thread::spawn(move || {
+                let mut input = std::io::BufReader::new(PipedInput {
+                    rx,
+                    buf: Vec::new(),
+                    pos: 0,
+                });
+                let mut err = Vec::new();
+                run(&argv, false, &mut input, &mut out, &mut err)
+            })
+        };
+        // The resolved address prints first, so port 0 is scriptable.
+        let addr = loop {
+            if let Some(line) = server_out.text().lines().next() {
+                if !line.is_empty() {
+                    break line.strip_prefix("listening on ").expect(line).to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        // One-shot commands, --as identity, and a --batch script all run
+        // against the server unmodified.
+        invoke(&[
+            "--connect",
+            &addr,
+            "init",
+            "kv",
+            "-f",
+            csv.to_str().unwrap(),
+            "-s",
+            schema.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = invoke(&["--connect", &addr, "ls"]).unwrap();
+        assert_eq!(out.trim(), "kv");
+        invoke(&[
+            "--connect",
+            &addr,
+            "--as",
+            "alice",
+            "checkout",
+            "kv",
+            "-v",
+            "1",
+            "-t",
+            "aw",
+        ])
+        .unwrap();
+        let err = invoke(&[
+            "--connect",
+            &addr,
+            "--as",
+            "bob",
+            "commit",
+            "-t",
+            "aw",
+            "-m",
+            "x",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("permission"), "{err}");
+        let out = invoke(&[
+            "--connect",
+            &addr,
+            "--as",
+            "alice",
+            "commit",
+            "-t",
+            "aw",
+            "-m",
+            "hers",
+        ])
+        .unwrap();
+        assert!(out.contains("v2"), "{out}");
+
+        let script = dir.join("script.txt");
+        std::fs::write(
+            &script,
+            "checkout kv -v 2 -t w2\ncommit -t w2 -m 'remote batch'\nlog kv\n",
+        )
+        .unwrap();
+        let mut input = Cursor::new(Vec::new());
+        let (mut out, mut errs) = (Vec::new(), Vec::new());
+        run(
+            &args(&["--connect", &addr, "--batch", script.to_str().unwrap()]),
+            false,
+            &mut input,
+            &mut out,
+            &mut errs,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let checkout_at = out.find("checked out v2").expect(&out);
+        let commit_at = out.find("committed w2 as v3").expect(&out);
+        assert!(checkout_at < commit_at, "{out}");
+        assert!(out.contains("remote batch"), "{out}");
+
+        // `exit` on the server's stdin stops it; the snapshot then holds
+        // everything the remote clients did.
+        stdin_tx.send(b"exit\n".to_vec()).unwrap();
+        server.join().unwrap().unwrap();
+        let listing = invoke(&["--db", &db_s, "log", "kv"]).unwrap();
+        assert!(listing.contains("remote batch"), "{listing}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -141,10 +141,64 @@ impl Ticket {
         }
     }
 
+    /// Block for at most `timeout` for the outcome. `None` means the
+    /// timeout elapsed first; the ticket is untouched and a later
+    /// [`Ticket::wait`]/[`Ticket::wait_for`] can still collect the
+    /// result. This is what keeps a hung producer — a remote server that
+    /// stopped answering, a stalled worker — from blocking a client
+    /// forever: the client bounds its wait and converts `None` into its
+    /// own timeout error.
+    pub fn wait_for(&self, timeout: std::time::Duration) -> Option<Result<Response>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.0.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return Some(result);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.0.ready.wait_for(&mut state, deadline - now);
+        }
+    }
+
     /// Whether the response is already available ([`Ticket::wait`] would
     /// return without blocking).
     pub fn is_ready(&self) -> bool {
         self.0.state.lock().is_some()
+    }
+
+    /// An unfulfilled ticket plus its producing end, for code that
+    /// resolves tickets from outside this module — the network client
+    /// fulfills them from its response-reader thread. Fulfillment is
+    /// first-write-wins, exactly as for pool-issued tickets.
+    pub fn pending() -> (Ticket, TicketFulfiller) {
+        let cell = TicketCell::new();
+        (Ticket(Arc::clone(&cell)), TicketFulfiller(cell))
+    }
+
+    /// A ticket already holding `result` — for producers that resolve a
+    /// request synchronously but hand back the uniform ticket interface.
+    pub fn ready(result: Result<Response>) -> Ticket {
+        let cell = TicketCell::new();
+        cell.fulfill(result);
+        Ticket(cell)
+    }
+}
+
+/// The producing end of a [`Ticket::pending`] pair: fulfills the ticket
+/// exactly once (later writes are dropped — first write wins). Dropping a
+/// fulfiller without fulfilling leaves waiters blocked, so producers must
+/// resolve every outstanding fulfiller on their shutdown paths (the
+/// network client poisons all pending tickets when its connection dies).
+#[derive(Debug)]
+pub struct TicketFulfiller(Arc<TicketCell>);
+
+impl TicketFulfiller {
+    /// Resolve the paired ticket.
+    pub fn fulfill(self, result: Result<Response>) {
+        self.0.fulfill(result);
     }
 }
 
@@ -888,6 +942,38 @@ mod tests {
         // A failing login leaves the handle untouched.
         assert!(h.execute(Login::as_user("nobody").into()).is_err());
         assert_eq!(h.user(), "carol");
+    }
+
+    #[test]
+    fn wait_for_times_out_on_unfulfilled_tickets_and_resolves_fulfilled_ones() {
+        // An unfulfilled ticket: the timeout elapses, the ticket survives,
+        // and a later fulfillment is still collectable.
+        let (ticket, fulfiller) = Ticket::pending();
+        let before = std::time::Instant::now();
+        assert!(ticket
+            .wait_for(std::time::Duration::from_millis(20))
+            .is_none());
+        assert!(before.elapsed() >= std::time::Duration::from_millis(20));
+        fulfiller.fulfill(Err(CoreError::Invalid("late".into())));
+        assert!(ticket.is_ready());
+        let outcome = ticket
+            .wait_for(std::time::Duration::from_secs(5))
+            .expect("fulfilled");
+        assert!(matches!(outcome, Err(CoreError::Invalid(_))));
+
+        // A pre-resolved ticket returns immediately.
+        let ready = Ticket::ready(Ok(Response::CurrentUser { user: "u".into() }));
+        assert!(ready.is_ready());
+        assert!(ready.wait_for(std::time::Duration::ZERO).is_some());
+
+        // Tickets from a live pool resolve within a bounded wait.
+        let pool = AsyncExecutor::with_workers(shared_with_cvds(&["data"]), 1);
+        let h = pool.handle("alice").unwrap();
+        let t = h.submit(Checkout::of("data").version(1u64).into_table("w"));
+        let outcome = t
+            .wait_for(std::time::Duration::from_secs(30))
+            .expect("pool fulfills tickets");
+        assert!(outcome.is_ok());
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub enum CoreError {
     /// CVD in a way per-CVD locking cannot serve (non-SELECT statements
     /// spanning CVDs). Carries the CVD names involved.
     CrossCvd(Vec<String>),
+    /// A network transport failure: the connection to a remote OrpheusDB
+    /// server (or from a client) was lost, refused, or timed out. Raised
+    /// by the `orpheus-net` crate's client and server.
+    Network(String),
+    /// A wire-protocol violation: bad magic, unsupported protocol
+    /// version, an oversized or truncated frame, or a payload that does
+    /// not decode. Raised by the `orpheus-net` codec; a peer speaking the
+    /// protocol correctly never sees this.
+    Protocol(String),
     /// Executing a request panicked inside a batch/async worker. The panic
     /// was contained to the shard named here: the panicking request and
     /// everything still in flight in the same sub-batch fail with this
@@ -139,6 +148,8 @@ impl fmt::Display for CoreError {
                  statements may span CVDs under per-CVD locking",
                 cvds.join(", ")
             ),
+            CoreError::Network(m) => write!(f, "network error: {m}"),
+            CoreError::Protocol(m) => write!(f, "protocol error: {m}"),
             CoreError::WorkerPanicked { shard } => write!(
                 f,
                 "a worker panicked while executing the sub-batch of shard {shard}; \
@@ -190,6 +201,14 @@ mod tests {
         assert_eq!(
             CoreError::parse(CommandKind::Diff, "needs two versions").to_string(),
             "diff: needs two versions"
+        );
+        assert_eq!(
+            CoreError::Network("connection reset".into()).to_string(),
+            "network error: connection reset"
+        );
+        assert_eq!(
+            CoreError::Protocol("bad magic".into()).to_string(),
+            "protocol error: bad magic"
         );
     }
 

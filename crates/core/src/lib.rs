@@ -56,7 +56,7 @@ pub mod request;
 pub mod response;
 pub mod staging;
 
-pub use async_exec::{AsyncExecutor, AsyncHandle, Ticket};
+pub use async_exec::{AsyncExecutor, AsyncHandle, Ticket, TicketFulfiller};
 pub use batch::{BatchPlan, BatchRouter, ShardKey, Step};
 pub use concurrent::{ConcurrentExecutor, Session, SharedOrpheusDB};
 pub use cvd::Cvd;

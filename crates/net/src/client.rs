@@ -1,0 +1,396 @@
+//! Remote client: an [`Executor`] over a TCP connection.
+//!
+//! [`RemoteExecutor::connect`] performs the handshake (magic, protocol
+//! version, user — login is connection setup) and then exposes the exact
+//! [`Executor`] contract the rest of the workspace is written against:
+//! `execute` round-trips one request, `batch` pipelines a whole vector in
+//! one frame with per-request outcomes in submission order. The CLI, the
+//! REPL, and the bench harness's `drive` run against it unchanged.
+//!
+//! Internally a response-reader thread owns the receive half of the
+//! socket and fulfills [`Ticket`]s parked in a correlation-id map, so
+//! [`RemoteExecutor::submit`] is fire-and-forget just like
+//! [`orpheus_core::AsyncHandle::submit`] — callers overlap many requests
+//! on one connection. Every wait goes through [`Ticket::wait_for`] with
+//! the connection's timeout: a hung server yields a clean
+//! [`CoreError::Network`] timeout instead of blocking the client forever.
+//! A dead connection poisons all parked tickets, and later submissions
+//! fail fast.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use orpheus_core::{CoreError, Executor, Request, Response, Result, Ticket, TicketFulfiller};
+use parking_lot::Mutex;
+
+use crate::proto::{read_frame, write_frame, Frame, MAX_FRAME, PROTOCOL_VERSION};
+
+/// Default patience for one response before the wait reports a hung
+/// connection.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What a correlation id is waiting for.
+enum Waiter {
+    Single(TicketFulfiller),
+    Batch(Vec<TicketFulfiller>),
+}
+
+#[derive(Default)]
+struct PendingMap {
+    waiters: HashMap<u64, Waiter>,
+    /// Rendered message of a terminal server error (a `Resp` with id 0),
+    /// kept so the poison message names the real cause instead of a bare
+    /// "connection closed".
+    last_server_error: Option<String>,
+}
+
+/// A connection to a [`crate::NetServer`], usable anywhere an
+/// [`Executor`] is.
+#[derive(Debug)]
+pub struct RemoteExecutor {
+    stream: TcpStream,
+    user: String,
+    timeout: Duration,
+    next_id: u64,
+    pending: Arc<Mutex<PendingMap>>,
+    dead: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PendingMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingMap")
+            .field("waiting", &self.waiters.len())
+            .finish()
+    }
+}
+
+impl RemoteExecutor {
+    /// Connect to `addr` and bind the connection to `user` (registering
+    /// the account if needed, like `--as` locally).
+    pub fn connect(addr: impl ToSocketAddrs, user: &str) -> Result<RemoteExecutor> {
+        RemoteExecutor::connect_with(addr, user, DEFAULT_TIMEOUT)
+    }
+
+    /// [`RemoteExecutor::connect`] with an explicit response timeout.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        user: &str,
+        timeout: Duration,
+    ) -> Result<RemoteExecutor> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| CoreError::Network(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+
+        // Handshake happens synchronously on the caller's thread, under
+        // the same timeout discipline as every later wait.
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| CoreError::Network(format!("set_read_timeout failed: {e}")))?;
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                user: user.to_string(),
+            },
+        )?;
+        let user = match read_frame(&mut stream, MAX_FRAME)? {
+            Some(Frame::Welcome { version, user }) => {
+                if version != PROTOCOL_VERSION {
+                    return Err(CoreError::Protocol(format!(
+                        "server answered with protocol version {version}, expected {PROTOCOL_VERSION}"
+                    )));
+                }
+                user
+            }
+            Some(Frame::Resp { outcome, .. }) => {
+                return Err((*outcome).err().unwrap_or_else(|| {
+                    CoreError::Protocol("handshake rejected without an error".to_string())
+                }));
+            }
+            Some(_) => {
+                return Err(CoreError::Protocol(
+                    "expected a welcome frame from the server".to_string(),
+                ));
+            }
+            None => {
+                return Err(CoreError::Network(
+                    "server closed the connection during the handshake".to_string(),
+                ));
+            }
+        };
+        // From here the reader thread owns receiving; it blocks on the
+        // socket until the connection ends (drop shuts the socket down,
+        // which unblocks it). Ticket waits carry the timeout instead.
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| CoreError::Network(format!("set_read_timeout failed: {e}")))?;
+
+        let pending: Arc<Mutex<PendingMap>> = Arc::new(Mutex::new(PendingMap::default()));
+        let dead = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let stream = stream
+                .try_clone()
+                .map_err(|e| CoreError::Network(format!("socket clone failed: {e}")))?;
+            let pending = Arc::clone(&pending);
+            let dead = Arc::clone(&dead);
+            std::thread::spawn(move || reader_loop(stream, pending, dead))
+        };
+        Ok(RemoteExecutor {
+            stream,
+            user,
+            timeout,
+            next_id: 1,
+            pending,
+            dead,
+            reader: Some(reader),
+        })
+    }
+
+    /// The identity this connection acts as (rebound by a successful
+    /// `Login`).
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The per-response timeout in force.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Change the per-response timeout for later waits.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    fn dead_error(&self) -> CoreError {
+        let pending = self.pending.lock();
+        match &pending.last_server_error {
+            Some(message) => CoreError::Network(format!("connection lost: {message}")),
+            None => CoreError::Network("connection lost".to_string()),
+        }
+    }
+
+    /// Fire one request down the wire and return a [`Ticket`] the reader
+    /// thread will fulfill. Never blocks on the response.
+    pub fn submit(&mut self, request: impl Into<Request>) -> Ticket {
+        if self.dead.load(Ordering::SeqCst) {
+            return Ticket::ready(Err(self.dead_error()));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let (ticket, fulfiller) = Ticket::pending();
+        self.pending
+            .lock()
+            .waiters
+            .insert(id, Waiter::Single(fulfiller));
+        let frame = Frame::Req {
+            id,
+            request: request.into(),
+        };
+        if let Err(e) = write_frame(&mut self.stream, &frame) {
+            self.dead.store(true, Ordering::SeqCst);
+            if let Some(Waiter::Single(fulfiller)) = self.pending.lock().waiters.remove(&id) {
+                fulfiller.fulfill(Err(e));
+            }
+        }
+        ticket
+    }
+
+    /// Fire a whole request vector as **one** frame, returning one ticket
+    /// per request in submission order. The server plans the batch as a
+    /// unit ([`orpheus_core::Executor::batch`] semantics: submission
+    /// order, independent failures).
+    pub fn submit_batch(&mut self, requests: Vec<Request>) -> Vec<Ticket> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        if self.dead.load(Ordering::SeqCst) {
+            let n = requests.len();
+            return (0..n)
+                .map(|_| Ticket::ready(Err(self.dead_error())))
+                .collect();
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut tickets = Vec::with_capacity(requests.len());
+        let mut fulfillers = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            let (ticket, fulfiller) = Ticket::pending();
+            tickets.push(ticket);
+            fulfillers.push(fulfiller);
+        }
+        self.pending
+            .lock()
+            .waiters
+            .insert(id, Waiter::Batch(fulfillers));
+        if let Err(e) = write_frame(&mut self.stream, &Frame::Batch { id, requests }) {
+            self.dead.store(true, Ordering::SeqCst);
+            if let Some(Waiter::Batch(fulfillers)) = self.pending.lock().waiters.remove(&id) {
+                let message = e.to_string();
+                for fulfiller in fulfillers {
+                    fulfiller.fulfill(Err(CoreError::Network(message.clone())));
+                }
+            }
+        }
+        tickets
+    }
+
+    /// Wait on a ticket under this connection's timeout; a hung server
+    /// becomes a [`CoreError::Network`] timeout, never an infinite block.
+    fn wait(&self, ticket: &Ticket) -> Result<Response> {
+        match ticket.wait_for(self.timeout) {
+            Some(result) => result,
+            None => Err(CoreError::Network(format!(
+                "timed out after {:.1}s waiting for a response",
+                self.timeout.as_secs_f64()
+            ))),
+        }
+    }
+}
+
+impl Executor for RemoteExecutor {
+    fn execute(&mut self, request: Request) -> Result<Response> {
+        let rebind = match &request {
+            Request::Login(login) => Some(login.user.clone()),
+            _ => None,
+        };
+        let ticket = self.submit(request);
+        let result = self.wait(&ticket);
+        if let (Some(user), Ok(_)) = (rebind, &result) {
+            // The server rebinds its connection handle on the same
+            // outcome, so both sides agree on the identity.
+            self.user = user;
+        }
+        result
+    }
+
+    fn batch<I: IntoIterator<Item = Request>>(&mut self, requests: I) -> Vec<Result<Response>>
+    where
+        Self: Sized,
+    {
+        let requests: Vec<Request> = requests.into_iter().collect();
+        let rebinds: Vec<Option<String>> = requests
+            .iter()
+            .map(|r| match r {
+                Request::Login(login) => Some(login.user.clone()),
+                _ => None,
+            })
+            .collect();
+        let tickets = self.submit_batch(requests);
+        let results: Vec<Result<Response>> =
+            tickets.iter().map(|ticket| self.wait(ticket)).collect();
+        for (rebind, result) in rebinds.into_iter().zip(&results) {
+            if let (Some(user), Ok(_)) = (rebind, result) {
+                self.user = user;
+            }
+        }
+        results
+    }
+}
+
+impl Drop for RemoteExecutor {
+    fn drop(&mut self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+fn poison(message: &str, pending: &Mutex<PendingMap>) {
+    let mut pending = pending.lock();
+    let message = match &pending.last_server_error {
+        Some(cause) => format!("{message}: {cause}"),
+        None => message.to_string(),
+    };
+    for (_, waiter) in pending.waiters.drain() {
+        match waiter {
+            Waiter::Single(fulfiller) => {
+                fulfiller.fulfill(Err(CoreError::Network(message.clone())));
+            }
+            Waiter::Batch(fulfillers) => {
+                for fulfiller in fulfillers {
+                    fulfiller.fulfill(Err(CoreError::Network(message.clone())));
+                }
+            }
+        }
+    }
+}
+
+fn fulfill_mismatch(waiter: Waiter, what: &str) {
+    let error = || CoreError::Protocol(format!("server answered a {what} for the wrong shape"));
+    match waiter {
+        Waiter::Single(fulfiller) => fulfiller.fulfill(Err(error())),
+        Waiter::Batch(fulfillers) => {
+            for fulfiller in fulfillers {
+                fulfiller.fulfill(Err(error()));
+            }
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, pending: Arc<Mutex<PendingMap>>, dead: Arc<AtomicBool>) {
+    loop {
+        match read_frame(&mut stream, MAX_FRAME) {
+            Ok(Some(Frame::Resp { id: 0, outcome })) => {
+                // Terminal server-side report (handshake/protocol errors
+                // carry no correlation id); remember it for the poison
+                // message and let the close that follows end the loop.
+                if let Err(e) = *outcome {
+                    pending.lock().last_server_error = Some(e.to_string());
+                }
+            }
+            Ok(Some(Frame::Resp { id, outcome })) => {
+                match pending.lock().waiters.remove(&id) {
+                    Some(Waiter::Single(fulfiller)) => fulfiller.fulfill(*outcome),
+                    Some(waiter) => fulfill_mismatch(waiter, "single response"),
+                    None => {} // abandoned after a timeout; drop it
+                }
+            }
+            Ok(Some(Frame::BatchResp { id, outcomes })) => {
+                match pending.lock().waiters.remove(&id) {
+                    Some(Waiter::Batch(fulfillers)) => {
+                        if fulfillers.len() == outcomes.len() {
+                            for (fulfiller, outcome) in fulfillers.into_iter().zip(outcomes) {
+                                fulfiller.fulfill(outcome);
+                            }
+                        } else {
+                            for fulfiller in fulfillers {
+                                fulfiller.fulfill(Err(CoreError::Protocol(
+                                    "batch response arity mismatch".to_string(),
+                                )));
+                            }
+                        }
+                    }
+                    Some(waiter) => fulfill_mismatch(waiter, "batch response"),
+                    None => {}
+                }
+            }
+            Ok(Some(_)) => {
+                dead.store(true, Ordering::SeqCst);
+                poison("unexpected client-bound frame", &pending);
+                break;
+            }
+            Ok(None) => {
+                dead.store(true, Ordering::SeqCst);
+                poison("connection closed", &pending);
+                break;
+            }
+            Err(e) => {
+                dead.store(true, Ordering::SeqCst);
+                pending
+                    .lock()
+                    .last_server_error
+                    .get_or_insert_with(|| e.to_string());
+                poison("connection failed", &pending);
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # orpheus-net
+//!
+//! The network layer that turns OrpheusDB into an actual service: a
+//! hand-rolled wire protocol, a TCP server in front of the async
+//! executor, and a remote client that implements the same [`Executor`]
+//! trait every local executor does — so the CLI, the REPL, and whole
+//! request corpora run against a server unmodified.
+//!
+//! Three layers, one per module:
+//!
+//! * [`codec`] — binary encoding of the full command bus (every
+//!   [`Request`]/[`Response`] variant, [`CoreError`] included), written
+//!   by hand because the workspace builds offline: explicit tags, length-
+//!   prefixed strings, bounds-checked decoding that errors instead of
+//!   panicking on hostile bytes.
+//! * [`proto`] — the frame layer: `[u32 length][payload]`, a magic +
+//!   version handshake that carries the user ("login is connection
+//!   setup"), correlation ids, and a max-frame-size guard.
+//! * [`server`] / [`client`] — [`NetServer`] pairs one reader and one
+//!   writer thread per connection over a bounded in-flight window
+//!   (backpressure), pipelining frames into
+//!   [`orpheus_core::AsyncExecutor`] submissions while responses return
+//!   in submission order; [`RemoteExecutor`] is the connecting side,
+//!   with timeouts on every wait so a hung server never blocks a client
+//!   forever.
+//!
+//! ```no_run
+//! use orpheus_core::{Executor, Request, SharedOrpheusDB};
+//! use orpheus_net::{NetServer, RemoteExecutor};
+//!
+//! let server = NetServer::bind("127.0.0.1:0", SharedOrpheusDB::default())?;
+//! let mut client = RemoteExecutor::connect(server.local_addr(), "ada")?;
+//! let who = client.execute(Request::Whoami)?;
+//! assert_eq!(who.summary(), "ada");
+//! server.shutdown();
+//! # Ok::<(), orpheus_core::CoreError>(())
+//! ```
+//!
+//! [`Executor`]: orpheus_core::Executor
+//! [`Request`]: orpheus_core::Request
+//! [`Response`]: orpheus_core::Response
+//! [`CoreError`]: orpheus_core::CoreError
+
+pub mod client;
+pub mod codec;
+pub mod proto;
+pub mod server;
+
+pub use client::{RemoteExecutor, DEFAULT_TIMEOUT};
+pub use proto::{Frame, MAGIC, MAX_FRAME, PROTOCOL_VERSION};
+pub use server::{NetServer, ServerConfig};

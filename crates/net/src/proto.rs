@@ -1,0 +1,266 @@
+//! Frame layer of the wire protocol: length-prefixed, versioned, typed.
+//!
+//! Every message on the socket is one frame:
+//!
+//! ```text
+//! [u32 BE payload length][payload]
+//!           payload = [u8 frame tag][frame body]
+//! ```
+//!
+//! The length prefix is big-endian (network order, like the TCP/IP stack
+//! the frames ride on); everything inside the payload uses the
+//! little-endian [`crate::codec`]. A connection starts with a handshake:
+//! the client sends [`Frame::Hello`] carrying the [`MAGIC`] bytes, its
+//! [`PROTOCOL_VERSION`], and the user it wants to act as (login is part of
+//! connection setup, like `--as` on the CLI); the server answers
+//! [`Frame::Welcome`] or an error outcome and closes. After that the
+//! client pipelines [`Frame::Req`]/[`Frame::Batch`] frames, each tagged
+//! with a client-chosen correlation id, and the server streams back one
+//! [`Frame::Resp`]/[`Frame::BatchResp`] per submission **in submission
+//! order** (the async executor's ordering contract extends across the
+//! wire).
+//!
+//! Defense at the boundary: [`read_frame`] refuses payloads larger than
+//! the caller's `max_frame` before allocating, and every decode failure is
+//! a [`CoreError::Protocol`] — never a panic — so one hostile peer cannot
+//! take a connection thread down.
+
+use std::io::{ErrorKind, Read, Write};
+
+use orpheus_core::{CoreError, Request, Response, Result};
+
+use crate::codec::{
+    put_outcome, put_request, put_str, put_u16, put_u64, read_outcome, read_request, Reader,
+};
+
+/// First bytes of every [`Frame::Hello`]; rejects non-Orpheus peers (or
+/// plain-text probes) before any further parsing.
+pub const MAGIC: [u8; 4] = *b"ORPH";
+
+/// Version of the frame/codec layout. Bumped on any incompatible change;
+/// the handshake rejects mismatches with a clear error instead of
+/// misdecoding.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default cap on a single frame's payload, generous enough for the CSV
+/// blobs `commit -f` ships but far below anything that could exhaust
+/// memory: 32 MiB.
+pub const MAX_FRAME: usize = 32 * 1024 * 1024;
+
+/// One message of the wire protocol.
+#[derive(Debug)]
+pub enum Frame {
+    /// Client → server connection setup: magic, protocol version, user.
+    Hello { version: u16, user: String },
+    /// Server → client handshake acceptance, echoing the negotiated
+    /// version and the bound user.
+    Welcome { version: u16, user: String },
+    /// Client → server: one request under a correlation id.
+    Req { id: u64, request: Request },
+    /// Client → server: a request batch under one correlation id, executed
+    /// with [`orpheus_core::Executor::batch`] semantics (submission order,
+    /// independent failures).
+    Batch { id: u64, requests: Vec<Request> },
+    /// Server → client: the outcome of the [`Frame::Req`] with the same id.
+    /// Also used with id 0 to report handshake/protocol errors.
+    Resp {
+        id: u64,
+        outcome: Box<Result<Response>>,
+    },
+    /// Server → client: per-request outcomes of the [`Frame::Batch`] with
+    /// the same id, in the batch's own order.
+    BatchResp {
+        id: u64,
+        outcomes: Vec<Result<Response>>,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_REQ: u8 = 3;
+const TAG_BATCH: u8 = 4;
+const TAG_RESP: u8 = 5;
+const TAG_BATCH_RESP: u8 = 6;
+
+impl Frame {
+    /// Encode this frame's payload (tag + body, without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { version, user } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&MAGIC);
+                put_u16(&mut out, *version);
+                put_str(&mut out, user);
+            }
+            Frame::Welcome { version, user } => {
+                out.push(TAG_WELCOME);
+                put_u16(&mut out, *version);
+                put_str(&mut out, user);
+            }
+            Frame::Req { id, request } => {
+                out.push(TAG_REQ);
+                put_u64(&mut out, *id);
+                put_request(&mut out, request);
+            }
+            Frame::Batch { id, requests } => {
+                out.push(TAG_BATCH);
+                put_u64(&mut out, *id);
+                crate::codec::put_u32(&mut out, requests.len() as u32);
+                for request in requests {
+                    put_request(&mut out, request);
+                }
+            }
+            Frame::Resp { id, outcome } => {
+                out.push(TAG_RESP);
+                put_u64(&mut out, *id);
+                put_outcome(&mut out, outcome);
+            }
+            Frame::BatchResp { id, outcomes } => {
+                out.push(TAG_BATCH_RESP);
+                put_u64(&mut out, *id);
+                crate::codec::put_u32(&mut out, outcomes.len() as u32);
+                for outcome in outcomes {
+                    put_outcome(&mut out, outcome);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a frame from a received payload. The whole payload must be
+    /// consumed; trailing bytes are a protocol error.
+    pub fn decode(payload: &[u8]) -> Result<Frame> {
+        let mut r = Reader::new(payload);
+        let frame = match r.u8()? {
+            TAG_HELLO => {
+                let mut magic = [0u8; 4];
+                for b in &mut magic {
+                    *b = r.u8()?;
+                }
+                if magic != MAGIC {
+                    return Err(CoreError::Protocol(format!(
+                        "bad magic {magic:?}; not an OrpheusDB client"
+                    )));
+                }
+                Frame::Hello {
+                    version: r.u16()?,
+                    user: r.str()?,
+                }
+            }
+            TAG_WELCOME => Frame::Welcome {
+                version: r.u16()?,
+                user: r.str()?,
+            },
+            TAG_REQ => Frame::Req {
+                id: r.u64()?,
+                request: read_request(&mut r)?,
+            },
+            TAG_BATCH => {
+                let id = r.u64()?;
+                let n = r.count("batch request")?;
+                let mut requests = Vec::with_capacity(n);
+                for _ in 0..n {
+                    requests.push(read_request(&mut r)?);
+                }
+                Frame::Batch { id, requests }
+            }
+            TAG_RESP => Frame::Resp {
+                id: r.u64()?,
+                outcome: Box::new(read_outcome(&mut r)?),
+            },
+            TAG_BATCH_RESP => {
+                let id = r.u64()?;
+                let n = r.count("batch outcome")?;
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    outcomes.push(read_outcome(&mut r)?);
+                }
+                Frame::BatchResp { id, outcomes }
+            }
+            t => {
+                return Err(CoreError::Protocol(format!("unknown frame tag {t}")));
+            }
+        };
+        r.finish("frame")?;
+        Ok(frame)
+    }
+}
+
+/// Write one frame: `u32` big-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    let payload = frame.encode();
+    let len = u32::try_from(payload.len())
+        .map_err(|_| CoreError::Protocol("frame payload exceeds u32 length".to_string()))?;
+    let io = |e: std::io::Error| CoreError::Network(format!("write failed: {e}"));
+    w.write_all(&len.to_be_bytes()).map_err(io)?;
+    w.write_all(&payload).map_err(io)?;
+    w.flush().map_err(io)?;
+    Ok(())
+}
+
+/// Read one frame, refusing payloads above `max_frame` before allocating.
+///
+/// Returns `Ok(None)` on a clean EOF **at a frame boundary** (the peer
+/// closed the connection between frames). EOF inside the length prefix or
+/// payload means a truncated frame and is a [`CoreError::Protocol`]; other
+/// I/O failures map to [`CoreError::Network`]. A read timeout set on the
+/// underlying socket surfaces as `Network` containing "timed out", which
+/// the server's connection loop treats as "no frame yet, poll again".
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(CoreError::Protocol(
+                    "connection closed mid length prefix".to_string(),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if filled == 0 && would_block(&e) => {
+                return Err(CoreError::Network("read timed out".to_string()));
+            }
+            Err(e) => return Err(CoreError::Network(format!("read failed: {e}"))),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(CoreError::Protocol(format!(
+            "frame of {len} bytes exceeds the {max_frame} byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(CoreError::Protocol(
+                    "connection closed mid frame".to_string(),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Once the length prefix arrived, keep waiting for the rest of
+            // the frame across socket read timeouts: a slow writer is not
+            // a protocol violation.
+            Err(e) if would_block(&e) => {}
+            Err(e) => return Err(CoreError::Network(format!("read failed: {e}"))),
+        }
+    }
+    Frame::decode(&payload).map(Some)
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Whether an error from [`read_frame`] is a socket read timeout (no frame
+/// arrived within the poll interval) rather than a real failure.
+pub fn is_timeout(error: &CoreError) -> bool {
+    matches!(error, CoreError::Network(m) if m.contains("timed out"))
+}

@@ -1,0 +1,427 @@
+//! TCP server in front of the async executor.
+//!
+//! [`NetServer::bind`] owns an [`AsyncExecutor`] over the shared instance
+//! and an accept loop; every connection gets one reader thread and one
+//! writer thread:
+//!
+//! * The **reader** performs the handshake ([`Frame::Hello`] →
+//!   [`Frame::Welcome`], binding the connection to a user via
+//!   [`AsyncExecutor::handle`]), then turns each incoming frame into a
+//!   non-blocking submission — [`AsyncHandle::submit`] /
+//!   [`AsyncHandle::submit_batch`] — and hands the resulting tickets to
+//!   the writer. Requests therefore pipeline: the reader is already
+//!   parsing frame *n+1* while the pool executes frame *n*. `Login` is
+//!   the one exception: its outcome rebinds the connection identity, so
+//!   the reader executes it synchronously (a pipeline barrier, matching
+//!   [`AsyncHandle::batch`] semantics) before reading further frames.
+//! * The **writer** resolves tickets strictly in submission order and
+//!   streams the response frames back, so the wire order equals the
+//!   submission order even though execution overlaps.
+//!
+//! The channel between them is *bounded* ([`ServerConfig::window`]): when
+//! a client has that many submissions in flight, the reader stops reading
+//! its socket, which shows up at the client as TCP backpressure — a fast
+//! writer cannot queue unbounded work in server memory.
+//!
+//! Disconnects and shutdown drain rather than drop: accepted submissions
+//! always execute (the writer waits every ticket even when the socket is
+//! gone, and [`AsyncExecutor`]'s own drop drains its queue), while frames
+//! arriving after [`NetServer::begin_shutdown`] are refused with a clean
+//! [`CoreError::Network`] error during a short grace window instead of a
+//! slammed connection.
+
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use orpheus_core::{
+    AsyncExecutor, AsyncHandle, CoreError, Executor, Request, Response, Result, SharedOrpheusDB,
+    Ticket,
+};
+use parking_lot::Mutex;
+
+use crate::proto::{is_timeout, read_frame, write_frame, Frame, MAX_FRAME, PROTOCOL_VERSION};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(100);
+/// How often the accept loop polls between connection attempts.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// How long a connection keeps answering late frames with a clean
+/// "shutting down" error before closing.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+/// How long a fresh connection may take to say hello.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Tuning knobs for [`NetServer::bind_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Largest frame payload accepted from a client, in bytes.
+    pub max_frame: usize,
+    /// Per-connection in-flight submission window; beyond it the reader
+    /// stops reading the socket (backpressure).
+    pub window: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_frame: MAX_FRAME,
+            window: 64,
+        }
+    }
+}
+
+/// A listening OrpheusDB service. Dropping it (or calling
+/// [`NetServer::shutdown`]) stops accepting, drains every accepted
+/// submission, and joins all threads.
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool: Option<Arc<AsyncExecutor>>,
+}
+
+impl NetServer {
+    /// Bind with default [`ServerConfig`].
+    pub fn bind(addr: impl ToSocketAddrs, shared: SharedOrpheusDB) -> Result<NetServer> {
+        NetServer::bind_with(addr, shared, ServerConfig::default())
+    }
+
+    /// Bind a listener on `addr` (use port 0 for an ephemeral port, then
+    /// read the resolved one from [`NetServer::local_addr`]) and start
+    /// serving `shared` through a fresh [`AsyncExecutor`].
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        shared: SharedOrpheusDB,
+        config: ServerConfig,
+    ) -> Result<NetServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| CoreError::Network(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CoreError::Network(format!("local_addr failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| CoreError::Network(format!("set_nonblocking failed: {e}")))?;
+        let pool = Arc::new(AsyncExecutor::new(shared));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let pool = Arc::clone(&pool);
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || accept_loop(listener, pool, shutdown, connections, config))
+        };
+        Ok(NetServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            connections,
+            pool: Some(pool),
+        })
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared instance being served (snapshots, direct reads).
+    pub fn shared(&self) -> SharedOrpheusDB {
+        self.pool
+            .as_ref()
+            .expect("pool present until shutdown")
+            .shared()
+            .clone()
+    }
+
+    /// Flip the shutdown flag without joining anything: connections keep
+    /// draining accepted work but refuse frames arriving from now on.
+    /// Tests use this to observe the refusal window; normal teardown goes
+    /// through [`NetServer::shutdown`] or drop.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful stop: refuse new work, drain accepted submissions, join
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let connections = std::mem::take(&mut *self.connections.lock());
+        for connection in connections {
+            let _ = connection.join();
+        }
+        // Dropping the executor drains everything it accepted.
+        self.pool.take();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    pool: Arc<AsyncExecutor>,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: ServerConfig,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let pool = Arc::clone(&pool);
+                let shutdown = Arc::clone(&shutdown);
+                let handle = std::thread::spawn(move || {
+                    serve_connection(stream, pool, shutdown, config);
+                });
+                connections.lock().push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Transient accept failures (e.g. a connection reset in the
+            // backlog) must not kill the listener.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// What the reader hands the writer: either a resolved outcome (barriers,
+/// refusals) or a ticket the writer will wait on in order.
+enum Slot {
+    Done(Result<Response>),
+    Pending(Ticket),
+}
+
+enum Outgoing {
+    Resp { id: u64, slot: Slot },
+    BatchResp { id: u64, slots: Vec<Slot> },
+}
+
+fn refusal() -> CoreError {
+    CoreError::Network("server shutting down; request refused".to_string())
+}
+
+/// Send a terminal error on a connection that never completed its
+/// handshake, then close it.
+fn refuse_connection(mut stream: TcpStream, error: CoreError) {
+    let _ = write_frame(
+        &mut stream,
+        &Frame::Resp {
+            id: 0,
+            outcome: Box::new(Err(error)),
+        },
+    );
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Handshake: wait for a [`Frame::Hello`], validate it, bind the user.
+fn handshake(
+    stream: &mut TcpStream,
+    pool: &AsyncExecutor,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) -> Option<AsyncHandle> {
+    let deadline = Instant::now() + HANDSHAKE_DEADLINE;
+    loop {
+        match read_frame(stream, config.max_frame) {
+            Ok(Some(Frame::Hello { version, user })) => {
+                if version != PROTOCOL_VERSION {
+                    refuse_connection(
+                        stream.try_clone().ok()?,
+                        CoreError::Protocol(format!(
+                            "protocol version {version} not supported; server speaks {PROTOCOL_VERSION}"
+                        )),
+                    );
+                    return None;
+                }
+                match pool.handle(&user) {
+                    Ok(handle) => {
+                        let welcome = Frame::Welcome {
+                            version: PROTOCOL_VERSION,
+                            user: handle.user().to_string(),
+                        };
+                        if write_frame(stream, &welcome).is_err() {
+                            return None;
+                        }
+                        return Some(handle);
+                    }
+                    Err(e) => {
+                        refuse_connection(stream.try_clone().ok()?, e);
+                        return None;
+                    }
+                }
+            }
+            Ok(Some(_)) => {
+                refuse_connection(
+                    stream.try_clone().ok()?,
+                    CoreError::Protocol("expected a hello frame to open the connection".into()),
+                );
+                return None;
+            }
+            Ok(None) => return None,
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                    refuse_connection(stream.try_clone().ok()?, refusal());
+                    return None;
+                }
+            }
+            Err(e) => {
+                if let Ok(clone) = stream.try_clone() {
+                    refuse_connection(clone, e);
+                }
+                return None;
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    pool: Arc<AsyncExecutor>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Some(mut handle) = handshake(&mut stream, &pool, &shutdown, &config) else {
+        return;
+    };
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::sync_channel::<Outgoing>(config.window);
+    let writer = std::thread::spawn(move || writer_loop(write_stream, rx));
+
+    // The reader: socket frames in, pool submissions out. `refusing`
+    // carries the grace deadline once shutdown begins.
+    let mut refusing: Option<Instant> = None;
+    loop {
+        if refusing.is_none() && shutdown.load(Ordering::SeqCst) {
+            refusing = Some(Instant::now() + SHUTDOWN_GRACE);
+        }
+        if let Some(deadline) = refusing {
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        match read_frame(&mut stream, config.max_frame) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                let out = if refusing.is_some() {
+                    match frame {
+                        Frame::Req { id, .. } => Outgoing::Resp {
+                            id,
+                            slot: Slot::Done(Err(refusal())),
+                        },
+                        Frame::Batch { id, requests } => Outgoing::BatchResp {
+                            id,
+                            slots: requests
+                                .iter()
+                                .map(|_| Slot::Done(Err(refusal())))
+                                .collect(),
+                        },
+                        _ => break,
+                    }
+                } else {
+                    match frame {
+                        Frame::Req { id, request } => {
+                            let slot = if matches!(request, Request::Login(_)) {
+                                // Identity barrier: resolve before reading on.
+                                Slot::Done(handle.execute(request))
+                            } else {
+                                Slot::Pending(handle.submit(request))
+                            };
+                            Outgoing::Resp { id, slot }
+                        }
+                        Frame::Batch { id, requests } => {
+                            let slots = if requests.iter().any(|r| matches!(r, Request::Login(_))) {
+                                // Login inside a batch: fall back to the
+                                // handle's own barrier-aware batch.
+                                handle.batch(requests).into_iter().map(Slot::Done).collect()
+                            } else {
+                                handle
+                                    .submit_batch(requests)
+                                    .into_iter()
+                                    .map(Slot::Pending)
+                                    .collect()
+                            };
+                            Outgoing::BatchResp { id, slots }
+                        }
+                        _ => {
+                            let _ = tx.send(Outgoing::Resp {
+                                id: 0,
+                                slot: Slot::Done(Err(CoreError::Protocol(
+                                    "unexpected server-bound frame".into(),
+                                ))),
+                            });
+                            break;
+                        }
+                    }
+                };
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            Err(e) if is_timeout(&e) => {}
+            Err(e) => {
+                // Malformed frame or broken socket: report (best-effort,
+                // after everything already queued) and close.
+                let _ = tx.send(Outgoing::Resp {
+                    id: 0,
+                    slot: Slot::Done(Err(e)),
+                });
+                break;
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Resolve outcomes in submission order and stream them back. When the
+/// socket dies mid-stream the loop keeps *waiting* the remaining tickets —
+/// accepted work must finish against the shared instance — and only stops
+/// writing.
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outgoing>) {
+    let mut broken = false;
+    while let Ok(out) = rx.recv() {
+        let frame = match out {
+            Outgoing::Resp { id, slot } => Frame::Resp {
+                id,
+                outcome: Box::new(resolve(slot)),
+            },
+            Outgoing::BatchResp { id, slots } => Frame::BatchResp {
+                id,
+                outcomes: slots.into_iter().map(resolve).collect(),
+            },
+        };
+        if !broken && write_frame(&mut stream, &frame).is_err() {
+            broken = true;
+        }
+    }
+}
+
+fn resolve(slot: Slot) -> Result<Response> {
+    match slot {
+        Slot::Done(result) => result,
+        Slot::Pending(ticket) => ticket.wait(),
+    }
+}

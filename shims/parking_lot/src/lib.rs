@@ -92,12 +92,44 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Wait with a timeout (parking_lot's `wait_for`). Returns whether the
+    /// wait timed out; as with [`Condvar::wait`], spurious wakeups are
+    /// possible, so re-check the predicate and the remaining time.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (as opposed to
+    /// a notification or a spurious wakeup).
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -157,5 +189,37 @@ mod tests {
             }
         });
         assert_eq!(*pair.0.lock(), 4);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_keeps_the_guard_usable() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let (m, cv) = &pair;
+        let mut done = m.lock();
+        let result = cv.wait_for(&mut done, std::time::Duration::from_millis(10));
+        assert!(result.timed_out());
+        // The guard survived the timed-out wait.
+        *done = true;
+        drop(done);
+        assert!(*m.lock());
+    }
+
+    #[test]
+    fn wait_for_returns_early_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        std::thread::scope(|scope| {
+            let notifier = Arc::clone(&pair);
+            scope.spawn(move || {
+                let (m, cv) = &*notifier;
+                *m.lock() = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut done = m.lock();
+            while !*done {
+                let result = cv.wait_for(&mut done, std::time::Duration::from_secs(5));
+                assert!(!result.timed_out() || *done);
+            }
+        });
     }
 }

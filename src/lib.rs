@@ -15,7 +15,12 @@
 //! * [`partition`] (`orpheus-partition`) — LyreSplit, the AGGLO/KMEANS
 //!   baselines, online maintenance and migration planning;
 //! * [`mod@bench`] (`orpheus-bench`) — the SCI/CUR versioning benchmark and
-//!   the harness regenerating every table and figure of the paper.
+//!   the harness regenerating every table and figure of the paper;
+//! * [`net`] (`orpheus-net`) — the service layer: a length-prefixed wire
+//!   protocol over TCP, a [`NetServer`](prelude::NetServer) in front of the
+//!   async executor, and a [`RemoteExecutor`](prelude::RemoteExecutor)
+//!   client implementing the same `Executor` trait, so everything below
+//!   runs against a server unchanged.
 //!
 //! ## Quickstart: the command bus
 //!
@@ -85,6 +90,7 @@
 pub use orpheus_bench as bench;
 pub use orpheus_core as core;
 pub use orpheus_engine as engine;
+pub use orpheus_net as net;
 pub use orpheus_partition as partition;
 
 /// The most common imports: the database types, the command bus
@@ -98,4 +104,5 @@ pub mod prelude {
         Response, Rid, Run, Session, SharedOrpheusDB, Target, Ticket, VersionDiff, Vid,
     };
     pub use orpheus_engine::{Column, DataType, Database, Schema, Value};
+    pub use orpheus_net::{NetServer, RemoteExecutor};
 }

@@ -1,0 +1,401 @@
+//! Wire-protocol acceptance: every [`Request`] and [`Response`] variant —
+//! and every [`CoreError`] — survives a frame encode/decode round trip
+//! bit-exactly, and malformed input (truncated prefixes, truncated
+//! payloads, oversized frames, bad magic, unknown tags, hostile counts,
+//! non-UTF-8 strings, trailing bytes) produces a [`CoreError::Protocol`]
+//! error — never a panic, never a wrong decode.
+
+use std::io::Cursor;
+
+use orpheusdb::net::proto::{read_frame, write_frame};
+use orpheusdb::net::{Frame, MAX_FRAME, PROTOCOL_VERSION};
+use orpheusdb::prelude::*;
+
+const CSV: &str = "id,score\n1,10\n2,20\n3,30\n";
+const SCHEMA: &str = "id:int!pk\nscore:int\n";
+
+/// Every request variant, with edge-case payloads mixed in: empty vectors,
+/// unicode, negative and extreme ints, NaN doubles, multi-version
+/// checkouts, optional fields both present and absent.
+fn request_corpus() -> Vec<Request> {
+    let schema = Schema::new(vec![
+        Column::new("name", DataType::Text),
+        Column::new("rank", DataType::Int),
+        Column::new("weight", DataType::Double),
+        Column::new("alive", DataType::Bool),
+        Column::new("path", DataType::IntArray),
+    ])
+    .with_primary_key(&["name"])
+    .unwrap();
+    vec![
+        InitFromCsv::cvd("scores")
+            .csv(CSV)
+            .schema_text(SCHEMA)
+            .into(),
+        Init::cvd("ranks")
+            .schema(schema)
+            .row(vec![
+                "naïve — name".into(),
+                Value::Int(i64::MIN),
+                Value::Double(f64::NAN),
+                Value::Bool(true),
+                Value::IntArray(vec![i64::MAX, -1, 0]),
+            ])
+            .row(vec![
+                "".into(),
+                Value::Null,
+                Value::Double(-0.0),
+                Value::Bool(false),
+                Value::IntArray(Vec::new()),
+            ])
+            .model(ModelKind::CombinedTable)
+            .into(),
+        Checkout::of("scores")
+            .versions([1u64, 2, 3])
+            .into_table("work")
+            .into(),
+        Checkout::of("scores")
+            .version(2u64)
+            .into_csv("out dir/scores.csv")
+            .into(),
+        Commit::table("work").message("πρώτη δέσμευση").into(),
+        CommitCsv::path("scores.csv")
+            .csv("rid,id,score\n1,1,10\n")
+            .message("")
+            .schema_text(SCHEMA)
+            .into(),
+        CommitCsv::path("bare.csv")
+            .csv("a\n1\n")
+            .message("m")
+            .into(),
+        Diff::of("scores").between(1u64, u64::MAX).into(),
+        Run::sql("SELECT count(*) FROM VERSION 3 OF CVD scores").into(),
+        Request::Ls,
+        Log::of("scores").into(),
+        DropCvd::named("ranks").into(),
+        Optimize::cvd("scores").into(),
+        Optimize::cvd("scores")
+            .gamma(2.0)
+            .mu(1.5)
+            .weight(3u64, 50)
+            .weight(1u64, u64::MAX)
+            .into(),
+        CreateUser::named("courier").into(),
+        Login::as_user("courier").into(),
+        Request::Whoami,
+        Discard::table("scratch").into(),
+    ]
+}
+
+/// Every response variant with representative payloads.
+fn response_corpus() -> Vec<Response> {
+    let schema = Schema::new(vec![
+        Column::new("vid", DataType::Int),
+        Column::new("label", DataType::Text),
+    ]);
+    vec![
+        Response::Initialized {
+            cvd: "scores".into(),
+            version: Vid(1),
+        },
+        Response::CheckedOut {
+            cvd: "scores".into(),
+            versions: vec![Vid(1), Vid(3)],
+            table: "work".into(),
+        },
+        Response::CheckedOutCsv {
+            cvd: "scores".into(),
+            versions: vec![Vid(2)],
+            path: "scores.csv".into(),
+            csv: "rid,id,score\n1,1,10\n".into(),
+        },
+        Response::Committed {
+            target: "work".into(),
+            version: Vid(42),
+        },
+        Response::Diffed {
+            cvd: "scores".into(),
+            from: Vid(1),
+            to: Vid(2),
+            diff: VersionDiff {
+                only_in_first: vec![vec![Value::Int(1), Value::Text("a".into())]],
+                only_in_second: Vec::new(),
+            },
+        },
+        Response::Rows(orpheusdb::engine::QueryResult {
+            schema,
+            rows: vec![
+                vec![Value::Int(1), Value::Text("α".into())],
+                vec![Value::Null, Value::Text(String::new())],
+            ],
+            affected: 2,
+        }),
+        Response::CvdList(vec!["ranks".into(), "scores".into()]),
+        Response::CvdList(Vec::new()),
+        Response::Log {
+            cvd: "scores".into(),
+            entries: vec![
+                LogEntry {
+                    vid: Vid(1),
+                    parents: Vec::new(),
+                    commit_t: 0,
+                    num_records: 3,
+                    message: "init".into(),
+                },
+                LogEntry {
+                    vid: Vid(3),
+                    parents: vec![Vid(1), Vid(2)],
+                    commit_t: 7,
+                    num_records: 4,
+                    message: "merge".into(),
+                },
+            ],
+        },
+        Response::Dropped {
+            cvd: "scores".into(),
+        },
+        Response::Optimized {
+            cvd: "scores".into(),
+            report: orpheusdb::core::partition_store::OptimizeReport {
+                num_partitions: 3,
+                storage_records: 1234,
+                cavg: 1.25,
+                delta: 0.5,
+            },
+        },
+        Response::UserCreated {
+            user: "courier".into(),
+        },
+        Response::LoggedIn {
+            user: "courier".into(),
+        },
+        Response::CurrentUser {
+            user: "courier".into(),
+        },
+        Response::Discarded {
+            table: "scratch".into(),
+        },
+    ]
+}
+
+/// Every error variant (including every wrapped engine error).
+fn error_corpus() -> Vec<CoreError> {
+    use orpheusdb::engine::EngineError as E;
+    let engine = [
+        E::TableNotFound("t".into()),
+        E::TableExists("t".into()),
+        E::ColumnNotFound("c".into()),
+        E::AmbiguousColumn("c".into()),
+        E::TypeMismatch("m".into()),
+        E::UniqueViolation("u".into()),
+        E::Parse("p".into()),
+        E::Plan("p".into()),
+        E::Arity("a".into()),
+        E::Eval("e".into()),
+        E::IndexNotFound("i".into()),
+        E::Storage("s".into()),
+        E::Invalid("i".into()),
+    ];
+    let mut errors: Vec<CoreError> = engine.into_iter().map(CoreError::Engine).collect();
+    errors.extend([
+        CoreError::CvdNotFound("nope".into()),
+        CoreError::CvdExists("scores".into()),
+        CoreError::VersionNotFound {
+            cvd: "scores".into(),
+            version: Vid(99),
+        },
+        CoreError::NotStaged("work".into()),
+        CoreError::PrimaryKeyViolation("id".into()),
+        CoreError::SchemaMismatch("columns differ".into()),
+        CoreError::PermissionDenied("not yours".into()),
+        CoreError::Parse {
+            command: Some(CommandKind::Checkout),
+            message: "bad flag".into(),
+        },
+        CoreError::Parse {
+            command: None,
+            message: "unparsable".into(),
+        },
+        CoreError::UnknownCommand("bogus".into()),
+        CoreError::BadRequest {
+            command: CommandKind::Commit,
+            reason: "no target".into(),
+        },
+        CoreError::Io("io".into()),
+        CoreError::Csv("csv".into()),
+        CoreError::Storage("storage".into()),
+        CoreError::CrossCvd(vec!["a".into(), "b".into()]),
+        CoreError::WorkerPanicked {
+            shard: "left".into(),
+        },
+        CoreError::Invalid("invalid".into()),
+        CoreError::Network("hung up".into()),
+        CoreError::Protocol("bad frame".into()),
+    ]);
+    errors
+}
+
+/// Frames have no `PartialEq` (responses carry errors and floats), so
+/// round trips compare the exhaustive `Debug` rendering — which covers
+/// every field, including NaN payloads.
+fn assert_roundtrip(frame: &Frame) {
+    let payload = frame.encode();
+    let decoded =
+        Frame::decode(&payload).unwrap_or_else(|e| panic!("decode failed for {frame:?}: {e}"));
+    assert_eq!(format!("{frame:?}"), format!("{decoded:?}"));
+}
+
+#[test]
+fn every_request_variant_roundtrips_in_single_and_batch_frames() {
+    let corpus = request_corpus();
+    let kinds: std::collections::HashSet<CommandKind> = corpus.iter().map(|r| r.kind()).collect();
+    for kind in CommandKind::ALL {
+        assert!(kinds.contains(&kind), "request corpus missed {kind}");
+    }
+    for (i, request) in corpus.iter().enumerate() {
+        assert_roundtrip(&Frame::Req {
+            id: i as u64 + 1,
+            request: request.clone(),
+        });
+    }
+    assert_roundtrip(&Frame::Batch {
+        id: u64::MAX,
+        requests: corpus,
+    });
+    assert_roundtrip(&Frame::Batch {
+        id: 7,
+        requests: Vec::new(),
+    });
+}
+
+#[test]
+fn every_response_and_error_variant_roundtrips() {
+    for (i, response) in response_corpus().into_iter().enumerate() {
+        assert_roundtrip(&Frame::Resp {
+            id: i as u64,
+            outcome: Box::new(Ok(response)),
+        });
+    }
+    for (i, error) in error_corpus().into_iter().enumerate() {
+        assert_roundtrip(&Frame::Resp {
+            id: i as u64,
+            outcome: Box::new(Err(error)),
+        });
+    }
+    let outcomes: Vec<Result<Response, CoreError>> = response_corpus()
+        .into_iter()
+        .map(Ok)
+        .chain(error_corpus().into_iter().map(Err))
+        .collect();
+    assert_roundtrip(&Frame::BatchResp { id: 3, outcomes });
+}
+
+#[test]
+fn handshake_frames_roundtrip() {
+    assert_roundtrip(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+        user: "ada".into(),
+    });
+    assert_roundtrip(&Frame::Welcome {
+        version: PROTOCOL_VERSION,
+        user: "".into(),
+    });
+}
+
+#[test]
+fn frames_stream_through_a_byte_channel_and_eof_is_clean() {
+    let mut wire = Vec::new();
+    let frames = vec![
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            user: "ada".into(),
+        },
+        Frame::Req {
+            id: 1,
+            request: Request::Ls,
+        },
+        Frame::Resp {
+            id: 1,
+            outcome: Box::new(Ok(Response::CvdList(vec!["scores".into()]))),
+        },
+    ];
+    for frame in &frames {
+        write_frame(&mut wire, frame).unwrap();
+    }
+    let mut cursor = Cursor::new(wire);
+    for frame in &frames {
+        let decoded = read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap();
+        assert_eq!(format!("{frame:?}"), format!("{decoded:?}"));
+    }
+    // EOF exactly at a frame boundary is a clean end of stream.
+    assert!(read_frame(&mut cursor, MAX_FRAME).unwrap().is_none());
+}
+
+fn expect_protocol_error(bytes: &[u8], what: &str) {
+    match read_frame(&mut Cursor::new(bytes.to_vec()), MAX_FRAME) {
+        Err(CoreError::Protocol(_)) => {}
+        other => panic!("{what}: expected a protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_and_oversized_frames_error_without_panicking() {
+    // EOF inside the length prefix.
+    expect_protocol_error(&[0, 0, 9], "truncated length prefix");
+    // Length prefix promises more payload than the stream holds.
+    expect_protocol_error(&[0, 0, 0, 10, 1, 2, 3], "truncated payload");
+    // A frame larger than the cap is refused before any allocation.
+    let oversized = ((MAX_FRAME + 1) as u32).to_be_bytes();
+    expect_protocol_error(&oversized, "oversized frame");
+    // A tiny cap rejects an otherwise valid frame.
+    let mut wire = Vec::new();
+    write_frame(
+        &mut wire,
+        &Frame::Req {
+            id: 1,
+            request: Run::sql("SELECT 1").into(),
+        },
+    )
+    .unwrap();
+    match read_frame(&mut Cursor::new(wire), 4) {
+        Err(CoreError::Protocol(m)) => assert!(m.contains("exceeds"), "{m}"),
+        other => panic!("small cap: {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_payloads_error_without_panicking() {
+    let decode_err = |payload: &[u8], what: &str| match Frame::decode(payload) {
+        Err(CoreError::Protocol(_)) => {}
+        other => panic!("{what}: expected a protocol error, got {other:?}"),
+    };
+    decode_err(&[], "empty payload");
+    decode_err(&[99], "unknown frame tag");
+    // Hello with the wrong magic is rejected by name.
+    match Frame::decode(&[1, b'E', b'V', b'I', b'L', 1, 0, 0, 0, 0, 0]) {
+        Err(CoreError::Protocol(m)) => assert!(m.contains("magic"), "{m}"),
+        other => panic!("bad magic: {other:?}"),
+    }
+    // Req with an unknown request tag.
+    decode_err(&[3, 0, 0, 0, 0, 0, 0, 0, 1, 200], "unknown request tag");
+    // Batch whose count promises far more requests than the bytes hold.
+    let mut batch = vec![4]; // Batch tag
+    batch.extend_from_slice(&1u64.to_le_bytes());
+    batch.extend_from_slice(&u32::MAX.to_le_bytes());
+    decode_err(&batch, "hostile batch count");
+    // Login whose string is not UTF-8.
+    let mut login = vec![3]; // Req tag
+    login.extend_from_slice(&1u64.to_le_bytes());
+    login.push(13); // Login request tag
+    login.extend_from_slice(&2u32.to_le_bytes());
+    login.extend_from_slice(&[0xff, 0xfe]);
+    decode_err(&login, "non-UTF-8 string");
+    // A valid frame with trailing garbage must not decode.
+    let mut trailing = Frame::Req {
+        id: 1,
+        request: Request::Ls,
+    }
+    .encode();
+    trailing.push(0);
+    decode_err(&trailing, "trailing bytes");
+}
