@@ -1,0 +1,243 @@
+//! The durability benchmark: what does the write-ahead log cost? Two
+//! arms drive the *same* `clustered_storm` stream — the read-dominant
+//! profile of Section 6's workloads (a cluster of version exports per
+//! checkout → commit round) — against the SCI workload:
+//!
+//! * `wal/off` — a plain in-memory instance, the PR-4 fast path with no
+//!   durability at all;
+//! * `wal/on`  — an instance opened through [`orpheus_core::recovery`]
+//!   with a WAL directory, so every commit is encoded, appended, and
+//!   **fsync'd** before it is acknowledged.
+//!
+//! Per-commit latencies (p50/p99) come from timing each `Commit` request
+//! individually — expect roughly 2x WAL-on, since a durable commit pays
+//! an encode of the committed rows plus an `fdatasync`; that number is
+//! reported, not gated. The **gate** is end-to-end: WAL-on throughput
+//! over the whole stream must stay within `ORPHEUS_WAL_FLOOR` (default
+//! 0.8) of WAL-off, because reads are unlogged and commits are the
+//! minority of a realistic stream — if the WAL path leaks cost into
+//! checkouts (lock contention, sink overhead) or commit cost blows past
+//! encode+fsync, the ratio collapses and CI fails. fsync latency is
+//! noisy on shared disks, so a failing gate re-measures up to two times
+//! before the bin gives up and exits non-zero.
+//!
+//! Emits `BENCH_wal.json` (directory from `ORPHEUS_BENCH_OUT`, default
+//! the working directory).
+//!
+//! Knobs (all environment variables):
+//! * `ORPHEUS_STORM_OPS` (default 20) — checkout → commit rounds.
+//! * `ORPHEUS_STORM_CLUSTER` (default 10) — version exports per round.
+//! * `ORPHEUS_STORM_RECORDS` (default 400) — records in the CVD.
+//! * `ORPHEUS_WAL_FLOOR` (default 0.8) — throughput-ratio gate.
+//! * `ORPHEUS_TRIALS` (default 3) — timing trials per arm.
+//!
+//! Run with `cargo run --release -p orpheus-bench --bin wal_storm`.
+
+use std::time::Instant;
+
+use orpheus_bench::generator::{Workload, WorkloadParams};
+use orpheus_bench::harness::{
+    clustered_storm, env_f64, env_usize, ms, protocol_mean, trials, write_bench_json, JsonObject,
+    Report,
+};
+use orpheus_bench::loader::load_workload;
+use orpheus_core::request::{CommandKind, Executor};
+use orpheus_core::{recovery, ModelKind, OrpheusDB, Result};
+
+/// One arm's measurement: total wall over the stream plus every
+/// individual commit latency.
+struct Arm {
+    label: &'static str,
+    wall_ms: f64,
+    requests: usize,
+    commits: usize,
+    commit_lat_us: Vec<f64>,
+}
+
+impl Arm {
+    fn throughput_rps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drive the stream, timing each `Commit` request individually. Returns
+/// (wall_ms over the whole stream, requests driven, per-commit
+/// latencies in µs).
+fn drive_timed(
+    odb: &mut OrpheusDB,
+    cvd: &str,
+    ops: usize,
+    cluster: usize,
+) -> Result<(f64, usize, Vec<f64>)> {
+    let stream = clustered_storm(cvd, 0, ops, cluster);
+    let requests = stream.len();
+    let mut commit_lat_us = Vec::with_capacity(ops);
+    let start = Instant::now();
+    for request in stream {
+        let is_commit = request.kind() == CommandKind::Commit;
+        let t0 = Instant::now();
+        odb.execute(request)?;
+        if is_commit {
+            commit_lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    Ok((start.elapsed().as_secs_f64() * 1e3, requests, commit_lat_us))
+}
+
+fn measure(
+    label: &'static str,
+    wal: bool,
+    ops: usize,
+    cluster: usize,
+    workload: &Workload,
+) -> Result<Arm> {
+    let trials = trials();
+    let mut samples = Vec::with_capacity(trials);
+    let mut commit_lat_us = Vec::new();
+    let mut requests = 0;
+    let mut commits = 0;
+    for t in 0..trials {
+        let dir = std::env::temp_dir().join(format!(
+            "orpheus-walstorm-{}-{label}-{t}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut odb = if wal {
+            recovery::open(&dir)?
+        } else {
+            OrpheusDB::new()
+        };
+        load_workload(&mut odb, "cvd0", workload, ModelKind::SplitByRlist)?;
+        let (wall, reqs, lat) = drive_timed(&mut odb, "cvd0", ops, cluster)?;
+        samples.push(wall);
+        requests = reqs;
+        commits = lat.len();
+        commit_lat_us.extend(lat);
+        drop(odb);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(Arm {
+        label,
+        wall_ms: protocol_mean(samples),
+        requests,
+        commits,
+        commit_lat_us,
+    })
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("wal_storm bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<bool> {
+    let ops = env_usize("ORPHEUS_STORM_OPS", 20).max(1);
+    let cluster = env_usize("ORPHEUS_STORM_CLUSTER", 10);
+    let records = env_usize("ORPHEUS_STORM_RECORDS", 400).max(1);
+    let floor = env_f64("ORPHEUS_WAL_FLOOR", 0.8);
+    let versions = 8;
+    let workload = Workload::generate(WorkloadParams::sci(versions, 2, records / versions));
+
+    // fsync latency on shared CI disks has heavy tails; re-measure a
+    // failing gate before concluding the WAL path itself regressed.
+    let mut arms = None;
+    let mut ratio = 0.0;
+    for attempt in 0..3 {
+        let off = measure("wal/off", false, ops, cluster, &workload)?;
+        let on = measure("wal/on", true, ops, cluster, &workload)?;
+        ratio = on.throughput_rps() / off.throughput_rps().max(f64::EPSILON);
+        let pass = ratio >= floor;
+        arms = Some([off, on]);
+        if pass {
+            break;
+        }
+        if attempt < 2 {
+            eprintln!(
+                "wal_storm: throughput ratio {ratio:.3} below floor {floor}; re-measuring \
+                 (attempt {})",
+                attempt + 2
+            );
+        }
+    }
+    let arms = arms.expect("at least one measurement attempt");
+    let ok = ratio >= floor;
+
+    let mut report = Report::new(&[
+        "arm",
+        "requests",
+        "commits",
+        "wall_ms",
+        "req_per_s",
+        "commit_p50_us",
+        "commit_p99_us",
+    ]);
+    let mut percentiles = Vec::new();
+    for arm in &arms {
+        let mut lat = arm.commit_lat_us.clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let p50 = percentile(&lat, 0.50);
+        let p99 = percentile(&lat, 0.99);
+        percentiles.push((p50, p99));
+        report.row(vec![
+            arm.label.to_string(),
+            arm.requests.to_string(),
+            arm.commits.to_string(),
+            ms(arm.wall_ms),
+            format!("{:.1}", arm.throughput_rps()),
+            format!("{p50:.0}"),
+            format!("{p99:.0}"),
+        ]);
+    }
+    println!(
+        "wal_storm ({ops} rounds x {cluster} exports + checkout->commit, {records} records, {} \
+         trial(s))",
+        trials()
+    );
+    println!("{}", report.render());
+    println!("throughput ratio wal_on/wal_off: {ratio:.3} (floor {floor})");
+
+    let arm_json = |arm: &Arm, (p50, p99): (f64, f64)| {
+        JsonObject::new()
+            .int("requests", arm.requests as u64)
+            .int("commits", arm.commits as u64)
+            .num("wall_ms", arm.wall_ms)
+            .num("req_per_s", arm.throughput_rps())
+            .num("commit_us_p50", p50)
+            .num("commit_us_p99", p99)
+    };
+    let json = JsonObject::new()
+        .str("bench", "wal_storm")
+        .int("ops", ops as u64)
+        .int("cluster", cluster as u64)
+        .int("records", records as u64)
+        .int("trials", trials() as u64)
+        .obj("wal_off", arm_json(&arms[0], percentiles[0]))
+        .obj("wal_on", arm_json(&arms[1], percentiles[1]))
+        .num("throughput_ratio", ratio)
+        .num("floor", floor)
+        .int("gate_ok", ok as u64);
+    let path = write_bench_json("wal", json)?;
+    println!("wrote {path}");
+
+    if !ok {
+        eprintln!("wal_storm throughput gate FAILED: ratio {ratio:.3} < floor {floor}");
+    }
+    Ok(ok)
+}

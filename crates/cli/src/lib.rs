@@ -27,10 +27,13 @@
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use orpheus_core::commands::{parse_command, run_command, FileAccess, RealFiles};
 use orpheus_core::{
-    AsyncExecutor, CoreError, Executor, OrpheusDB, Response, Result, SharedOrpheusDB,
+    recovery, AsyncExecutor, CoreError, Executor, OrpheusDB, Response, Result, SharedOrpheusDB,
 };
 use orpheus_net::{NetServer, RemoteExecutor};
 
@@ -43,6 +46,12 @@ pub use render::{format_result, render_response};
 pub struct Invocation {
     /// Snapshot file backing this session, if any.
     pub db_path: Option<PathBuf>,
+    /// Write-ahead-logged durability directory: the instance is opened
+    /// with [`orpheus_core::recovery::open`] (snapshot + log replay) and
+    /// every mutation is fsync'd to the log before it is acknowledged.
+    /// Mutually exclusive with `--db` (the directory holds its own
+    /// snapshots) and `--connect` (durability lives on the server).
+    pub wal_dir: Option<PathBuf>,
     /// Run as this user through a concurrent session (per-CVD locking)
     /// instead of driving the instance directly.
     pub user: Option<String>,
@@ -66,11 +75,13 @@ pub struct Invocation {
 /// Parse argv (without the program name) into an [`Invocation`].
 ///
 /// Recognized global flags, which must precede the command:
-/// `--db <path>` / `-d <path>`, `--as <user>` / `-u <user>`, `--async`,
+/// `--db <path>` / `-d <path>`, `--wal <dir>` / `-w <dir>`,
+/// `--as <user>` / `-u <user>`, `--async`,
 /// `--batch <file>` / `-b <file>`, `--serve <addr>`, `--connect <addr>`
 /// / `-c <addr>`, `--help` / `-h`, `--version` / `-V`.
 pub fn parse_args(args: &[String]) -> Result<Invocation> {
     let mut db_path = None;
+    let mut wal_dir = None;
     let mut user = None;
     let mut use_async = false;
     let mut batch = None;
@@ -85,6 +96,13 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                     .get(i + 1)
                     .ok_or_else(|| CoreError::parse_line("--db needs a path"))?;
                 db_path = Some(PathBuf::from(path));
+                i += 2;
+            }
+            "--wal" | "-w" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| CoreError::parse_line("--wal needs a directory"))?;
+                wal_dir = Some(PathBuf::from(path));
                 i += 2;
             }
             "--as" | "-u" => {
@@ -122,6 +140,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
             "--help" | "-h" => {
                 return Ok(Invocation {
                     db_path,
+                    wal_dir,
                     user,
                     use_async,
                     batch,
@@ -133,6 +152,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
             "--version" | "-V" => {
                 return Ok(Invocation {
                     db_path,
+                    wal_dir,
                     user,
                     use_async,
                     batch,
@@ -148,6 +168,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
     }
     Ok(Invocation {
         db_path,
+        wal_dir,
         user,
         use_async,
         batch,
@@ -190,6 +211,17 @@ session:
 The --db flag makes sessions durable: state is loaded from the snapshot
 before the command and saved back afterwards. Without it, state lives only
 for this invocation.
+
+The --wal <dir> flag makes sessions crash-durable: the instance is opened
+from the directory's latest snapshot plus a replay of its write-ahead
+log, and every mutation is fsync'd to the log before it is acknowledged —
+kill -9 at any point loses nothing that was acknowledged. The log is
+periodically folded into a fresh snapshot (checkpoint); tune with
+ORPHEUS_CHECKPOINT_BYTES (log size that triggers rotation, default 4 MiB)
+and, under --serve, ORPHEUS_CHECKPOINT_SECS (ticker period, default 5).
+Mutually exclusive with --db (the directory keeps its own snapshots) and
+--connect (durability lives on the server). Composes with --serve, --as,
+--async, and --batch.
 
 The --as <user> flag runs the command through a concurrent session under
 that identity (registering the account if needed) — the same per-CVD
@@ -284,6 +316,16 @@ pub fn run(
                 "--connect already runs on the server's async executor (drop --async)",
             ));
         }
+        if inv.wal_dir.is_some() {
+            return Err(CoreError::parse_line(
+                "--connect talks to a server; durability lives there (drop --wal)",
+            ));
+        }
+    }
+    if inv.wal_dir.is_some() && inv.db_path.is_some() {
+        return Err(CoreError::parse_line(
+            "--wal and --db are mutually exclusive; the WAL directory keeps its own snapshots",
+        ));
     }
 
     let first = inv.command.first().map(|s| s.as_str()).unwrap_or("help");
@@ -316,10 +358,42 @@ pub fn run(
     // CI-friendly (close the pipe to stop the server). The resolved
     // address prints first so `--serve 127.0.0.1:0` is usable.
     if let Some(addr) = &inv.serve {
-        let shared = SharedOrpheusDB::new(open_session(&inv)?);
+        let shared = match &inv.wal_dir {
+            Some(dir) => recovery::open_shared(dir)?,
+            None => SharedOrpheusDB::new(open_session(&inv)?),
+        };
         let server = NetServer::bind(addr.as_str(), shared.clone())?;
         writeln!(out, "listening on {}", server.local_addr()).map_err(io_err)?;
         out.flush().map_err(io_err)?;
+        // In WAL mode, a background ticker rotates the log into a fresh
+        // snapshot whenever it outgrows the checkpoint threshold, so a
+        // long-lived server's recovery replay stays bounded. Durability
+        // never depends on the ticker — every mutation is already fsync'd
+        // to the log before it is acknowledged.
+        let ticker = inv.wal_dir.as_ref().map(|_| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = stop.clone();
+            let shared = shared.clone();
+            let secs = std::env::var("ORPHEUS_CHECKPOINT_SECS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(5);
+            let handle = std::thread::spawn(move || {
+                let mut slept = 0u64;
+                while !flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    slept += 100;
+                    if slept < secs.max(1) * 1000 {
+                        continue;
+                    }
+                    slept = 0;
+                    // Best-effort: a failed checkpoint leaves the current
+                    // generation serving; the next tick retries.
+                    let _ = recovery::maybe_checkpoint_shared(&shared);
+                }
+            });
+            (stop, handle)
+        });
         let mut line = String::new();
         loop {
             line.clear();
@@ -333,13 +407,26 @@ pub fn run(
         // Graceful: refuse new frames, drain accepted work, then persist
         // everything the drained work produced.
         server.shutdown();
+        if let Some((stop, handle)) = ticker {
+            stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
+        if inv.wal_dir.is_some() {
+            // Final checkpoint: fold the log into a snapshot so the next
+            // open replays nothing. The log alone would already recover
+            // every acknowledged mutation.
+            recovery::checkpoint_shared(&shared)?;
+        }
         if let Some(p) = &inv.db_path {
             shared.save_to(p)?;
         }
         return Ok(());
     }
 
-    let mut odb = open_session(&inv)?;
+    let mut odb = match &inv.wal_dir {
+        Some(dir) => recovery::open(dir)?,
+        None => open_session(&inv)?,
+    };
     let mut files = RealFiles;
 
     // One-shot command: re-join the words. `run` takes the rest of the
@@ -431,6 +518,11 @@ pub fn run(
                 err,
             )?;
         }
+        if inv.wal_dir.is_some() {
+            // The log already holds every acknowledged mutation; rotate it
+            // into a snapshot only if it has outgrown the threshold.
+            recovery::maybe_checkpoint_shared(&shared)?;
+        }
         if let Some(p) = &inv.db_path {
             shared.save_to(p)?;
         }
@@ -438,6 +530,9 @@ pub fn run(
     }
 
     drive(&mut odb, &mut files, &mode, interactive, input, out, err)?;
+    if inv.wal_dir.is_some() {
+        recovery::maybe_checkpoint(&mut odb)?;
+    }
     close_session(&inv, &odb)?;
     Ok(())
 }

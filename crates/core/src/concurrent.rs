@@ -85,6 +85,7 @@ use crate::partition_store::OptimizeReport;
 use crate::request::{Executor, Request, Target};
 use crate::response::Response;
 use crate::staging::StagedKind;
+use crate::wal::{WalOp, WalSink};
 
 // ---------------------------------------------------------------------------
 // Lock-order enforcement.
@@ -233,6 +234,11 @@ struct Catalog {
     /// auxiliary shard). The routing index for `commit`/`discard` and the
     /// global uniqueness check for checkout target names.
     staged: HashMap<String, String>,
+    /// Write-ahead log sink, shared with every shard. Catalog-level
+    /// mutations (CVD create/drop, user creation) append under the
+    /// catalog write lock; shard-level mutations append inside their
+    /// shard's write lock via the shard instance's own handle.
+    wal: Option<WalSink>,
 }
 
 impl Catalog {
@@ -269,12 +275,14 @@ impl Catalog {
         }
         let access = odb.access.clone();
         let config = odb.config.clone();
+        let wal = odb.wal.clone();
         Ok(Catalog {
             access,
             config,
             shards,
             aux: Shard::new(odb),
             staged,
+            wal,
         })
     }
 
@@ -563,6 +571,15 @@ impl SharedOrpheusDB {
             inner: Arc::clone(&self.inner),
             user: user.to_string(),
         }
+    }
+
+    /// The write-ahead log sink, when this instance was opened through
+    /// [`crate::recovery::open_shared`] — a cheap peek (catalog read
+    /// lock only) used to decide whether a checkpoint is due without
+    /// quiescing anything.
+    pub(crate) fn wal_sink(&self) -> Option<WalSink> {
+        let cat = self.inner.catalog_read();
+        cat.wal.clone()
     }
 
     /// Persist a consistent instance snapshot (see [`crate::persist`]).
@@ -1360,20 +1377,30 @@ impl ConcurrentExecutor {
     /// write, re-checking the name (a lost race surfaces as `CvdExists`).
     fn create_cvd(&self, name: &str, request: Request) -> Result<Response> {
         let key = name.to_ascii_lowercase();
-        let (config, access) = {
+        let (config, access, wal_armed) = {
             let cat = self.inner.catalog_read();
             if cat.shards.contains_key(&key) {
                 return Err(CoreError::CvdExists(name.to_string()));
             }
-            (cat.config.clone(), cat.access.clone())
+            (cat.config.clone(), cat.access.clone(), cat.wal.is_some())
         };
         let mut odb = OrpheusDB::with_config(config);
         odb.access = access;
+        // The fresh shard is built WAL-less: if the publish below loses
+        // its race, nothing must have been logged. The record is
+        // appended under the catalog write lock, after the re-check and
+        // before the shard becomes reachable.
+        let logged = wal_armed.then(|| request.clone());
         let response = under_identity(&mut odb, &self.user, |odb| odb.execute(request))?;
         let mut cat = self.inner.catalog_write();
         if cat.shards.contains_key(&key) {
             return Err(CoreError::CvdExists(name.to_string()));
         }
+        if let (Some(wal), Some(request)) = (&cat.wal, logged) {
+            // A fresh shard's clock starts at 0 (see OrpheusDB::with_config).
+            wal.append(&self.user, 0, &WalOp::Request(request))?;
+        }
+        odb.wal = cat.wal.clone();
         cat.shards.insert(key, Shard::new(odb));
         Ok(response)
     }
@@ -1389,6 +1416,15 @@ impl ConcurrentExecutor {
             .ok_or_else(|| CoreError::CvdNotFound(name.to_string()))?;
         shard.retire();
         cat.staged.retain(|_, cvd| cvd != &key);
+        if let Some(wal) = &cat.wal {
+            wal.append(
+                &self.user,
+                0,
+                &WalOp::Request(Request::Drop(crate::request::DropCvd {
+                    cvd: name.to_string(),
+                })),
+            )?;
+        }
         Ok(Response::Dropped {
             cvd: name.to_string(),
         })
@@ -1416,6 +1452,13 @@ impl Executor for ConcurrentExecutor {
             Request::CreateUser(r) => {
                 let mut cat = self.inner.catalog_write();
                 cat.access.create_user(&r.user)?;
+                if let Some(wal) = &cat.wal {
+                    wal.append(
+                        &self.user,
+                        0,
+                        &WalOp::Request(Request::CreateUser(r.clone())),
+                    )?;
+                }
                 Ok(Response::UserCreated { user: r.user })
             }
             Request::Ls => Ok(Response::CvdList(self.ls())),

@@ -86,7 +86,9 @@ impl AttributeRegistry {
 }
 
 /// Per-version metadata (the metadata table of Figure 4a).
-#[derive(Debug, Clone)]
+/// `PartialEq` so recovery tests and the crash-recovery verifier can
+/// compare version graphs field-for-field.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VersionMeta {
     pub vid: Vid,
     pub parents: Vec<Vid>,

@@ -18,6 +18,7 @@ use crate::query;
 use crate::request::{CommandKind, Executor, Request};
 use crate::response::{LogEntry, Response};
 use crate::staging::{StagedEntry, StagedKind, StagingArea};
+use crate::wal::{CommitRecord, WalOp, WalSink};
 
 /// Instance-wide configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +61,11 @@ pub struct OrpheusDB {
     pub access: AccessController,
     pub config: OrpheusConfig,
     pub(crate) clock: u64,
+    /// Write-ahead log sink, when the instance was opened through
+    /// [`crate::recovery::open`]. Every successful mutating operation
+    /// appends (and fsyncs) a record here before returning; `None` means
+    /// durability is snapshot-only, exactly as before the WAL existed.
+    pub(crate) wal: Option<WalSink>,
 }
 
 impl OrpheusDB {
@@ -77,6 +83,24 @@ impl OrpheusDB {
     fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock
+    }
+
+    /// Append one record to the write-ahead log (no-op without one).
+    /// Called *after* the in-memory apply succeeded and *before* the
+    /// operation returns: the fsync inside [`WalSink::append`] is what
+    /// makes the acknowledgement durable. `clock_before` is the logical
+    /// clock captured before the op's first tick, so replay can pin it.
+    fn wal_append(&self, clock_before: u64, op: &WalOp) -> Result<()> {
+        match &self.wal {
+            Some(sink) => sink.append(self.access.whoami(), clock_before, op),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether mutations are being logged (used to skip capturing
+    /// record material on the hot path when they are not).
+    fn wal_armed(&self) -> bool {
+        self.wal.is_some()
     }
 
     // -- catalog --------------------------------------------------------------
@@ -127,6 +151,9 @@ impl OrpheusDB {
             access: self.access.clone(),
             config: self.config.clone(),
             clock: self.clock,
+            // Shards share the sink: shard-level mutations append inside
+            // the shard lock.
+            wal: self.wal.clone(),
             ..OrpheusDB::default()
         };
         // Staged artifacts first, so the prefix claim below can skip
@@ -209,6 +236,12 @@ impl OrpheusDB {
                     .drop_table(&format!("{}__g{}p{}_rlist", cvd.name, state.generation, k));
             }
         }
+        self.wal_append(
+            self.clock,
+            &WalOp::Request(Request::Drop(crate::request::DropCvd {
+                cvd: name.to_string(),
+            })),
+        )?;
         Ok(())
     }
 
@@ -228,6 +261,18 @@ impl OrpheusDB {
             return Err(CoreError::CvdExists(name.to_string()));
         }
         let model = model.unwrap_or(self.config.default_model);
+        let clock_before = self.clock;
+        // The rows are consumed below; capture the replayable request up
+        // front (only when a WAL is attached — the clone is the price of
+        // durability, not of the default path).
+        let wal_op = self.wal_armed().then(|| {
+            WalOp::Request(Request::Init(crate::request::Init {
+                cvd: name.to_string(),
+                schema: schema.clone(),
+                rows: rows.clone(),
+                model: Some(model),
+            }))
+        });
         let mut cvd = Cvd::new(name, schema, model);
         model::init_storage(&mut self.engine, &cvd)?;
         cvd.create_meta_tables(&mut self.engine)?;
@@ -264,6 +309,9 @@ impl OrpheusDB {
         cvd.version_rids.push(rids);
         cvd.sync_meta_row(&mut self.engine, Vid(1))?;
         self.cvds.insert(key, cvd);
+        if let Some(op) = wal_op {
+            self.wal_append(clock_before, &op)?;
+        }
         Ok(Vid(1))
     }
 
@@ -364,9 +412,30 @@ impl OrpheusDB {
         self.access.check_owner(&entry.owner, table)?;
         let staged_schema = self.engine.table(table)?.schema.clone();
         let rows = self.engine.table(table)?.rows().to_vec();
+        let clock_before = self.clock;
+        // Staged edits happen through raw SQL the log never sees, so the
+        // record materializes the final rows (captured only when logging).
+        let wal_rows = self.wal_armed().then(|| rows.clone());
         let vid = self.commit_rows(&entry, &staged_schema, rows, message)?;
         self.engine.drop_table(table)?;
         self.staging.remove(table, StagedKind::Table)?;
+        if let Some(rows) = wal_rows {
+            self.wal_append(
+                clock_before,
+                &WalOp::Commit(CommitRecord {
+                    cvd: entry.cvd,
+                    staged_name: entry.name,
+                    kind: entry.kind,
+                    parents: entry.parents,
+                    owner: entry.owner,
+                    created_at: entry.created_at,
+                    schema: staged_schema,
+                    rows,
+                    message: message.to_string(),
+                    vid,
+                }),
+            )?;
+        }
         Ok(vid)
     }
 
@@ -377,6 +446,12 @@ impl OrpheusDB {
         self.access.check_owner(&entry.owner, table)?;
         self.engine.drop_table(table)?;
         self.staging.remove(table, StagedKind::Table)?;
+        self.wal_append(
+            self.clock,
+            &WalOp::Request(Request::Discard(crate::request::Discard {
+                table: table.to_string(),
+            })),
+        )?;
         Ok(())
     }
 
@@ -408,8 +483,27 @@ impl OrpheusDB {
         };
         let (header, raw) = csv::parse_csv(csv_text)?;
         let rows = csv::typed_rows(&staged_schema, &header, &raw)?;
+        let clock_before = self.clock;
+        let wal_rows = self.wal_armed().then(|| rows.clone());
         let vid = self.commit_rows(&entry, &staged_schema, rows, message)?;
         self.staging.remove(path, StagedKind::Csv)?;
+        if let Some(rows) = wal_rows {
+            self.wal_append(
+                clock_before,
+                &WalOp::Commit(CommitRecord {
+                    cvd: entry.cvd,
+                    staged_name: entry.name,
+                    kind: entry.kind,
+                    parents: entry.parents,
+                    owner: entry.owner,
+                    created_at: entry.created_at,
+                    schema: staged_schema,
+                    rows,
+                    message: message.to_string(),
+                    vid,
+                }),
+            )?;
+        }
         Ok(vid)
     }
 
@@ -620,6 +714,37 @@ impl OrpheusDB {
         Ok(vid)
     }
 
+    /// Re-run a logged commit during WAL replay: the staged rows come
+    /// from the record (not from a staged table, which may not exist in
+    /// the snapshot), and the resulting version id is asserted against
+    /// the one the live commit produced. If the snapshot happened to
+    /// capture the staged artifact, it is retired exactly as the live
+    /// commit retired it.
+    pub(crate) fn replay_commit(&mut self, rec: CommitRecord) -> Result<Vid> {
+        let entry = StagedEntry {
+            name: rec.staged_name,
+            cvd: rec.cvd,
+            parents: rec.parents,
+            owner: rec.owner,
+            created_at: rec.created_at,
+            kind: rec.kind,
+        };
+        let vid = self.commit_rows(&entry, &rec.schema, rec.rows, &rec.message)?;
+        if vid != rec.vid {
+            return Err(CoreError::Storage(format!(
+                "WAL replay diverged: commit of {} produced {vid}, the log recorded {}",
+                entry.cvd, rec.vid
+            )));
+        }
+        if self.staging.get(&entry.name, entry.kind).is_ok() {
+            if entry.kind == StagedKind::Table {
+                let _ = self.engine.drop_table(&entry.name);
+            }
+            let _ = self.staging.remove(&entry.name, entry.kind);
+        }
+        Ok(vid)
+    }
+
     /// Evolve the CVD schema to accommodate a staged table (single-pool
     /// scheme of Section 3.3): new attributes are added with NULLs, type
     /// conflicts widen to the more general type. Planned against a borrow
@@ -717,8 +842,19 @@ impl OrpheusDB {
         gamma_factor: f64,
         mu: f64,
     ) -> Result<OptimizeReport> {
+        let clock_before = self.clock;
         let cvd = lookup_mut(&mut self.cvds, cvd_name)?;
-        partition_store::optimize(&mut self.engine, cvd, gamma_factor, mu)
+        let report = partition_store::optimize(&mut self.engine, cvd, gamma_factor, mu)?;
+        self.wal_append(
+            clock_before,
+            &WalOp::Request(Request::Optimize(crate::request::Optimize {
+                cvd: cvd_name.to_string(),
+                gamma: Some(gamma_factor),
+                mu: Some(mu),
+                weights: Vec::new(),
+            })),
+        )?;
+        Ok(report)
     }
 
     /// `optimize` for a skewed workload (Appendix C.2): `freqs` maps
@@ -741,13 +877,25 @@ impl OrpheusDB {
         gamma_factor: f64,
         mu: f64,
     ) -> Result<OptimizeReport> {
+        let clock_before = self.clock;
         let cvd = lookup_mut(&mut self.cvds, cvd_name)?;
         let mut full = vec![1u64; cvd.num_versions()];
         for &(vid, f) in freqs {
             cvd.check_version(vid)?;
             full[vid.index()] = f;
         }
-        partition_store::optimize_weighted(&mut self.engine, cvd, &full, gamma_factor, mu)
+        let report =
+            partition_store::optimize_weighted(&mut self.engine, cvd, &full, gamma_factor, mu)?;
+        self.wal_append(
+            clock_before,
+            &WalOp::Request(Request::Optimize(crate::request::Optimize {
+                cvd: cvd_name.to_string(),
+                gamma: Some(gamma_factor),
+                mu: Some(mu),
+                weights: freqs.to_vec(),
+            })),
+        )?;
+        Ok(report)
     }
 
     /// Records of one version (rid + attribute values), for tooling.
@@ -1020,10 +1168,12 @@ impl Executor for OrpheusDB {
             }
             Request::CreateUser(r) => {
                 self.access.create_user(&r.user)?;
+                self.wal_append(self.clock, &WalOp::Request(Request::CreateUser(r.clone())))?;
                 Ok(Response::UserCreated { user: r.user })
             }
             Request::Login(r) => {
                 self.access.login(&r.user)?;
+                self.wal_append(self.clock, &WalOp::Request(Request::Login(r.clone())))?;
                 Ok(Response::LoggedIn { user: r.user })
             }
             Request::Whoami => Ok(Response::CurrentUser {

@@ -36,10 +36,17 @@
 //!   same [`BatchPlan`] steps on a coordinator thread plus a per-shard
 //!   worker pool; clients submit through an [`AsyncHandle`] and wait on
 //!   [`Ticket`]s instead of blocking on shard locks.
+//! * **Durability** ([`wal`], [`recovery`]) — an append-only log of
+//!   mutating operations with length-prefixed, checksummed records
+//!   (sharing the [`codec`] vocabulary with the wire protocol), fsync'd
+//!   before each apply is acknowledged; [`recovery::open`] replays the
+//!   log over the latest snapshot, truncating any torn tail, and
+//!   periodic checkpoints ([`recovery::checkpoint`]) rotate the log.
 
 pub mod access;
 pub mod async_exec;
 pub mod batch;
+pub mod codec;
 pub mod commands;
 pub mod compress;
 pub mod concurrent;
@@ -52,9 +59,11 @@ pub mod model;
 pub mod partition_store;
 pub mod persist;
 pub mod query;
+pub mod recovery;
 pub mod request;
 pub mod response;
 pub mod staging;
+pub mod wal;
 
 pub use async_exec::{AsyncExecutor, AsyncHandle, Ticket, TicketFulfiller};
 pub use batch::{BatchPlan, BatchRouter, ShardKey, Step};
@@ -69,3 +78,4 @@ pub use request::{
     Executor, Init, InitFromCsv, Log, Login, Optimize, Request, Run, Target,
 };
 pub use response::{LogEntry, Response};
+pub use wal::{WalOp, WalRecord, WalSink};

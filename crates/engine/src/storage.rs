@@ -627,7 +627,15 @@ pub fn load_database(path: &Path) -> Result<Database> {
     deserialize_database(&bytes)
 }
 
-/// Write `bytes` to `path` via a sibling temp file and atomic rename.
+/// Write `bytes` to `path` via a sibling temp file and atomic rename,
+/// then fsync the parent directory so the rename itself is durable.
+///
+/// The directory fsync is the step naive write-tmp-and-rename schemes
+/// skip: without it a crash shortly after the rename can leave the
+/// directory entry pointing at the *old* file — or at nothing — even
+/// though the data blocks of the new file hit disk. Snapshot checkpoints
+/// (and the WAL's `CURRENT` pointer) rely on rename being a durable
+/// commit point, so the entry must be forced out too.
 pub fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let tmp = match dir {
@@ -646,7 +654,23 @@ pub fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
         f.write_all(bytes).map_err(io_err)?;
         f.sync_all().map_err(io_err)?;
     }
-    std::fs::rename(&tmp, path).map_err(io_err)
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err(e));
+    }
+    fsync_dir(dir.unwrap_or_else(|| Path::new(".")))
+}
+
+/// Force a directory's entries to stable storage (fsync on the directory
+/// handle). Needed after creating, renaming, or removing files whose
+/// *existence* is load-bearing for crash recovery. Platforms whose
+/// filesystems cannot sync directory handles report the open/sync error.
+pub fn fsync_dir(dir: &Path) -> Result<()> {
+    let d = std::fs::File::open(dir).map_err(|e| {
+        EngineError::Storage(format!("cannot open directory {}: {e}", dir.display()))
+    })?;
+    d.sync_all()
+        .map_err(|e| EngineError::Storage(format!("cannot fsync directory {}: {e}", dir.display())))
 }
 
 #[cfg(test)]
