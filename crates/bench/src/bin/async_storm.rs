@@ -41,8 +41,9 @@
 
 use orpheus_bench::generator::{Workload, WorkloadParams};
 use orpheus_bench::harness::{
-    clustered_storm, drive, drive_parallel, drive_parallel_batched, env_f64, env_usize, ms,
-    protocol_mean, storm_json, trials, write_bench_json, JsonObject, Report, StormStats,
+    clustered_storm, drive, drive_parallel_batched, drive_parallel_overlapped, env_f64, env_usize,
+    ms, overlap, protocol_mean, storm_json, trials, write_bench_json, JsonObject, Report,
+    StormStats,
 };
 use orpheus_bench::loader::load_workload;
 use orpheus_core::{AsyncExecutor, ModelKind, OrpheusDB, Request, Result, SharedOrpheusDB, Vid};
@@ -70,6 +71,10 @@ fn graph_of(odb: &OrpheusDB) -> Graph {
         .collect()
 }
 
+/// One trial's raw outcome: stats, version graph, staged leftovers, and
+/// the optional `(reads, overlapped)` overlap-meter counters.
+type TrialOutcome = (StormStats, Graph, usize, Option<(u64, u64)>);
+
 /// Timing and outcome of one arm: protocol-averaged storm stats, the
 /// resulting (order-insensitive) version graph, and staged leftovers.
 struct Arm {
@@ -78,6 +83,10 @@ struct Arm {
     stats: StormStats,
     graph: Graph,
     staged_leftovers: usize,
+    /// `(reads, overlapped)` from the [`overlap`] meter — reads that
+    /// completed while a commit was in flight. `None` for the pipelined
+    /// arm (whole-stream submission has no per-request completion hook).
+    overlap: Option<(u64, u64)>,
 }
 
 impl Arm {
@@ -158,17 +167,18 @@ fn run() -> Result<bool> {
     // paper's drop-extremes protocol.
     let run_arm = |label: &'static str, mode: usize| -> Result<Arm> {
         let mut samples = Vec::with_capacity(trials);
-        let mut outcome: Option<(StormStats, Graph, usize)> = None;
+        let mut outcome: Option<TrialOutcome> = None;
         for _ in 0..trials {
             let shared = SharedOrpheusDB::new(build()?);
+            overlap::reset();
             let stats = match mode {
-                0 => drive_parallel(
+                0 => drive_parallel_overlapped(
                     |t| shared.session(&format!("user{t}")).expect("session"),
                     streams(),
                 )?,
                 1 => {
                     let pool = make_pool(&shared);
-                    let stats = drive_parallel(
+                    let stats = drive_parallel_overlapped(
                         |t| pool.handle(&format!("user{t}")).expect("handle"),
                         streams(),
                     )?;
@@ -188,15 +198,17 @@ fn run() -> Result<bool> {
             samples.push(stats.wall_ms);
             let graph = shared.read(graph_of);
             let leftovers = shared.read(|odb| odb.staged().len());
-            outcome = Some((stats, graph, leftovers));
+            let measured = (mode != 2).then(|| (overlap::reads(), overlap::overlapped()));
+            outcome = Some((stats, graph, leftovers, measured));
         }
-        let (stats, graph, staged_leftovers) = outcome.expect("trials >= 1");
+        let (stats, graph, staged_leftovers, measured) = outcome.expect("trials >= 1");
         Ok(Arm {
             label,
             wall_ms: protocol_mean(samples),
             stats,
             graph,
             staged_leftovers,
+            overlap: measured,
         })
     };
 
@@ -230,7 +242,14 @@ fn run() -> Result<bool> {
         let probe = make_pool(&SharedOrpheusDB::default());
         probe.workers()
     };
-    let mut report = Report::new(&["arm", "threads", "requests", "wall_ms", "req_per_s"]);
+    let mut report = Report::new(&[
+        "arm",
+        "threads",
+        "requests",
+        "wall_ms",
+        "req_per_s",
+        "reads_overlapped",
+    ]);
     for arm in &arms {
         report.row(vec![
             arm.label.to_string(),
@@ -238,6 +257,10 @@ fn run() -> Result<bool> {
             arm.stats.requests.to_string(),
             ms(arm.wall_ms),
             format!("{:.1}", arm.throughput_rps()),
+            match arm.overlap {
+                Some((reads, overlapped)) => format!("{overlapped}/{reads}"),
+                None => "-".to_string(),
+            },
         ]);
     }
     println!(
@@ -290,6 +313,17 @@ fn run() -> Result<bool> {
         cores: arm.stats.cores,
         per_thread: Vec::new(),
     };
+    // The overlap counters ride inside each arm's object (last trial's
+    // figures — counts, not timings, so no protocol mean applies).
+    let arm_json = |arm: &Arm, stats: &StormStats| {
+        let json = storm_json(stats);
+        match arm.overlap {
+            Some((reads, overlapped)) => {
+                json.int("reads", reads).int("reads_overlapped", overlapped)
+            }
+            None => json,
+        }
+    };
     let json = JsonObject::new()
         .str("bench", "async_storm")
         .int("threads", threads as u64)
@@ -299,9 +333,9 @@ fn run() -> Result<bool> {
         .int("records_per_cvd", records as u64)
         .int("workers", pool_workers as u64)
         .int("trials", trials as u64)
-        .obj("session", storm_json(&mean_stats(&arms[0])))
-        .obj("async_request", storm_json(&mean_stats(&arms[1])))
-        .obj("async_pipelined", storm_json(&mean_stats(&arms[2])))
+        .obj("session", arm_json(&arms[0], &mean_stats(&arms[0])))
+        .obj("async_request", arm_json(&arms[1], &mean_stats(&arms[1])))
+        .obj("async_pipelined", arm_json(&arms[2], &mean_stats(&arms[2])))
         .num(
             "speedup_request",
             arms[1].throughput_rps() / arms[0].throughput_rps().max(f64::EPSILON),

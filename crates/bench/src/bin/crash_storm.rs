@@ -111,7 +111,10 @@ fn cvd_state(odb: &OrpheusDB, name: &str) -> Result<CvdState> {
             m
         })
         .collect();
-    Ok((versions, cvd.version_rids.clone()))
+    Ok((
+        versions,
+        cvd.version_rids.iter().map(|r| (**r).clone()).collect(),
+    ))
 }
 
 fn main() {

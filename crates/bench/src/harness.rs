@@ -108,6 +108,108 @@ pub fn write_bench_json(name: &str, json: JsonObject) -> Result<String> {
     Ok(path)
 }
 
+/// Reader/writer overlap meter for MVCC storms.
+///
+/// Throughput ratios are noisy on shared 1-core containers, so the MVCC
+/// benchmarks also count the thing the snapshot design actually promises:
+/// **reads that completed while a commit was in flight on the instance**.
+/// Writers wrap each commit in [`overlap::commit_guard`]; readers call
+/// [`overlap::note_read`] after each completed read (or drive their
+/// stream through [`drive_overlapped`], which does both). Any
+/// `overlapped() > 0` is direct evidence that a read finished without
+/// waiting for the writer — under a single lock per CVD that interleaving
+/// is impossible for same-CVD traffic.
+///
+/// The counters are process-global (benchmark binaries run one experiment
+/// at a time); call [`overlap::reset`] between arms.
+pub mod overlap {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COMMITS_IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
+    static READS_TOTAL: AtomicU64 = AtomicU64::new(0);
+    static READS_OVERLAPPED: AtomicU64 = AtomicU64::new(0);
+
+    /// Marks one commit as in flight until dropped.
+    #[must_use = "the commit counts as in flight only while the guard lives"]
+    pub struct CommitGuard(());
+
+    impl Drop for CommitGuard {
+        fn drop(&mut self) {
+            COMMITS_IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Enter a commit: reads completing before the returned guard drops
+    /// count as overlapped.
+    pub fn commit_guard() -> CommitGuard {
+        COMMITS_IN_FLIGHT.fetch_add(1, Ordering::SeqCst);
+        CommitGuard(())
+    }
+
+    /// Record one completed read, checking it against in-flight commits.
+    pub fn note_read() {
+        READS_TOTAL.fetch_add(1, Ordering::SeqCst);
+        if COMMITS_IN_FLIGHT.load(Ordering::SeqCst) > 0 {
+            READS_OVERLAPPED.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Reads recorded since the last [`reset`].
+    pub fn reads() -> u64 {
+        READS_TOTAL.load(Ordering::SeqCst)
+    }
+
+    /// Reads that completed while at least one commit was in flight.
+    pub fn overlapped() -> u64 {
+        READS_OVERLAPPED.load(Ordering::SeqCst)
+    }
+
+    /// Zero the read counters (in-flight commits are guard-owned and not
+    /// touched).
+    pub fn reset() {
+        READS_TOTAL.store(0, Ordering::SeqCst);
+        READS_OVERLAPPED.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Like [`drive`], but feeding the [`overlap`] meter: commits run inside
+/// an [`overlap::commit_guard`], and pure reads — checkouts (MVCC parks
+/// them without the shard lock), `log`, `diff`, and SELECT statements —
+/// are recorded with [`overlap::note_read`] as they complete.
+pub fn drive_overlapped<E: Executor>(
+    executor: &mut E,
+    requests: impl IntoIterator<Item = Request>,
+) -> Result<BusStats> {
+    let mut stats = BusStats::default();
+    for request in requests {
+        let is_read = match &request {
+            Request::Checkout(_) | Request::CheckoutCsv(_) | Request::Log(_) | Request::Diff(_) => {
+                true
+            }
+            Request::Run(r) => r
+                .sql
+                .trim_start()
+                .to_ascii_lowercase()
+                .starts_with("select"),
+            _ => false,
+        };
+        let is_commit = matches!(&request, Request::Commit(_) | Request::CommitCsv(_));
+        let kind = request.kind();
+        let start = Instant::now();
+        if is_commit {
+            let _guard = overlap::commit_guard();
+            executor.execute(request)?;
+        } else {
+            executor.execute(request)?;
+            if is_read {
+                overlap::note_read();
+            }
+        }
+        stats.record(kind, start.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok(stats)
+}
+
 /// Per-command timing of one bus-driven workload run.
 #[derive(Debug, Default)]
 pub struct BusStats {
@@ -337,6 +439,23 @@ where
 {
     drive_parallel_with(make_executor, streams, |executor, stream| {
         drive(executor, stream)
+    })
+}
+
+/// [`drive_parallel`] with every thread driving through
+/// [`drive_overlapped`] — the storm variant that feeds the [`overlap`]
+/// meter. Callers own the meter's lifecycle: [`overlap::reset`] before
+/// the run, read the counters after.
+pub fn drive_parallel_overlapped<E, F>(
+    make_executor: F,
+    streams: Vec<Vec<Request>>,
+) -> Result<StormStats>
+where
+    E: Executor + Send,
+    F: Fn(usize) -> E + Send + Sync,
+{
+    drive_parallel_with(make_executor, streams, |executor, stream| {
+        drive_overlapped(executor, stream)
     })
 }
 
@@ -793,6 +912,38 @@ mod tests {
 
         // Errors propagate out of a batch exactly like out of `drive`.
         assert!(drive_batched(&mut session, checkout_storm("nope", &[1]), 0).is_err());
+    }
+
+    /// One test owns the process-global overlap counters (tests run in
+    /// parallel, so splitting this would race the counters).
+    #[test]
+    fn overlap_meter_counts_reads_under_in_flight_commits() {
+        overlap::reset();
+        overlap::note_read();
+        assert_eq!(overlap::reads(), 1);
+        assert_eq!(overlap::overlapped(), 0);
+        {
+            let _in_flight = overlap::commit_guard();
+            overlap::note_read();
+        }
+        overlap::note_read();
+        assert_eq!(overlap::reads(), 3);
+        assert_eq!(overlap::overlapped(), 1);
+
+        // drive_overlapped feeds the same counters: 2 checkouts and no
+        // in-flight commit (the commit guard wraps only the commit's own
+        // execution, during which no read completes on this thread).
+        use crate::generator::{Workload, WorkloadParams};
+        use crate::loader::load_workload;
+        use orpheus_core::ModelKind;
+        overlap::reset();
+        let w = Workload::generate(WorkloadParams::sci(4, 2, 10));
+        let mut odb = OrpheusDB::new();
+        load_workload(&mut odb, "ovl", &w, ModelKind::SplitByRlist).unwrap();
+        let stats = drive_overlapped(&mut odb, contention_storm("ovl", 0, 2)).unwrap();
+        assert_eq!(stats.requests(), 4);
+        assert_eq!(overlap::reads(), 2);
+        assert_eq!(overlap::overlapped(), 0);
     }
 
     #[test]

@@ -103,7 +103,7 @@ pub fn load_workload(
             num_records: rlist.len() as u64,
             base,
         });
-        cvd.version_rids.push(rlist);
+        cvd.version_rids.push(std::sync::Arc::new(rlist));
         cvd.next_rid = cvd.next_rid.max(workload.num_records as u64 + 1);
     }
     odb.import_cvd(cvd)?;

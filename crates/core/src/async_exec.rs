@@ -17,13 +17,20 @@
 //! * a **worker pool** with one logical FIFO queue per shard: steps
 //!   between two barriers are mutually independent (they target disjoint
 //!   shards), so different workers execute them in parallel, while two
-//!   sub-batches of the *same* shard never run concurrently — per-shard
-//!   submission order is preserved by construction. Workers execute
-//!   sub-batches through
+//!   *writing* sub-batches of the *same* shard never run concurrently —
+//!   per-shard submission order is preserved by construction. Workers
+//!   execute writing sub-batches through
 //!   [`ConcurrentExecutor::run_shard_items`](crate::ConcurrentExecutor) —
 //!   one shard-lock acquisition, reservation and staged-index bookkeeping
 //!   in single catalog writes, shared version-row scans, identity swapped
-//!   per request owner;
+//!   per request owner. **Read-only** sub-batches (`log`, `diff`,
+//!   single-shard SELECTs — [`Step::Shard`]'s `read_only` flag) skip the
+//!   per-shard FIFO entirely: they are served from the shard's MVCC
+//!   snapshot via
+//!   [`ConcurrentExecutor::run_snapshot_items`](crate::ConcurrentExecutor),
+//!   so a worker answers them even while another worker holds that
+//!   shard's write lock — checkouts never wait on a writer, and neither
+//!   do snapshot reads;
 //! * clients hold an [`AsyncHandle`] and get a [`Ticket`] per submission —
 //!   a future-like slot fulfilled by whichever thread finishes the
 //!   request. `submit` never blocks on shard locks; [`Ticket::wait`]
@@ -36,10 +43,14 @@
 //!
 //! # Ordering and failure semantics
 //!
-//! * **Per client** — one handle's submissions execute in submission
-//!   order relative to each other whenever they target the same shard or
-//!   are separated by a barrier; responses always answer their own
-//!   submission ([`Ticket`]s don't shuffle).
+//! * **Per client** — one handle's *writing* submissions execute in
+//!   submission order relative to each other whenever they target the
+//!   same shard or are separated by a barrier; responses always answer
+//!   their own submission ([`Ticket`]s don't shuffle). A pure read may
+//!   run concurrently with a write to its shard submitted *after* it in
+//!   the same chunk (it sees the shard before or after that write, never
+//!   torn); a read submitted after a write to its shard still observes
+//!   that write.
 //! * **Across clients** — requests to *different* shards interleave
 //!   freely (that is the point); catalog requests are global barriers.
 //! * **Failures** — per request, exactly as [`Executor::batch`]: a failed
@@ -217,18 +228,26 @@ struct WorkItem {
 struct Job {
     plan: Arc<BatchPlan>,
     key: ShardKey,
+    /// Served from the shard's MVCC snapshot instead of under its lock —
+    /// exempt from the per-shard FIFO (see [`PoolState::reads`]).
+    read_only: bool,
     items: Vec<WorkItem>,
 }
 
 #[derive(Default)]
 struct PoolState {
-    /// Pending jobs per shard, FIFO. Jobs of one shard never run
-    /// concurrently (see `active`), which preserves per-shard submission
-    /// order.
+    /// Pending *writing* jobs per shard, FIFO. Writing jobs of one shard
+    /// never run concurrently (see `active`), which preserves per-shard
+    /// submission order.
     queues: HashMap<ShardKey, VecDeque<Job>>,
-    /// Shards with pending jobs and no worker on them, in arrival order.
+    /// Read-only jobs, one shared queue: snapshot-served sub-batches need
+    /// no per-shard exclusivity, so any worker picks them up immediately —
+    /// even while another worker holds that shard's write lock.
+    reads: VecDeque<Job>,
+    /// Shards with pending writing jobs and no worker on them, in arrival
+    /// order.
     ready: VecDeque<ShardKey>,
-    /// Shards a worker is currently executing a job for.
+    /// Shards a worker is currently executing a writing job for.
     active: Vec<ShardKey>,
     /// Jobs enqueued but not yet finished (queued + executing) — the
     /// coordinator's barrier condition is `pending == 0`.
@@ -255,9 +274,14 @@ impl Pool {
 
     fn enqueue(&self, job: Job) {
         let mut state = self.state.lock();
+        state.pending += 1;
+        if job.read_only {
+            state.reads.push_back(job);
+            self.work.notify_one();
+            return;
+        }
         let key = job.key.clone();
         state.queues.entry(key.clone()).or_default().push_back(job);
-        state.pending += 1;
         if !state.active.contains(&key) && !state.ready.contains(&key) {
             state.ready.push_back(key);
             self.work.notify_one();
@@ -279,13 +303,20 @@ impl Pool {
         self.work.notify_all();
     }
 
-    /// Worker loop: claim a ready shard, run its front job, hand the
+    /// Worker loop: claim a read-only job (any shard, no exclusivity) or
+    /// a ready shard's front writing job; after a writing job, hand the
     /// shard back (re-readying it if more jobs queued up meanwhile).
+    /// Read-only jobs are preferred — they block nothing and their
+    /// clients are typically waiting synchronously on checkout-adjacent
+    /// SELECTs.
     fn worker_loop(&self, exec: &ConcurrentExecutor) {
         loop {
             let (key, job) = {
                 let mut state = self.state.lock();
                 loop {
+                    if let Some(job) = state.reads.pop_front() {
+                        break (None, job);
+                    }
                     if let Some(key) = state.ready.pop_front() {
                         let job = state
                             .queues
@@ -293,7 +324,7 @@ impl Pool {
                             .and_then(VecDeque::pop_front)
                             .expect("ready shards have queued jobs");
                         state.active.push(key.clone());
-                        break (key, job);
+                        break (Some(key), job);
                     }
                     if state.shutdown {
                         return;
@@ -303,12 +334,14 @@ impl Pool {
             };
             run_job(exec, job);
             let mut state = self.state.lock();
-            state.active.retain(|k| k != &key);
-            state.pending -= 1;
-            if state.queues.get(&key).is_some_and(|q| !q.is_empty()) {
-                state.ready.push_back(key.clone());
-                self.work.notify_one();
+            if let Some(key) = key {
+                state.active.retain(|k| k != &key);
+                if state.queues.get(&key).is_some_and(|q| !q.is_empty()) {
+                    state.ready.push_back(key.clone());
+                    self.work.notify_one();
+                }
             }
+            state.pending -= 1;
             if state.pending == 0 {
                 self.idle.notify_all();
             }
@@ -332,7 +365,11 @@ fn run_job(exec: &ConcurrentExecutor, mut job: Job) {
         })
         .collect();
     let _ = catch_unwind(AssertUnwindSafe(|| {
-        exec.run_shard_items(&job.plan, &job.key, &mut items);
+        if job.read_only {
+            exec.run_snapshot_items(&job.key, &mut items);
+        } else {
+            exec.run_shard_items(&job.plan, &job.key, &mut items);
+        }
     }));
     let label = job.key.label();
     for (work, item) in job.items.iter().zip(items) {
@@ -522,7 +559,11 @@ fn process_chunk(
                     });
                 tickets[*i].fulfill(outcome);
             }
-            Step::Shard { key, indices } => {
+            Step::Shard {
+                key,
+                indices,
+                read_only,
+            } => {
                 let items: Vec<WorkItem> = indices
                     .iter()
                     .map(|&i| WorkItem {
@@ -534,6 +575,7 @@ fn process_chunk(
                 let job = Job {
                     plan: Arc::clone(&plan),
                     key: key.clone(),
+                    read_only: *read_only,
                     items,
                 };
                 if inline {

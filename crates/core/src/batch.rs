@@ -30,9 +30,13 @@
 //!   `Result<Response>` per request, position `i` answering request `i`.
 //! * **Independent failures** — a failing request never aborts the
 //!   requests after it.
-//! * **Per-shard order** — requests routed to the same shard execute in
-//!   submission order; [`Step::Sequential`] steps are barriers that order
-//!   strictly against every step around them.
+//! * **Per-shard order** — *writing* requests routed to the same shard
+//!   execute in submission order; [`Step::Sequential`] steps are barriers
+//!   that order strictly against every step around them. Pure reads
+//!   (`log`, `diff`, single-shard SELECTs) split into read-only sub-batches
+//!   served from the shard's MVCC snapshot, which may overlap a writing
+//!   sub-batch of the same shard — see [`Step::Shard`]'s `read_only` for
+//!   the exact guarantee.
 //!
 //! Requests routed to *different* shards between two barriers may execute
 //! in any order relative to each other — they target disjoint state.
@@ -43,6 +47,8 @@
 //! loop would.
 
 use std::collections::HashMap;
+
+use orpheus_engine::sql::lexer::{tokenize, Token};
 
 use crate::ids::Vid;
 use crate::request::{Request, Target};
@@ -82,8 +88,22 @@ pub enum Step {
     Sequential(usize),
     /// One shard's sub-batch: request indices in submission order, all
     /// routed to `key`. Steps between two barriers target disjoint shards
-    /// and are mutually independent.
-    Shard { key: ShardKey, indices: Vec<usize> },
+    /// and are mutually independent — except that one shard may contribute
+    /// *two* steps, a read-only one and a writing one (see `read_only`).
+    Shard {
+        key: ShardKey,
+        indices: Vec<usize>,
+        /// Every request of this sub-batch is a pure read (`log`, `diff`,
+        /// single-shard SELECTs). Read-only sub-batches are served from
+        /// the shard's MVCC snapshot without taking the shard lock, so
+        /// executors may run them concurrently with a *writing* sub-batch
+        /// of the same shard: a read submitted before a write to its shard
+        /// may observe the shard either before or after that write (each
+        /// read still sees one consistent snapshot). Reads submitted
+        /// *after* a write to their shard ride in the writing sub-batch,
+        /// preserving read-your-writes.
+        read_only: bool,
+    },
 }
 
 /// Executor-specific routing state consulted while a plan is built. The
@@ -101,6 +121,37 @@ pub trait BatchRouter {
     /// shard, `None` when it needs the sequential path (multi-CVD
     /// statements, unparsable SQL).
     fn sql_shard(&self, sql: &str) -> Option<ShardKey>;
+}
+
+/// Identifiers appearing in a statement, for overlay resolution: staged
+/// tables created earlier in the batch are invisible to the router's
+/// live-catalog analysis (they materialize only when the plan runs), so
+/// the planner scans the raw tokens itself and resolves each name through
+/// the overlay. Unparsable SQL yields no names — the router already sends
+/// it sequential.
+fn sql_idents(sql: &str) -> Vec<String> {
+    match tokenize(sql) {
+        Ok(tokens) => tokens
+            .into_iter()
+            .filter_map(|t| match t {
+                Token::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Whether a shard-routed request is a pure read — executable against an
+/// MVCC snapshot of its shard without taking the shard lock. Checkouts
+/// mutate the staging area, commits and discards consume it, `optimize`
+/// rewrites storage; `log`, `diff`, and single-shard SELECTs only read.
+fn is_read_only(request: &Request) -> bool {
+    match request {
+        Request::Log(_) | Request::Diff(_) => true,
+        Request::Run(r) => crate::query::is_select(&r.sql),
+        _ => false,
+    }
 }
 
 /// Key of one staged artifact inside the planner's overlay (tables
@@ -243,14 +294,20 @@ impl BatchPlan {
     pub fn build(requests: &[Request], router: &dyn BatchRouter) -> BatchPlan {
         let mut steps: Vec<Step> = Vec::new();
         // Shard groups accumulated since the last barrier, in order of
-        // first appearance.
-        let mut open: Vec<(ShardKey, Vec<usize>)> = Vec::new();
+        // first appearance. A shard may hold two groups: a read-only one
+        // (reads before the first write to that shard in this region) and
+        // a writing one.
+        let mut open: Vec<(ShardKey, bool, Vec<usize>)> = Vec::new();
         let mut overlay: HashMap<String, Overlay> = HashMap::new();
         let mut scan_counts: HashMap<(String, Vec<Vid>), usize> = HashMap::new();
 
-        let flush = |open: &mut Vec<(ShardKey, Vec<usize>)>, steps: &mut Vec<Step>| {
-            for (key, indices) in open.drain(..) {
-                steps.push(Step::Shard { key, indices });
+        let flush = |open: &mut Vec<(ShardKey, bool, Vec<usize>)>, steps: &mut Vec<Step>| {
+            for (key, read_only, indices) in open.drain(..) {
+                steps.push(Step::Shard {
+                    key,
+                    indices,
+                    read_only,
+                });
             }
         };
 
@@ -279,7 +336,28 @@ impl BatchPlan {
                             NameState::Free | NameState::Unknown => None,
                         }
                     }
-                    Target::Sql(sql) => router.sql_shard(sql),
+                    // The router resolves the statement against the live
+                    // catalog; staged tables checked out earlier in this
+                    // same batch are invisible to it, so their names are
+                    // resolved through the overlay on top. A statement on
+                    // a fresh checkout must join that shard's group —
+                    // ordered against the checkout and the commit — not
+                    // the auxiliary group; names landing on two different
+                    // shards make it cross-shard, which goes sequential.
+                    Target::Sql(sql) => router.sql_shard(sql).and_then(|base| {
+                        let mut resolved = base;
+                        for name in sql_idents(sql) {
+                            let state = name_state(&overlay, router, &name, StagedKind::Table);
+                            if let NameState::Held { shard, .. } = state {
+                                if resolved == ShardKey::Aux {
+                                    resolved = shard;
+                                } else if resolved != shard {
+                                    return None;
+                                }
+                            }
+                        }
+                        Some(resolved)
+                    }),
                 },
             };
 
@@ -308,10 +386,21 @@ impl BatchPlan {
             }
 
             match route {
-                Some(key) => match open.iter_mut().find(|(k, _)| *k == key) {
-                    Some((_, indices)) => indices.push(i),
-                    None => open.push((key, vec![i])),
-                },
+                Some(key) => {
+                    // A read joins its shard's read-only group only while
+                    // no write to that shard is open: a read *after* a
+                    // write must observe it, so it rides in the write
+                    // group instead.
+                    let write_open = open.iter().any(|(k, ro, _)| *k == key && !*ro);
+                    let read_only = is_read_only(request) && !write_open;
+                    match open
+                        .iter_mut()
+                        .find(|(k, ro, _)| *k == key && *ro == read_only)
+                    {
+                        Some((_, _, indices)) => indices.push(i),
+                        None => open.push((key, read_only, vec![i])),
+                    }
+                }
                 None => {
                     flush(&mut open, &mut steps);
                     steps.push(Step::Sequential(i));
@@ -381,10 +470,12 @@ mod tests {
                     key: cvd_key("a"),
                     // The commit of t1 follows its checkout into shard a.
                     indices: vec![0, 2, 3],
+                    read_only: false,
                 },
                 Step::Shard {
                     key: cvd_key("b"),
                     indices: vec![1, 4],
+                    read_only: false,
                 },
             ]
         );
@@ -408,11 +499,13 @@ mod tests {
                 Step::Shard {
                     key: cvd_key("a"),
                     indices: vec![0],
+                    read_only: false,
                 },
                 Step::Sequential(1),
                 Step::Shard {
                     key: cvd_key("a"),
                     indices: vec![2],
+                    read_only: false,
                 },
             ]
         );
@@ -434,6 +527,7 @@ mod tests {
                 Step::Shard {
                     key: ShardKey::Aux,
                     indices: vec![2],
+                    read_only: true,
                 },
             ]
         );
@@ -456,6 +550,7 @@ mod tests {
                 Step::Shard {
                     key: cvd_key("a"),
                     indices: vec![0, 1],
+                    read_only: false,
                 },
                 Step::Sequential(2),
             ]
@@ -480,6 +575,7 @@ mod tests {
                 Step::Shard {
                     key: cvd_key("a"),
                     indices: vec![0],
+                    read_only: false,
                 },
                 Step::Sequential(1),
                 Step::Sequential(2),
@@ -515,10 +611,51 @@ mod tests {
                 Step::Shard {
                     key: cvd_key("right"),
                     indices: vec![0],
+                    read_only: false,
                 },
                 Step::Shard {
                     key: cvd_key("left"),
                     indices: vec![1],
+                    read_only: false,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn reads_before_a_shard_write_split_into_a_read_only_step() {
+        let requests: Vec<Request> = vec![
+            Log::of("a").into(),                                    // read, shard a
+            Checkout::of("a").version(1u64).into_table("t").into(), // write, shard a
+            Log::of("a").into(),                                    // read AFTER the write
+            Run::sql("SELECT 1").into(),                            // read, aux
+            Run::sql("INSERT INTO s VALUES (1)").into(),            // write, aux
+        ];
+        let plan = BatchPlan::build(&requests, &FixedRouter(vec!["a"]));
+        assert_eq!(
+            plan.steps(),
+            &[
+                // The leading read splits off; the trailing read rides in
+                // the write group to keep read-your-writes.
+                Step::Shard {
+                    key: cvd_key("a"),
+                    indices: vec![0],
+                    read_only: true,
+                },
+                Step::Shard {
+                    key: cvd_key("a"),
+                    indices: vec![1, 2],
+                    read_only: false,
+                },
+                Step::Shard {
+                    key: ShardKey::Aux,
+                    indices: vec![3],
+                    read_only: true,
+                },
+                Step::Shard {
+                    key: ShardKey::Aux,
+                    indices: vec![4],
+                    read_only: false,
                 },
             ]
         );

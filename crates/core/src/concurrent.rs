@@ -30,26 +30,71 @@
 //!   the previous identity afterwards, so interleaved sessions can never
 //!   observe or act under each other's identity.
 //!
+//! # MVCC snapshot reads
+//!
+//! Every shard additionally publishes an immutable **snapshot** of its
+//! last acknowledged state through an epoch-swap cell
+//! ([`parking_lot::ArcSwap`]): a write guard republishes the shard on
+//! release, and read-only requests — checkouts, diffs, `version_rows`,
+//! `log`, single-CVD `SELECT`s — clone the snapshot instead of taking the
+//! shard lock. Cloning is cheap because row storage is copy-on-write at
+//! table granularity and per-version rid lists are `Arc`-shared. A
+//! checkout materializes its table against such a clone and **parks** the
+//! result under the shard's pending list (`Shard::pending`, private to
+//! this module); the next writer adopts parked tables
+//! into the shard proper on lock acquisition. The net effect is the
+//! paper's reading of checkouts as reads of immutable committed versions:
+//! a checkout or SELECT never waits on a commit in flight, it simply
+//! observes the epoch published by the last *completed* writer. See
+//! `docs/CONCURRENCY.md` for the full contract.
+//!
+//! ```
+//! use orpheus_core::{OrpheusDB, SharedOrpheusDB, Vid};
+//! use orpheus_engine::{Column, DataType, Schema};
+//! # fn main() -> orpheus_core::Result<()> {
+//! let mut odb = OrpheusDB::new();
+//! let schema = Schema::new(vec![Column::new("k", DataType::Int)])
+//!     .with_primary_key(&["k"])
+//!     .unwrap();
+//! odb.init_cvd("data", schema, vec![vec![1.into()], vec![2.into()]], None)?;
+//!
+//! let shared = SharedOrpheusDB::new(odb);
+//! let alice = shared.session("alice")?;
+//! // All of these are snapshot reads: they complete even while another
+//! // session's commit holds the `data` shard's write lock.
+//! alice.checkout("data", &[Vid(1)], "work")?;
+//! assert_eq!(alice.version_rows("data", Vid(1))?.len(), 2);
+//! let d = alice.diff("data", Vid(1), Vid(1))?;
+//! assert!(d.only_in_first.is_empty() && d.only_in_second.is_empty());
+//! alice.discard("work")?;
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Lock order
 //!
-//! **Catalog before CVD, never the reverse, and never two CVD locks from
-//! one operation** (snapshot paths acquire all CVD locks in sorted key
-//! order while holding the catalog lock exclusively). Internal paths
-//! release the catalog lock before blocking on a CVD lock, so a stalled
-//! commit on one CVD cannot back up into the catalog. A thread-local
-//! counter enforces the order in debug builds: acquiring the catalog lock
-//! while holding any CVD lock — or reentering the catalog lock — panics
-//! loudly instead of deadlocking silently (see
-//! [`SharedOrpheusDB::read`] / [`SharedOrpheusDB::write`]).
+//! **Catalog before CVD, and multiple CVD locks only in sorted key order
+//! with the auxiliary shard last** (the instance-wide quiesce paths do so
+//! holding the catalog lock exclusively; cross-CVD write transactions do
+//! so holding it shared). Internal single-shard paths release the catalog
+//! lock before blocking on a CVD lock, so a stalled commit on one CVD
+//! cannot back up into the catalog. A thread-local counter enforces the
+//! order in debug builds: acquiring the catalog lock while holding any
+//! CVD lock — or reentering the catalog lock — panics loudly instead of
+//! deadlocking silently (see [`SharedOrpheusDB::read`] /
+//! [`SharedOrpheusDB::write`]).
 //!
 //! # Cross-CVD SQL
 //!
 //! A statement that touches a single CVD (the overwhelmingly common case)
 //! runs under that CVD's lock alone. A read-only `SELECT` spanning
-//! several CVDs runs against a consistent merged snapshot of the involved
-//! shards. A *writing* statement spanning CVDs is rejected with
-//! [`CoreError::CrossCvd`] — per-CVD locking deliberately does not offer
-//! multi-CVD write transactions.
+//! several CVDs runs against a merged snapshot of the involved shards. A
+//! *writing* statement spanning CVDs runs as a **cross-CVD write
+//! transaction**: the involved shard locks are taken in sorted key order
+//! (auxiliary shard last) under a shared catalog lock, the shards are
+//! merged, the statement executes once against the merged state, and the
+//! shards are split back — atomically with respect to every other path,
+//! which always sees either all of the statement's effects or none.
 //!
 //! # Sub-batch execution
 //!
@@ -71,10 +116,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
 
-use parking_lot::RwLock;
+use parking_lot::{ArcSwap, Mutex, RwLock};
 
 use orpheus_engine::sql::lexer::{tokenize, Token};
-use orpheus_engine::{EngineError, QueryResult};
+use orpheus_engine::{EngineError, QueryResult, Table, Value};
 
 use crate::access::AccessController;
 use crate::batch::{BatchPlan, BatchRouter, ShardKey, Step};
@@ -84,7 +129,7 @@ use crate::ids::Vid;
 use crate::partition_store::OptimizeReport;
 use crate::request::{Executor, Request, Target};
 use crate::response::Response;
-use crate::staging::StagedKind;
+use crate::staging::{StagedEntry, StagedKind};
 use crate::wal::{WalOp, WalSink};
 
 // ---------------------------------------------------------------------------
@@ -168,8 +213,21 @@ impl<G: DerefMut> DerefMut for Held<G> {
 // Shards and the catalog.
 // ---------------------------------------------------------------------------
 
+/// A checkout that completed against a shard's MVCC snapshot instead of
+/// under its write lock: the materialized table (`None` for CSV exports,
+/// which stage provenance only) plus its staging entry. Parked under
+/// [`Shard::pending`] until the next writer adopts it into the shard
+/// proper; until then, snapshot loads overlay it so the checkout is
+/// immediately visible to its owner.
+#[derive(Debug, Clone)]
+struct ParkedCheckout {
+    table: Option<Table>,
+    entry: StagedEntry,
+}
+
 /// One CVD's state behind its own lock: a single-CVD [`OrpheusDB`] holding
-/// the CVD's backing tables, version graph, and staged artifacts.
+/// the CVD's backing tables, version graph, and staged artifacts — plus
+/// the shard's published MVCC snapshot (see the module docs).
 #[derive(Debug)]
 struct Shard {
     /// Set when the shard has been replaced (instance-wide `write`) or its
@@ -178,12 +236,24 @@ struct Shard {
     /// orphaned state.
     retired: AtomicBool,
     db: RwLock<OrpheusDB>,
+    /// The shard's last acknowledged state, republished by every
+    /// [`ShardWriteGuard`] on release. Read-only paths clone this instead
+    /// of taking `db`'s lock, so they never wait on a writer.
+    snapshot: ArcSwap<OrpheusDB>,
+    /// Checkouts materialized against `snapshot` and awaiting adoption by
+    /// the next writer. Invariant: a parked entry is visible in exactly
+    /// one place — here *or* (after adoption) in the snapshot — never
+    /// both and never neither; [`Shard::load_snapshot`] and
+    /// [`Shard::adopt_pending`] serialize on this mutex to keep it so.
+    pending: Mutex<Vec<ParkedCheckout>>,
 }
 
 impl Shard {
     fn new(db: OrpheusDB) -> Arc<Shard> {
         Arc::new(Shard {
             retired: AtomicBool::new(false),
+            snapshot: ArcSwap::new(Arc::new(db.clone())),
+            pending: Mutex::new(Vec::new()),
             db: RwLock::new(db),
         })
     }
@@ -204,11 +274,109 @@ impl Shard {
         }
     }
 
-    fn write(&self) -> Held<impl DerefMut<Target = OrpheusDB> + '_> {
+    /// Acquire the shard's write lock, adopting any parked checkouts
+    /// first. The returned guard republishes the snapshot when dropped,
+    /// so everything a writer acknowledged is visible to subsequent
+    /// snapshot reads.
+    fn write(&self) -> ShardWriteGuard<'_> {
         let token = LockToken::shard();
-        Held {
-            guard: self.db.write(),
+        let mut guard = self.db.write();
+        if !self.is_retired() {
+            self.adopt_pending(&mut guard, true);
+        }
+        ShardWriteGuard {
+            shard: self,
+            guard,
             _token: token,
+        }
+    }
+
+    /// Move every parked checkout into `db`: assign its real logical
+    /// timestamp, add the materialized table to the engine, register the
+    /// staging entry. Holds the pending mutex across the apply *and* the
+    /// snapshot republish (`publish`), so a concurrent
+    /// [`Shard::load_snapshot`] — which takes the same mutex before
+    /// loading the epoch — sees each parked entry in exactly one place.
+    fn adopt_pending(&self, db: &mut OrpheusDB, publish: bool) {
+        let mut pending = self.pending.lock();
+        if pending.is_empty() {
+            return;
+        }
+        for mut parked in pending.drain(..) {
+            db.clock += 1;
+            parked.entry.created_at = db.clock;
+            if let Some(table) = parked.table {
+                db.engine
+                    .add_table(table)
+                    .expect("reserved checkout names are globally unique across shards");
+            }
+            db.staging
+                .register(parked.entry)
+                .expect("reserved checkout names are globally unique across shards");
+        }
+        if publish {
+            self.snapshot.store(Arc::new(db.clone()));
+        }
+    }
+
+    /// One consistent clone of this shard's MVCC snapshot: the last
+    /// published epoch overlaid with any still-parked checkouts. No shard
+    /// lock is taken, so a commit holding the write lock never delays
+    /// this. The pending mutex is acquired *before* the epoch load so an
+    /// adoption (which drains pending and republishes under that same
+    /// mutex) can never hide a parked entry from this load.
+    fn load_snapshot(&self) -> OrpheusDB {
+        let (epoch, parked) = {
+            let pending = self.pending.lock();
+            (self.snapshot.load(), pending.clone())
+        };
+        let mut db = OrpheusDB::clone(&epoch);
+        for parked in parked {
+            if let Some(table) = parked.table {
+                db.engine
+                    .add_table(table)
+                    .expect("reserved checkout names are globally unique across shards");
+            }
+            db.staging
+                .register(parked.entry)
+                .expect("reserved checkout names are globally unique across shards");
+        }
+        db
+    }
+}
+
+/// Write guard of a [`Shard`] that maintains the MVCC snapshot: parked
+/// checkouts were adopted on acquisition (see [`Shard::write`]), and the
+/// new epoch is published on release — cheap thanks to copy-on-write row
+/// storage and `Arc`-shared rid lists.
+struct ShardWriteGuard<'a> {
+    shard: &'a Shard,
+    guard: std::sync::RwLockWriteGuard<'a, OrpheusDB>,
+    _token: LockToken,
+}
+
+impl Deref for ShardWriteGuard<'_> {
+    type Target = OrpheusDB;
+    fn deref(&self) -> &OrpheusDB {
+        &self.guard
+    }
+}
+
+impl DerefMut for ShardWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut OrpheusDB {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardWriteGuard<'_> {
+    fn drop(&mut self) {
+        // A retired shard is unreachable (quiesced into a rebuild or
+        // dropped); publishing its emptied state would only confuse a
+        // racing snapshot reader's retire re-check.
+        if !self.shard.is_retired() {
+            self.shard
+                .snapshot
+                .store(Arc::new(OrpheusDB::clone(&self.guard)));
         }
     }
 }
@@ -333,17 +501,19 @@ impl Catalog {
         if kind == StagedKind::Table {
             // Names must stay unique across *all* shards, or merging
             // shards into a snapshot would collide. The target shard's
-            // own checkout catches collisions inside that shard; here we
-            // close the cross-shard cases: another CVD's backing-table
-            // namespace, and side tables living in the auxiliary shard.
+            // own checkout catches collisions with tables that exist
+            // right now; here we close the cross-shard cases (another
+            // CVD's backing-table namespace, side tables in the auxiliary
+            // shard) — and *every* CVD's `__` namespace including the
+            // target's own, because a parked checkout adopted later must
+            // never collide with backing tables a writer or the partition
+            // optimizer created in the meantime.
             let lower = name.to_ascii_lowercase();
             if let Some(owner) = self.claim_by_prefix(&lower) {
-                if owner != cvd_key {
-                    return Err(CoreError::Invalid(format!(
-                        "table name {name} lies in CVD {owner}'s backing-table \
-                         namespace ({owner}__*)"
-                    )));
-                }
+                return Err(CoreError::Invalid(format!(
+                    "table name {name} lies in CVD {owner}'s backing-table \
+                     namespace ({owner}__*)"
+                )));
             }
             if self.aux.read().engine.has_table(&lower) {
                 return Err(CoreError::Invalid(format!("table {name} already exists")));
@@ -353,36 +523,35 @@ impl Catalog {
         Ok(key)
     }
 
-    /// Consistent read snapshot of the whole instance: every shard's read
-    /// lock is taken (sorted order, auxiliary shard last) before any state
-    /// is cloned, so the merge observes one cut of history.
+    /// Merged read snapshot of the whole instance, built from every
+    /// shard's published MVCC snapshot — no shard locks, so a commit in
+    /// flight never delays it. Each shard's contribution is its last
+    /// *acknowledged* state (individually consistent); a writer still
+    /// inside its critical section is simply not visible yet.
     fn merged_snapshot(&self) -> Result<OrpheusDB> {
-        let arcs: Vec<Arc<Shard>> = self.shards.values().cloned().collect();
-        let guards: Vec<_> = arcs.iter().map(|s| s.read()).collect();
-        let aux = self.aux.read();
-        let mut merged = OrpheusDB::clone(&aux);
+        let mut merged = self.aux.load_snapshot();
         merged.access = self.access.clone();
         merged.config = self.config.clone();
-        for guard in &guards {
-            merged.absorb(OrpheusDB::clone(guard))?;
+        for shard in self.shards.values() {
+            merged.absorb(shard.load_snapshot())?;
         }
         Ok(merged)
     }
 
     /// Merged snapshot of a *subset* of shards (plus the auxiliary shard),
-    /// for read-only SQL spanning several CVDs.
+    /// for read-only SQL spanning several CVDs. Snapshot-based like
+    /// [`Catalog::merged_snapshot`].
     fn merged_subset(&self, keys: &BTreeSet<String>) -> Result<OrpheusDB> {
         let arcs: Vec<Arc<Shard>> = keys
             .iter()
+            .filter(|k| k.as_str() != AUX_KEY)
             .map(|k| self.shard_by_key(k))
             .collect::<Result<_>>()?;
-        let guards: Vec<_> = arcs.iter().map(|s| s.read()).collect();
-        let aux = self.aux.read();
-        let mut merged = OrpheusDB::clone(&aux);
+        let mut merged = self.aux.load_snapshot();
         merged.access = self.access.clone();
         merged.config = self.config.clone();
-        for guard in &guards {
-            merged.absorb(OrpheusDB::clone(guard))?;
+        for shard in &arcs {
+            merged.absorb(shard.load_snapshot())?;
         }
         Ok(merged)
     }
@@ -394,20 +563,29 @@ impl Catalog {
         let arcs: Vec<Arc<Shard>> = self.shards.values().cloned().collect();
         let mut guards: Vec<_> = arcs.iter().map(|s| s.write()).collect();
         let mut aux_guard = self.aux.write();
+        // Retire *before* the final pending drain below: a checkout that
+        // parks after the drain observes `retired` on its post-park
+        // re-check, finds its entry still parked, removes it, and retries
+        // against the rebuilt catalog (see `park_checkout_reserved`); a
+        // checkout that parked before it is adopted here and carried into
+        // the merge. Retiring while still holding the write guards also
+        // keeps the original guarantee: an operation blocked on the shard
+        // lock observes `retired` the moment it gets through, instead of
+        // running against the emptied shard.
+        for arc in &arcs {
+            arc.retire();
+        }
+        self.aux.retire();
+        for (arc, guard) in arcs.iter().zip(guards.iter_mut()) {
+            arc.adopt_pending(guard, false);
+        }
+        self.aux.adopt_pending(&mut aux_guard, false);
         let mut merged = std::mem::take(&mut *aux_guard);
         merged.access = self.access.clone();
         merged.config = self.config.clone();
         for guard in guards.iter_mut() {
             merged.absorb(std::mem::take(&mut **guard))?;
         }
-        // Retire *while still holding* the write guards: an operation that
-        // resolved its shard Arc before this rebuild and is blocked on the
-        // shard lock must observe `retired` the moment it gets through, or
-        // it would run against the emptied shard.
-        for arc in &arcs {
-            arc.retire();
-        }
-        self.aux.retire();
         drop(aux_guard);
         drop(guards);
         Ok(merged)
@@ -633,7 +811,10 @@ struct SqlPlan {
 /// names (`<cvd>__...`).
 fn analyze_sql(cat: &Catalog, sql: &str, versioned: bool) -> Result<SqlPlan> {
     let tokens = tokenize(sql).map_err(CoreError::from)?;
-    let is_select = tokens.first().is_some_and(|t| t.is_kw("select"));
+    // `SELECT ... INTO` materializes a table, so it does not count as
+    // read-only here — mirroring [`crate::query::is_select`].
+    let is_select = tokens.first().is_some_and(|t| t.is_kw("select"))
+        && !tokens.iter().any(|t| t.is_kw("into"));
     let mut cvds = BTreeSet::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -701,6 +882,96 @@ fn maybe_injected_panic(request: &Request) {
         let armed = PANIC_HOOK_NAME.lock().unwrap_or_else(|e| e.into_inner());
         if armed.as_deref() == Some(c.table.as_str()) {
             panic!("injected worker panic on checkout into {}", c.table);
+        }
+    }
+}
+
+/// State of the commit-gate test hook (see [`arm_commit_gate`]).
+struct CommitGate {
+    table: String,
+    entered: bool,
+    released: bool,
+}
+
+/// Fast-path flag mirroring [`PANIC_HOOK_ARMED`]: one relaxed load per
+/// commit when disarmed.
+static COMMIT_GATE_ARMED: AtomicBool = AtomicBool::new(false);
+static COMMIT_GATE: StdMutex<Option<CommitGate>> = StdMutex::new(None);
+static COMMIT_GATE_CV: std::sync::Condvar = std::sync::Condvar::new();
+
+/// Test/bench hook: hold the next `commit` of staged table `table` open
+/// **mid-flight, inside the shard's write lock**, until the returned
+/// handle is released (or dropped). This is the deterministic way to
+/// prove MVCC snapshot reads: arm the gate, start the commit on another
+/// thread, [`CommitGateHandle::wait_entered`], perform checkouts and
+/// SELECTs against the same CVD (they complete — they never touch the
+/// held lock), then [`CommitGateHandle::release`]. Also powers the
+/// torn-read tests: a reader during the held window sees the *old* graph,
+/// a reader after the commit acknowledges sees the *new* one, never a
+/// mixture.
+#[doc(hidden)]
+pub fn arm_commit_gate(table: &str) -> CommitGateHandle {
+    *COMMIT_GATE.lock().unwrap_or_else(|e| e.into_inner()) = Some(CommitGate {
+        table: table.to_string(),
+        entered: false,
+        released: false,
+    });
+    COMMIT_GATE_ARMED.store(true, Ordering::SeqCst);
+    CommitGateHandle { _private: () }
+}
+
+/// RAII handle of [`arm_commit_gate`]; dropping it releases the gate.
+#[doc(hidden)]
+pub struct CommitGateHandle {
+    _private: (),
+}
+
+impl CommitGateHandle {
+    /// Block until a committer is parked inside the gate (holding its
+    /// shard's write lock), or the gate was already released.
+    pub fn wait_entered(&self) {
+        let mut gate = COMMIT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        while gate.as_ref().is_some_and(|g| !g.entered && !g.released) {
+            gate = COMMIT_GATE_CV.wait(gate).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Release the held committer and disarm the gate.
+    pub fn release(&self) {
+        let mut gate = COMMIT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(g) = gate.as_mut() {
+            g.released = true;
+        }
+        COMMIT_GATE_ARMED.store(false, Ordering::SeqCst);
+        COMMIT_GATE_CV.notify_all();
+    }
+}
+
+impl Drop for CommitGateHandle {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Called by [`OrpheusDB::commit`] with the staged table name: parks the
+/// committer inside the gate when armed for that table, signalling
+/// [`CommitGateHandle::wait_entered`]. A no-op (one relaxed load) when
+/// disarmed.
+pub(crate) fn hold_commit_if_gated(table: &str) {
+    if !COMMIT_GATE_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut gate = COMMIT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        match gate.as_mut() {
+            Some(g) if g.table.eq_ignore_ascii_case(table) && !g.released => {
+                if !g.entered {
+                    g.entered = true;
+                    COMMIT_GATE_CV.notify_all();
+                }
+                gate = COMMIT_GATE_CV.wait(gate).unwrap_or_else(|e| e.into_inner());
+            }
+            _ => return,
         }
     }
 }
@@ -807,9 +1078,11 @@ impl BatchRouter for CatalogRouter<'_> {
 ///   names globally unique.
 /// * [`Target::StagedTable`] / [`Target::StagedCsv`] — the owning CVD is
 ///   resolved through the staged index, then that CVD's lock.
-/// * [`Target::Sql`] — the statement is analyzed; single-CVD statements
-///   take one CVD lock, read-only multi-CVD statements run on a merged
-///   snapshot, multi-CVD writes are rejected ([`CoreError::CrossCvd`]).
+/// * [`Target::Sql`] — the statement is analyzed; single-CVD reads run on
+///   that shard's MVCC snapshot, single-CVD writes take one CVD lock,
+///   multi-CVD reads run on a merged lock-free snapshot, and multi-CVD
+///   writes run as cross-CVD write transactions that lock every routed
+///   shard in sorted key order (auxiliary shard last).
 ///
 /// Two variants get session-level semantics instead of instance-level
 /// ones: `Whoami` reports the executor's user, and `Login` rebinds *this
@@ -851,13 +1124,14 @@ impl ConcurrentExecutor {
         }
     }
 
-    /// Read-locked variant of [`ConcurrentExecutor::locked`] for
-    /// operations that do not mutate the shard (e.g. `log`), letting them
-    /// run in parallel with each other.
-    fn locked_read<T>(
+    /// Run `f` against a clone of the shard `resolve` picks, taking **no
+    /// shard lock** — the MVCC read path. Retries when a catalog rebuild
+    /// retired the shard between resolution and the snapshot load (the
+    /// load could have observed the emptied post-quiesce state).
+    fn on_snapshot<T>(
         &self,
         resolve: impl Fn(&Catalog) -> Result<Arc<Shard>>,
-        f: impl FnOnce(&OrpheusDB) -> Result<T>,
+        f: impl FnOnce(&mut OrpheusDB) -> Result<T>,
     ) -> Result<T> {
         let mut f = Some(f);
         loop {
@@ -865,37 +1139,101 @@ impl ConcurrentExecutor {
                 let cat = self.inner.catalog_read();
                 resolve(&cat)?
             };
-            let db = shard.read();
+            let mut clone = shard.load_snapshot();
             if shard.is_retired() {
                 continue;
             }
             let f = f.take().expect("closure runs at most once");
-            return f(&db);
+            return under_identity(&mut clone, &self.user, f);
         }
     }
 
-    /// Reserve a staged name in the catalog index, run the checkout-style
-    /// operation under the CVD lock, and release the reservation on
-    /// failure. The reservation keeps staged names globally unique across
-    /// CVDs without holding the catalog lock during the (expensive)
-    /// materialization.
-    fn with_reservation<T>(
+    /// The MVCC checkout path: reserve the staged name in the catalog
+    /// index, **materialize against the shard's snapshot** (no shard
+    /// lock — a commit in flight never delays a checkout), park the
+    /// artifact for the next writer to adopt, and release the reservation
+    /// on failure.
+    fn park_checkout<T>(
         &self,
         cvd: &str,
         kind: StagedKind,
         name: &str,
-        f: impl FnOnce(&mut OrpheusDB) -> Result<T>,
+        materialize: impl Fn(&mut OrpheusDB) -> Result<T>,
     ) -> Result<T> {
         let cvd_key = cvd.to_ascii_lowercase();
-        let key = {
+        let staged_key = {
             let mut cat = self.inner.catalog_write();
             cat.reserve(cvd, kind, name)?
         };
-        let result = self.locked(|cat| cat.shard(cvd), f);
+        let result = self.park_checkout_reserved(&cvd_key, kind, name, &materialize);
         if result.is_err() {
-            release_reservations(&self.inner, &cvd_key, &[key]);
+            release_reservations(&self.inner, &cvd_key, std::slice::from_ref(&staged_key));
         }
         result
+    }
+
+    /// Post-reservation half of [`ConcurrentExecutor::park_checkout`]: the
+    /// snapshot materialization and the park itself, with the
+    /// retired-shard retry protocol. After parking, `retired` is
+    /// re-checked: a quiesce that retired the shard either already adopted
+    /// our entry (its drain runs after `retire`, so the entry is gone from
+    /// pending and travels with the rebuild) or left it parked — in which
+    /// case we un-park it ourselves and retry against the rebuilt catalog.
+    /// The reservation survives the rebuild precisely because the artifact
+    /// was not materialized yet (see [`SharedOrpheusDB::write`]).
+    fn park_checkout_reserved<T>(
+        &self,
+        cvd_key: &str,
+        kind: StagedKind,
+        name: &str,
+        materialize: &impl Fn(&mut OrpheusDB) -> Result<T>,
+    ) -> Result<T> {
+        let staged_key = Catalog::staged_key(name, kind);
+        loop {
+            let shard = {
+                let cat = self.inner.catalog_read();
+                cat.shard(cvd_key)?
+            };
+            let mut clone = shard.load_snapshot();
+            if shard.is_retired() {
+                continue;
+            }
+            let out = under_identity(&mut clone, &self.user, |odb| materialize(odb))?;
+            let table = match kind {
+                StagedKind::Table => Some(
+                    clone
+                        .engine
+                        .take_table(name)
+                        .expect("checkout materialized its target table"),
+                ),
+                StagedKind::Csv => None,
+            };
+            let entry = clone
+                .staging
+                .get(name, kind)
+                .expect("checkout registered its staging entry")
+                .clone();
+            shard.pending.lock().push(ParkedCheckout { table, entry });
+            if !shard.is_retired() {
+                return Ok(out);
+            }
+            let adopted = {
+                let mut pending = shard.pending.lock();
+                match pending
+                    .iter()
+                    .position(|p| Catalog::staged_key(&p.entry.name, p.entry.kind) == staged_key)
+                {
+                    Some(i) => {
+                        pending.remove(i);
+                        false
+                    }
+                    None => true,
+                }
+            };
+            if adopted {
+                return Ok(out);
+            }
+        }
     }
 
     /// Route a commit/discard-style operation through the staged index to
@@ -928,16 +1266,19 @@ impl ConcurrentExecutor {
     // -- the session-level command surface ----------------------------------
 
     /// `checkout` into a private staged table owned by this executor's
-    /// user.
+    /// user. Runs entirely against the CVD's MVCC snapshot — it never
+    /// waits on a commit in flight (the park-and-adopt protocol in the
+    /// module docs).
     pub fn checkout(&self, cvd: &str, vids: &[Vid], table: &str) -> Result<()> {
-        self.with_reservation(cvd, StagedKind::Table, table, |odb| {
+        self.park_checkout(cvd, StagedKind::Table, table, |odb| {
             odb.checkout(cvd, vids, table)
         })
     }
 
-    /// `checkout -f`: export version(s) as CSV text.
+    /// `checkout -f`: export version(s) as CSV text. Snapshot-served like
+    /// [`ConcurrentExecutor::checkout`].
     pub fn checkout_csv(&self, cvd: &str, vids: &[Vid], path: &str) -> Result<String> {
-        self.with_reservation(cvd, StagedKind::Csv, path, |odb| {
+        self.park_checkout(cvd, StagedKind::Csv, path, |odb| {
             odb.checkout_csv(cvd, vids, path)
         })
     }
@@ -966,9 +1307,16 @@ impl ConcurrentExecutor {
         self.with_staged(StagedKind::Table, table, |odb| odb.discard(table))
     }
 
-    /// `diff` two versions of a CVD.
+    /// `diff` two versions of a CVD — read-only, served from the CVD's
+    /// MVCC snapshot without taking the shard lock.
     pub fn diff(&self, cvd: &str, a: Vid, b: Vid) -> Result<VersionDiff> {
-        self.locked(|cat| cat.shard(cvd), |odb| odb.diff(cvd, a, b))
+        self.on_snapshot(|cat| cat.shard(cvd), |odb| odb.diff(cvd, a, b))
+    }
+
+    /// The rows `(rid, attributes)` of one version — read-only, served
+    /// from the CVD's MVCC snapshot without taking the shard lock.
+    pub fn version_rows(&self, cvd: &str, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+        self.on_snapshot(|cat| cat.shard(cvd), |odb| odb.version_rows(cvd, vid))
     }
 
     /// Run the partition optimizer.
@@ -1008,36 +1356,111 @@ impl ConcurrentExecutor {
             }
         };
         let result = match plan.cvds.len() {
+            // Read-only single-shard statements are served from the
+            // shard's MVCC snapshot — no shard lock, so they never wait
+            // on a writer. Writing statements take the shard's write
+            // lock as before.
+            0 if plan.is_select => self.on_snapshot(|cat| Ok(Arc::clone(&cat.aux)), exec),
             0 => self.locked(|cat| Ok(Arc::clone(&cat.aux)), exec),
             1 => {
                 let key = plan.cvds.iter().next().expect("len checked").clone();
-                self.locked(move |cat| cat.shard_by_key(&key), exec)
+                if plan.is_select {
+                    self.on_snapshot(move |cat| cat.shard_by_key(&key), exec)
+                } else {
+                    self.locked(move |cat| cat.shard_by_key(&key), exec)
+                }
             }
             _ if plan.is_select => return self.sql_on_snapshot(&plan.cvds, sql, versioned),
-            _ => return Err(CoreError::CrossCvd(plan.cvds.into_iter().collect())),
+            _ => return self.sql_cross_cvd_write(&plan.cvds, sql, versioned),
         };
-        // A SELECT that joins shard tables with auxiliary tables (or
+        // A statement that joins shard tables with auxiliary tables (or
         // another CVD's tables the analyzer could not attribute) fails
-        // with TableNotFound inside a single shard; retry it on a full
-        // merged snapshot before giving up.
+        // with TableNotFound inside a single shard. A SELECT retries on a
+        // full merged snapshot; a *writing* statement retries as a
+        // cross-CVD write transaction, which merges the routed shard with
+        // the auxiliary shard (and so sees the side tables) under proper
+        // locks.
         match result {
             Err(CoreError::Engine(EngineError::TableNotFound(_))) if plan.is_select => {
                 self.sql_on_snapshot(&plan.cvds, sql, versioned)
             }
-            // A *writing* statement cannot fall back to a snapshot (its
-            // effects would be discarded), so a missing table inside the
-            // routed shard gets an error that names the limitation rather
-            // than a bare TableNotFound.
-            Err(CoreError::Engine(EngineError::TableNotFound(t))) if !plan.cvds.is_empty() => {
-                let cvds: Vec<String> = plan.cvds.iter().cloned().collect();
-                Err(CoreError::Invalid(format!(
-                    "table {t} not found in the shard of CVD {}; writing statements \
-                     cannot reference tables outside that CVD under per-CVD locking",
-                    cvds.join("/")
-                )))
+            Err(CoreError::Engine(EngineError::TableNotFound(_))) if !plan.cvds.is_empty() => {
+                self.sql_cross_cvd_write(&plan.cvds, sql, versioned)
             }
             other => other,
         }
+    }
+
+    /// A writing statement spanning several shards: the **cross-CVD write
+    /// transaction**. Under a shared catalog lock (which pins the shard
+    /// set — retirement requires the catalog exclusively), the involved
+    /// shards' write locks are taken in sorted key order with the
+    /// auxiliary shard last — the same global order as the instance-wide
+    /// quiesce paths, so no two lock paths can deadlock. The shards are
+    /// merged, the statement executes once against the merged state, and
+    /// the shards are split back out; every guard republishes its MVCC
+    /// snapshot on release, so other paths observe either all of the
+    /// statement's effects or none.
+    fn sql_cross_cvd_write(
+        &self,
+        keys: &BTreeSet<String>,
+        sql: &str,
+        versioned: bool,
+    ) -> Result<QueryResult> {
+        self.sql_cross_cvd_write_as(&self.user, keys, sql, versioned)
+    }
+
+    /// [`ConcurrentExecutor::sql_cross_cvd_write`] under an explicit
+    /// identity — sub-batches carry a user per item, so their cross-CVD
+    /// write retries cannot assume this executor's user.
+    fn sql_cross_cvd_write_as(
+        &self,
+        user: &str,
+        keys: &BTreeSet<String>,
+        sql: &str,
+        versioned: bool,
+    ) -> Result<QueryResult> {
+        let cat = self.inner.catalog_read();
+        let shards: Vec<(String, Arc<Shard>)> = keys
+            .iter()
+            .filter(|k| k.as_str() != AUX_KEY)
+            .map(|k| Ok((k.clone(), cat.shard(k)?)))
+            .collect::<Result<_>>()?;
+        let aux = Arc::clone(&cat.aux);
+        let mut guards: Vec<ShardWriteGuard<'_>> =
+            shards.iter().map(|(_, shard)| shard.write()).collect();
+        let mut aux_guard = aux.write();
+        // Merge: the auxiliary shard is the base (its side tables stay
+        // put), each CVD shard is absorbed in. The catalog carries the
+        // canonical user registry, exactly as in `Catalog::take_all`.
+        let mut merged = std::mem::take(&mut *aux_guard);
+        merged.access = cat.access.clone();
+        merged.config = cat.config.clone();
+        for guard in guards.iter_mut() {
+            merged
+                .absorb(std::mem::take(&mut **guard))
+                .expect("disjoint shards merge without collisions");
+        }
+        let result = under_identity(&mut merged, user, |odb| {
+            guard_sql(odb, user, sql)?;
+            if versioned {
+                odb.run(sql)
+            } else {
+                Ok(odb.engine.execute(sql)?)
+            }
+        });
+        // Split back, whether or not the statement succeeded — the merge
+        // itself must never be lossy.
+        for ((key, _), guard) in shards.iter().zip(guards.iter_mut()) {
+            **guard = merged
+                .detach_cvd(key)
+                .expect("absorbed CVD detaches back out");
+        }
+        *aux_guard = merged;
+        drop(aux_guard);
+        drop(guards);
+        drop(cat);
+        result
     }
 
     /// Run a read-only statement on a merged snapshot of the involved
@@ -1095,11 +1518,11 @@ impl ConcurrentExecutor {
     /// ordinary [`ConcurrentExecutor::execute`] path as barriers between
     /// sub-batches. Sub-batches of *different* shards may interleave
     /// relative to each other (they touch disjoint state); within one
-    /// shard, submission order is preserved. A read-only statement that
-    /// turns out to reference tables outside its shard is retried on a
-    /// merged snapshot *after* the sub-batch (the same fallback the
-    /// per-request path applies inline), so it may observe later requests
-    /// of its own sub-batch.
+    /// shard, submission order is preserved. A statement that turns out to
+    /// reference tables outside its shard is retried *after* the sub-batch
+    /// (the same fallbacks the per-request path applies inline) — reads on
+    /// a merged snapshot, writes as a cross-CVD write transaction — so it
+    /// may observe later requests of its own sub-batch.
     pub fn execute_batch(&mut self, requests: Vec<Request>) -> Vec<Result<Response>> {
         let plan = {
             let cat = self.inner.catalog_read();
@@ -1113,8 +1536,16 @@ impl ConcurrentExecutor {
                     let request = slots[*i].take().expect("indices are scheduled once");
                     out[*i] = Some(self.execute(request));
                 }
-                Step::Shard { key, indices } => {
-                    self.execute_shard_batch(&plan, key, indices, &mut slots, &mut out)
+                Step::Shard {
+                    key,
+                    indices,
+                    read_only,
+                } => {
+                    if *read_only {
+                        self.execute_snapshot_batch(key, indices, &mut slots, &mut out)
+                    } else {
+                        self.execute_shard_batch(&plan, key, indices, &mut slots, &mut out)
+                    }
                 }
             }
         }
@@ -1145,6 +1576,30 @@ impl ConcurrentExecutor {
             })
             .collect();
         self.run_shard_items(plan, key, &mut items);
+        for (&i, item) in indices.iter().zip(items) {
+            out[i] = item.out;
+        }
+    }
+
+    /// One shard's *read-only* sub-batch against an MVCC snapshot (see
+    /// [`ConcurrentExecutor::execute_batch`]). Thin adapter over
+    /// [`ConcurrentExecutor::run_snapshot_items`].
+    fn execute_snapshot_batch(
+        &mut self,
+        key: &ShardKey,
+        indices: &[usize],
+        slots: &mut [Option<Request>],
+        out: &mut [Option<Result<Response>>],
+    ) {
+        let mut items: Vec<SubItem> = indices
+            .iter()
+            .map(|&i| SubItem {
+                user: self.user.clone(),
+                request: slots[i].take(),
+                out: out[i].take(),
+            })
+            .collect();
+        self.run_snapshot_items(key, &mut items);
         for (&i, item) in indices.iter().zip(items) {
             out[i] = item.out;
         }
@@ -1201,7 +1656,7 @@ impl ConcurrentExecutor {
         // resolution and acquisition (same protocol as `locked`).
         let mut consumed: Vec<String> = Vec::new();
         let mut failed_checkouts: Vec<String> = Vec::new();
-        let mut snapshot_retries: Vec<(usize, String, String)> = Vec::new();
+        let mut snapshot_retries: Vec<(usize, String, String, bool)> = Vec::new();
         loop {
             let resolved = {
                 let cat = self.inner.catalog_read();
@@ -1285,21 +1740,25 @@ impl ConcurrentExecutor {
                                 scan_cache.clear();
                             }
                             match shard_sql(&mut db, user, &run.sql) {
-                                Err(CoreError::Engine(EngineError::TableNotFound(t))) => {
+                                Err(CoreError::Engine(EngineError::TableNotFound(_))) => {
                                     if crate::query::is_select(&run.sql) {
                                         // Retried on a merged snapshot once
                                         // the shard lock is released
                                         // (catalog locks must never be
                                         // taken under a shard lock).
-                                        Err(run.sql)
-                                    } else if cat_key != AUX_KEY {
-                                        Ok(Err(CoreError::Invalid(format!(
-                                            "table {t} not found in the shard of CVD {cat_key}; \
-                                             writing statements cannot reference tables outside \
-                                             that CVD under per-CVD locking"
-                                        ))))
+                                        Err((run.sql, false))
                                     } else {
-                                        Ok(Err(CoreError::Engine(EngineError::TableNotFound(t))))
+                                        // The write references tables
+                                        // outside this shard: retried as a
+                                        // cross-CVD write transaction once
+                                        // the shard lock is released.
+                                        // (Aux-routed statements retry
+                                        // too — a staged table unknown at
+                                        // plan time resolves in the
+                                        // retry's re-analysis; a name that
+                                        // exists nowhere fails there with
+                                        // this same error.)
+                                        Err((run.sql, true))
                                     }
                                 }
                                 other => Ok(other.map(Response::Rows)),
@@ -1310,8 +1769,8 @@ impl ConcurrentExecutor {
                 }));
                 let result = match executed {
                     Ok(Ok(result)) => result,
-                    Ok(Err(retry_sql)) => {
-                        snapshot_retries.push((i, item.user.clone(), retry_sql));
+                    Ok(Err((retry_sql, is_write))) => {
+                        snapshot_retries.push((i, item.user.clone(), retry_sql, is_write));
                         continue;
                     }
                     Err(_) => {
@@ -1353,19 +1812,124 @@ impl ConcurrentExecutor {
             }
         }
 
-        // Phase 4 — snapshot retries for read-only SQL that referenced
-        // tables outside the shard (the fallback `sql_routed` applies
-        // inline, done here because it needs catalog access).
-        for (i, user, sql) in snapshot_retries {
-            let keys: BTreeSet<String> = if cat_key == AUX_KEY {
+        // Phase 4 — retries for SQL that referenced tables outside the
+        // shard (the fallbacks `sql_routed` applies inline, done here
+        // because they need catalog access): reads run on a merged
+        // snapshot, writes run as cross-CVD write transactions.
+        for (i, user, sql, is_write) in snapshot_retries {
+            let mut keys: BTreeSet<String> = if cat_key == AUX_KEY {
                 BTreeSet::new()
             } else {
                 std::iter::once(cat_key.clone()).collect()
             };
-            items[i].out = Some(
+            // Re-analyze against the live catalog: staged tables
+            // materialized earlier in this batch were invisible when the
+            // plan routed this statement, but their index entries exist
+            // now, so the statement's full shard set is known here.
+            {
+                let cat = self.inner.catalog_read();
+                if let Ok(plan) = analyze_sql(&cat, &sql, true) {
+                    keys.extend(plan.cvds);
+                }
+            }
+            let result = if is_write {
+                self.sql_cross_cvd_write_as(&user, &keys, &sql, true)
+            } else {
                 self.sql_on_snapshot_as(&user, &keys, &sql, true)
-                    .map(Response::Rows),
-            );
+            };
+            items[i].out = Some(result.map(Response::Rows));
+        }
+    }
+
+    /// Execute one shard's *read-only* sub-batch against a single MVCC
+    /// snapshot of that shard — no shard lock, no reservation phase
+    /// (read-only steps never contain checkouts). This is what lets the
+    /// async executor serve reads while a writer holds the shard: the
+    /// snapshot load never blocks. The load retries when a catalog
+    /// rebuild retired the shard mid-load, exactly like
+    /// [`ConcurrentExecutor::on_snapshot`]; a statement referencing
+    /// tables outside the shard retries on a merged snapshot, the same
+    /// fallback the locked path applies in its phase 4.
+    pub(crate) fn run_snapshot_items(&self, key: &ShardKey, items: &mut [SubItem]) {
+        let cat_key = match key {
+            ShardKey::Aux => AUX_KEY.to_string(),
+            ShardKey::Cvd(k) => k.clone(),
+        };
+        let mut db = loop {
+            let resolved = {
+                let cat = self.inner.catalog_read();
+                cat.shard_by_key(&cat_key)
+            };
+            let shard = match resolved {
+                Ok(shard) => shard,
+                Err(_) => {
+                    // The CVD vanished between planning and execution (a
+                    // concurrent drop): run each remaining request through
+                    // the per-request path, which re-resolves and reports
+                    // the ordinary errors.
+                    for item in items.iter_mut() {
+                        if let Some(request) = item.request.take() {
+                            let mut exec = ConcurrentExecutor {
+                                inner: Arc::clone(&self.inner),
+                                user: item.user.clone(),
+                            };
+                            item.out = Some(exec.execute(request));
+                        }
+                    }
+                    return;
+                }
+            };
+            let clone = shard.load_snapshot();
+            if shard.is_retired() {
+                continue;
+            }
+            break clone;
+        };
+        let mut poisoned = false;
+        for item in items.iter_mut() {
+            let Some(request) = item.request.take() else {
+                continue;
+            };
+            if poisoned {
+                item.out = Some(Err(CoreError::WorkerPanicked {
+                    shard: key.label().to_string(),
+                }));
+                continue;
+            }
+            let user = item.user.clone();
+            let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                maybe_injected_panic(&request);
+                match request {
+                    Request::Run(run) => {
+                        match under_identity(&mut db, &user, |odb| shard_sql(odb, &user, &run.sql))
+                        {
+                            Err(CoreError::Engine(EngineError::TableNotFound(_))) => {
+                                // The statement references tables outside
+                                // this shard: retry on a merged snapshot.
+                                let keys: BTreeSet<String> = if cat_key == AUX_KEY {
+                                    BTreeSet::new()
+                                } else {
+                                    std::iter::once(cat_key.clone()).collect()
+                                };
+                                self.sql_on_snapshot_as(&user, &keys, &run.sql, true)
+                            }
+                            other => other,
+                        }
+                        .map(Response::Rows)
+                    }
+                    other => under_identity(&mut db, &user, |odb| odb.execute(other)),
+                }
+            }));
+            let result = executed.unwrap_or_else(|_| {
+                // A panic mid-read leaves the private clone's integrity
+                // unknown; poison the rest of the sub-batch rather than
+                // serving from it, mirroring the locked path.
+                poisoned = true;
+                Err(CoreError::WorkerPanicked {
+                    shard: key.label().to_string(),
+                })
+            });
+            item.out = Some(result);
         }
     }
 
@@ -1474,9 +2038,10 @@ impl Executor for ConcurrentExecutor {
             // Run goes through the guarded session path: the bus must not
             // be a way around the Section 2.3 staged-table access rule.
             Request::Run(run) => Ok(Response::Rows(self.run(&run.sql)?)),
-            // Log only reads the version graph: a shard *read* lock, so
-            // history inspection runs in parallel with other readers.
-            Request::Log(l) => self.locked_read(
+            // Log only reads the version graph: served from the CVD's
+            // MVCC snapshot, so history inspection never waits on a
+            // writer.
+            Request::Log(l) => self.on_snapshot(
                 |cat| cat.shard(&l.cvd),
                 |odb| {
                     let entries = odb.log_entries(&l.cvd)?;
@@ -1486,6 +2051,14 @@ impl Executor for ConcurrentExecutor {
                     })
                 },
             ),
+            // Diff likewise reads two immutable versions: snapshot-served.
+            Request::Diff(d) => {
+                let cvd = d.cvd.clone();
+                self.on_snapshot(
+                    move |cat| cat.shard(&cvd),
+                    move |odb| odb.execute(Request::Diff(d)),
+                )
+            }
             // Everything else routes to one CVD's lock, delegating to the
             // single-threaded executor under the session identity.
             other => {
@@ -1515,7 +2088,7 @@ impl Executor for ConcurrentExecutor {
                         self.locked(|cat| cat.shard(&cvd), move |odb| odb.execute(other))
                     }
                     Route::Reserve(cvd, kind, name) => {
-                        self.with_reservation(&cvd, kind, &name, move |odb| odb.execute(other))
+                        self.park_checkout(&cvd, kind, &name, move |odb| odb.execute(other.clone()))
                     }
                     Route::Staged(kind, name) => {
                         self.with_staged(kind, &name, move |odb| odb.execute(other))
@@ -1540,12 +2113,14 @@ impl Executor for ConcurrentExecutor {
 /// One user's handle on a [`SharedOrpheusDB`].
 ///
 /// Every operation routes through the per-CVD locking scheme (see
-/// [`ConcurrentExecutor`]): it acquires the owning CVD's lock, switches
-/// that shard's access controller to this session's user, runs, and
-/// restores the previous identity — so sessions on different threads
-/// interleave without identity leaks, ownership checks (commit, discard)
-/// apply per session, and sessions working on *different* CVDs execute in
-/// parallel.
+/// [`ConcurrentExecutor`]): writes acquire the owning CVD's lock, while
+/// reads — [`Session::checkout`], [`Session::diff`],
+/// [`Session::version_rows`], single-CVD SELECTs — resolve against the
+/// shard's MVCC snapshot without blocking on any writer. Either way the
+/// operation runs under this session's identity (switched in, then
+/// restored) — so sessions on different threads interleave without
+/// identity leaks, ownership checks (commit, discard) apply per session,
+/// and sessions working on *different* CVDs execute in parallel.
 #[derive(Debug, Clone)]
 pub struct Session {
     exec: ConcurrentExecutor,
@@ -1597,6 +2172,12 @@ impl Session {
     /// `diff` two versions of a CVD.
     pub fn diff(&self, cvd: &str, a: Vid, b: Vid) -> Result<VersionDiff> {
         self.exec.diff(cvd, a, b)
+    }
+
+    /// The `(rid, row)` pairs of one version, resolved against the CVD
+    /// shard's MVCC snapshot — never blocks on a writer.
+    pub fn version_rows(&self, cvd: &str, vid: Vid) -> Result<Vec<(i64, Vec<Value>)>> {
+        self.exec.version_rows(cvd, vid)
     }
 
     /// List CVDs.
@@ -1961,7 +2542,7 @@ mod tests {
     }
 
     #[test]
-    fn cross_cvd_selects_work_and_cross_cvd_writes_are_rejected() {
+    fn cross_cvd_selects_and_writes_both_work() {
         let shared = shared_with_two_cvds();
         let session = shared.session("ana").unwrap();
 
@@ -1974,17 +2555,24 @@ mod tests {
             .unwrap();
         assert_eq!(n.scalar(), Some(&Value::Int(10)));
 
-        // Writes spanning CVDs are refused with a structured error.
+        // A write spanning CVDs runs as a cross-CVD write transaction:
+        // sorted shard locks, one execution, atomically visible.
         session.checkout("left", &[Vid(1)], "lw").unwrap();
         session.checkout("right", &[Vid(1)], "rw").unwrap();
-        let err = session
-            .sql("UPDATE lw SET v = (SELECT count(*) FROM rw)")
-            .unwrap_err();
-        assert!(
-            matches!(err, CoreError::CrossCvd(ref cvds) if cvds.len() == 2),
-            "{err}"
-        );
-        assert!(err.to_string().contains("left"), "{err}");
+        session.sql("UPDATE rw SET v = 1 WHERE k < 3").unwrap();
+        session
+            .sql("UPDATE lw SET v = (SELECT count(*) FROM rw WHERE rw.v = 1)")
+            .unwrap();
+        let n = session.sql("SELECT sum(v) FROM lw").unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(30)));
+        // Both staged tables commit back to their own CVDs afterwards.
+        assert_eq!(session.commit("lw", "cross write").unwrap(), Vid(2));
+        assert_eq!(session.commit("rw", "edited").unwrap(), Vid(2));
+        shared.read(|odb| {
+            assert_eq!(odb.cvd("left").unwrap().num_versions(), 2);
+            assert_eq!(odb.cvd("right").unwrap().num_versions(), 2);
+            assert!(odb.staged().is_empty());
+        });
     }
 
     #[test]
@@ -2031,20 +2619,23 @@ mod tests {
     }
 
     #[test]
-    fn writes_joining_shard_and_side_tables_explain_the_limitation() {
+    fn writes_joining_shard_and_side_tables_run_as_cross_cvd_transactions() {
         let shared = shared_with_two_cvds();
         let s = shared.session("u").unwrap();
         s.sql("CREATE TABLE side (k INT)").unwrap();
         s.sql("INSERT INTO side VALUES (7)").unwrap();
         s.checkout("left", &[Vid(1)], "work").unwrap();
         // A writing statement mixing a staged table (CVD shard) with a
-        // side table (auxiliary shard) cannot run under one CVD lock; the
-        // error names the limitation instead of a bare TableNotFound.
-        let err = s
-            .sql("UPDATE work SET v = (SELECT count(*) FROM side)")
-            .unwrap_err();
-        assert!(err.to_string().contains("per-CVD locking"), "{err}");
-        // The owner's single-shard writes still work.
+        // side table (auxiliary shard) cannot run under one CVD lock; it
+        // retries as a cross-CVD write transaction that merges the routed
+        // shard with the auxiliary shard.
+        s.sql("UPDATE work SET v = (SELECT count(*) FROM side)")
+            .unwrap();
+        let n = s.sql("SELECT count(*) FROM work WHERE v = 1").unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(10)));
+        // The side table stays in the auxiliary shard and the staged table
+        // in its CVD's shard: both remain usable afterwards.
+        s.sql("INSERT INTO side VALUES (8)").unwrap();
         s.sql("UPDATE work SET v = 7 WHERE k = 0").unwrap();
         s.commit("work", "fine").unwrap();
     }

@@ -3,6 +3,7 @@
 //! bridges to the partition crate's graph structures.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use orpheus_engine::{Column, DataType, Database, Schema, Value};
 use orpheus_partition::{BipartiteGraph, VersionGraph, VersionTree};
@@ -115,8 +116,12 @@ pub struct Cvd {
     pub model: ModelKind,
     pub versions: Vec<VersionMeta>,
     /// Sorted rid list per version (the version manager's cache of "which
-    /// version contains which records").
-    pub version_rids: Vec<Vec<i64>>,
+    /// version contains which records"). Each rlist is immutable once its
+    /// version commits and is therefore stored behind an [`Arc`], so
+    /// cloning a `Cvd` — the backbone of MVCC snapshot publication — costs
+    /// one refcount bump per version instead of copying every rlist.
+    /// `PartialEq`/persistence see through the `Arc` transparently.
+    pub version_rids: Vec<Arc<Vec<i64>>>,
     pub next_rid: u64,
     pub attrs: AttributeRegistry,
     /// Partitioned physical layout, if `optimize` has run.
@@ -456,7 +461,7 @@ mod tests {
             num_records: 3,
             base: None,
         });
-        cvd.version_rids.push(vec![1, 2, 3]);
+        cvd.version_rids.push(Arc::new(vec![1, 2, 3]));
         cvd.versions.push(VersionMeta {
             vid: Vid(2),
             parents: vec![Vid(1)],
@@ -468,7 +473,7 @@ mod tests {
             num_records: 3,
             base: Some(Vid(1)),
         });
-        cvd.version_rids.push(vec![2, 3, 4]);
+        cvd.version_rids.push(Arc::new(vec![2, 3, 4]));
         cvd.versions.push(VersionMeta {
             vid: Vid(3),
             parents: vec![Vid(1), Vid(2)],
@@ -480,7 +485,7 @@ mod tests {
             num_records: 4,
             base: Some(Vid(2)),
         });
-        cvd.version_rids.push(vec![1, 2, 3, 4]);
+        cvd.version_rids.push(Arc::new(vec![1, 2, 3, 4]));
         cvd.next_rid = 5;
         cvd
     }

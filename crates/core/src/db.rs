@@ -306,7 +306,7 @@ impl OrpheusDB {
             num_records: rids.len() as u64,
             base: None,
         });
-        cvd.version_rids.push(rids);
+        cvd.version_rids.push(std::sync::Arc::new(rids));
         cvd.sync_meta_row(&mut self.engine, Vid(1))?;
         self.cvds.insert(key, cvd);
         if let Some(op) = wal_op {
@@ -410,6 +410,10 @@ impl OrpheusDB {
     pub fn commit(&mut self, table: &str, message: &str) -> Result<Vid> {
         let entry = self.staging.get(table, StagedKind::Table)?.clone();
         self.access.check_owner(&entry.owner, table)?;
+        // Test/bench hook: hold this commit open mid-flight (under the
+        // shard write lock when called through the concurrent layer) so
+        // MVCC snapshot reads can be demonstrated deterministically.
+        crate::concurrent::hold_commit_if_gated(table);
         let staged_schema = self.engine.table(table)?.schema.clone();
         let rows = self.engine.table(table)?.rows().to_vec();
         let clock_before = self.clock;
@@ -678,7 +682,7 @@ impl OrpheusDB {
             num_records: rlist.len() as u64,
             base,
         });
-        cvd.version_rids.push(rlist);
+        cvd.version_rids.push(std::sync::Arc::new(rlist));
 
         // Finalize: metadata row + online partition maintenance
         // (Section 4.3). The version was just published into the live

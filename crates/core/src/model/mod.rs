@@ -648,7 +648,7 @@ pub(crate) mod testutil {
             num_records: rlist.len() as u64,
             base,
         });
-        cvd.version_rids.push(rlist);
+        cvd.version_rids.push(std::sync::Arc::new(rlist));
         vid
     }
 }

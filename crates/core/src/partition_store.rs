@@ -161,7 +161,7 @@ fn fill_rlist_table(db: &mut Database, cvd: &Cvd, table: &str, versions: &[usize
     for &v in versions {
         t.insert(vec![
             Value::Int(v as i64 + 1),
-            Value::IntArray(cvd.version_rids[v].clone()),
+            Value::IntArray((*cvd.version_rids[v]).clone()),
         ])?;
     }
     Ok(())
@@ -496,7 +496,7 @@ fn place_commit(
     }
     db.table_mut(&rlist_name)?.insert(vec![
         Value::Int(vid.0 as i64),
-        Value::IntArray(version_rids),
+        Value::IntArray((*version_rids).clone()),
     ])?;
 
     // Drift check: recompute C*avg and migrate when Cavg > µ·C*avg.

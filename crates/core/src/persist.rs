@@ -292,7 +292,7 @@ fn get_cvd(r: &mut ByteReader<'_>) -> Result<Cvd> {
     }
     let mut version_rids = Vec::with_capacity(nvers.min(r.remaining()));
     for _ in 0..nvers {
-        version_rids.push(get_i64s(r)?);
+        version_rids.push(std::sync::Arc::new(get_i64s(r)?));
     }
     let next_rid = r.get_u64()?;
     let nattrs = r.get_u32()? as usize;

@@ -25,10 +25,15 @@ use crate::model::ModelKind;
 /// may invalidate cached version scans (a non-SELECT can write anywhere,
 /// including a model's backing tables). Unparsable SQL reports `false` —
 /// callers treat it as potentially writing and let execution surface the
-/// parse error.
+/// parse error. `SELECT ... INTO t` materializes a table, so it reports
+/// `false` too: serving it from an MVCC snapshot would silently discard
+/// the created table.
 pub fn is_select(sql: &str) -> bool {
     tokenize(sql)
-        .map(|tokens| tokens.first().is_some_and(|t| t.is_kw("select")))
+        .map(|tokens| {
+            tokens.first().is_some_and(|t| t.is_kw("select"))
+                && !tokens.iter().any(|t| t.is_kw("into"))
+        })
         .unwrap_or(false)
 }
 

@@ -6,21 +6,67 @@
 //! relation primary key; [`Table::cluster_by`] re-sorts the heap and
 //! records which key the heap is ordered by so the cost model can charge
 //! sequential vs. random page accesses appropriately.
+//!
+//! # Copy-on-write storage
+//!
+//! The heap, its indexes, and the storage counters live behind one
+//! [`Arc`] (the private `TableData` struct), so cloning a `Table` — and
+//! therefore cloning a whole [`crate::Database`] — is O(1) per table: the
+//! clone shares the row storage until either side mutates. Every mutating
+//! method routes through `Table::data_mut`, which uses [`Arc::make_mut`] to copy the
+//! data exactly once, on the first write after a share. This is what lets
+//! `orpheus-core` publish cheap immutable snapshots of a shard for MVCC
+//! reads: the snapshot clone costs an `Arc` bump per table, and a writer
+//! preparing the next version pays for copies only on the tables it
+//! actually touches.
+
+use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
 use crate::index::{Index, IndexKey, IndexKind};
 use crate::schema::Schema;
 use crate::types::{Row, Value};
 
-/// A heap table with schema, rows, and secondary indexes.
-#[derive(Debug, Clone)]
-pub struct Table {
-    pub name: String,
-    pub schema: Schema,
+/// The shared, copy-on-write payload of a [`Table`]: heap rows, secondary
+/// indexes, clustering state, and byte accounting. Snapshot clones of a
+/// table alias one `TableData` until a writer calls [`Table::data_mut`];
+/// readers holding an older `Arc` keep seeing the pre-write rows, which is
+/// the immutability guarantee MVCC snapshot reads are built on.
+#[derive(Debug, Clone, Default)]
+struct TableData {
     rows: Vec<Row>,
     indexes: Vec<Index>,
     clustered_on: Option<Vec<usize>>,
     row_bytes_total: usize,
+}
+
+impl TableData {
+    fn rebuild_indexes(&mut self) {
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+        for (slot, row) in self.rows.iter().enumerate() {
+            for idx in &mut self.indexes {
+                let key = idx.key_of(row);
+                // Uniqueness was validated on the way in; rebuild can't fail.
+                let _ = idx.insert(key, slot);
+            }
+        }
+    }
+
+    fn recompute_bytes(&mut self) {
+        self.row_bytes_total = self.rows.iter().map(row_bytes).sum();
+    }
+}
+
+/// A heap table with schema, rows, and secondary indexes. Rows and indexes
+/// are stored copy-on-write (see the module docs), so `Table::clone` is
+/// cheap and clones diverge lazily.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    data: Arc<TableData>,
 }
 
 impl Table {
@@ -29,66 +75,79 @@ impl Table {
     /// the "physical primary key index" setup of Section 3.2.
     pub fn new(name: impl Into<String>, schema: Schema) -> Table {
         let name = name.into();
-        let mut t = Table {
-            name: name.clone(),
-            schema,
-            rows: Vec::new(),
-            indexes: Vec::new(),
-            clustered_on: None,
-            row_bytes_total: 0,
-        };
-        if !t.schema.primary_key.is_empty() {
-            let cols = t.schema.primary_key.clone();
-            t.indexes.push(Index::new(
+        let mut data = TableData::default();
+        if !schema.primary_key.is_empty() {
+            let cols = schema.primary_key.clone();
+            data.indexes.push(Index::new(
                 format!("{name}_pkey"),
                 cols,
                 true,
                 IndexKind::Hash,
             ));
         }
-        t
+        Table {
+            name,
+            schema,
+            data: Arc::new(data),
+        }
+    }
+
+    /// The copy-on-write escape hatch every mutating method goes through:
+    /// [`Arc::make_mut`] returns the unique payload, copying it first if a
+    /// snapshot clone still aliases it. Borrowing only the `data` field
+    /// keeps `self.name`/`self.schema` readable during a mutation.
+    fn data_mut(&mut self) -> &mut TableData {
+        Arc::make_mut(&mut self.data)
+    }
+
+    /// True when both tables still alias the same copy-on-write payload —
+    /// i.e. neither side has mutated since the clone. Used by tests to
+    /// prove snapshot clones are O(1) and diverge lazily.
+    pub fn shares_data_with(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.data.rows.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.data.rows.is_empty()
     }
 
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        &self.data.rows
     }
 
     pub fn row(&self, slot: usize) -> &Row {
-        &self.rows[slot]
+        &self.data.rows[slot]
     }
 
     /// Column indices the heap is currently physically sorted by, if any.
     pub fn clustered_on(&self) -> Option<&[usize]> {
-        self.clustered_on.as_deref()
+        self.data.clustered_on.as_deref()
     }
 
     /// True if the heap is clustered on exactly the given columns.
     pub fn is_clustered_on(&self, cols: &[usize]) -> bool {
-        self.clustered_on.as_deref() == Some(cols)
+        self.data.clustered_on.as_deref() == Some(cols)
     }
 
     /// Average row width in bytes (used by the page cost model).
     pub fn avg_row_bytes(&self) -> usize {
-        if self.rows.is_empty() {
+        if self.data.rows.is_empty() {
             64
         } else {
-            (self.row_bytes_total / self.rows.len()).max(1)
+            (self.data.row_bytes_total / self.data.rows.len()).max(1)
         }
     }
 
     /// Total storage footprint: heap bytes plus all index bytes, matching
     /// the paper's convention of counting index size in storage numbers.
     pub fn storage_bytes(&self) -> usize {
-        self.row_bytes_total
+        self.data.row_bytes_total
             + self
+                .data
                 .indexes
                 .iter()
                 .map(|i| i.storage_bytes())
@@ -97,15 +156,14 @@ impl Table {
 
     /// Heap-only storage footprint.
     pub fn heap_bytes(&self) -> usize {
-        self.row_bytes_total
+        self.data.row_bytes_total
     }
 
     /// Insert one row (validated and coerced against the schema).
     pub fn insert(&mut self, row: Row) -> Result<()> {
         let row = self.schema.check_row(&row)?;
-        let slot = self.rows.len();
         // Check uniqueness on all unique indexes before mutating any.
-        for idx in &self.indexes {
+        for idx in &self.data.indexes {
             if idx.unique {
                 let key = idx.key_of(&row);
                 if !idx.lookup(&key).is_empty() {
@@ -116,15 +174,17 @@ impl Table {
                 }
             }
         }
-        for idx in &mut self.indexes {
+        let data = Arc::make_mut(&mut self.data);
+        let slot = data.rows.len();
+        for idx in &mut data.indexes {
             let key = idx.key_of(&row);
             idx.insert(key, slot)?;
         }
-        self.row_bytes_total += row_bytes(&row);
-        self.rows.push(row);
+        data.row_bytes_total += row_bytes(&row);
+        data.rows.push(row);
         // Appends invalidate physical clustering unless the table is empty.
-        if self.rows.len() > 1 {
-            self.clustered_on = None;
+        if data.rows.len() > 1 {
+            data.clustered_on = None;
         }
         Ok(())
     }
@@ -143,7 +203,7 @@ impl Table {
     pub fn replace_row(&mut self, slot: usize, new_row: Row) -> Result<()> {
         let new_row = self.schema.check_row(&new_row)?;
         // Uniqueness: the new key must not collide with a *different* slot.
-        for idx in &self.indexes {
+        for idx in &self.data.indexes {
             if idx.unique {
                 let key = idx.key_of(&new_row);
                 if idx.lookup(&key).iter().any(|&s| s != slot) {
@@ -154,8 +214,9 @@ impl Table {
                 }
             }
         }
-        let old = self.rows[slot].clone();
-        for idx in &mut self.indexes {
+        let data = Arc::make_mut(&mut self.data);
+        let old = data.rows[slot].clone();
+        for idx in &mut data.indexes {
             let old_key = idx.key_of(&old);
             let new_key = idx.key_of(&new_row);
             if old_key != new_key {
@@ -163,8 +224,8 @@ impl Table {
                 idx.insert(new_key, slot)?;
             }
         }
-        self.row_bytes_total = self.row_bytes_total + row_bytes(&new_row) - row_bytes(&old);
-        self.rows[slot] = new_row;
+        data.row_bytes_total = data.row_bytes_total + row_bytes(&new_row) - row_bytes(&old);
+        data.rows[slot] = new_row;
         Ok(())
     }
 
@@ -176,30 +237,32 @@ impl Table {
         }
         slots.sort_unstable();
         slots.dedup();
-        let mut keep = Vec::with_capacity(self.rows.len() - slots.len());
+        let data = self.data_mut();
+        let mut keep = Vec::with_capacity(data.rows.len() - slots.len());
         let mut del_iter = slots.iter().peekable();
-        for (i, row) in self.rows.drain(..).enumerate() {
+        for (i, row) in data.rows.drain(..).enumerate() {
             if del_iter.peek() == Some(&&i) {
                 del_iter.next();
             } else {
                 keep.push(row);
             }
         }
-        self.rows = keep;
-        self.rebuild_indexes();
-        self.recompute_bytes();
-        self.clustered_on = None;
+        data.rows = keep;
+        data.rebuild_indexes();
+        data.recompute_bytes();
+        data.clustered_on = None;
         slots.len()
     }
 
     /// Remove every row, keeping schema and index definitions.
     pub fn truncate(&mut self) {
-        self.rows.clear();
-        for idx in &mut self.indexes {
+        let data = self.data_mut();
+        data.rows.clear();
+        for idx in &mut data.indexes {
             idx.clear();
         }
-        self.row_bytes_total = 0;
-        self.clustered_on = None;
+        data.row_bytes_total = 0;
+        data.clustered_on = None;
     }
 
     /// Create a secondary index over the named columns.
@@ -211,7 +274,7 @@ impl Table {
         kind: IndexKind,
     ) -> Result<()> {
         let index_name = index_name.into();
-        if self.indexes.iter().any(|i| i.name == index_name) {
+        if self.data.indexes.iter().any(|i| i.name == index_name) {
             return Err(EngineError::Invalid(format!(
                 "index {index_name} already exists on {}",
                 self.name
@@ -222,26 +285,27 @@ impl Table {
             .map(|c| self.schema.column_index(c))
             .collect();
         let mut idx = Index::new(index_name, cols?, unique, kind);
-        for (slot, row) in self.rows.iter().enumerate() {
+        let data = self.data_mut();
+        for (slot, row) in data.rows.iter().enumerate() {
             let key = idx.key_of(row);
             idx.insert(key, slot)?;
         }
-        self.indexes.push(idx);
+        data.indexes.push(idx);
         Ok(())
     }
 
     /// Find an index whose leading columns cover exactly `cols`.
     pub fn index_on(&self, cols: &[usize]) -> Option<&Index> {
-        self.indexes.iter().find(|i| i.columns == cols)
+        self.data.indexes.iter().find(|i| i.columns == cols)
     }
 
     /// Find an index by name.
     pub fn index_named(&self, name: &str) -> Option<&Index> {
-        self.indexes.iter().find(|i| i.name == name)
+        self.data.indexes.iter().find(|i| i.name == name)
     }
 
     pub fn indexes(&self) -> &[Index] {
-        &self.indexes
+        &self.data.indexes
     }
 
     /// Physically sort the heap by the given columns and rebuild indexes,
@@ -253,7 +317,8 @@ impl Table {
             .map(|c| self.schema.column_index(c))
             .collect();
         let cols = cols?;
-        self.rows.sort_by(|a, b| {
+        let data = self.data_mut();
+        data.rows.sort_by(|a, b| {
             for &c in &cols {
                 let ord = a[c].total_cmp(&b[c]);
                 if ord != std::cmp::Ordering::Equal {
@@ -262,8 +327,8 @@ impl Table {
             }
             std::cmp::Ordering::Equal
         });
-        self.rebuild_indexes();
-        self.clustered_on = Some(cols);
+        data.rebuild_indexes();
+        data.clustered_on = Some(cols);
         Ok(())
     }
 
@@ -282,10 +347,11 @@ impl Table {
             ));
         }
         self.schema.columns.push(col);
-        for row in &mut self.rows {
+        let data = self.data_mut();
+        for row in &mut data.rows {
             row.push(Value::Null);
         }
-        self.row_bytes_total += self.rows.len(); // 1 byte per NULL
+        data.row_bytes_total += data.rows.len(); // 1 byte per NULL
         Ok(())
     }
 
@@ -306,30 +372,15 @@ impl Table {
                 "cannot narrow column {name} from {old} to {new_type}"
             )));
         }
-        for row in &mut self.rows {
+        let data = Arc::make_mut(&mut self.data);
+        for row in &mut data.rows {
             row[ci] = row[ci].coerce_to(new_type)?;
         }
         self.schema.columns[ci].dtype = new_type;
-        self.rebuild_indexes();
-        self.recompute_bytes();
+        let data = self.data_mut();
+        data.rebuild_indexes();
+        data.recompute_bytes();
         Ok(())
-    }
-
-    fn rebuild_indexes(&mut self) {
-        for idx in &mut self.indexes {
-            idx.clear();
-        }
-        for (slot, row) in self.rows.iter().enumerate() {
-            for idx in &mut self.indexes {
-                let key = idx.key_of(row);
-                // Uniqueness was validated on the way in; rebuild can't fail.
-                let _ = idx.insert(key, slot);
-            }
-        }
-    }
-
-    fn recompute_bytes(&mut self) {
-        self.row_bytes_total = self.rows.iter().map(row_bytes).sum();
     }
 
     /// Slots matching a key on the index covering `cols`, if one exists.
@@ -524,5 +575,35 @@ mod tests {
         assert!(t
             .create_index("t_val", &["val"], false, IndexKind::Hash)
             .is_err());
+    }
+
+    #[test]
+    fn clones_share_storage_until_a_write_diverges_them() {
+        let mut t = table();
+        for i in 0..4 {
+            t.insert(vec![Value::Int(i), format!("v{i}").into()])
+                .unwrap();
+        }
+        // A clone is a snapshot: same Arc, no row copies.
+        let snapshot = t.clone();
+        assert!(t.shares_data_with(&snapshot));
+
+        // The first mutation after a share copies the payload once; the
+        // snapshot keeps seeing the pre-write rows.
+        t.insert(vec![Value::Int(99), "new".into()]).unwrap();
+        assert!(!t.shares_data_with(&snapshot));
+        assert_eq!(t.len(), 5);
+        assert_eq!(snapshot.len(), 4);
+        assert!(snapshot
+            .index_lookup(&[0], &vec![Value::Int(99)])
+            .unwrap()
+            .is_empty());
+        assert_eq!(t.index_lookup(&[0], &vec![Value::Int(99)]).unwrap(), &[4]);
+
+        // Reads never diverge a share.
+        let reader = t.clone();
+        let _ = reader.rows();
+        let _ = reader.storage_bytes();
+        assert!(t.shares_data_with(&reader));
     }
 }

@@ -7,9 +7,10 @@
 //! poisoning instead of propagating it, which matches parking_lot's
 //! semantics (no poisoning) for the workloads here. The `Mutex`/`Condvar`
 //! pair is what `orpheus-core`'s async executor builds its job queues and
-//! tickets from.
+//! tickets from, and [`ArcSwap`] is the epoch-swap cell `orpheus-core`'s
+//! MVCC snapshot reads publish shard snapshots through.
 
-use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock that never poisons.
 #[derive(Debug, Default)]
@@ -121,6 +122,65 @@ impl Condvar {
     }
 }
 
+/// An epoch-swap cell: an `Arc<T>` that readers [`load`](ArcSwap::load)
+/// without ever blocking on a writer's critical section, and writers
+/// replace atomically with [`store`](ArcSwap::store).
+///
+/// This is the offline stand-in for the `arc-swap` crate's cell of the
+/// same name, implemented as a `Mutex<Arc<T>>`: a `load` holds the mutex
+/// only long enough to bump the refcount (a few instructions — never
+/// across user code), so readers are wait-free for all practical
+/// purposes even while a writer is busy preparing the *next* value
+/// outside the cell. The protocol it supports:
+///
+/// 1. readers `load()` the current epoch's value and use it lock-free;
+/// 2. a writer builds a fresh `Arc<T>` privately (no reader can see the
+///    work in progress);
+/// 3. the writer `store()`s the new `Arc`, atomically retiring the old
+///    epoch — in-flight readers keep their old `Arc` alive until they
+///    drop it, so no value is ever torn or freed early.
+///
+/// `orpheus-core` publishes each shard's committed database state
+/// through one of these, which is what lets checkouts and SELECTs run
+/// while a commit holds the shard's write lock.
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    cell: Mutex<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Create a cell holding `value` as epoch zero.
+    pub fn new(value: Arc<T>) -> ArcSwap<T> {
+        ArcSwap {
+            cell: Mutex::new(value),
+        }
+    }
+
+    /// Clone out the current epoch's `Arc`. The internal lock is held
+    /// only for the refcount bump, never across reader code, so loads
+    /// never wait on a writer preparing the next value.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.cell.lock())
+    }
+
+    /// Atomically publish `value` as the new epoch. Readers that loaded
+    /// the previous epoch keep using it; new loads see `value`.
+    pub fn store(&self, value: Arc<T>) {
+        *self.cell.lock() = value;
+    }
+
+    /// Publish `value` and return the epoch it replaced.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(&mut self.cell.lock(), value)
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> ArcSwap<T> {
+        ArcSwap::new(Arc::new(T::default()))
+    }
+}
+
 /// Outcome of [`Condvar::wait_for`], mirroring parking_lot's type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaitTimeoutResult(bool);
@@ -202,6 +262,50 @@ mod tests {
         *done = true;
         drop(done);
         assert!(*m.lock());
+    }
+
+    #[test]
+    fn arc_swap_load_store_roundtrip() {
+        let cell = ArcSwap::new(Arc::new(1u64));
+        let before = cell.load();
+        cell.store(Arc::new(2));
+        // The old epoch stays alive and unchanged for holders...
+        assert_eq!(*before, 1);
+        // ...while new loads see the new epoch.
+        assert_eq!(*cell.load(), 2);
+        let old = cell.swap(Arc::new(3));
+        assert_eq!(*old, 2);
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn arc_swap_readers_never_see_a_torn_epoch() {
+        // Each published epoch is a self-consistent pair (n, 2n); readers
+        // racing against the publisher must only ever observe consistent
+        // pairs, whichever epoch they land on.
+        let cell = Arc::new(ArcSwap::new(Arc::new((0u64, 0u64))));
+        std::thread::scope(|scope| {
+            let publisher = Arc::clone(&cell);
+            scope.spawn(move || {
+                for n in 1..=500u64 {
+                    publisher.store(Arc::new((n, 2 * n)));
+                }
+            });
+            for _ in 0..4 {
+                let reader = Arc::clone(&cell);
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..500 {
+                        let epoch = reader.load();
+                        assert_eq!(epoch.1, 2 * epoch.0, "torn epoch observed");
+                        // Epochs are also monotone for any single reader.
+                        assert!(epoch.0 >= last);
+                        last = epoch.0;
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.load().0, 500);
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Keeps `docs/ARCHITECTURE.md` honest: every repository path referenced
-//! in an inline code span must exist. The `docs` CI job runs the same
-//! check as a shell grep; this test makes it part of tier-1 so a rename
-//! fails fast locally too.
+//! Keeps `docs/ARCHITECTURE.md` and `docs/CONCURRENCY.md` honest: every
+//! repository path referenced in an inline code span must exist. The
+//! `docs` CI job runs the same check as a shell grep; this test makes it
+//! part of tier-1 so a rename fails fast locally too.
 
 use std::path::Path;
 
@@ -28,23 +28,32 @@ fn referenced_paths(markdown: &str) -> Vec<String> {
     paths
 }
 
-#[test]
-fn every_path_referenced_by_the_architecture_doc_exists() {
+fn assert_doc_paths_exist(doc_path: &str) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let doc = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md"))
-        .expect("docs/ARCHITECTURE.md exists");
+    let doc = std::fs::read_to_string(root.join(doc_path))
+        .unwrap_or_else(|_| panic!("{doc_path} exists"));
     let paths = referenced_paths(&doc);
     assert!(
         paths.len() >= 10,
-        "the architecture doc should anchor its claims in file pointers; \
+        "{doc_path} should anchor its claims in file pointers; \
          found only {paths:?}"
     );
     let missing: Vec<&String> = paths.iter().filter(|p| !root.join(p).exists()).collect();
     assert!(
         missing.is_empty(),
-        "docs/ARCHITECTURE.md references paths that do not exist: {missing:?} — \
+        "{doc_path} references paths that do not exist: {missing:?} — \
          update the doc in the same PR that moved them"
     );
+}
+
+#[test]
+fn every_path_referenced_by_the_architecture_doc_exists() {
+    assert_doc_paths_exist("docs/ARCHITECTURE.md");
+}
+
+#[test]
+fn every_path_referenced_by_the_concurrency_doc_exists() {
+    assert_doc_paths_exist("docs/CONCURRENCY.md");
 }
 
 #[test]

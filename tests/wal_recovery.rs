@@ -77,7 +77,7 @@ fn graph(odb: &OrpheusDB, name: &str) -> (Vec<String>, Vec<Vec<i64>>) {
     let cvd = odb.cvd(name).expect("cvd exists");
     (
         cvd.versions.iter().map(|m| format!("{m:?}")).collect(),
-        cvd.version_rids.clone(),
+        cvd.version_rids.iter().map(|r| (**r).clone()).collect(),
     )
 }
 
