@@ -42,7 +42,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use orpheus_bench::harness::{contention_storm, env_usize};
+use orpheus_bench::harness::{contention_storm, env_usize, write_bench_json, JsonObject};
 use orpheus_bench::loader::bench_schema;
 use orpheus_core::cvd::VersionMeta;
 use orpheus_core::request::{Executor, Init, Request};
@@ -166,7 +166,9 @@ fn server_main() -> Result<()> {
 
 /// One synchronous connection driving one CVD. Reports how many requests
 /// were **acknowledged** before the server died; at most one more can be
-/// in flight. Output protocol: a single `acked <n>` line.
+/// in flight. Output protocol: an optional
+/// `retry <reconnects> <replayed> <overload_retries>` line, then a single
+/// `acked <n>` line.
 fn client_main() {
     let addr = std::env::var("ORPHEUS_CRASH_ADDR").expect("client needs ORPHEUS_CRASH_ADDR");
     let index = env_usize("ORPHEUS_CRASH_CLIENT", 0);
@@ -176,10 +178,17 @@ fn client_main() {
         for request in contention_storm(&format!("cvd{index}"), index, ops) {
             match remote.execute(request) {
                 Ok(_) => acked += 1,
-                // The expected death: the server was killed under us.
+                // The expected death: the server was killed under us (the
+                // retry policy already burned through its reconnect budget
+                // against a permanently-dead address).
                 Err(_) => break,
             }
         }
+        let rs = remote.retry_stats();
+        println!(
+            "retry {} {} {}",
+            rs.reconnects, rs.replayed, rs.overload_retries
+        );
     }
     println!("acked {acked}");
 }
@@ -197,6 +206,16 @@ fn copy_dir(from: &Path, to: &Path) -> std::io::Result<()> {
         }
     }
     Ok(())
+}
+
+/// Counters one trial reports back, aggregated into `BENCH_crash.json` —
+/// mostly evidence of how hard the clients fought the dying server.
+#[derive(Default)]
+struct TrialCounters {
+    acked: u64,
+    reconnects: u64,
+    replayed: u64,
+    overload_retries: u64,
 }
 
 struct Trial {
@@ -227,7 +246,12 @@ fn reap_server(mut server: Child, grace: Duration) -> Result<()> {
     }
 }
 
-fn run_trial(trial: &Trial, clients: usize, ops: usize, records: usize) -> Result<Vec<String>> {
+fn run_trial(
+    trial: &Trial,
+    clients: usize,
+    ops: usize,
+    records: usize,
+) -> Result<(Vec<String>, TrialCounters)> {
     let exe = std::env::current_exe()
         .map_err(|e| CoreError::Io(format!("cannot locate the bench binary: {e}")))?;
     let dir = std::env::temp_dir().join(format!(
@@ -297,6 +321,7 @@ fn run_trial(trial: &Trial, clients: usize, ops: usize, records: usize) -> Resul
     }
 
     let mut acked = vec![0usize; clients];
+    let mut counters = TrialCounters::default();
     for (i, child) in children.into_iter().enumerate() {
         let output = child
             .wait_with_output()
@@ -308,6 +333,19 @@ fn run_trial(trial: &Trial, clients: usize, ops: usize, records: usize) -> Resul
             .and_then(|v| v.trim().parse::<usize>().ok())
             .ok_or_else(|| CoreError::Network(format!("client {i} reported no ack count")))?;
         acked[i] = n;
+        counters.acked += n as u64;
+        if let Some(rest) = stdout.lines().find_map(|l| l.strip_prefix("retry ")) {
+            let mut parts = rest.split_whitespace();
+            let mut next = || {
+                parts
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+            };
+            counters.reconnects += next();
+            counters.replayed += next();
+            counters.overload_retries += next();
+        }
     }
     if trial.kill != "external" {
         reap_server(server, Duration::from_secs(3))?;
@@ -382,7 +420,7 @@ fn run_trial(trial: &Trial, clients: usize, ops: usize, records: usize) -> Resul
             eprintln!("saved failing WAL dir to {}", artifacts.display());
         }
     }
-    Ok(failures)
+    Ok((failures, counters))
 }
 
 fn run() -> Result<bool> {
@@ -393,6 +431,7 @@ fn run() -> Result<bool> {
 
     let mut ok = true;
     let mut trials = 0usize;
+    let mut totals = TrialCounters::default();
     for round in 0..rounds {
         for (p, &kill) in KILL_POINTS.iter().enumerate() {
             // Spread the kill across the storm: vary the hook countdown
@@ -406,21 +445,43 @@ fn run() -> Result<bool> {
                 delay_ms: 20 + ((round * 7 + p * 13) % 10) as u64 * 15,
             };
             trials += 1;
-            let failures = run_trial(&trial, clients, ops, records)?;
+            let (failures, counters) = run_trial(&trial, clients, ops, records)?;
             if failures.is_empty() {
-                println!("trial {kill} (round {round}): ok");
+                println!(
+                    "trial {kill} (round {round}): ok ({} acked)",
+                    counters.acked
+                );
             } else {
                 ok = false;
                 for f in &failures {
                     eprintln!("trial {kill} (round {round}): GATE: {f}");
                 }
             }
+            totals.acked += counters.acked;
+            totals.reconnects += counters.reconnects;
+            totals.replayed += counters.replayed;
+            totals.overload_retries += counters.overload_retries;
         }
     }
     println!(
         "crash_storm: {trials} trial(s), {clients} client(s) x {ops} rounds, {records} \
          records/CVD"
     );
+
+    let json = JsonObject::new()
+        .str("bench", "crash_storm")
+        .int("trials", trials as u64)
+        .int("clients", clients as u64)
+        .int("ops_per_client", ops as u64)
+        .int("records_per_cvd", records as u64)
+        .int("acked_commits", totals.acked)
+        .int("client_reconnects", totals.reconnects)
+        .int("client_replayed", totals.replayed)
+        .int("client_overload_retries", totals.overload_retries)
+        .int("gate_ok", ok as u64);
+    let path = write_bench_json("crash", json)?;
+    println!("wrote {path}");
+
     if !ok {
         eprintln!("crash_storm recovery gate FAILED");
     }

@@ -95,7 +95,8 @@ fn main() {
 
 /// The child: connect, drive the stream, report samples on stdout.
 /// Output protocol (parsed by the parent): zero or more `lat_us <v>`
-/// lines, then one `done <requests> <wall_ms>` line.
+/// lines, one `retry <reconnects> <replayed> <overload_retries>` line,
+/// then one `done <requests> <wall_ms>` line.
 fn client_main(addr: &str, index: usize, pipelined: bool) -> Result<()> {
     let cvds = env_usize("ORPHEUS_STORM_CVDS", 2).max(1);
     let ops = env_usize("ORPHEUS_STORM_OPS", 5).max(1);
@@ -119,6 +120,13 @@ fn client_main(addr: &str, index: usize, pipelined: bool) -> Result<()> {
         }
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rs = remote.retry_stats();
+    writeln!(
+        report,
+        "retry {} {} {}",
+        rs.reconnects, rs.replayed, rs.overload_retries
+    )
+    .expect("string write");
     writeln!(report, "done {requests} {wall_ms:.3}").expect("string write");
     print!("{report}");
     Ok(())
@@ -133,6 +141,28 @@ struct FleetRun {
     latencies_us: Vec<f64>,
     graph: Graph,
     staged: usize,
+    resilience: ResilienceCounters,
+}
+
+/// Retry/shed counters from both ends of the wire — the healthy-path
+/// baseline for the chaos-tier numbers (all zeros on a clean run).
+#[derive(Default, Clone, Copy)]
+struct ResilienceCounters {
+    reconnects: u64,
+    replayed: u64,
+    overload_retries: u64,
+    server_shed: u64,
+    server_deduped: u64,
+}
+
+impl ResilienceCounters {
+    fn add(&mut self, other: ResilienceCounters) {
+        self.reconnects += other.reconnects;
+        self.replayed += other.replayed;
+        self.overload_retries += other.overload_retries;
+        self.server_shed += other.server_shed;
+        self.server_deduped += other.server_deduped;
+    }
 }
 
 /// One measured arm across trials.
@@ -143,6 +173,7 @@ struct Arm {
     latencies_us: Vec<f64>,
     graph: Graph,
     staged: usize,
+    resilience: ResilienceCounters,
 }
 
 impl Arm {
@@ -225,6 +256,7 @@ fn run() -> Result<bool> {
         let mut requests = 0usize;
         let mut wall_ms = 0f64;
         let mut latencies_us = Vec::new();
+        let mut resilience = ResilienceCounters::default();
         for child in children {
             let output = child
                 .wait_with_output()
@@ -240,6 +272,17 @@ fn run() -> Result<bool> {
             for line in stdout.lines() {
                 if let Some(v) = line.strip_prefix("lat_us ") {
                     latencies_us.push(v.parse::<f64>().unwrap_or(0.0));
+                } else if let Some(rest) = line.strip_prefix("retry ") {
+                    let mut parts = rest.split_whitespace();
+                    let mut next = || {
+                        parts
+                            .next()
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .unwrap_or(0)
+                    };
+                    resilience.reconnects += next();
+                    resilience.replayed += next();
+                    resilience.overload_retries += next();
                 } else if let Some(rest) = line.strip_prefix("done ") {
                     let mut parts = rest.split_whitespace();
                     let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
@@ -255,6 +298,9 @@ fn run() -> Result<bool> {
                 ));
             }
         }
+        let stats = server.stats();
+        resilience.server_shed = stats.shed;
+        resilience.server_deduped = stats.deduped;
         server.shutdown();
         let graph = shared.read(graph_of);
         let staged = shared.read(|odb| odb.staged().len());
@@ -264,17 +310,20 @@ fn run() -> Result<bool> {
             latencies_us,
             graph,
             staged,
+            resilience,
         })
     };
 
     let run_arm = |label: &'static str, mode: &str| -> Result<Arm> {
         let mut samples = Vec::with_capacity(trials);
         let mut latencies_us = Vec::new();
+        let mut resilience = ResilienceCounters::default();
         let mut outcome: Option<FleetRun> = None;
         for _ in 0..trials {
             let run = fleet(mode)?;
             samples.push(run.wall_ms);
             latencies_us.extend_from_slice(&run.latencies_us);
+            resilience.add(run.resilience);
             outcome = Some(run);
         }
         let last = outcome.expect("trials >= 1");
@@ -285,6 +334,7 @@ fn run() -> Result<bool> {
             latencies_us,
             graph: last.graph,
             staged: last.staged,
+            resilience,
         })
     };
 
@@ -358,6 +408,26 @@ fn run() -> Result<bool> {
         .num(
             "speedup_pipelined",
             arms[1].throughput_rps() / arms[0].throughput_rps().max(f64::EPSILON),
+        )
+        .int(
+            "client_reconnects",
+            arms.iter().map(|a| a.resilience.reconnects).sum(),
+        )
+        .int(
+            "client_replayed",
+            arms.iter().map(|a| a.resilience.replayed).sum(),
+        )
+        .int(
+            "client_overload_retries",
+            arms.iter().map(|a| a.resilience.overload_retries).sum(),
+        )
+        .int(
+            "server_shed",
+            arms.iter().map(|a| a.resilience.server_shed).sum(),
+        )
+        .int(
+            "server_deduped",
+            arms.iter().map(|a| a.resilience.server_deduped).sum(),
         )
         .int("gate_ok", ok as u64);
     let path = write_bench_json("net", json)?;

@@ -35,7 +35,7 @@ use orpheus_core::commands::{parse_command, run_command, FileAccess, RealFiles};
 use orpheus_core::{
     recovery, AsyncExecutor, CoreError, Executor, OrpheusDB, Response, Result, SharedOrpheusDB,
 };
-use orpheus_net::{NetServer, RemoteExecutor};
+use orpheus_net::{NetServer, RemoteExecutor, RetryPolicy, DEFAULT_TIMEOUT};
 
 mod render;
 
@@ -68,6 +68,11 @@ pub struct Invocation {
     /// Drive the command, REPL, or batch script against a remote server
     /// at this address instead of a local instance.
     pub connect: Option<String>,
+    /// Reconnect budget for `--connect`: how many times a dropped
+    /// connection is re-established (with capped exponential backoff and
+    /// in-flight replay) before giving up. `None` uses the default
+    /// [`RetryPolicy`]; `Some(0)` disables reconnecting entirely.
+    pub retry: Option<u32>,
     /// The command line to run (empty means "show help").
     pub command: Vec<String>,
 }
@@ -78,7 +83,7 @@ pub struct Invocation {
 /// `--db <path>` / `-d <path>`, `--wal <dir>` / `-w <dir>`,
 /// `--as <user>` / `-u <user>`, `--async`,
 /// `--batch <file>` / `-b <file>`, `--serve <addr>`, `--connect <addr>`
-/// / `-c <addr>`, `--help` / `-h`, `--version` / `-V`.
+/// / `-c <addr>`, `--retry <n>`, `--help` / `-h`, `--version` / `-V`.
 pub fn parse_args(args: &[String]) -> Result<Invocation> {
     let mut db_path = None;
     let mut wal_dir = None;
@@ -87,6 +92,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
     let mut batch = None;
     let mut serve = None;
     let mut connect = None;
+    let mut retry = None;
     let mut i = 0;
     // Global flags precede the command; command names never start with '-'.
     while i < args.len() && args[i].starts_with('-') {
@@ -137,6 +143,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                 connect = Some(addr.clone());
                 i += 2;
             }
+            "--retry" => {
+                let n = args
+                    .get(i + 1)
+                    .ok_or_else(|| CoreError::parse_line("--retry needs a reconnect count"))?;
+                retry = Some(n.parse::<u32>().map_err(|_| {
+                    CoreError::parse_line(format!("--retry needs a number, got {n:?}"))
+                })?);
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Ok(Invocation {
                     db_path,
@@ -146,6 +161,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                     batch,
                     serve,
                     connect,
+                    retry,
                     command: vec!["help".into()],
                 })
             }
@@ -158,6 +174,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
                     batch,
                     serve,
                     connect,
+                    retry,
                     command: vec!["version".into()],
                 })
             }
@@ -174,6 +191,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation> {
         batch,
         serve,
         connect,
+        retry,
         command: args[i..].to_vec(),
     })
 }
@@ -246,11 +264,23 @@ network service:
                        port; the resolved address is printed first). The
                        process serves until stdin closes or says `exit`,
                        then drains in-flight work and saves the snapshot.
+                       Under --wal, typing `checkpoint` on stdin folds
+                       the log into a fresh snapshot on demand — the
+                       operator path out of read-only degraded mode
+                       after a disk fault.
   --connect <addr>     run the command, REPL, or --batch script against
                        a server instead of a local instance. Composes
                        with --as (the connection identity) but not with
                        --db or --async: the snapshot and the async
-                       executor live on the server.
+                       executor live on the server. Dropped connections
+                       are re-established with capped exponential
+                       backoff and in-flight requests are replayed
+                       idempotently (the server dedups by session +
+                       request id).
+  --retry <n>          reconnect budget for --connect: how many times a
+                       dropped connection is re-established before the
+                       client gives up (default 8; 0 disables
+                       reconnecting).
 Per connection, responses always come back in submission order — even
 though the server overlaps execution across shards and clients.";
 
@@ -403,6 +433,25 @@ pub fn run(
             if matches!(line.trim(), "exit" | "quit" | "\\q") {
                 break;
             }
+            // Operator recovery: fold the WAL into a fresh snapshot on
+            // demand. This is also the documented way out of read-only
+            // degraded mode after a disk fault — a successful rotation
+            // proves the disk writes again and re-arms the sink.
+            if line.trim() == "checkpoint" {
+                match &inv.wal_dir {
+                    Some(_) => match recovery::checkpoint_shared(&shared) {
+                        Ok(generation) => {
+                            writeln!(out, "checkpoint complete (generation {generation})")
+                                .map_err(io_err)?
+                        }
+                        Err(e) => writeln!(out, "checkpoint failed: {e}").map_err(io_err)?,
+                    },
+                    None => {
+                        writeln!(out, "checkpoint needs --wal").map_err(io_err)?;
+                    }
+                }
+                out.flush().map_err(io_err)?;
+            }
         }
         // Graceful: refuse new frames, drain accepted work, then persist
         // everything the drained work produced.
@@ -483,7 +532,16 @@ pub fn run(
     // identity (login is part of connection setup).
     if let Some(addr) = &inv.connect {
         let user = inv.user.as_deref().unwrap_or("default");
-        let mut remote = RemoteExecutor::connect(addr.as_str(), user)?;
+        let policy = match inv.retry {
+            Some(0) => RetryPolicy::none(),
+            Some(n) => RetryPolicy {
+                max_reconnects: n,
+                ..RetryPolicy::default()
+            },
+            None => RetryPolicy::default(),
+        };
+        let mut remote =
+            RemoteExecutor::connect_with_policy(addr.as_str(), user, DEFAULT_TIMEOUT, policy)?;
         return drive(&mut remote, &mut files, &mode, interactive, input, out, err);
     }
 
@@ -692,8 +750,21 @@ mod tests {
         let inv = parse_args(&args(&["--connect", "127.0.0.1:7617", "ls"])).unwrap();
         assert_eq!(inv.connect.as_deref(), Some("127.0.0.1:7617"));
         assert_eq!(inv.command, vec!["ls"]);
+        assert_eq!(inv.retry, None);
         assert!(parse_args(&args(&["--serve"])).is_err());
         assert!(parse_args(&args(&["--connect"])).is_err());
+
+        let inv = parse_args(&args(&[
+            "--connect",
+            "127.0.0.1:7617",
+            "--retry",
+            "3",
+            "ls",
+        ]))
+        .unwrap();
+        assert_eq!(inv.retry, Some(3));
+        assert!(parse_args(&args(&["--retry"])).is_err());
+        assert!(parse_args(&args(&["--retry", "many"])).is_err());
     }
 
     #[test]

@@ -86,7 +86,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -452,6 +452,7 @@ fn coordinator_loop(
     pool: Arc<Pool>,
     rx: mpsc::Receiver<Msg>,
     closed: Arc<AtomicBool>,
+    depth: Arc<AtomicUsize>,
     inline: bool,
 ) {
     let _shutdown_on_exit = PoolShutdownGuard(Arc::clone(&pool));
@@ -484,7 +485,13 @@ fn coordinator_loop(
             }
         }
         if !chunk.is_empty() {
+            let len = chunk.len();
             process_chunk_guarded(&shared, &exec, &pool, chunk, inline);
+            // The gauge counts accepted-but-unfinished requests, so the
+            // decrement lands after the chunk's closing barrier: an
+            // admission controller reading it sees queued *plus*
+            // executing work.
+            depth.fetch_sub(len, Ordering::SeqCst);
         }
     }
     // Shutdown handshake, phase 1 — finish the work that was already
@@ -492,6 +499,11 @@ fn coordinator_loop(
     // in the queue now (a drain loops until `Empty`), so synchronous
     // callers blocked on tickets are not stranded.
     while let Ok(msg) = rx.try_recv() {
+        let len = match &msg {
+            Msg::Submit(_) => 1,
+            Msg::SubmitMany(batch) => batch.len(),
+            Msg::Shutdown => 0,
+        };
         match msg {
             Msg::Submit(s) => process_chunk_guarded(&shared, &exec, &pool, vec![s], inline),
             Msg::SubmitMany(batch) if !batch.is_empty() => {
@@ -499,6 +511,7 @@ fn coordinator_loop(
             }
             _ => {}
         }
+        depth.fetch_sub(len, Ordering::SeqCst);
     }
     // Phase 2 — publish `closed`, then *refuse* (never execute) whatever
     // raced in. Together with `AsyncHandle::close_race_check` this makes
@@ -515,6 +528,7 @@ fn coordinator_loop(
             Msg::Shutdown => continue,
         };
         for submission in refused {
+            depth.fetch_sub(1, Ordering::SeqCst);
             submission.ticket.fulfill(Err(shutdown_error()));
         }
     }
@@ -611,6 +625,11 @@ fn process_chunk(
 pub struct AsyncExecutor {
     shared: SharedOrpheusDB,
     tx: mpsc::Sender<Msg>,
+    /// Accepted-but-unfinished submissions (queued or executing) — the
+    /// load-shedding signal read by [`AsyncExecutor::queue_depth`].
+    /// Incremented by handles on submit, decremented by the coordinator
+    /// after each chunk completes (or is refused at shutdown).
+    depth: Arc<AtomicUsize>,
     /// Published (true) by the coordinator once it will never read the
     /// channel again — the submit-side half of the shutdown handshake.
     closed: Arc<AtomicBool>,
@@ -647,12 +666,14 @@ impl AsyncExecutor {
         let pool = Pool::new();
         let (tx, rx) = mpsc::channel();
         let closed = Arc::new(AtomicBool::new(false));
+        let depth = Arc::new(AtomicUsize::new(0));
         let inline = workers == 0;
         let coordinator = {
             let shared = shared.clone();
             let pool = Arc::clone(&pool);
             let closed = Arc::clone(&closed);
-            std::thread::spawn(move || coordinator_loop(shared, pool, rx, closed, inline))
+            let depth = Arc::clone(&depth);
+            std::thread::spawn(move || coordinator_loop(shared, pool, rx, closed, depth, inline))
         };
         let worker_handles = (0..workers)
             .map(|_| {
@@ -667,11 +688,13 @@ impl AsyncExecutor {
         let root = AsyncHandle {
             tx: tx.clone(),
             closed: Arc::clone(&closed),
+            depth: Arc::clone(&depth),
             user: shared.instance_user(),
         };
         AsyncExecutor {
             shared,
             tx,
+            depth,
             closed,
             root,
             coordinator: Some(coordinator),
@@ -687,8 +710,19 @@ impl AsyncExecutor {
         Ok(AsyncHandle {
             tx: self.tx.clone(),
             closed: Arc::clone(&self.closed),
+            depth: Arc::clone(&self.depth),
             user: user.to_string(),
         })
+    }
+
+    /// Accepted-but-unfinished submissions (queued plus executing), the
+    /// admission-control signal: the network server refuses new work with
+    /// a retryable [`CoreError::Overloaded`] once this crosses its
+    /// configured ceiling, instead of letting the backlog grow without
+    /// bound. Momentarily stale by design — a racing submit may slip past
+    /// one read — which only moves the shedding threshold by one request.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
     }
 
     /// The shared instance behind this executor (snapshots, `read`).
@@ -753,6 +787,8 @@ pub struct AsyncHandle {
     /// See [`AsyncExecutor::closed`]: true once the coordinator will
     /// never read the channel again.
     closed: Arc<AtomicBool>,
+    /// See [`AsyncExecutor::queue_depth`].
+    depth: Arc<AtomicUsize>,
     user: String,
 }
 
@@ -776,7 +812,9 @@ impl AsyncHandle {
             request: request.into(),
             ticket: Arc::clone(&cell),
         };
+        self.depth.fetch_add(1, Ordering::SeqCst);
         if self.tx.send(Msg::Submit(submission)).is_err() {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
             cell.fulfill(Err(shutdown_error()));
         }
         self.close_race_check(std::slice::from_ref(&cell));
@@ -804,7 +842,10 @@ impl AsyncHandle {
             cells.push(cell);
         }
         if !submissions.is_empty() {
+            let len = submissions.len();
+            self.depth.fetch_add(len, Ordering::SeqCst);
             if self.tx.send(Msg::SubmitMany(submissions)).is_err() {
+                self.depth.fetch_sub(len, Ordering::SeqCst);
                 for cell in &cells {
                     cell.fulfill(Err(shutdown_error()));
                 }

@@ -899,6 +899,23 @@ pub fn put_error(out: &mut Vec<u8>, error: &CoreError) {
             out.push(18);
             put_str(out, m);
         }
+        CoreError::DeadlineExceeded { elapsed_ms } => {
+            out.push(19);
+            put_u64(out, *elapsed_ms);
+        }
+        CoreError::Overloaded { retry_after_ms } => {
+            out.push(20);
+            put_u64(out, *retry_after_ms);
+        }
+        CoreError::Degraded(m) => {
+            out.push(21);
+            put_str(out, m);
+        }
+        CoreError::ResponseTimeout { waited_ms, state } => {
+            out.push(22);
+            put_u64(out, *waited_ms);
+            put_str(out, state);
+        }
     }
 }
 
@@ -947,6 +964,17 @@ pub fn read_error(r: &mut Reader<'_>) -> Result<CoreError> {
         16 => CoreError::Invalid(r.str()?),
         17 => CoreError::Network(r.str()?),
         18 => CoreError::Protocol(r.str()?),
+        19 => CoreError::DeadlineExceeded {
+            elapsed_ms: r.u64()?,
+        },
+        20 => CoreError::Overloaded {
+            retry_after_ms: r.u64()?,
+        },
+        21 => CoreError::Degraded(r.str()?),
+        22 => CoreError::ResponseTimeout {
+            waited_ms: r.u64()?,
+            state: r.str()?,
+        },
         t => return Err(bad_tag("error", t)),
     })
 }

@@ -410,6 +410,17 @@ struct Catalog {
 }
 
 impl Catalog {
+    /// Refuse catalog-level mutations while the WAL sink is degraded —
+    /// checked **before** any catalog state moves, so a refused drop or
+    /// user creation leaves memory exactly where disk left it (the same
+    /// contract [`crate::OrpheusDB`] enforces per shard).
+    fn ensure_writable(&self) -> Result<()> {
+        if let Some(why) = self.wal.as_ref().and_then(|wal| wal.degraded()) {
+            return Err(CoreError::Degraded(why));
+        }
+        Ok(())
+    }
+
     /// Index key for a staged artifact (tables case-insensitive, CSV paths
     /// case-sensitive — mirroring [`crate::staging::StagingArea`]).
     fn staged_key(name: &str, kind: StagedKind) -> String {
@@ -754,10 +765,18 @@ impl SharedOrpheusDB {
     /// The write-ahead log sink, when this instance was opened through
     /// [`crate::recovery::open_shared`] — a cheap peek (catalog read
     /// lock only) used to decide whether a checkpoint is due without
-    /// quiescing anything.
-    pub(crate) fn wal_sink(&self) -> Option<WalSink> {
+    /// quiescing anything. Public so operators (and fault-injection
+    /// tests) can arm faults or inspect degraded state on a served
+    /// instance.
+    pub fn wal_sink(&self) -> Option<WalSink> {
         let cat = self.inner.catalog_read();
         cat.wal.clone()
+    }
+
+    /// The recorded I/O failure when the WAL sink has degraded the
+    /// instance to read-only, `None` while healthy (or without a WAL).
+    pub fn degraded(&self) -> Option<String> {
+        self.wal_sink().and_then(|sink| sink.degraded())
     }
 
     /// Persist a consistent instance snapshot (see [`crate::persist`]).
@@ -1943,6 +1962,9 @@ impl ConcurrentExecutor {
         let key = name.to_ascii_lowercase();
         let (config, access, wal_armed) = {
             let cat = self.inner.catalog_read();
+            // Refuse up front while degraded: building the shard is real
+            // work, and the append below would refuse it anyway.
+            cat.ensure_writable()?;
             if cat.shards.contains_key(&key) {
                 return Err(CoreError::CvdExists(name.to_string()));
             }
@@ -1973,6 +1995,7 @@ impl ConcurrentExecutor {
     /// and staged artifacts) and its staged-index entries.
     fn drop_cvd(&self, name: &str) -> Result<Response> {
         let mut cat = self.inner.catalog_write();
+        cat.ensure_writable()?;
         let key = name.to_ascii_lowercase();
         let shard = cat
             .shards
@@ -2015,6 +2038,7 @@ impl Executor for ConcurrentExecutor {
             }),
             Request::CreateUser(r) => {
                 let mut cat = self.inner.catalog_write();
+                cat.ensure_writable()?;
                 cat.access.create_user(&r.user)?;
                 if let Some(wal) = &cat.wal {
                     wal.append(

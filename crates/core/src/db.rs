@@ -103,6 +103,28 @@ impl OrpheusDB {
         self.wal.is_some()
     }
 
+    /// Refuse a mutation up front while the WAL sink is degraded (an
+    /// earlier append or fsync failed). Checking *before* the in-memory
+    /// apply is what keeps degraded mode torn-state-free: memory never
+    /// advances past the durable log by more than the single operation
+    /// whose append failure triggered degradation. Reads and checkouts
+    /// skip this check and keep serving.
+    fn ensure_writable(&self) -> Result<()> {
+        match &self.wal {
+            Some(sink) => match sink.degraded() {
+                Some(why) => Err(CoreError::Degraded(why)),
+                None => Ok(()),
+            },
+            None => Ok(()),
+        }
+    }
+
+    /// The recorded I/O failure when the instance is in read-only
+    /// degraded mode, `None` while healthy (or without a WAL).
+    pub fn degraded(&self) -> Option<String> {
+        self.wal.as_ref().and_then(|sink| sink.degraded())
+    }
+
     // -- catalog --------------------------------------------------------------
 
     pub fn cvd(&self, name: &str) -> Result<&Cvd> {
@@ -219,6 +241,7 @@ impl OrpheusDB {
 
     /// `drop`: remove a CVD and all of its backing tables.
     pub fn drop_cvd(&mut self, name: &str) -> Result<()> {
+        self.ensure_writable()?;
         let cvd = self
             .cvds
             .remove(&name.to_ascii_lowercase())
@@ -256,6 +279,7 @@ impl OrpheusDB {
         rows: Vec<Vec<Value>>,
         model: Option<ModelKind>,
     ) -> Result<Vid> {
+        self.ensure_writable()?;
         let key = name.to_ascii_lowercase();
         if self.cvds.contains_key(&key) {
             return Err(CoreError::CvdExists(name.to_string()));
@@ -408,6 +432,7 @@ impl OrpheusDB {
     /// `commit -t table -m msg`: add the staged table back to its CVD as a
     /// new version.
     pub fn commit(&mut self, table: &str, message: &str) -> Result<Vid> {
+        self.ensure_writable()?;
         let entry = self.staging.get(table, StagedKind::Table)?.clone();
         self.access.check_owner(&entry.owner, table)?;
         // Test/bench hook: hold this commit open mid-flight (under the
@@ -446,6 +471,7 @@ impl OrpheusDB {
     /// Abandon a staged table without committing: drops the table and its
     /// provenance entry (the inverse of checkout).
     pub fn discard(&mut self, table: &str) -> Result<()> {
+        self.ensure_writable()?;
         let entry = self.staging.get(table, StagedKind::Table)?.clone();
         self.access.check_owner(&entry.owner, table)?;
         self.engine.drop_table(table)?;
@@ -468,6 +494,7 @@ impl OrpheusDB {
         message: &str,
         schema_text: Option<&str>,
     ) -> Result<Vid> {
+        self.ensure_writable()?;
         let entry = self.staging.get(path, StagedKind::Csv)?.clone();
         self.access.check_owner(&entry.owner, path)?;
         let cvd = self.cvd(&entry.cvd)?;
@@ -846,6 +873,7 @@ impl OrpheusDB {
         gamma_factor: f64,
         mu: f64,
     ) -> Result<OptimizeReport> {
+        self.ensure_writable()?;
         let clock_before = self.clock;
         let cvd = lookup_mut(&mut self.cvds, cvd_name)?;
         let report = partition_store::optimize(&mut self.engine, cvd, gamma_factor, mu)?;
@@ -881,6 +909,7 @@ impl OrpheusDB {
         gamma_factor: f64,
         mu: f64,
     ) -> Result<OptimizeReport> {
+        self.ensure_writable()?;
         let clock_before = self.clock;
         let cvd = lookup_mut(&mut self.cvds, cvd_name)?;
         let mut full = vec![1u64; cvd.num_versions()];
@@ -1171,11 +1200,13 @@ impl Executor for OrpheusDB {
                 Ok(Response::Optimized { cvd: r.cvd, report })
             }
             Request::CreateUser(r) => {
+                self.ensure_writable()?;
                 self.access.create_user(&r.user)?;
                 self.wal_append(self.clock, &WalOp::Request(Request::CreateUser(r.clone())))?;
                 Ok(Response::UserCreated { user: r.user })
             }
             Request::Login(r) => {
+                self.ensure_writable()?;
                 self.access.login(&r.user)?;
                 self.wal_append(self.clock, &WalOp::Request(Request::Login(r.clone())))?;
                 Ok(Response::LoggedIn { user: r.user })

@@ -75,6 +75,27 @@ pub enum CoreError {
     WorkerPanicked { shard: String },
     /// Catch-all for invalid API usage.
     Invalid(String),
+    /// The server-side deadline for one request elapsed before its
+    /// outcome was known. The request may still apply after the fact, so
+    /// this is **not** retryable: blindly resubmitting a mutation could
+    /// double it.
+    DeadlineExceeded { elapsed_ms: u64 },
+    /// The server shed this request under load *before executing it*, so
+    /// retrying after the hinted delay is always safe. The network
+    /// client's retry policy honors the hint automatically.
+    Overloaded { retry_after_ms: u64 },
+    /// The instance is in read-only degraded mode after a write-ahead-log
+    /// I/O failure: reads and checkouts keep serving, mutations are
+    /// refused without touching state. Retryable once an operator
+    /// recovers the instance with a checkpoint (which rotates onto a
+    /// fresh segment). Carries the original I/O failure.
+    Degraded(String),
+    /// A client-side wait for a response outlived its deadline. Distinct
+    /// from [`CoreError::Network`] so callers can tell "the connection
+    /// died" from "the connection is fine but slow"; `state` carries the
+    /// client's last-known link state (session, in-flight count, or the
+    /// recorded cause of death). The outcome of the request is unknown.
+    ResponseTimeout { waited_ms: u64, state: String },
 }
 
 impl CoreError {
@@ -107,6 +128,25 @@ impl CoreError {
         match self {
             CoreError::Parse { command, .. } => *command,
             CoreError::BadRequest { command, .. } => Some(*command),
+            _ => None,
+        }
+    }
+
+    /// Whether the producer guarantees the request did **not** execute,
+    /// making a retry of the same request safe. True for load shedding
+    /// ([`CoreError::Overloaded`]) and degraded-mode refusals
+    /// ([`CoreError::Degraded`]); false for everything whose outcome is
+    /// settled or unknown (timeouts and transport failures are resolved
+    /// by the client's idempotent replay instead).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CoreError::Overloaded { .. } | CoreError::Degraded(_))
+    }
+
+    /// The server's suggested minimum delay before retrying, when it
+    /// gave one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            CoreError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
             _ => None,
         }
     }
@@ -156,6 +196,23 @@ impl fmt::Display for CoreError {
                  the request (and any still in flight on that shard) was abandoned"
             ),
             CoreError::Invalid(m) => write!(f, "invalid request: {m}"),
+            CoreError::DeadlineExceeded { elapsed_ms } => write!(
+                f,
+                "request deadline exceeded after {elapsed_ms}ms; the outcome is unknown \
+                 (the request may still apply)"
+            ),
+            CoreError::Overloaded { retry_after_ms } => write!(
+                f,
+                "server overloaded; request shed before executing, retry after {retry_after_ms}ms"
+            ),
+            CoreError::Degraded(m) => write!(
+                f,
+                "instance degraded to read-only after a write-ahead-log failure \
+                 (mutations refused until an operator checkpoint): {m}"
+            ),
+            CoreError::ResponseTimeout { waited_ms, state } => {
+                write!(f, "no response after {waited_ms}ms ({state})")
+            }
         }
     }
 }
@@ -210,6 +267,32 @@ mod tests {
             CoreError::Protocol("bad magic".into()).to_string(),
             "protocol error: bad magic"
         );
+    }
+
+    #[test]
+    fn resilience_variants_display_and_classify() {
+        let shed = CoreError::Overloaded { retry_after_ms: 75 };
+        assert!(shed.to_string().contains("retry after 75ms"));
+        assert!(shed.is_retryable());
+        assert_eq!(shed.retry_after_ms(), Some(75));
+
+        let degraded = CoreError::Degraded("fsync failed".into());
+        assert!(degraded.to_string().contains("read-only"));
+        assert!(degraded.is_retryable());
+        assert_eq!(degraded.retry_after_ms(), None);
+
+        let deadline = CoreError::DeadlineExceeded { elapsed_ms: 1500 };
+        assert!(deadline.to_string().contains("1500ms"));
+        assert!(!deadline.is_retryable());
+
+        let timeout = CoreError::ResponseTimeout {
+            waited_ms: 200,
+            state: "connected, 3 in flight".into(),
+        };
+        assert!(timeout.to_string().contains("200ms"));
+        assert!(timeout.to_string().contains("3 in flight"));
+        assert!(!timeout.is_retryable());
+        assert!(!CoreError::Network("reset".into()).is_retryable());
     }
 
     #[test]

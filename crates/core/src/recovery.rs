@@ -105,6 +105,15 @@ pub fn checkpoint(odb: &mut OrpheusDB) -> Result<u64> {
     let dir = sink.dir().to_path_buf();
     let old_gen = sink.generation();
     let new_gen = old_gen + 1;
+    if sink.fault_fires("rotate") {
+        // A rotate fault fails the checkpoint before it writes anything:
+        // the old generation keeps serving (and a degraded sink stays
+        // degraded — recovery needs a disk that works again).
+        return Err(CoreError::Storage(format!(
+            "checkpoint of {} failed: injected I/O fault (rotate)",
+            dir.display()
+        )));
+    }
     wal::kill_here("pre-snapshot");
     persist::save(odb, &wal::snapshot_path(&dir, new_gen))?;
     wal::create_segment(&dir, new_gen, sink.next_seq() - 1)?;
@@ -126,10 +135,13 @@ pub fn checkpoint_shared(shared: &SharedOrpheusDB) -> Result<u64> {
 
 /// Checkpoint if the live segment has outgrown the threshold
 /// ([`wal::WalSink::should_checkpoint`]). Returns the new generation if
-/// one was cut.
+/// one was cut. A degraded sink is skipped: leaving degraded mode is an
+/// *operator* decision (an explicit [`checkpoint`]), not something a
+/// background ticker should do silently the moment the disk answers
+/// again.
 pub fn maybe_checkpoint(odb: &mut OrpheusDB) -> Result<Option<u64>> {
     match &odb.wal {
-        Some(sink) if sink.should_checkpoint() => checkpoint(odb).map(Some),
+        Some(sink) if !sink.is_degraded() && sink.should_checkpoint() => checkpoint(odb).map(Some),
         _ => Ok(None),
     }
 }
@@ -138,7 +150,9 @@ pub fn maybe_checkpoint(odb: &mut OrpheusDB) -> Result<Option<u64>> {
 /// quiescing, and only takes the write lock when a checkpoint is due.
 pub fn maybe_checkpoint_shared(shared: &SharedOrpheusDB) -> Result<Option<u64>> {
     match shared.wal_sink() {
-        Some(sink) if sink.should_checkpoint() => shared.write(checkpoint).map(Some),
+        Some(sink) if !sink.is_degraded() && sink.should_checkpoint() => {
+            shared.write(checkpoint).map(Some)
+        }
         _ => Ok(None),
     }
 }

@@ -57,6 +57,21 @@
 //! simulates exactly the torn write the recovery path must survive. The
 //! CI `crash-recovery` job and the `crash_storm` bench drive these hooks
 //! (plus plain `kill -9`) and verify the reopened instance bit-for-bit.
+//!
+//! Kill points model a dying *process*; the [`IoFaultInjector`] models a
+//! dying *disk*. Setting `ORPHEUS_WAL_FAULT=<point>:<n>` (or calling
+//! [`WalSink::arm_fault`] in tests) makes the `n`-th crossing of a named
+//! fault point (`append`, `fsync`, `rotate`) fail with an injected I/O
+//! error instead of aborting. An `append`/`fsync` failure — injected or
+//! real — flips the sink into **degraded mode**: the failing operation
+//! returns [`CoreError::Degraded`] to its caller (never an ack, never a
+//! panic), and every later mutation is refused up front by
+//! [`crate::db::OrpheusDB`] before touching memory, while reads and
+//! checkouts keep serving. Recovery is explicit: a successful
+//! [`crate::recovery::checkpoint`] snapshots the full in-memory state
+//! onto a fresh generation and [`WalSink::switch_to`] clears the
+//! degraded flag. A `rotate` fault fails the checkpoint itself and
+//! leaves the previous generation serving.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -91,6 +106,10 @@ pub const MAX_RECORD: u32 = 1 << 28;
 
 /// Environment variable arming the abort-at-kill-point hooks.
 pub const KILL_ENV: &str = "ORPHEUS_WAL_KILL";
+
+/// Environment variable arming the fail-at-fault-point I/O hooks
+/// (`append`, `fsync`, `rotate`).
+pub const FAULT_ENV: &str = "ORPHEUS_WAL_FAULT";
 
 /// Environment variable overriding the checkpoint threshold in bytes.
 pub const CHECKPOINT_BYTES_ENV: &str = "ORPHEUS_CHECKPOINT_BYTES";
@@ -134,6 +153,45 @@ fn kill_armed(point: &str) -> bool {
 pub(crate) fn kill_here(point: &str) {
     if kill_armed(point) {
         std::process::abort();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// I/O fault points (disk-fault injection)
+// ---------------------------------------------------------------------------
+
+/// Makes the `n`-th crossing of one named I/O point (`append`, `fsync`,
+/// `rotate`) *fail* with an injected error instead of performing the
+/// operation — a dying disk, where the kill hooks are a dying process.
+/// Armed per sink, either from `ORPHEUS_WAL_FAULT=<point>:<n>` at attach
+/// time (subprocess harnesses like `chaos_storm`) or programmatically via
+/// [`WalSink::arm_fault`] (in-process tests). Fires exactly once.
+#[derive(Debug)]
+pub struct IoFaultInjector {
+    point: String,
+    countdown: AtomicU64,
+}
+
+impl IoFaultInjector {
+    /// Arm a fault at the `n`-th crossing (`n >= 1`) of `point`.
+    pub fn new(point: &str, n: u64) -> IoFaultInjector {
+        IoFaultInjector {
+            point: point.trim().to_string(),
+            countdown: AtomicU64::new(n.max(1)),
+        }
+    }
+
+    /// Parse `ORPHEUS_WAL_FAULT=<point>:<n>` into an armed injector.
+    pub fn from_env() -> Option<IoFaultInjector> {
+        let raw = std::env::var(FAULT_ENV).ok()?;
+        let (point, count) = raw.split_once(':')?;
+        let n: u64 = count.trim().parse().ok().filter(|n| *n >= 1)?;
+        Some(IoFaultInjector::new(point, n))
+    }
+
+    /// True exactly once: on the `n`-th crossing of the armed point.
+    fn fires(&self, point: &str) -> bool {
+        self.point == point && self.countdown.fetch_sub(1, Ordering::SeqCst) == 1
     }
 }
 
@@ -481,15 +539,23 @@ struct WalState {
     next_seq: u64,
     /// Current segment length in bytes.
     bytes: u64,
-    /// Set when an append failed mid-write: the log's tail is suspect,
-    /// so further appends are refused until the instance reopens.
+    /// Set when an append or fsync failed: the log's tail is suspect, so
+    /// further appends are refused ([`CoreError::Degraded`]) until a
+    /// checkpoint rotates onto a fresh segment. Carries the original
+    /// I/O failure.
     poisoned: Option<String>,
+    /// Armed I/O fault, if any (env or [`WalSink::arm_fault`]).
+    fault: Option<IoFaultInjector>,
 }
 
 #[derive(Debug)]
 struct WalInner {
     dir: PathBuf,
     state: Mutex<WalState>,
+    /// Lock-free mirror of `poisoned.is_some()`, so every mutating
+    /// operation can check writability up front without taking the
+    /// append mutex.
+    degraded: std::sync::atomic::AtomicBool,
 }
 
 /// Handle to the live log segment. Cloning shares the underlying file
@@ -528,7 +594,9 @@ impl WalSink {
                     next_seq,
                     bytes: valid_len,
                     poisoned: None,
+                    fault: IoFaultInjector::from_env(),
                 }),
+                degraded: std::sync::atomic::AtomicBool::new(false),
             }),
         })
     }
@@ -569,15 +637,57 @@ impl WalSink {
         self.lock().bytes >= threshold
     }
 
+    /// Arm an I/O fault on this sink programmatically (the in-process
+    /// counterpart of `ORPHEUS_WAL_FAULT`). Points: `append` (the write
+    /// fails before any byte lands), `fsync` (the write lands in the page
+    /// cache but the sync fails), `rotate` (the next checkpoint's segment
+    /// rotation fails).
+    pub fn arm_fault(&self, point: &str, n: u64) {
+        self.lock().fault = Some(IoFaultInjector::new(point, n));
+    }
+
+    /// The recorded I/O failure, when the sink is degraded.
+    pub fn degraded(&self) -> Option<String> {
+        if !self.is_degraded() {
+            return None;
+        }
+        self.lock().poisoned.clone()
+    }
+
+    /// Whether the sink refuses appends after an I/O failure. Lock-free;
+    /// checked by every mutating operation before it touches memory.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Whether the armed fault (if any) fires at this crossing of
+    /// `point`. Consumes one crossing.
+    pub(crate) fn fault_fires(&self, point: &str) -> bool {
+        match &self.lock().fault {
+            Some(fault) => fault.fires(point),
+            None => false,
+        }
+    }
+
+    /// Record an I/O failure and flip the sink into degraded mode.
+    fn degrade(st: &mut WalState, inner: &WalInner, why: String) -> CoreError {
+        st.poisoned = Some(why.clone());
+        inner.degraded.store(true, Ordering::SeqCst);
+        CoreError::Degraded(why)
+    }
+
     /// Append one record and fsync it. The caller has already applied
     /// the op in memory and must propagate an error from here to the
-    /// client instead of acknowledging.
+    /// client instead of acknowledging. On an I/O failure — injected or
+    /// real — the sink degrades: this call returns
+    /// [`CoreError::Degraded`] (the op's outcome is indeterminate — its
+    /// in-memory effect stays visible and would become durable at the
+    /// recovery checkpoint, but it was never acked), and every later
+    /// mutation is refused up front until a checkpoint rotates the log.
     pub(crate) fn append(&self, user: &str, clock_before: u64, op: &WalOp) -> Result<()> {
         let mut st = self.lock();
-        if let Some(why) = &st.poisoned {
-            return Err(CoreError::Storage(format!(
-                "write-ahead log disabled after an earlier append failure: {why}"
-            )));
+        if let Some(why) = st.poisoned.clone() {
+            return Err(CoreError::Degraded(why));
         }
         let record = WalRecord {
             seq: st.next_seq,
@@ -594,14 +704,26 @@ impl WalSink {
             let _ = st.file.sync_data();
             std::process::abort();
         }
-        let written = st.file.write_all(&buf).and_then(|_| st.file.sync_data());
-        if let Err(e) = written {
+        let path = segment_path(&self.inner.dir, st.gen);
+        if st.fault.as_ref().is_some_and(|f| f.fires("append")) {
             let why = format!(
-                "append to {} failed: {e}",
-                segment_path(&self.inner.dir, st.gen).display()
+                "append to {} failed: injected I/O fault (append)",
+                path.display()
             );
-            st.poisoned = Some(why.clone());
-            return Err(CoreError::Storage(why));
+            return Err(WalSink::degrade(&mut st, &self.inner, why));
+        }
+        if let Err(e) = st.file.write_all(&buf) {
+            let why = format!("append to {} failed: {e}", path.display());
+            return Err(WalSink::degrade(&mut st, &self.inner, why));
+        }
+        let synced = if st.fault.as_ref().is_some_and(|f| f.fires("fsync")) {
+            Err(std::io::Error::other("injected I/O fault (fsync)"))
+        } else {
+            st.file.sync_data()
+        };
+        if let Err(e) = synced {
+            let why = format!("fsync of {} failed: {e}", path.display());
+            return Err(WalSink::degrade(&mut st, &self.inner, why));
         }
         kill_here("post-append");
         st.next_seq += 1;
@@ -627,7 +749,12 @@ impl WalSink {
         st.file = file;
         st.gen = new_gen;
         st.bytes = bytes;
+        // Rotating onto a fresh, fully-synced generation is the explicit
+        // recovery path out of degraded mode: the snapshot that preceded
+        // this switch captured the whole in-memory state, so the suspect
+        // tail of the old segment no longer matters.
         st.poisoned = None;
+        self.inner.degraded.store(false, Ordering::SeqCst);
         Ok(())
     }
 }
@@ -849,6 +976,67 @@ mod tests {
         let scan = read_segment(&segment_path(&dir, 1), 1).unwrap();
         assert_eq!(scan.records, vec![rec, rec2]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_append_fault_degrades_the_sink() {
+        let dir = temp_dir("fault-append");
+        create_segment(&dir, 1, 0).unwrap();
+        let sink = WalSink::attach(&dir, 1, HEADER_LEN, 1).unwrap();
+        sink.arm_fault("append", 2);
+        let rec = request_record(1);
+        // First append crosses the point without firing.
+        sink.append(&rec.user, rec.clock_before, &rec.op).unwrap();
+        assert!(!sink.is_degraded());
+        let rec2 = commit_record(2);
+        let err = sink
+            .append(&rec2.user, rec2.clock_before, &rec2.op)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Degraded(_)), "{err}");
+        assert!(sink.is_degraded());
+        assert!(sink.degraded().unwrap().contains("injected"));
+        // Later appends are refused with the recorded cause; nothing hit
+        // the file (the first record is still the only one).
+        let err = sink
+            .append(&rec2.user, rec2.clock_before, &rec2.op)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Degraded(_)));
+        let scan = read_segment(&segment_path(&dir, 1), 1).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fsync_fault_degrades_and_rotation_recovers() {
+        let dir = temp_dir("fault-fsync");
+        create_segment(&dir, 1, 0).unwrap();
+        let sink = WalSink::attach(&dir, 1, HEADER_LEN, 1).unwrap();
+        sink.arm_fault("fsync", 1);
+        let rec = request_record(1);
+        let err = sink
+            .append(&rec.user, rec.clock_before, &rec.op)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Degraded(_)), "{err}");
+        assert!(sink.is_degraded());
+        // The sequence number did not advance past the failed record.
+        assert_eq!(sink.next_seq(), 1);
+        // Rotating onto a fresh generation clears degraded mode.
+        create_segment(&dir, 2, 0).unwrap();
+        sink.switch_to(2).unwrap();
+        assert!(!sink.is_degraded());
+        sink.append(&rec.user, rec.clock_before, &rec.op).unwrap();
+        assert_eq!(sink.next_seq(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_env_parses_like_kill_spec() {
+        let f = IoFaultInjector::new("rotate", 3);
+        assert!(!f.fires("append"));
+        assert!(!f.fires("rotate"));
+        assert!(!f.fires("rotate"));
+        assert!(f.fires("rotate"));
+        assert!(!f.fires("rotate"));
     }
 
     #[test]

@@ -23,6 +23,18 @@
 //!   in submission order; [`RemoteExecutor`] is the connecting side,
 //!   with timeouts on every wait so a hung server never blocks a client
 //!   forever.
+//! * [`chaos`] — a frame-aware flaky proxy that severs connections at
+//!   controlled points, used by the resilience tests and the
+//!   `chaos_storm` benchmark to prove the reconnect/replay and
+//!   load-shedding machinery under real packet loss.
+//!
+//! The service layer is fault-tolerant end to end: the server issues
+//! session ids and keeps a bounded per-session replay cache (retried
+//! frames after a lost ACK return their original outcome — at-most-once
+//! execution), sheds load with typed retryable errors when its queue or
+//! connection limits are hit, and bounds every request with a deadline;
+//! the client reconnects with capped exponential backoff and replays
+//! in-flight frames. See the `server` and `client` module docs.
 //!
 //! ```no_run
 //! use orpheus_core::{Executor, Request, SharedOrpheusDB};
@@ -41,11 +53,13 @@
 //! [`Response`]: orpheus_core::Response
 //! [`CoreError`]: orpheus_core::CoreError
 
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod proto;
 pub mod server;
 
-pub use client::{RemoteExecutor, DEFAULT_TIMEOUT};
+pub use chaos::FlakyProxy;
+pub use client::{RemoteExecutor, RetryPolicy, RetryStats, DEFAULT_TIMEOUT};
 pub use proto::{Frame, MAGIC, MAX_FRAME, PROTOCOL_VERSION};
-pub use server::{NetServer, ServerConfig};
+pub use server::{NetServer, ServerConfig, ServerStats};

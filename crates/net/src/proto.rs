@@ -39,8 +39,10 @@ pub const MAGIC: [u8; 4] = *b"ORPH";
 
 /// Version of the frame/codec layout. Bumped on any incompatible change;
 /// the handshake rejects mismatches with a clear error instead of
-/// misdecoding.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// misdecoding. Version 2 added session resumption to the handshake
+/// ([`Frame::Hello`]'s `resume`, [`Frame::Welcome`]'s `session`/`resumed`)
+/// for the client's reconnect-with-idempotent-replay path.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Default cap on a single frame's payload, generous enough for the CSV
 /// blobs `commit -f` ships but far below anything that could exhaust
@@ -50,11 +52,26 @@ pub const MAX_FRAME: usize = 32 * 1024 * 1024;
 /// One message of the wire protocol.
 #[derive(Debug)]
 pub enum Frame {
-    /// Client → server connection setup: magic, protocol version, user.
-    Hello { version: u16, user: String },
-    /// Server → client handshake acceptance, echoing the negotiated
-    /// version and the bound user.
-    Welcome { version: u16, user: String },
+    /// Client → server connection setup: magic, protocol version, user,
+    /// and — on reconnect — the session id to resume, so the server can
+    /// reattach the connection to that session's replay cache.
+    Hello {
+        version: u16,
+        user: String,
+        resume: Option<u64>,
+    },
+    /// Server → client handshake acceptance: the negotiated version, the
+    /// bound user, the session id to quote on later reconnects, and
+    /// whether a requested resume actually found the session (`false`
+    /// means the server lost it — the client must fail any requests whose
+    /// outcome it was still waiting on, because replay can no longer be
+    /// deduplicated).
+    Welcome {
+        version: u16,
+        user: String,
+        session: u64,
+        resumed: bool,
+    },
     /// Client → server: one request under a correlation id.
     Req { id: u64, request: Request },
     /// Client → server: a request batch under one correlation id, executed
@@ -87,16 +104,34 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Frame::Hello { version, user } => {
+            Frame::Hello {
+                version,
+                user,
+                resume,
+            } => {
                 out.push(TAG_HELLO);
                 out.extend_from_slice(&MAGIC);
                 put_u16(&mut out, *version);
                 put_str(&mut out, user);
+                match resume {
+                    Some(id) => {
+                        out.push(1);
+                        put_u64(&mut out, *id);
+                    }
+                    None => out.push(0),
+                }
             }
-            Frame::Welcome { version, user } => {
+            Frame::Welcome {
+                version,
+                user,
+                session,
+                resumed,
+            } => {
                 out.push(TAG_WELCOME);
                 put_u16(&mut out, *version);
                 put_str(&mut out, user);
+                put_u64(&mut out, *session);
+                out.push(u8::from(*resumed));
             }
             Frame::Req { id, request } => {
                 out.push(TAG_REQ);
@@ -143,15 +178,41 @@ impl Frame {
                         "bad magic {magic:?}; not an OrpheusDB client"
                     )));
                 }
+                let version = r.u16()?;
+                let user = r.str()?;
+                let resume = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    b => {
+                        return Err(CoreError::Protocol(format!("bad resume flag {b} in Hello")));
+                    }
+                };
                 Frame::Hello {
-                    version: r.u16()?,
-                    user: r.str()?,
+                    version,
+                    user,
+                    resume,
                 }
             }
-            TAG_WELCOME => Frame::Welcome {
-                version: r.u16()?,
-                user: r.str()?,
-            },
+            TAG_WELCOME => {
+                let version = r.u16()?;
+                let user = r.str()?;
+                let session = r.u64()?;
+                let resumed = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(CoreError::Protocol(format!(
+                            "bad resumed flag {b} in Welcome"
+                        )));
+                    }
+                };
+                Frame::Welcome {
+                    version,
+                    user,
+                    session,
+                    resumed,
+                }
+            }
             TAG_REQ => Frame::Req {
                 id: r.u64()?,
                 request: read_request(&mut r)?,
@@ -189,12 +250,18 @@ impl Frame {
 
 /// Write one frame: `u32` big-endian payload length, then the payload.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
-    let payload = frame.encode();
+    write_payload(w, &frame.encode())
+}
+
+/// [`write_frame`] for an already-encoded payload — the client's replay
+/// path stores each in-flight frame's wire bytes and re-sends them
+/// verbatim on reconnect, so a replay is bit-identical to the original.
+pub fn write_payload(w: &mut impl Write, payload: &[u8]) -> Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| CoreError::Protocol("frame payload exceeds u32 length".to_string()))?;
     let io = |e: std::io::Error| CoreError::Network(format!("write failed: {e}"));
     w.write_all(&len.to_be_bytes()).map_err(io)?;
-    w.write_all(&payload).map_err(io)?;
+    w.write_all(payload).map_err(io)?;
     w.flush().map_err(io)?;
     Ok(())
 }

@@ -316,6 +316,8 @@ fn a_hung_server_becomes_a_clean_timeout_not_an_infinite_block() {
             &Frame::Welcome {
                 version: PROTOCOL_VERSION,
                 user,
+                session: 1,
+                resumed: false,
             },
         )
         .unwrap();
@@ -327,7 +329,13 @@ fn a_hung_server_becomes_a_clean_timeout_not_an_infinite_block() {
         RemoteExecutor::connect_with(addr, "driver", Duration::from_millis(200)).unwrap();
     let started = Instant::now();
     match remote.execute(Request::Ls) {
-        Err(CoreError::Network(m)) => assert!(m.contains("timed out"), "{m}"),
+        Err(CoreError::ResponseTimeout { waited_ms, state }) => {
+            assert_eq!(waited_ms, 200);
+            // The timeout names the last-known link state: still connected,
+            // with the hung request in flight.
+            assert!(state.contains("connected"), "{state}");
+            assert!(state.contains("in flight"), "{state}");
+        }
         other => panic!("expected a timeout, got {other:?}"),
     }
     assert!(started.elapsed() < Duration::from_secs(10));
@@ -344,6 +352,7 @@ fn handshake_refuses_a_wrong_protocol_version_by_name() {
         &Frame::Hello {
             version: PROTOCOL_VERSION + 41,
             user: "driver".to_string(),
+            resume: None,
         },
     )
     .unwrap();
@@ -370,6 +379,7 @@ fn an_oversized_frame_is_refused_with_a_protocol_error() {
         &Frame::Hello {
             version: PROTOCOL_VERSION,
             user: "driver".to_string(),
+            resume: None,
         },
     )
     .unwrap();

@@ -231,6 +231,13 @@ fn error_corpus() -> Vec<CoreError> {
         CoreError::Invalid("invalid".into()),
         CoreError::Network("hung up".into()),
         CoreError::Protocol("bad frame".into()),
+        CoreError::DeadlineExceeded { elapsed_ms: 30_000 },
+        CoreError::Overloaded { retry_after_ms: 50 },
+        CoreError::Degraded("append failed".into()),
+        CoreError::ResponseTimeout {
+            waited_ms: 2_500,
+            state: "connected, 2 in flight".into(),
+        },
     ]);
     errors
 }
@@ -295,10 +302,24 @@ fn handshake_frames_roundtrip() {
     assert_roundtrip(&Frame::Hello {
         version: PROTOCOL_VERSION,
         user: "ada".into(),
+        resume: None,
+    });
+    assert_roundtrip(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+        user: "ada".into(),
+        resume: Some(42),
     });
     assert_roundtrip(&Frame::Welcome {
         version: PROTOCOL_VERSION,
         user: "".into(),
+        session: 7,
+        resumed: true,
+    });
+    assert_roundtrip(&Frame::Welcome {
+        version: PROTOCOL_VERSION,
+        user: "ada".into(),
+        session: u64::MAX,
+        resumed: false,
     });
 }
 
@@ -309,6 +330,7 @@ fn frames_stream_through_a_byte_channel_and_eof_is_clean() {
         Frame::Hello {
             version: PROTOCOL_VERSION,
             user: "ada".into(),
+            resume: None,
         },
         Frame::Req {
             id: 1,
