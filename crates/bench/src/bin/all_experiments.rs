@@ -1,24 +1,141 @@
-//! Runs every experiment in sequence (Table 2 and all figures), printing
-//! each paper-style report as it completes. `ORPHEUS_SCALE` scales dataset
-//! sizes; `ORPHEUS_TRIALS` sets the timing repetition count.
+//! Runs the differential oracle gate and every experiment in sequence
+//! (Table 2 and all figures), printing each paper-style report as it
+//! completes and writing a machine-readable `BENCH_experiments.json`.
+//!
+//! Knobs:
+//! * `ORPHEUS_SCALE={smoke,ci,paper}` (or a numeric figure-dataset
+//!   multiplier) — picks the differential history tier and scales the
+//!   figure datasets;
+//! * `ORPHEUS_EXPERIMENTS=differential,table2,…` — run only the named
+//!   sections (default: all);
+//! * `ORPHEUS_DIFF_ARMS=inproc,concurrent,async,remote,wal_reopen` —
+//!   override the executor arms (default: all five; `paper` defaults to
+//!   `inproc,concurrent` to bound the stress job's time and WAL volume);
+//! * `ORPHEUS_TRIALS` — timing repetition count for the figure sections.
+//!
+//! The differential gate runs first and a divergence exits non-zero with
+//! a seed-bearing reproduction line, so CI fails before any timing noise
+//! is even measured.
 use std::io::Write;
+use std::time::Instant;
 
-fn section(name: &str, f: fn() -> String) {
-    println!("==================== {name} ====================");
-    let out = f();
-    println!("{out}");
-    std::io::stdout().flush().expect("flush stdout");
-}
+use orpheus_bench::datasets::{self, ScaleTier};
+use orpheus_bench::differential::{run_differential, Arm, DiffConfig};
+use orpheus_bench::harness::{self, JsonObject};
+use orpheus_core::ModelKind;
 
 fn main() {
+    let tier = datasets::tier();
+    let filter: Option<Vec<String>> = std::env::var("ORPHEUS_EXPERIMENTS")
+        .ok()
+        .map(|s| s.split(',').map(|n| n.trim().to_string()).collect());
+    let enabled = |name: &str| filter.as_ref().is_none_or(|f| f.iter().any(|n| n == name));
+
+    let mut json = JsonObject::new()
+        .str("scale", tier.name())
+        .int("scale_multiplier", datasets::scale() as u64)
+        .int("trials", harness::trials() as u64);
+
+    if enabled("differential") {
+        println!("==================== differential ====================");
+        let params = tier.history();
+        let arms = match std::env::var("ORPHEUS_DIFF_ARMS") {
+            Ok(s) => Arm::parse_list(&s).unwrap_or_else(|e| {
+                eprintln!("ORPHEUS_DIFF_ARMS: {e}");
+                std::process::exit(2);
+            }),
+            // The paper tier bounds stress-job time and WAL volume by
+            // default; the smaller tiers run every arm.
+            Err(_) if tier == ScaleTier::Paper => vec![Arm::InProcess, Arm::Concurrent],
+            Err(_) => Arm::ALL.to_vec(),
+        };
+        let cfg = DiffConfig {
+            params: params.clone(),
+            model: ModelKind::SplitByRlist,
+            arms,
+            checkout_samples: tier.checkout_samples(),
+            label: tier.name().to_string(),
+        };
+        let stats = run_differential(&cfg).unwrap_or_else(|e| {
+            eprintln!("DIFFERENTIAL GATE FAILED\n{e}");
+            std::process::exit(1);
+        });
+        let mut arms_json = JsonObject::new();
+        for s in &stats {
+            println!(
+                "{:<12} {:>8} req  {:>10.0} req/s  p50 {:>9.1}us  p99 {:>10.1}us",
+                s.arm, s.requests, s.req_per_s, s.p50_us, s.p99_us
+            );
+            arms_json = arms_json.obj(
+                s.arm,
+                JsonObject::new()
+                    .int("requests", s.requests as u64)
+                    .num("elapsed_s", s.elapsed_s)
+                    .num("req_per_s", s.req_per_s)
+                    .num("p50_us", s.p50_us)
+                    .num("p99_us", s.p99_us),
+            );
+        }
+        let (versions, records) = stats
+            .first()
+            .map(|s| (s.versions, s.records))
+            .unwrap_or((params.versions, 0));
+        println!(
+            "history: {versions} versions, {records} records, seed {}",
+            params.seed
+        );
+        if tier == ScaleTier::Paper && (records < 1_000_000 || versions < 500) {
+            eprintln!(
+                "paper tier must replay a >=1M-record, >=500-version history; \
+                 got {records} records over {versions} versions"
+            );
+            std::process::exit(1);
+        }
+        json = json.obj(
+            "differential",
+            JsonObject::new()
+                .str("model", "SplitByRlist")
+                .int("seed", params.seed)
+                .int("versions", versions as u64)
+                .int("records", records as u64)
+                .obj("arms", arms_json),
+        );
+        std::io::stdout().flush().expect("flush stdout");
+    }
+
     use orpheus_bench::experiments as e;
-    section("table2", e::table2::run);
-    section("fig10_11", e::fig10_11::run);
-    section("fig14_15", e::fig14_15::run);
-    section("fig19", e::fig19::run);
-    section("fig12_13", e::fig12_13::run);
-    section("fig3", e::fig3::run);
-    section("fig9", e::fig9::run);
-    section("fig20_23", e::fig9::run_appendix);
-    section("compression", e::compression::run);
+    type Section = (&'static str, fn() -> String);
+    let figures: [Section; 9] = [
+        ("table2", e::table2::run),
+        ("fig10_11", e::fig10_11::run),
+        ("fig14_15", e::fig14_15::run),
+        ("fig19", e::fig19::run),
+        ("fig12_13", e::fig12_13::run),
+        ("fig3", e::fig3::run),
+        ("fig9", e::fig9::run),
+        ("fig20_23", e::fig9::run_appendix),
+        ("compression", e::compression::run),
+    ];
+    let mut sections = JsonObject::new();
+    for (name, f) in figures {
+        if !enabled(name) {
+            continue;
+        }
+        println!("==================== {name} ====================");
+        let t = Instant::now();
+        let out = f();
+        let elapsed = t.elapsed().as_secs_f64();
+        println!("{out}");
+        std::io::stdout().flush().expect("flush stdout");
+        sections = sections.num(name, elapsed);
+    }
+    json = json.obj("sections_elapsed_s", sections);
+
+    match harness::write_bench_json("experiments", json) {
+        Ok(path) => println!("wrote {path}"),
+        Err(err) => {
+            eprintln!("cannot write BENCH_experiments.json: {err}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn rlist_compresses_better_than_vlist() {
         // Small deterministic workload; rlists are runs of contiguous rids.
-        let w = Workload::generate(WorkloadParams::sci(40, 4, 50));
+        let w = Workload::generate(WorkloadParams::sci(80, 8, 50));
         let mut ratios = std::collections::HashMap::new();
         for model in MODELS {
             let mut odb = OrpheusDB::new();

@@ -13,11 +13,71 @@
 //! inserts, updates (which create fresh rids — records are immutable), and
 //! deletes, keeping version sizes in steady state so that each record lives
 //! in ~10 versions on average, matching the paper's statistics.
+//!
+//! ## Streaming histories
+//!
+//! [`HistoryGen`] is the paper-scale form of the generator: an iterator of
+//! [`HistoryEvent`]s (one `Init`, then one `Commit` per derived version)
+//! that never materializes the whole dataset — its working set is one
+//! rlist per *live branch*, so million-record histories generate in
+//! O(branches × version size) memory. On top of the Table 2 knobs it adds
+//! skewed branch popularity (`skew`) and mid-history schema evolution
+//! (`evolve_every`), and it derives every random choice from per-version
+//! sub-streams of the seed, which buys two properties the differential
+//! oracle harness relies on:
+//!
+//! 1. the same seed produces a bit-identical event stream on every run, and
+//! 2. two parameter sets that differ **only in `versions`** produce
+//!    identical prefixes, so `ORPHEUS_SCALE` tiers built that way share
+//!    their opening history and a failure at a big tier can be chased at a
+//!    small one.
+//!
+//! Events name the exact rids the engine will allocate (init rows get rids
+//! `1..=n` in order; each commit's fresh rows get consecutive rids in
+//! staged-row order), so a replay through the real command bus and a replay
+//! through the naive oracle (`crate::oracle`) must agree rid-for-rid.
+//! Deletes only ever name rids present in the parent version and never a
+//! rid inserted by the same commit — a row inserted and deleted inside one
+//! staged table would never reach the engine's allocator and the rid
+//! streams would drift.
+//!
+//! [`Workload`] (the original eager API used by the figure experiments) is
+//! a thin replay of `HistoryGen` with skew and evolution switched off.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use orpheus_partition::{BipartiteGraph, VersionGraph};
+
+/// Deterministic record payload: attribute `col` of record `rid` (1-based
+/// engine rid). A pure function of its arguments, so neither the generator
+/// nor the oracle ever stores row contents. Always non-NULL, which keeps
+/// cross-model comparison unambiguous: a trailing NULL in a checked-out
+/// row can only mean "this column did not exist when the record was
+/// created".
+pub fn payload(rid: i64, col: usize) -> i64 {
+    let mut x = (rid as u64)
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(col as u64);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    ((x >> 33) % 10_000) as i64
+}
+
+/// SplitMix64 finalizer, used to derive independent sub-streams.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Per-(version, lane) rng stream. Lane 0 drives structural choices
+/// (merge? fork from where?), lane 1 drives content choices (which rids
+/// churn). Keying by version id — not by draw count — is what makes
+/// histories prefix-stable when only `versions` changes.
+fn sub_rng(seed: u64, vid: u64, lane: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix(splitmix(seed) ^ splitmix((vid << 2) | lane)))
+}
 
 /// Workload family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +134,343 @@ impl WorkloadParams {
             ..WorkloadParams::sci(versions, branches, inserts)
         }
     }
+
+    /// The streaming-generator parameters equivalent to this workload
+    /// (uniform branch popularity, no schema evolution).
+    pub fn history(&self) -> HistoryParams {
+        HistoryParams {
+            versions: self.versions,
+            branches: self.branches,
+            fork_every: (self.versions / self.branches.max(1)).max(1),
+            base_rows: self.base_factor * self.inserts.max(1),
+            inserts: self.inserts,
+            attrs: self.attrs,
+            insert_fraction: self.insert_fraction,
+            merge_prob: match self.kind {
+                WorkloadKind::Cur => self.merge_prob,
+                WorkloadKind::Sci => 0.0,
+            },
+            skew: 0.0,
+            evolve_every: 0,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Knobs of the streaming generator. A superset of [`WorkloadParams`]:
+/// `fork_every` is explicit (not derived from `versions`) so that two
+/// parameter sets differing only in `versions` generate identical
+/// prefixes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryParams {
+    /// Total versions including the init version (≥ 1).
+    pub versions: usize,
+    /// Maximum number of branches ever created (≥ 1; 1 = a pure chain).
+    pub branches: usize,
+    /// A new branch forks every `fork_every` versions until `branches`
+    /// exist.
+    pub fork_every: usize,
+    /// Records in the init version.
+    pub base_rows: usize,
+    /// Modifications per derived version (the paper's `I`).
+    pub inserts: usize,
+    /// Initial attribute count (`a0..a{attrs-1}`, all ints).
+    pub attrs: usize,
+    /// Fraction of modifications that are pure inserts; the rest are
+    /// updates (delete + fresh-rid insert).
+    pub insert_fraction: f64,
+    /// Probability that a step merges a matured branch back into its
+    /// parent branch (0 = tree).
+    pub merge_prob: f64,
+    /// Branch-popularity skew: branch at creation rank r is picked with
+    /// weight 1/(r+1)^skew. 0 = uniform; larger = mainline-heavy.
+    pub skew: f64,
+    /// Add one column every `evolve_every` versions (0 = never). An
+    /// evolution scheduled on a version that turns out to be a merge is
+    /// skipped.
+    pub evolve_every: usize,
+    pub seed: u64,
+}
+
+/// The opening event of a history: the init version's schema width and
+/// rows. Rids are `1..=rows.len()` in row order — exactly what the engine
+/// allocates for `Init`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitEvent {
+    pub attrs: usize,
+    /// `(rid, payload values)`, width = `attrs`.
+    pub rows: Vec<(i64, Vec<i64>)>,
+}
+
+/// One derived version: which versions it checks out, which staged rows it
+/// deletes, which fresh rows it inserts, and whether the commit widens the
+/// schema first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitEvent {
+    /// The version id this commit must be assigned (init is 1).
+    pub vid: u64,
+    /// Checked-out parent version ids (two for a merge). Merges carry no
+    /// churn in this benchmark.
+    pub parents: Vec<u64>,
+    /// Rids deleted from the staged table; always present in the parent
+    /// version(s), sorted.
+    pub deletes: Vec<i64>,
+    /// Fresh rows `(rid, payload values)` in engine allocation order; the
+    /// value width is `width` (records are born at the current schema
+    /// width, never with trailing NULLs).
+    pub inserts: Vec<(i64, Vec<i64>)>,
+    /// `Some(column)` if this commit adds a column before inserting.
+    pub add_column: Option<String>,
+    /// CVD attribute count after this commit.
+    pub width: usize,
+}
+
+/// A streamed history event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoryEvent {
+    Init(InitEvent),
+    Commit(CommitEvent),
+}
+
+impl HistoryEvent {
+    /// The version id this event creates.
+    pub fn vid(&self) -> u64 {
+        match self {
+            HistoryEvent::Init(_) => 1,
+            HistoryEvent::Commit(c) => c.vid,
+        }
+    }
+}
+
+struct GenBranch {
+    /// Version id of the branch tip.
+    tip: u64,
+    /// Sorted rlist at the tip (emptied when the branch retires).
+    rids: Vec<i64>,
+    parent_branch: usize,
+    commits_since_fork: usize,
+    active: bool,
+}
+
+/// Streaming history generator: `Iterator<Item = HistoryEvent>`.
+pub struct HistoryGen {
+    params: HistoryParams,
+    branches: Vec<GenBranch>,
+    branches_created: usize,
+    next_vid: u64,
+    next_rid: i64,
+    width: usize,
+}
+
+impl HistoryGen {
+    pub fn new(params: HistoryParams) -> HistoryGen {
+        assert!(
+            params.versions >= 1,
+            "a history has at least its init version"
+        );
+        assert!(params.fork_every >= 1);
+        HistoryGen {
+            width: params.attrs,
+            params,
+            branches: Vec::new(),
+            branches_created: 0,
+            next_vid: 1,
+            next_rid: 1,
+        }
+    }
+
+    pub fn params(&self) -> &HistoryParams {
+        &self.params
+    }
+
+    /// Pick an active branch, weighting creation rank r by 1/(r+1)^skew.
+    fn pick_branch(&self, active: &[usize], rng: &mut StdRng) -> usize {
+        if active.len() == 1 || self.params.skew <= 0.0 {
+            return active[rng.gen_range(0..active.len())];
+        }
+        let weights: Vec<f64> = (0..active.len())
+            .map(|r| 1.0 / ((r + 1) as f64).powf(self.params.skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut t = rng.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            t -= w;
+            if t <= 0.0 {
+                return active[i];
+            }
+        }
+        active[active.len() - 1]
+    }
+}
+
+/// Sorted-merge union of two sorted rid lists.
+fn sorted_union(a: &[i64], b: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl Iterator for HistoryGen {
+    type Item = HistoryEvent;
+
+    fn next(&mut self) -> Option<HistoryEvent> {
+        let v = self.next_vid;
+        if v as usize > self.params.versions {
+            return None;
+        }
+        self.next_vid += 1;
+
+        if v == 1 {
+            let n = self.params.base_rows;
+            let rows: Vec<(i64, Vec<i64>)> = (1..=n as i64)
+                .map(|rid| (rid, (0..self.width).map(|c| payload(rid, c)).collect()))
+                .collect();
+            self.next_rid = n as i64 + 1;
+            self.branches.push(GenBranch {
+                tip: 1,
+                rids: (1..=n as i64).collect(),
+                parent_branch: 0,
+                commits_since_fork: 0,
+                active: true,
+            });
+            self.branches_created = 1;
+            return Some(HistoryEvent::Init(InitEvent {
+                attrs: self.params.attrs,
+                rows,
+            }));
+        }
+
+        let mut rs = sub_rng(self.params.seed, v, 0);
+
+        // Merge a matured branch back into its parent branch.
+        if self.params.merge_prob > 0.0 {
+            let candidate = (1..self.branches.len())
+                .find(|&i| self.branches[i].active && self.branches[i].commits_since_fork >= 1);
+            if let Some(b) = candidate {
+                if rs.gen_bool(self.params.merge_prob) {
+                    let pb = self.branches[b].parent_branch;
+                    let (a_tip, b_tip) = (self.branches[pb].tip, self.branches[b].tip);
+                    if a_tip != b_tip {
+                        let merged = sorted_union(&self.branches[pb].rids, &self.branches[b].rids);
+                        self.branches[pb].rids = merged;
+                        self.branches[pb].tip = v;
+                        self.branches[b].active = false;
+                        self.branches[b].rids = Vec::new();
+                        return Some(HistoryEvent::Commit(CommitEvent {
+                            vid: v,
+                            parents: vec![a_tip.min(b_tip), a_tip.max(b_tip)],
+                            deletes: Vec::new(),
+                            inserts: Vec::new(),
+                            add_column: None,
+                            width: self.width,
+                        }));
+                    }
+                }
+            }
+        }
+
+        // Fork a new branch on cadence, else extend a skew-picked branch.
+        let active: Vec<usize> = self
+            .branches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.active)
+            .map(|(i, _)| i)
+            .collect();
+        let make_branch = self.branches_created < self.params.branches
+            && (v as usize - 1).is_multiple_of(self.params.fork_every);
+        let branch = if make_branch {
+            let from = self.pick_branch(&active, &mut rs);
+            self.branches.push(GenBranch {
+                tip: self.branches[from].tip,
+                rids: self.branches[from].rids.clone(),
+                parent_branch: from,
+                commits_since_fork: 0,
+                active: true,
+            });
+            self.branches_created += 1;
+            self.branches.len() - 1
+        } else {
+            self.pick_branch(&active, &mut rs)
+        };
+
+        let mut add_column = None;
+        if self.params.evolve_every > 0 && (v as usize - 1).is_multiple_of(self.params.evolve_every)
+        {
+            add_column = Some(format!("a{}", self.width));
+            self.width += 1;
+        }
+
+        // Churn: updates (delete + fresh insert), steady-state deletes once
+        // past the base size, then pure inserts. Delete victims come only
+        // from rids inherited from the parent, never from this commit's
+        // fresh rows — the engine allocates rids at commit time, so a row
+        // inserted and deleted inside one staged table would desynchronize
+        // the rid streams.
+        let mut rc = sub_rng(self.params.seed, v, 1);
+        let tip = self.branches[branch].tip;
+        let mut rids = std::mem::take(&mut self.branches[branch].rids);
+        let n_updates =
+            ((self.params.inserts as f64) * (1.0 - self.params.insert_fraction)).round() as usize;
+        let n_updates = n_updates.min(self.params.inserts);
+        let n_inserts = self.params.inserts - n_updates;
+        let mut deletes = Vec::new();
+        let mut fresh = Vec::new();
+        for _ in 0..n_updates.min(rids.len()) {
+            let idx = rc.gen_range(0..rids.len());
+            deletes.push(rids.swap_remove(idx));
+            fresh.push(self.next_rid);
+            self.next_rid += 1;
+        }
+        if rids.len() + fresh.len() > self.params.base_rows {
+            for _ in 0..n_inserts.min(rids.len()) {
+                let idx = rc.gen_range(0..rids.len());
+                deletes.push(rids.swap_remove(idx));
+            }
+        }
+        for _ in 0..n_inserts {
+            fresh.push(self.next_rid);
+            self.next_rid += 1;
+        }
+        rids.extend(fresh.iter().copied());
+        rids.sort_unstable();
+        self.branches[branch].rids = rids;
+        self.branches[branch].tip = v;
+        self.branches[branch].commits_since_fork += 1;
+        deletes.sort_unstable();
+        let width = self.width;
+        let inserts: Vec<(i64, Vec<i64>)> = fresh
+            .iter()
+            .map(|&r| (r, (0..width).map(|c| payload(r, c)).collect()))
+            .collect();
+        Some(HistoryEvent::Commit(CommitEvent {
+            vid: v,
+            parents: vec![tip],
+            deletes,
+            inserts,
+            add_column,
+            width,
+        }))
+    }
 }
 
 /// A generated workload: version graph structure plus record membership.
@@ -91,127 +488,52 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// Generate a workload.
+    /// Generate a workload: an eager replay of [`HistoryGen`].
     pub fn generate(params: WorkloadParams) -> Workload {
-        let mut rng = StdRng::seed_from_u64(params.seed);
+        let history = params.history();
         let mut parents: Vec<Vec<usize>> = Vec::with_capacity(params.versions);
         let mut version_rids: Vec<Vec<usize>> = Vec::with_capacity(params.versions);
-
-        // Root version: base_factor · I records.
-        let base = params.base_factor * params.inserts.max(1);
-        version_rids.push((0..base).collect());
-        let mut next_rid = base;
-        parents.push(Vec::new());
-
-        // Branch bookkeeping: branch 0 is the mainline and never retires.
-        // In CUR, non-mainline branches live for a few commits and then
-        // merge back into their parent branch (short-lived working copies),
-        // which keeps the duplicated-record fraction |R̂|/|R| in the paper's
-        // 7–10% range.
-        struct Branch {
-            tip: usize,
-            parent_branch: usize,
-            commits_since_fork: usize,
-            active: bool,
-        }
-        let mut branches: Vec<Branch> = vec![Branch {
-            tip: 0,
-            parent_branch: 0,
-            commits_since_fork: 0,
-            active: true,
-        }];
-        let mut branches_created = 1usize;
-        // Fork evenly so all B branches exist by the end.
-        let fork_every = (params.versions / params.branches.max(1)).max(1);
-
-        for v in 1..params.versions {
-            // CUR: merge a matured branch back into its parent branch.
-            if params.kind == WorkloadKind::Cur {
-                let candidate = (1..branches.len())
-                    .find(|&i| branches[i].active && branches[i].commits_since_fork >= 1);
-                if let Some(b) = candidate {
-                    if rng.gen_bool(params.merge_prob) {
-                        let pb = branches[b].parent_branch;
-                        let (a_tip, b_tip) = (branches[pb].tip, branches[b].tip);
-                        if a_tip != b_tip {
-                            let mut records: Vec<usize> = version_rids[a_tip]
-                                .iter()
-                                .chain(version_rids[b_tip].iter())
-                                .copied()
-                                .collect();
-                            records.sort_unstable();
-                            records.dedup();
-                            parents.push(vec![a_tip.min(b_tip), a_tip.max(b_tip)]);
-                            version_rids.push(records);
-                            branches[pb].tip = v;
-                            branches[b].active = false;
-                            continue;
-                        }
+        let mut num_records = 0usize;
+        for event in HistoryGen::new(history) {
+            match event {
+                HistoryEvent::Init(e) => {
+                    num_records = e.rows.len();
+                    parents.push(Vec::new());
+                    version_rids.push(e.rows.iter().map(|&(r, _)| r as usize - 1).collect());
+                }
+                HistoryEvent::Commit(e) => {
+                    let mut rids: Vec<usize> = if e.parents.len() == 1 {
+                        version_rids[e.parents[0] as usize - 1].clone()
+                    } else {
+                        let mut u: Vec<usize> = e
+                            .parents
+                            .iter()
+                            .flat_map(|&p| version_rids[p as usize - 1].iter().copied())
+                            .collect();
+                        u.sort_unstable();
+                        u.dedup();
+                        u
+                    };
+                    if !e.deletes.is_empty() {
+                        let del: std::collections::HashSet<usize> =
+                            e.deletes.iter().map(|&r| r as usize - 1).collect();
+                        rids.retain(|r| !del.contains(r));
                     }
+                    for &(r, _) in &e.inserts {
+                        rids.push(r as usize - 1);
+                        num_records = num_records.max(r as usize);
+                    }
+                    rids.sort_unstable();
+                    parents.push(e.parents.iter().map(|&p| p as usize - 1).collect());
+                    version_rids.push(rids);
                 }
             }
-
-            let active: Vec<usize> = branches
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| b.active)
-                .map(|(i, _)| i)
-                .collect();
-            let make_branch = branches_created < params.branches && v % fork_every == 0;
-            let branch = if make_branch {
-                // Fork from a random active branch tip.
-                let from = active[rng.gen_range(0..active.len())];
-                branches.push(Branch {
-                    tip: branches[from].tip,
-                    parent_branch: from,
-                    commits_since_fork: 0,
-                    active: true,
-                });
-                branches_created += 1;
-                branches.len() - 1
-            } else {
-                active[rng.gen_range(0..active.len())]
-            };
-
-            let tip = branches[branch].tip;
-            let mut records = version_rids[tip].clone();
-            let n_updates =
-                ((params.inserts as f64) * (1.0 - params.insert_fraction)).round() as usize;
-            let n_inserts = params.inserts - n_updates;
-            // Updates: replace random records with fresh rids (immutable
-            // records: a modification is a delete + insert).
-            for _ in 0..n_updates.min(records.len()) {
-                let idx = rng.gen_range(0..records.len());
-                records.swap_remove(idx);
-                records.push(next_rid);
-                next_rid += 1;
-            }
-            // Keep version sizes in steady state: delete as many as we
-            // insert once past the base size (records live ~base_factor
-            // versions on average, matching "each record exists on average
-            // in 10 versions").
-            if records.len() > base {
-                for _ in 0..n_inserts.min(records.len()) {
-                    let idx = rng.gen_range(0..records.len());
-                    records.swap_remove(idx);
-                }
-            }
-            for _ in 0..n_inserts {
-                records.push(next_rid);
-                next_rid += 1;
-            }
-            records.sort_unstable();
-            parents.push(vec![tip]);
-            version_rids.push(records);
-            branches[branch].tip = v;
-            branches[branch].commits_since_fork += 1;
         }
-
         Workload {
             params,
             parents,
             version_rids,
-            num_records: next_rid,
+            num_records,
         }
     }
 
@@ -226,15 +548,11 @@ impl Workload {
 
     /// Deterministic integer payload of a record: `attrs` 4-byte-ish values
     /// derived from the rid (the paper's records are 100 × 4-byte ints).
+    /// Workload rids are 0-based; this is [`payload`] of the 1-based engine
+    /// rid, so bulk-loaded and replayed datasets carry identical bytes.
     pub fn record_values(&self, rid: usize) -> Vec<i64> {
         (0..self.params.attrs)
-            .map(|c| {
-                let mut x = (rid as u64)
-                    .wrapping_mul(0x9e3779b97f4a7c15)
-                    .wrapping_add(c as u64);
-                x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-                (x >> 33) as i64 % 10_000
-            })
+            .map(|c| payload(rid as i64 + 1, c))
             .collect()
     }
 
@@ -343,6 +661,106 @@ mod tests {
             // Merges introduce no new records in this benchmark.
             if w.parents[v].len() == 2 {
                 assert!(new.is_empty());
+            }
+        }
+    }
+
+    fn history_fixture() -> HistoryParams {
+        HistoryParams {
+            versions: 40,
+            branches: 4,
+            fork_every: 7,
+            base_rows: 120,
+            inserts: 25,
+            attrs: 5,
+            insert_fraction: 0.8,
+            merge_prob: 0.3,
+            skew: 0.9,
+            evolve_every: 11,
+            seed: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn history_stream_is_bit_identical_across_runs() {
+        let a: Vec<HistoryEvent> = HistoryGen::new(history_fixture()).collect();
+        let b: Vec<HistoryEvent> = HistoryGen::new(history_fixture()).collect();
+        assert_eq!(a.len(), 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histories_differing_only_in_versions_share_a_prefix() {
+        let long: Vec<HistoryEvent> = HistoryGen::new(history_fixture()).collect();
+        let short_params = HistoryParams {
+            versions: 17,
+            ..history_fixture()
+        };
+        let short: Vec<HistoryEvent> = HistoryGen::new(short_params).collect();
+        assert_eq!(short.len(), 17);
+        assert_eq!(&long[..17], &short[..]);
+    }
+
+    #[test]
+    fn history_events_are_well_formed() {
+        let mut seen_rids = std::collections::HashSet::new();
+        let mut width = 0usize;
+        let mut num_evolutions = 0;
+        let mut num_merges = 0;
+        for event in HistoryGen::new(history_fixture()) {
+            match event {
+                HistoryEvent::Init(e) => {
+                    width = e.attrs;
+                    for (i, &(rid, ref vals)) in e.rows.iter().enumerate() {
+                        assert_eq!(rid, i as i64 + 1, "init rids are 1..=n in order");
+                        assert_eq!(vals.len(), width);
+                        assert!(seen_rids.insert(rid));
+                    }
+                }
+                HistoryEvent::Commit(e) => {
+                    if e.add_column.is_some() {
+                        num_evolutions += 1;
+                        assert_eq!(e.add_column.as_deref(), Some(&*format!("a{}", e.width - 1)));
+                    }
+                    assert_eq!(e.width, width + usize::from(e.add_column.is_some()));
+                    width = e.width;
+                    if e.parents.len() == 2 {
+                        num_merges += 1;
+                        assert!(e.deletes.is_empty() && e.inserts.is_empty());
+                    }
+                    for &(rid, ref vals) in &e.inserts {
+                        assert_eq!(vals.len(), e.width, "records are born at full width");
+                        assert!(seen_rids.insert(rid), "fresh rids are globally unique");
+                        assert!(!e.deletes.contains(&rid), "no insert+delete in one commit");
+                    }
+                }
+            }
+        }
+        assert!(
+            num_evolutions >= 2,
+            "fixture must exercise schema evolution"
+        );
+        assert!(num_merges >= 1, "fixture must exercise merges");
+        assert!(width > 5, "schema must have widened");
+    }
+
+    #[test]
+    fn workload_replay_matches_streamed_events() {
+        // The eager Workload is a replay of the stream: every fresh rid in
+        // the stream appears in exactly the versions the Workload says.
+        let params = WorkloadParams::cur(60, 6, 30);
+        let w = Workload::generate(params.clone());
+        let events: Vec<HistoryEvent> = HistoryGen::new(params.history()).collect();
+        assert_eq!(events.len(), w.num_versions());
+        for event in &events {
+            if let HistoryEvent::Commit(e) = event {
+                let v = e.vid as usize - 1;
+                for &(rid, _) in &e.inserts {
+                    assert!(w.version_rids[v].contains(&(rid as usize - 1)));
+                }
+                for &rid in &e.deletes {
+                    assert!(!w.version_rids[v].contains(&(rid as usize - 1)));
+                }
             }
         }
     }

@@ -50,6 +50,18 @@ pub fn protocol_mean(mut samples: Vec<f64>) -> f64 {
     kept.iter().sum::<f64>() / kept.len() as f64
 }
 
+/// Nearest-rank percentile of a sample set (`p` in 0..=100). Sorts the
+/// samples in place; returns 0.0 for an empty set. The differential arms
+/// report p50/p99 request latencies through this.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
 /// Time a single run (for expensive operations where repetition is
 /// impractical, e.g. full dataset loads).
 pub fn time_once<T, F: FnOnce() -> T>(op: F) -> (T, f64) {

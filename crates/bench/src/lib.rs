@@ -15,13 +15,23 @@
 //!   CVD under any of the five data models;
 //! * [`harness`] — the paper's timing protocol (repeat, drop extremes,
 //!   average) and aligned table printing;
-//! * [`experiments`] — one module per table/figure.
+//! * [`experiments`] — one module per table/figure;
+//! * [`oracle`] — a naive reference model of the versioning semantics;
+//! * [`differential`] — replays one generated history through every
+//!   executor (in-process, concurrent, async, remote, WAL-reopened) and
+//!   gates on agreement with the oracle.
 
 pub mod datasets;
+pub mod differential;
 pub mod experiments;
 pub mod generator;
 pub mod harness;
 pub mod loader;
+pub mod oracle;
 
-pub use datasets::DatasetSpec;
-pub use generator::{Workload, WorkloadKind, WorkloadParams};
+pub use datasets::{DatasetSpec, ScaleTier};
+pub use differential::{run_differential, Arm, ArmStats, DiffConfig};
+pub use generator::{
+    HistoryEvent, HistoryGen, HistoryParams, Workload, WorkloadKind, WorkloadParams,
+};
+pub use oracle::Oracle;

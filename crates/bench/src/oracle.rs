@@ -1,0 +1,252 @@
+//! A naive, obviously-correct reference model of OrpheusDB's versioning
+//! semantics, used as the ground truth by the differential harness
+//! (`crate::differential`).
+//!
+//! The oracle replays a [`HistoryEvent`] stream and maintains, with no
+//! cleverness whatsoever:
+//!
+//! * the **version graph** — parent ids per version;
+//! * the **rlist** of every version — a sorted `Vec<i64>` built by cloning
+//!   the parent's list and applying deletes/inserts (merges take the
+//!   sorted, deduplicated union of both parents);
+//! * the **schema width at which each record was born**, which fully
+//!   determines row contents: attribute `c` of record `r` is
+//!   [`payload`]`(r, c)` for `c < width(r)` and NULL beyond (columns added
+//!   after a record's birth read back as NULL).
+//!
+//! Rid assignment mirrors the engine's allocator — init rows get
+//! `1..=n` in order, each commit's fresh rows get consecutive rids in
+//! staged-row order — and the oracle *re-derives* it rather than trusting
+//! the rids named in the events: [`Oracle::apply`] panics if its own
+//! assignment ever disagrees with the generator's. The differential driver
+//! then checks the real engine against this model version by version.
+//!
+//! All fields are public so tests can deliberately corrupt an oracle and
+//! prove the differential gate fails non-vacuously (the mutation tests in
+//! `crates/bench/tests/differential_oracle.rs`).
+
+use crate::generator::{payload, HistoryEvent};
+
+/// One version in the reference model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleVersion {
+    /// 1-based version id (position in `Oracle::versions` + 1).
+    pub vid: u64,
+    /// Parent version ids, sorted.
+    pub parents: Vec<u64>,
+    /// Sorted record ids of this version.
+    pub rlist: Vec<i64>,
+}
+
+/// The reference model. Build with [`Oracle::replay`] or feed events one
+/// at a time with [`Oracle::apply`].
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    pub versions: Vec<OracleVersion>,
+    /// `record_width[rid - 1]` = attribute count when record `rid` was
+    /// born.
+    pub record_width: Vec<u32>,
+    /// Current CVD attribute count.
+    pub width: usize,
+}
+
+impl Oracle {
+    pub fn new() -> Oracle {
+        Oracle::default()
+    }
+
+    /// Replay a whole event stream.
+    pub fn replay(events: impl IntoIterator<Item = HistoryEvent>) -> Oracle {
+        let mut oracle = Oracle::new();
+        for event in events {
+            oracle.apply(&event);
+        }
+        oracle
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn num_records(&self) -> usize {
+        self.record_width.len()
+    }
+
+    /// The version with id `vid` (1-based). Panics if out of range.
+    pub fn version(&self, vid: u64) -> &OracleVersion {
+        &self.versions[vid as usize - 1]
+    }
+
+    /// Attribute `col` of record `rid` — `Some(payload)` if the column
+    /// existed when the record was born, `None` (NULL) otherwise.
+    pub fn value(&self, rid: i64, col: usize) -> Option<i64> {
+        let width = self.record_width[rid as usize - 1] as usize;
+        (col < width).then(|| payload(rid, col))
+    }
+
+    /// The full expected row of record `rid`: its payload values up to its
+    /// birth width. Columns beyond read back as NULL in the engine; the
+    /// comparison side normalizes by trimming trailing NULLs.
+    pub fn row(&self, rid: i64) -> Vec<i64> {
+        let width = self.record_width[rid as usize - 1] as usize;
+        (0..width).map(|c| payload(rid, c)).collect()
+    }
+
+    /// Apply one event. Panics (with the offending vid) on any internal
+    /// inconsistency: wrong vid order, a delete of an absent rid, or a
+    /// fresh rid that disagrees with the oracle's own allocator.
+    pub fn apply(&mut self, event: &HistoryEvent) {
+        match event {
+            HistoryEvent::Init(init) => {
+                assert!(self.versions.is_empty(), "Init must be the first event");
+                self.width = init.attrs;
+                let mut rlist = Vec::with_capacity(init.rows.len());
+                for (i, (rid, _)) in init.rows.iter().enumerate() {
+                    let expect = i as i64 + 1;
+                    assert_eq!(
+                        *rid, expect,
+                        "oracle: init row {i} carries rid {rid}, allocator says {expect}"
+                    );
+                    self.record_width.push(init.attrs as u32);
+                    rlist.push(expect);
+                }
+                self.versions.push(OracleVersion {
+                    vid: 1,
+                    parents: Vec::new(),
+                    rlist,
+                });
+            }
+            HistoryEvent::Commit(c) => {
+                let expect_vid = self.versions.len() as u64 + 1;
+                assert_eq!(
+                    c.vid, expect_vid,
+                    "oracle: commit carries vid {}, next version is {expect_vid}",
+                    c.vid
+                );
+                if c.add_column.is_some() {
+                    self.width += 1;
+                }
+                assert_eq!(c.width, self.width, "oracle: width drift at v{}", c.vid);
+
+                // Start from the parent rlist(s): clone one parent, or take
+                // the sorted deduplicated union of a merge's two parents.
+                let mut rlist: Vec<i64> = c
+                    .parents
+                    .iter()
+                    .flat_map(|&p| self.version(p).rlist.iter().copied())
+                    .collect();
+                rlist.sort_unstable();
+                rlist.dedup();
+
+                for &rid in &c.deletes {
+                    match rlist.binary_search(&rid) {
+                        Ok(i) => {
+                            rlist.remove(i);
+                        }
+                        Err(_) => panic!(
+                            "oracle: v{} deletes rid {rid} absent from its parents",
+                            c.vid
+                        ),
+                    }
+                }
+                for (rid, _) in &c.inserts {
+                    let expect = self.record_width.len() as i64 + 1;
+                    assert_eq!(
+                        *rid, expect,
+                        "oracle: v{} insert carries rid {rid}, allocator says {expect}",
+                        c.vid
+                    );
+                    self.record_width.push(self.width as u32);
+                    rlist.push(expect);
+                }
+                rlist.sort_unstable();
+
+                let mut parents = c.parents.clone();
+                parents.sort_unstable();
+                self.versions.push(OracleVersion {
+                    vid: c.vid,
+                    parents,
+                    rlist,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{HistoryGen, HistoryParams};
+
+    fn params() -> HistoryParams {
+        HistoryParams {
+            versions: 30,
+            branches: 3,
+            fork_every: 6,
+            base_rows: 80,
+            inserts: 20,
+            attrs: 4,
+            insert_fraction: 0.8,
+            merge_prob: 0.4,
+            skew: 0.5,
+            evolve_every: 9,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn replay_accepts_generated_histories() {
+        let oracle = Oracle::replay(HistoryGen::new(params()));
+        assert_eq!(oracle.num_versions(), 30);
+        assert!(oracle.num_records() > 80);
+        assert!(oracle.width > 4, "evolution must widen the schema");
+        // rlists are sorted and unique; parents are in range.
+        for v in &oracle.versions {
+            assert!(v.rlist.windows(2).all(|w| w[0] < w[1]));
+            assert!(v.parents.iter().all(|&p| p < v.vid && p >= 1));
+        }
+    }
+
+    #[test]
+    fn values_respect_birth_width() {
+        let oracle = Oracle::replay(HistoryGen::new(params()));
+        // An init-era record never sees evolved columns...
+        assert_eq!(oracle.value(1, 3), Some(payload(1, 3)));
+        assert_eq!(oracle.value(1, 4), None);
+        // ...while a record born after every evolution carries full width.
+        let last = oracle.num_records() as i64;
+        assert_eq!(
+            oracle.record_width[last as usize - 1] as usize,
+            oracle.width
+        );
+        assert_eq!(oracle.row(last).len(), oracle.width);
+    }
+
+    #[test]
+    fn merge_rlists_are_parent_unions() {
+        let oracle = Oracle::replay(HistoryGen::new(params()));
+        let merge = oracle
+            .versions
+            .iter()
+            .find(|v| v.parents.len() == 2)
+            .expect("fixture has merges");
+        let mut union: Vec<i64> = merge
+            .parents
+            .iter()
+            .flat_map(|&p| oracle.version(p).rlist.iter().copied())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        assert_eq!(merge.rlist, union);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocator says")]
+    fn apply_rejects_rid_drift() {
+        let mut events: Vec<HistoryEvent> = HistoryGen::new(params()).collect();
+        if let HistoryEvent::Init(init) = &mut events[0] {
+            init.rows[3].0 = 999;
+        }
+        let _ = Oracle::replay(events);
+    }
+}

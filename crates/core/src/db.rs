@@ -1387,6 +1387,10 @@ fn lookup_mut<'a>(cvds: &'a mut HashMap<String, Cvd>, name: &str) -> Result<&'a 
 fn merged_rows(engine: &mut Database, cvd: &Cvd, vids: &[Vid]) -> Result<Vec<Vec<Value>>> {
     let mut out: Vec<Vec<Value>> = Vec::new();
     let has_pk = !cvd.schema.primary_key.is_empty();
+    // Versions frozen before a schema evolution read back narrower than
+    // the current schema (table-per-version and delta); the merged staged
+    // table is always current-width, so NULL-extend on the way in.
+    let width = 1 + cvd.schema.columns.len();
     // hash → indices into `out` (rows stored rid-first, so data column `c`
     // of a merged row lives at `c + 1`).
     let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
@@ -1413,9 +1417,10 @@ fn merged_rows(engine: &mut Database, cvd: &Cvd, vids: &[Vid]) -> Result<Vec<Vec
                 continue;
             }
             bucket.push(out.len());
-            let mut row = Vec::with_capacity(values.len() + 1);
+            let mut row = Vec::with_capacity(width);
             row.push(Value::Int(rid));
             row.extend(values);
+            row.resize(width, Value::Null);
             out.push(row);
         }
     }

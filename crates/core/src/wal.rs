@@ -69,7 +69,7 @@
 //! [`crate::db::OrpheusDB`] before touching memory, while reads and
 //! checkouts keep serving. Recovery is explicit: a successful
 //! [`crate::recovery::checkpoint`] snapshots the full in-memory state
-//! onto a fresh generation and [`WalSink::switch_to`] clears the
+//! onto a fresh generation and the private `WalSink::switch_to` clears the
 //! degraded flag. A `rotate` fault fails the checkpoint itself and
 //! leaves the previous generation serving.
 

@@ -6,7 +6,7 @@
 //!
 //! * The **reader** performs the handshake ([`Frame::Hello`] →
 //!   [`Frame::Welcome`], binding the connection to a user via
-//!   [`AsyncExecutor::handle`] and to a [`Session`] carrying the replay
+//!   [`AsyncExecutor::handle`] and to a private `Session` carrying the replay
 //!   cache), then turns each incoming frame into a non-blocking
 //!   submission — [`AsyncHandle::submit`] / [`AsyncHandle::submit_batch`]
 //!   — and hands the resulting tickets to the writer. Requests therefore
@@ -30,7 +30,7 @@
 //! whether the server executed it — blind resending would double-commit.
 //! The handshake therefore issues a **session id**; on reconnect the
 //! client quotes it ([`Frame::Hello`]'s `resume`) and the connection
-//! reattaches to the same [`Session`], whose bounded **replay cache**
+//! reattaches to the same `Session`, whose bounded **replay cache**
 //! remembers the outcome of the last [`ServerConfig::dedup_cache`] frame
 //! ids. A retried frame whose id is already cached gets the *original*
 //! outcome back without re-executing; one still in flight waits for the

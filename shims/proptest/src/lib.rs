@@ -8,8 +8,12 @@
 //! deterministic per-test, per-case seed so failures are reproducible.
 //!
 //! Deliberately missing relative to real proptest: shrinking (a failing
-//! case reports its inputs via `Debug` but is not minimized), persistence
-//! of failing seeds, and the full regex strategy language.
+//! case reports its inputs via `Debug` but is not minimized) and the full
+//! regex strategy language. In place of seed-file persistence, a failing
+//! property panics with its case index and a ready-to-paste reproduction
+//! command; `ORPHEUS_PROPTEST_CASE=<n>` re-runs exactly that case (the
+//! per-test stream is keyed on the test name and case index alone, so the
+//! same inputs are regenerated). See `shims/README.md`.
 
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
@@ -70,6 +74,26 @@ impl Default for ProptestConfig {
             cases: 64,
             max_shrink_iters: 0,
         }
+    }
+}
+
+/// The case indices a property should run: all of them normally, or the
+/// single index named by `ORPHEUS_PROPTEST_CASE` when re-running a
+/// reported failure. Out-of-range overrides still run (the stream is
+/// defined for every index), so a stale number fails loudly rather than
+/// silently passing zero cases.
+#[doc(hidden)]
+pub fn __cases(configured: u32) -> std::ops::Range<u64> {
+    let requested = std::env::var("ORPHEUS_PROPTEST_CASE")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok());
+    case_range(requested, configured)
+}
+
+fn case_range(requested: Option<u64>, configured: u32) -> std::ops::Range<u64> {
+    match requested {
+        Some(c) => c..c + 1,
+        None => 0..configured as u64,
     }
 }
 
@@ -467,7 +491,7 @@ macro_rules! __proptest_fns {
         $(#[$attr])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            for case in 0..config.cases as u64 {
+            for case in $crate::__cases(config.cases) {
                 let mut __rng = $crate::TestRng::deterministic(case, stringify!($name));
                 let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                     $crate::__proptest_bind!(__rng; $($params)*);
@@ -475,7 +499,13 @@ macro_rules! __proptest_fns {
                     ::std::result::Result::Ok(())
                 })();
                 if let ::std::result::Result::Err(e) = __outcome {
-                    panic!("property {} failed at case {case}: {e}", stringify!($name));
+                    panic!(
+                        "property {name} failed at case {case}: {e}\n  \
+                         reproduce: ORPHEUS_PROPTEST_CASE={case} cargo test {name}\n  \
+                         (no shrinking in this offline shim; the case index regenerates \
+                         the exact inputs -- see shims/README.md)",
+                        name = stringify!($name),
+                    );
                 }
             }
         }
@@ -575,6 +605,15 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    #[test]
+    fn case_override_narrows_the_run_to_one_index() {
+        assert_eq!(crate::case_range(None, 8), 0..8);
+        assert_eq!(crate::case_range(Some(5), 8), 5..6);
+        // A stale index past `cases` still runs (and can still fail) rather
+        // than silently passing an empty loop.
+        assert_eq!(crate::case_range(Some(40), 8), 40..41);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
@@ -584,6 +623,12 @@ mod tests {
             prop_assert!(x < 10);
             prop_assert_eq!(v.len(), v.len());
             prop_assert_ne!(x + 1, x);
+        }
+
+        #[test]
+        #[should_panic(expected = "reproduce: ORPHEUS_PROPTEST_CASE=0 cargo test failing_properties_name_their_case")]
+        fn failing_properties_name_their_case(x in 0usize..10) {
+            prop_assert!(x > 100, "forced failure for x = {x}");
         }
     }
 }
